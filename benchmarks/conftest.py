@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+One session-scoped :class:`ExperimentRunner` backs every figure bench, so
+g5 traces and host replays are computed once and reused; the benchmark
+timings therefore measure figure regeneration on a warm cache after the
+first bench touches each artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(scale="simsmall", max_records=60000)
+
+
+def print_comparison(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-vs-measured block under the benchmark output."""
+    print(f"\n=== {title} ===")
+    width = max(len(row[0]) for row in rows)
+    print(f"{'claim'.ljust(width)}  {'paper':>14s}  {'measured':>14s}")
+    for name, paper, measured in rows:
+        print(f"{name.ljust(width)}  {paper:>14s}  {measured:>14s}")
+
+
+@pytest.fixture
+def compare():
+    return print_comparison

@@ -1,0 +1,154 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out.
+
+Each ablation removes or varies one mechanism of the host model and
+shows the effect it exists to produce, so a reader can see which
+modelling decision carries which paper result.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.host.binary import BinaryImage
+from repro.host.corun import Contention, corun_contention
+from repro.host.cpu import HostCPU
+from repro.host.hugepages import HugePagePolicy, resolve_backing
+from repro.host.platform import intel_xeon
+
+
+@pytest.fixture(scope="module")
+def trace(runner):
+    """One detailed-CPU g5 trace shared by all ablations."""
+    result = runner.g5_result("water_nsquared", "o3")
+    return result.recorder
+
+
+def replay(trace, platform=None, **kwargs):
+    image_kwargs = kwargs.pop("image_kwargs", {})
+    image = BinaryImage.for_recorder_functions(trace.known_functions(),
+                                               **image_kwargs)
+    cpu = HostCPU(platform or intel_xeon(), image, **kwargs)
+    fns = trace.trace_fns[:60000]
+    daddrs = trace.trace_daddrs[:60000]
+    return cpu.replay(fns, daddrs, trace.fn_names)
+
+
+def test_ablation_dsb_capacity(benchmark, trace, compare):
+    """Why gem5 gets ~0 DSB coverage: capacity vs footprint.
+
+    Growing the µop cache 16x barely helps gem5 — its code has no reuse
+    at DSB timescales — which is the paper's Fig. 6 causal claim.
+    """
+    def run():
+        rows = []
+        for factor in (1, 4, 16):
+            platform = replace(intel_xeon(),
+                               dsb_uops=intel_xeon().dsb_uops * factor)
+            result = replay(trace, platform)
+            rows.append((factor, result.dsb_coverage))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    compare("Ablation: DSB capacity vs gem5 coverage", [
+        (f"DSB x{factor} ({factor * 1536} uops)", "stays low",
+         f"{coverage:.1%}") for factor, coverage in rows])
+    assert rows[-1][1] < 0.5  # even 16x capacity can't fix gem5
+
+
+def test_ablation_page_size_at_fixed_l1(benchmark, trace, compare):
+    """Separating the M1's page-size effect from its L1-capacity effect.
+
+    Quadrupling the page size at fixed L1 capacity cuts iTLB misses on
+    its own — the paper's footnote-3 argument.
+    """
+    def run():
+        base = intel_xeon()
+        small_pages = replay(trace, base)
+        big_pages = replay(trace, replace(base, page_size=16 * 1024))
+        return small_pages, big_pages
+
+    small_pages, big_pages = benchmark.pedantic(run, rounds=1, iterations=1)
+    compare("Ablation: 4KB vs 16KB pages (same caches)", [
+        ("iTLB miss rate @4KB", "higher",
+         f"{small_pages.itlb_miss_rate:.3%}"),
+        ("iTLB miss rate @16KB", "lower",
+         f"{big_pages.itlb_miss_rate:.3%}"),
+        ("time saved", "> 0",
+         f"{1 - big_pages.time_seconds / small_pages.time_seconds:.2%}"),
+    ])
+    assert big_pages.itlb_miss_rate < small_pages.itlb_miss_rate
+
+
+def test_ablation_thp_hot_fraction(benchmark, trace, compare):
+    """THP vs EHP differ only in which text range gets 2MB pages."""
+    def run():
+        image = BinaryImage.for_recorder_functions(trace.known_functions())
+        results = {}
+        for policy in (HugePagePolicy.NONE, HugePagePolicy.THP,
+                       HugePagePolicy.EHP):
+            backing = resolve_backing(policy, image)
+            results[policy.value] = backing.covers_bytes
+        return results, image.text_bytes
+
+    coverage, text_bytes = benchmark.pedantic(run, rounds=1, iterations=1)
+    compare("Ablation: huge-page text coverage", [
+        ("NONE", "0", f"{coverage['none']} B"),
+        ("THP (hot fraction)", "partial",
+         f"{coverage['thp'] / text_bytes:.0%} of text"),
+        ("EHP (layout-limited)", "larger but imperfect",
+         f"{coverage['ehp'] / text_bytes:.0%} of text"),
+    ])
+    assert 0 < coverage["thp"] <= coverage["ehp"] <= text_bytes * 1.01
+
+
+def test_ablation_smt_l1_sharing(benchmark, trace, compare):
+    """The SMT penalty is mostly L1 contention (the paper's Sec. II claim).
+
+    Same process count and slot sharing, with and without the shared-L1
+    component of the SMT model (capacity halving + sibling pollution).
+    """
+    def run():
+        platform = intel_xeon()
+        smt = corun_contention(platform, 40, smt=True)
+        # Keep the slot/bandwidth terms but disable every cache-sharing
+        # mechanism: smt_shared gates the capacity halving, the evict
+        # fractions gate the recency pollution.
+        no_l1_sharing = replace(smt, smt_shared=False,
+                                l1_evict_fraction=0.0,
+                                tlb_evict_fraction=0.0,
+                                l1_quantum_records=0)
+        full = replay(trace, contention=smt)
+        partial = replay(trace, contention=no_l1_sharing)
+        alone = replay(trace)
+        return alone, partial, full
+
+    alone, partial, full = benchmark.pedantic(run, rounds=1, iterations=1)
+    l1_component = (full.time_seconds - partial.time_seconds) \
+        / (full.time_seconds - alone.time_seconds)
+    compare("Ablation: SMT slowdown decomposition", [
+        ("single process", "baseline", f"{alone.time_seconds * 1e3:.2f} ms"),
+        ("SMT w/o L1 sharing", "slower", f"{partial.time_seconds * 1e3:.2f} ms"),
+        ("SMT full", "slowest", f"{full.time_seconds * 1e3:.2f} ms"),
+        ("L1/TLB share of SMT penalty", "substantial",
+         f"{l1_component:.0%}"),
+    ])
+    assert alone.time_seconds < partial.time_seconds < full.time_seconds
+    assert l1_component > 0.08
+
+
+def test_ablation_layout_quality(benchmark, trace, compare):
+    """libhugetlbfs' 'sub-optimal binary layout' knob (paper §V-A)."""
+    def run():
+        good = replay(trace, image_kwargs={"layout_quality": 1.0})
+        bad = replay(trace, image_kwargs={"layout_quality": 0.5})
+        return good, bad
+
+    good, bad = benchmark.pedantic(run, rounds=1, iterations=1)
+    compare("Ablation: binary layout quality", [
+        ("compact layout time", "faster", f"{good.time_seconds * 1e3:.2f} ms"),
+        ("sparse layout time", "slower", f"{bad.time_seconds * 1e3:.2f} ms"),
+        ("iTLB miss rate compact/sparse",
+         "sparse worse",
+         f"{good.itlb_miss_rate:.3%} / {bad.itlb_miss_rate:.3%}"),
+    ])
+    assert bad.time_seconds > good.time_seconds

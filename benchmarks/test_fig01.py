@@ -1,0 +1,29 @@
+"""Fig. 1: gem5 simulation time across platforms and co-run scenarios."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig01_platform_comparison import (
+    smt_off_benefit,
+    speedup_summary,
+)
+
+#: A representative subset of the nine workloads keeps the bench under
+#: a few minutes; pass all of PARSEC_SPLASH_NAMES for the full sweep.
+WORKLOADS = ["water_nsquared", "dedup", "canneal", "streamcluster",
+             "ocean_cp"]
+
+
+def test_fig01_platform_comparison(benchmark, runner, compare):
+    figure = benchmark.pedantic(
+        lambda: FIGURES["fig1"].run(runner, workloads=WORKLOADS),
+        rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    summary = speedup_summary(figure)
+    benefit = smt_off_benefit(runner)
+    compare("Fig.1 headline numbers", [
+        ("M1 single-run speedup", "1.70x - 3.02x",
+         f"up to {max(1.0 / y for s in figure.series if 'single/M1' in s.name for y in s.y):.2f}x"),
+        ("max co-run speedup", "4.15x", f"{summary['max_speedup']:.2f}x"),
+        ("SMT-off per-process benefit", "47%", f"{benefit:.0%}"),
+    ])
+    assert summary["max_speedup"] > 1.5

@@ -1,0 +1,25 @@
+"""Fig. 2: Top-Down level-1 breakdown, gem5 vs SPEC."""
+
+from repro.experiments import FIGURES
+
+
+def test_fig02_topdown_level1(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig2"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    gem5_rows = [s for s in figure.series if not s.name[0].isdigit()]
+    retiring = [s.y[0] for s in gem5_rows]
+    frontend = [s.y[1] for s in gem5_rows]
+    backend = [s.y[3] for s in gem5_rows]
+    mcf_be = figure.get_series("505.MCF_R").y[3]
+    compare("Fig.2 Top-Down level 1 (gem5 rows)", [
+        ("gem5 retiring range", "43.5% - 64.7%",
+         f"{min(retiring):.1%} - {max(retiring):.1%}"),
+        ("gem5 front-end bound", "30.1% - 41.5%",
+         f"{min(frontend):.1%} - {max(frontend):.1%}"),
+        ("gem5 back-end bound", "0.9% - 11.3%",
+         f"{min(backend):.1%} - {max(backend):.1%}"),
+        ("505.mcf_r back-end bound", "53.7%", f"{mcf_be:.1%}"),
+    ])
+    assert all(fe > be for fe, be in zip(frontend, backend))

@@ -1,0 +1,21 @@
+"""Fig. 3: front-end latency vs bandwidth split."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig03_frontend_split import latency_share
+
+
+def test_fig03_frontend_split(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig3"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    atomic = latency_share(figure, "ATOMIC_PARSEC")
+    o3 = latency_share(figure, "O3_PARSEC")
+    compare("Fig.3 latency share of FE-bound slots", [
+        ("ATOMIC_PARSEC latency share", "lower (bandwidth-skewed)",
+         f"{atomic:.1%}"),
+        ("O3_PARSEC latency share", "higher (latency-skewed)",
+         f"{o3:.1%}"),
+        ("detail shifts toward latency", "yes", str(o3 > atomic)),
+    ])
+    assert o3 > atomic

@@ -1,0 +1,27 @@
+"""Fig. 4: front-end latency-bound breakdown by cause."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig04_fe_latency_breakdown import (
+    branching_overhead,
+    category_value,
+)
+
+
+def test_fig04_fe_latency_breakdown(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig4"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    icache_ratio = (category_value(figure, "O3_PARSEC", "icache")
+                    / max(category_value(figure, "ATOMIC_PARSEC", "icache"),
+                          1e-9))
+    branch_ratio = (branching_overhead(figure, "O3_PARSEC")
+                    / max(branching_overhead(figure, "ATOMIC_PARSEC"), 1e-9))
+    compare("Fig.4 detailed-vs-simple overheads", [
+        ("O3 iCache stalls vs Atomic", "up to 11x", f"{icache_ratio:.2f}x"),
+        ("O3 branching overhead vs Atomic", "6.0x", f"{branch_ratio:.2f}x"),
+        ("iTLB stalls present in all rows", "yes",
+         str(all(category_value(figure, s.name, "itlb") > 0
+                 for s in figure.series if not s.name[0].isdigit()))),
+    ])
+    assert icache_ratio > 1.0

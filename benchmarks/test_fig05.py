@@ -1,0 +1,23 @@
+"""Fig. 5: front-end bandwidth-bound slots, MITE vs DSB."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig05_fe_bandwidth_breakdown import mite_share
+
+
+def test_fig05_fe_bandwidth_breakdown(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig5"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    gem5_shares = [mite_share(figure, s.name) for s in figure.series
+                   if not s.name[0].isdigit()]
+    x264 = mite_share(figure, "525.X264_R")
+    compare("Fig.5 MITE share of bandwidth-bound slots", [
+        ("gem5 MITE share", "92% - 97%",
+         f"{min(gem5_shares):.1%} - {max(gem5_shares):.1%}"),
+        ("gem5 DSB share", "< 7%",
+         f"< {1 - min(gem5_shares):.1%}"),
+        ("525.x264_r MITE share", "much lower", f"{x264:.1%}"),
+    ])
+    assert min(gem5_shares) > 0.8
+    assert x264 < min(gem5_shares)

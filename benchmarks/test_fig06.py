@@ -1,0 +1,19 @@
+"""Fig. 6: DSB (µop cache) coverage, gem5 vs SPEC."""
+
+from repro.experiments import FIGURES
+
+
+def test_fig06_dsb_coverage(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig6"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    gem5 = figure.get_series("gem5")
+    spec = figure.get_series("SPEC")
+    compare("Fig.6 DSB coverage", [
+        ("gem5 coverage", "far below SPEC",
+         f"{min(gem5.y):.1%} - {max(gem5.y):.1%}"),
+        ("SPEC coverage", "high for regular code",
+         f"{min(spec.y):.1%} - {max(spec.y):.1%}"),
+    ])
+    assert max(gem5.y) < max(spec.y)

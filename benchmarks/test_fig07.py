@@ -1,0 +1,18 @@
+"""Fig. 7: IPC and stall fraction per platform."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig07_m1_ipc import ipc_ratio
+
+
+def test_fig07_m1_ipc(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig7"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    pro = ipc_ratio(figure, "M1_Pro")
+    ultra = ipc_ratio(figure, "M1_Ultra")
+    compare("Fig.7 IPC ratios vs Intel_Xeon", [
+        ("M1_Pro IPC ratio", "2.22x", f"{pro:.2f}x"),
+        ("M1_Ultra IPC ratio", "2.24x", f"{ultra:.2f}x"),
+    ])
+    assert pro > 1.4 and ultra > 1.4

@@ -1,0 +1,28 @@
+"""Fig. 8: TLB / L1 / branch miss rates per platform."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig08_miss_rates import METRICS, platform_ratio
+
+
+def test_fig08_miss_rates(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig8"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    itlb = platform_ratio(figure, "itlb_miss_rate", "Intel_Xeon",
+                          "M1_Ultra")
+    dtlb = platform_ratio(figure, "dtlb_miss_rate", "Intel_Xeon",
+                          "M1_Ultra")
+    dcache = platform_ratio(figure, "l1d_miss_rate", "Intel_Xeon",
+                            "M1_Pro")
+    index = METRICS.index("branch_mispredict_rate")
+    xeon_bp = figure.get_series("Intel_Xeon/O3").y[index]
+    m1_bp = figure.get_series("M1_Pro/O3").y[index]
+    compare("Fig.8 Xeon-vs-M1 miss-rate ratios", [
+        ("iTLB miss-rate ratio", "11.7x", f"{itlb:.1f}x"),
+        ("dTLB miss-rate ratio", "10.5x", f"{dtlb:.1f}x"),
+        ("dCache miss-rate ratio", "10.1x - 13.4x", f"{dcache:.1f}x"),
+        ("Xeon branch mispredict", "0.22%", f"{xeon_bp:.2%}"),
+        ("M1 branch mispredict", "~0.14%", f"{m1_bp:.2%}"),
+    ])
+    assert itlb > 3.0 and dtlb > 3.0

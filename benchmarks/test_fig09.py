@@ -1,0 +1,25 @@
+"""Fig. 9: LLC occupancy and DRAM bandwidth of gem5."""
+
+from repro.experiments import FIGURES
+
+
+def test_fig09_llc_dram(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig9"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    occupancy = (figure.get_series("llc_occupancy/SE").y
+                 + figure.get_series("llc_occupancy/FS").y)
+    bandwidth = (figure.get_series("dram_bw/SE").y
+                 + figure.get_series("dram_bw/FS").y)
+    compare("Fig.9 LLC / DRAM", [
+        ("LLC occupancy per process", "255KB - 3.1MB",
+         f"{min(occupancy) / 1024:.0f}KB - "
+         f"{max(occupancy) / 1024 / 1024:.2f}MB"),
+        ("DRAM bandwidth", "negligible",
+         f"{max(bandwidth):.2f} GB/s (peak 141)"),
+        ("occupancy grows with detail", "yes",
+         str(figure.get_series("llc_occupancy/SE").y[-1]
+             > figure.get_series("llc_occupancy/SE").y[0])),
+    ])
+    assert max(bandwidth) < 10.0

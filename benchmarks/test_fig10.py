@@ -1,0 +1,21 @@
+"""Fig. 10: huge-page code-backing speedups."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig10_hugepages import CPU_MODELS, speedup
+
+
+def test_fig10_hugepages(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig10"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    best = max(value for series in figure.series for value in series.y)
+    simple = speedup(figure, "THP", "atomic")
+    detailed = max(speedup(figure, "THP", "minor"),
+                   speedup(figure, "THP", "o3"))
+    compare("Fig.10 huge-page speedup", [
+        ("max speedup", "up to 5.9%", f"{best:.2%}"),
+        ("Atomic (simple) THP speedup", "low", f"{simple:.2%}"),
+        ("Minor/O3 (detailed) THP speedup", "higher", f"{detailed:.2%}"),
+    ])
+    assert detailed >= simple

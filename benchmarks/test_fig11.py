@@ -1,0 +1,19 @@
+"""Fig. 11: THP's effect on iTLB overhead and retiring slots."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig11_thp_itlb import mean_itlb_reduction
+
+
+def test_fig11_thp_itlb(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig11"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    reduction = mean_itlb_reduction(figure)
+    retiring = figure.get_series("retiring_improvement").y
+    compare("Fig.11 THP improvements", [
+        ("mean iTLB-overhead reduction", "63%", f"{reduction:.0%}"),
+        ("retiring improvement", "3% - 7%",
+         f"{min(retiring):.1%} - {max(retiring):.1%}"),
+    ])
+    assert reduction > 0.3

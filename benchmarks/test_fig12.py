@@ -1,0 +1,18 @@
+"""Fig. 12: speedup from the -O3 gem5 build."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig12_compiler_o3 import mean_speedup
+
+
+def test_fig12_compiler_o3(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig12"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    compare("Fig.12 -O3 build speedup (means)", [
+        ("Intel_Xeon", "1.38%",
+         f"{mean_speedup(figure, 'Intel_Xeon'):.2%}"),
+        ("M1_Pro", "0.98%", f"{mean_speedup(figure, 'M1_Pro'):.2%}"),
+        ("M1_Ultra", "0.78%", f"{mean_speedup(figure, 'M1_Ultra'):.2%}"),
+    ])
+    assert -0.02 < mean_speedup(figure, "Intel_Xeon") < 0.12

@@ -1,0 +1,19 @@
+"""Fig. 13: simulation time vs host frequency."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig13_frequency import slowdown_at
+
+
+def test_fig13_frequency(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig13"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    slowdown = slowdown_at(figure, 1.2)
+    series = figure.get_series("normalized_time")
+    turbo = series.y[series.x.index("TurboBoost")]
+    compare("Fig.13 frequency scaling", [
+        ("slowdown at 1.2GHz", "2.67x (linear)", f"{slowdown:.2f}x"),
+        ("TurboBoost (4.1GHz) time", "< 1.0x", f"{turbo:.2f}x"),
+    ])
+    assert slowdown > 1.8

@@ -1,0 +1,26 @@
+"""Fig. 14: FireSim host cache-geometry sweep."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig14_firesim_sweep import speedup_for
+
+
+def test_fig14_firesim_sweep(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig14"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    sixteen = "16KB/4:16KB/4:512KB/8"
+    thirty_two = "32KB/8:32KB/8:512KB/8"
+    best = "64KB/16:64KB/16:512KB/8"
+    compare("Fig.14 speedups over the 8KB baseline", [
+        ("Atomic @16KB", "30%", f"{speedup_for(figure, 'ATOMIC', sixteen):.1%}"),
+        ("Timing @16KB", "25%", f"{speedup_for(figure, 'TIMING', sixteen):.1%}"),
+        ("O3 @16KB", "18%", f"{speedup_for(figure, 'O3', sixteen):.1%}"),
+        ("Atomic @best", "68.7%", f"{speedup_for(figure, 'ATOMIC', best):.1%}"),
+        ("Timing @best", "68.2%", f"{speedup_for(figure, 'TIMING', best):.1%}"),
+        ("O3 @best", "43.8%", f"{speedup_for(figure, 'O3', best):.1%}"),
+        ("Abstract: 32KB L1 range", "31% - 61%",
+         f"{min(speedup_for(figure, m, thirty_two) for m in ('ATOMIC', 'TIMING', 'O3')):.1%}"
+         f" - {max(speedup_for(figure, m, thirty_two) for m in ('ATOMIC', 'TIMING', 'O3')):.1%}"),
+    ])
+    assert speedup_for(figure, "ATOMIC", best) > 0.25

@@ -1,0 +1,29 @@
+"""Fig. 15: hot-function CDFs and executed-function counts."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig15_hot_functions import (
+    functions_executed,
+    hottest_share,
+)
+
+
+def test_fig15_hot_functions(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig15"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    paper_share = {"atomic": "10.1%", "timing": "8.5%", "minor": "2.9%",
+                   "o3": "4.2%"}
+    paper_count = {"atomic": "1602", "timing": "2557", "minor": "3957",
+                   "o3": "5209"}
+    rows = []
+    for model in ("atomic", "timing", "minor", "o3"):
+        rows.append((f"{model} hottest-function share", paper_share[model],
+                     f"{hottest_share(figure, model):.1%}"))
+    for model in ("atomic", "timing", "minor", "o3"):
+        rows.append((f"{model} functions executed", paper_count[model],
+                     str(functions_executed(figure, model))))
+    compare("Fig.15 no-killer-function evidence", rows)
+    assert functions_executed(figure, "o3") > \
+        functions_executed(figure, "atomic")
+    assert hottest_share(figure, "o3") < 0.25

@@ -1,0 +1,19 @@
+"""Tables I and II: render the configuration tables."""
+
+
+def test_table1(benchmark):
+    from repro.experiments.tables import table1
+
+    table = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    assert len(table.rows) == 9
+
+
+def test_table2(benchmark):
+    from repro.experiments.tables import table2
+
+    table = benchmark.pedantic(table2, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    assert table.columns[1:] == ["Intel_Xeon", "M1_Pro", "M1_Ultra"]

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a workload on g5 and profile the run on a host.
+
+This is the library's core loop in ~40 lines:
+
+1. build a guest workload (a PARSEC-like kernel),
+2. assemble a simulated machine and run it on the O3 CPU model,
+3. replay the recorded execution trace on the Intel Xeon host model,
+4. read the Top-Down profile — reproducing the paper's headline
+   observation that gem5 is extremely front-end bound.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.g5 import SimConfig, System, simulate
+from repro.host import intel_xeon, m1_pro, profile_g5_run
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    # 1. Build the guest program (water_nsquared, the paper's
+    #    representative PARSEC/SPLASH workload).
+    workload = get_workload("water_nsquared")
+    program = workload.build("simsmall")
+
+    # 2. Assemble and run the simulated machine.
+    system = System(SimConfig(cpu_model="o3", mode="se"))
+    process = system.set_se_workload(program)
+    g5_result = simulate(system)
+    print(f"g5 run    : {g5_result.sim_insts} guest instructions, "
+          f"guest IPC {g5_result.ipc:.2f}, exit {g5_result.exit_cause!r}")
+    print(f"trace     : {len(g5_result.recorder)} host-level records, "
+          f"{g5_result.recorder.functions_touched()} logical functions")
+
+    # 3 + 4. Profile that run on two host platforms.
+    for platform in (intel_xeon(), m1_pro()):
+        host = profile_g5_run(g5_result.recorder, platform)
+        td = host.topdown
+        print(f"\n--- gem5 as seen by {platform.name} ---")
+        print(f"simulation time : {host.time_seconds * 1000:.2f} ms "
+              f"(host IPC {host.ipc:.2f})")
+        print(f"top-down        : retiring {td.retiring:.1%}, "
+              f"front-end bound {td.frontend_bound:.1%}, "
+              f"bad speculation {td.bad_speculation:.1%}, "
+              f"back-end bound {td.backend_bound:.1%}")
+        print(f"front-end split : latency {td.fe_latency:.1%} "
+              f"(iCache {td.fe_icache:.1%}, iTLB {td.fe_itlb:.1%}), "
+              f"bandwidth {td.fe_bandwidth:.1%} "
+              f"({td.mite_share_of_bandwidth:.0%} waiting on the MITE)")
+        print(f"µop cache       : {host.dsb_coverage:.1%} DSB coverage")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scenario: you run big gem5 campaigns — how should you set up the host?
+
+Walks the paper's §V tuning checklist on a single workload:
+
+- back gem5's code with transparent huge pages (Fig. 10/11),
+- rebuild with -O3 (Fig. 12),
+- keep the clock high (Fig. 13),
+- and prefer one process per *physical* core over SMT (Fig. 1).
+
+Run with:  python examples/tune_simulation_host.py
+"""
+
+from repro.experiments.runner import ExperimentRunner
+from repro.host import HugePagePolicy, corun_contention, intel_xeon
+
+WORKLOAD = "dedup"
+CPU_MODEL = "timing"
+
+
+def main() -> None:
+    runner = ExperimentRunner(scale="simsmall")
+    baseline = runner.host_result(WORKLOAD, CPU_MODEL, "Intel_Xeon")
+    print(f"baseline ({WORKLOAD}, {CPU_MODEL} CPU, Intel_Xeon): "
+          f"{baseline.time_seconds * 1000:.2f} ms, "
+          f"iTLB stalls {baseline.topdown.fe_itlb:.2%} of slots")
+
+    # 1. Transparent huge pages for the code segment.
+    thp = runner.host_result(WORKLOAD, CPU_MODEL, "Intel_Xeon",
+                             hugepages=HugePagePolicy.THP)
+    print(f"+ THP code backing : {thp.time_seconds * 1000:.2f} ms "
+          f"({baseline.time_seconds / thp.time_seconds - 1:+.2%}), "
+          f"iTLB stalls now {thp.topdown.fe_itlb:.2%}")
+
+    # 2. -O3 build on top.
+    o3build = runner.host_result(WORKLOAD, CPU_MODEL, "Intel_Xeon",
+                                 hugepages=HugePagePolicy.THP, opt_level=3)
+    print(f"+ -O3 build        : {o3build.time_seconds * 1000:.2f} ms "
+          f"({thp.time_seconds / o3build.time_seconds - 1:+.2%})")
+
+    # 3. Frequency matters linearly (don't let the governor throttle).
+    slow = intel_xeon().with_frequency(1.2)
+    throttled = runner.host_result(WORKLOAD, CPU_MODEL, slow)
+    print(f"@1.2GHz            : {throttled.time_seconds * 1000:.2f} ms "
+          f"({throttled.time_seconds / baseline.time_seconds:.2f}x slower)")
+
+    # 4. Co-running: physical cores vs SMT threads.
+    xeon = intel_xeon()
+    per_core = runner.host_result(
+        WORKLOAD, CPU_MODEL, "Intel_Xeon",
+        contention=corun_contention(xeon, xeon.physical_cores, smt=False))
+    per_thread = runner.host_result(
+        WORKLOAD, CPU_MODEL, "Intel_Xeon",
+        contention=corun_contention(xeon, xeon.physical_cores * 2, smt=True))
+    print(f"co-run, SMT off    : {per_core.time_seconds * 1000:.2f} ms "
+          f"per process ({xeon.physical_cores} processes)")
+    print(f"co-run, SMT on     : {per_thread.time_seconds * 1000:.2f} ms "
+          f"per process ({xeon.physical_cores * 2} processes); "
+          f"SMT-off is {(per_thread.time_seconds - per_core.time_seconds) / per_thread.time_seconds:.0%} faster per process")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,3 @@
+"""repro: reproduction of "Profiling gem5 Simulator" (ISPASS 2023)."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,185 @@
+"""Command-line interface: run simulations, profiles, and experiments.
+
+Examples::
+
+    repro-g5 simulate --workload water_nsquared --cpu o3 --scale simsmall
+    repro-g5 profile --workload dedup --cpu timing --platform M1_Pro
+    repro-g5 figure fig2 --scale simsmall
+    repro-g5 tables
+    repro-g5 list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .core.profiler import analyze_profile
+from .experiments import FIGURES, ExperimentRunner, tables
+from .g5.system import SimConfig, System, simulate
+from .host.cpu import profile_g5_run
+from .host.platform import get_platform
+from .workloads.registry import SCALES, WORKLOADS, get_workload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-g5",
+        description="Reproduction of 'Profiling gem5 Simulator' "
+                    "(ISPASS 2023)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one g5 simulation")
+    sim.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    sim.add_argument("--cpu", default="atomic",
+                     choices=["atomic", "timing", "minor", "o3"])
+    sim.add_argument("--scale", default="simsmall", choices=SCALES)
+    sim.add_argument("--stats-file", default=None,
+                     help="write gem5-style stats.txt to this path")
+
+    prof = sub.add_parser("profile", help="profile one g5 run on a host")
+    prof.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    prof.add_argument("--cpu", default="atomic",
+                      choices=["atomic", "timing", "minor", "o3"])
+    prof.add_argument("--scale", default="simsmall", choices=SCALES)
+    prof.add_argument("--platform", default="Intel_Xeon",
+                      choices=["Intel_Xeon", "M1_Pro", "M1_Ultra"])
+    prof.add_argument("--hotspots", type=int, default=10,
+                      help="print the N hottest functions")
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig.add_argument("figure_id", choices=sorted(FIGURES))
+    fig.add_argument("--scale", default="simsmall", choices=SCALES)
+    fig.add_argument("--max-records", type=int, default=None,
+                     help="truncate traces before replay (sampling)")
+
+    sub.add_parser("tables", help="print Tables I and II")
+    sub.add_parser("list", help="list workloads, platforms, figures")
+
+    report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md (paper vs measured)")
+    report.add_argument("--scale", default="simsmall", choices=SCALES)
+    report.add_argument("--max-records", type=int, default=60000)
+    report.add_argument("--output", default="EXPERIMENTS.md",
+                        help="file to write (default: EXPERIMENTS.md)")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    system = System(SimConfig(cpu_model=args.cpu, mode=workload.mode))
+    program = workload.build(args.scale)
+    if workload.mode == "se":
+        system.set_se_workload(program, process_name=args.workload)
+    else:
+        system.set_fs_workload(program)
+    result = simulate(system)
+    print(f"workload       : {args.workload} ({workload.mode.upper()}, "
+          f"{args.scale})")
+    print(f"cpu model      : {args.cpu}")
+    print(f"exit           : {result.exit_cause} (code {result.exit_code})")
+    print(f"sim insts      : {result.sim_insts}")
+    print(f"sim cycles     : {result.sim_cycles}")
+    print(f"guest IPC      : {result.ipc:.3f}")
+    print(f"sim seconds    : {result.sim_seconds:.6f}")
+    print(f"trace records  : {len(result.recorder)}")
+    if result.console:
+        print(f"console        : {result.console!r}")
+    if args.stats_file:
+        from .g5.statsfile import save_stats
+
+        save_stats(system, args.stats_file)
+        print(f"stats          : wrote {args.stats_file}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    system = System(SimConfig(cpu_model=args.cpu, mode=workload.mode))
+    program = workload.build(args.scale)
+    if workload.mode == "se":
+        system.set_se_workload(program, process_name=args.workload)
+    else:
+        system.set_fs_workload(program)
+    g5_result = simulate(system)
+    platform = get_platform(args.platform)
+    host = profile_g5_run(g5_result.recorder, platform)
+    td = host.topdown
+    print(f"gem5 ({args.cpu}, {args.workload}) on {platform.name}")
+    print(f"host time      : {host.time_seconds * 1000:.2f} ms")
+    print(f"host IPC       : {host.ipc:.2f}")
+    print("top-down       : "
+          f"retiring {td.retiring:.1%} | FE {td.frontend_bound:.1%} "
+          f"(lat {td.fe_latency:.1%}, bw {td.fe_bandwidth:.1%}) | "
+          f"bad-spec {td.bad_speculation:.1%} | BE {td.backend_bound:.1%}")
+    print(f"L1I/L1D miss   : {host.l1i_miss_rate:.1%} / "
+          f"{host.l1d_miss_rate:.1%}")
+    print(f"iTLB/dTLB miss : {host.itlb_miss_rate:.2%} / "
+          f"{host.dtlb_miss_rate:.2%}")
+    print(f"DSB coverage   : {host.dsb_coverage:.1%}")
+    print(f"branch mispred : {host.branch_mispredict_rate:.2%}")
+    print(f"LLC occupancy  : {host.llc_occupancy_bytes / 1024:.0f} KB")
+    print(f"DRAM bandwidth : {host.dram_bandwidth_gbps:.3f} GB/s")
+    print(f"functions run  : {host.functions_executed}")
+    report = analyze_profile(host.profile, top_n=args.hotspots)
+    print(f"hottest {args.hotspots} functions:")
+    for name, share in report.hottest:
+        print(f"  {share:6.2%}  {name}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(scale=args.scale,
+                              max_records=args.max_records)
+    module = FIGURES[args.figure_id]
+    figure = module.run(runner)
+    print(figure.render())
+    return 0
+
+
+def _cmd_tables() -> int:
+    print(tables.table1().render())
+    print()
+    print(tables.table2().render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.summary import generate_report
+
+    markdown = generate_report(scale=args.scale,
+                               max_records=args.max_records)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(markdown)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_list() -> int:
+    print("workloads:")
+    for name, workload in sorted(WORKLOADS.items()):
+        print(f"  {name:16s} suite={workload.suite:9s} mode={workload.mode}")
+    print("platforms: Intel_Xeon, M1_Pro, M1_Ultra (+ FireSim sweeps)")
+    print("figures  :", ", ".join(sorted(FIGURES)))
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "tables":
+        return _cmd_tables()
+    if args.command == "report":
+        return _cmd_report(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

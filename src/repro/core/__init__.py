@@ -1,0 +1,25 @@
+"""repro.core — the paper's methodology as a reusable library.
+
+Top-Down slot accounting, PMU-style counters, function-level hotspot
+profiling, and table/figure formatting.
+"""
+
+from .counters import COUNTER_NAMES, CounterSet, read_counters
+from .profiler import HotspotReport, analyze_profile
+from .report import Figure, Series, Table, format_cell, geomean
+from .topdown import TopDownBreakdown, TopDownCounters
+
+__all__ = [
+    "COUNTER_NAMES",
+    "CounterSet",
+    "Figure",
+    "HotspotReport",
+    "Series",
+    "Table",
+    "TopDownBreakdown",
+    "TopDownCounters",
+    "analyze_profile",
+    "format_cell",
+    "geomean",
+    "read_counters",
+]

@@ -1,0 +1,103 @@
+"""Performance-counter abstraction (the paper's VTune/perf/M1 layer).
+
+The paper reads hardware PMUs three ways: VTune + perf on the Xeon,
+privileged counter reads on the M1, and FireSim's printf counters.  We
+expose the same shape: a :class:`CounterSet` of named raw counters
+sampled from a finished :class:`~repro.host.cpu.HostRunResult`, plus the
+derived metrics (MPKI, miss rates, IPC) the figures plot.  Experiment
+code says ``counters["ITLB_MISSES"]`` the way the paper's scripts say
+``perf stat -e iTLB-load-misses`` — independent of model internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..host.cpu import HostRunResult
+
+#: Counter names, loosely after perf/VTune event names.
+COUNTER_NAMES = (
+    "CYCLES",
+    "INSTRUCTIONS",
+    "UOPS_RETIRED",
+    "L1I_MISSES",
+    "L1I_ACCESSES",
+    "L1D_MISSES",
+    "L1D_ACCESSES",
+    "L2_MISSES",
+    "L2_ACCESSES",
+    "LLC_MISSES",
+    "LLC_ACCESSES",
+    "ITLB_MISSES",
+    "ITLB_ACCESSES",
+    "DTLB_MISSES",
+    "DTLB_ACCESSES",
+    "BR_COND",
+    "BR_MISP",
+    "BTB_LOOKUPS",
+    "BTB_MISSES",
+    "DSB_UOPS",
+    "MITE_UOPS",
+    "DRAM_BYTES",
+)
+
+
+@dataclass(frozen=True)
+class CounterSet:
+    """One sample of raw hardware-style counters."""
+
+    values: Mapping[str, float]
+
+    def __getitem__(self, name: str) -> float:
+        try:
+            return self.values[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown counter {name!r}; available: "
+                f"{sorted(self.values)}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+    # -- derived metrics the figures use --------------------------------
+    @property
+    def ipc(self) -> float:
+        return self["INSTRUCTIONS"] / max(1.0, self["CYCLES"])
+
+    def mpki(self, miss_counter: str) -> float:
+        return self[miss_counter] / max(1e-9, self["INSTRUCTIONS"] / 1000.0)
+
+    def rate(self, miss_counter: str, access_counter: str) -> float:
+        return self[miss_counter] / max(1.0, self[access_counter])
+
+    @property
+    def l1i_miss_rate(self) -> float:
+        return self.rate("L1I_MISSES", "L1I_ACCESSES")
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        return self.rate("L1D_MISSES", "L1D_ACCESSES")
+
+    @property
+    def itlb_miss_rate(self) -> float:
+        return self.rate("ITLB_MISSES", "ITLB_ACCESSES")
+
+    @property
+    def dtlb_miss_rate(self) -> float:
+        return self.rate("DTLB_MISSES", "DTLB_ACCESSES")
+
+    @property
+    def branch_mispredict_rate(self) -> float:
+        return self.rate("BR_MISP", "BR_COND")
+
+    @property
+    def dsb_coverage(self) -> float:
+        total = self["DSB_UOPS"] + self["MITE_UOPS"]
+        return self["DSB_UOPS"] / total if total else 0.0
+
+
+def read_counters(result: "HostRunResult") -> CounterSet:
+    """Sample every counter from a finished host run."""
+    return CounterSet(dict(result.raw_counters))

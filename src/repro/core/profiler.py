@@ -1,0 +1,56 @@
+"""Function-level CPU-time profiling (the paper's Fig. 15 methodology).
+
+Wraps a :class:`~repro.host.cpu.FunctionProfile` with the analyses the
+paper performs on its VTune hotspot data: the CDF of the 50 hottest
+functions, the hottest-function share, and the total number of distinct
+functions executed — the evidence behind "there is no killer function in
+gem5".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..host.cpu import FunctionProfile
+
+
+@dataclass(frozen=True)
+class HotspotReport:
+    """Summary of one run's function-time distribution."""
+
+    total_functions: int
+    hottest: list[tuple[str, float]]     # (name, share of total time)
+    cdf: list[float]                     # cumulative share, top-N
+
+    @property
+    def hottest_share(self) -> float:
+        return self.hottest[0][1] if self.hottest else 0.0
+
+    def coverage_at(self, n: int) -> float:
+        """Share of total time covered by the N hottest functions."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if not self.cdf:
+            return 0.0
+        return self.cdf[min(n, len(self.cdf)) - 1]
+
+    def flatness(self) -> float:
+        """1 - hottest share: higher means flatter (no killer function)."""
+        return 1.0 - self.hottest_share
+
+
+def analyze_profile(profile: "FunctionProfile",
+                    top_n: int = 50) -> HotspotReport:
+    """Produce the Fig.-15-style hotspot report from a function profile."""
+    if top_n <= 0:
+        raise ValueError(f"top_n must be positive, got {top_n}")
+    total = sum(profile.cycles) or 1.0
+    hottest = [(name, cycles / total)
+               for name, cycles in profile.hottest(top_n)]
+    return HotspotReport(
+        total_functions=profile.executed_functions(),
+        hottest=hottest,
+        cdf=profile.cdf(top_n),
+    )

@@ -1,0 +1,130 @@
+"""Formatting helpers for experiment output.
+
+Every experiment renders its result as a :class:`Table` (rows of named
+columns) or a :class:`Series` set (named x/y vectors), printed in plain
+text so benchmark logs read like the paper's tables and figure data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple named-column table with text rendering."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"table {self.title!r} expects {len(self.columns)} cells, "
+                f"got {len(cells)}")
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> list[Cell]:
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"table {self.title!r} has no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Cell]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def render(self) -> str:
+        header = [self.columns]
+        body = [[format_cell(cell) for cell in row] for row in self.rows]
+        widths = [max(len(row[i]) for row in header + body)
+                  for i in range(len(self.columns))]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(
+            name.ljust(width) for name, width in zip(self.columns, widths)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in body:
+            lines.append("  ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class Series:
+    """One named data series (a line/bar in a figure)."""
+
+    name: str
+    x: list[Cell]
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.name!r}: x and y lengths differ "
+                f"({len(self.x)} vs {len(self.y)})")
+
+
+@dataclass
+class Figure:
+    """A set of series reproducing one paper figure."""
+
+    figure_id: str
+    caption: str
+    series: list[Series] = field(default_factory=list)
+
+    def add_series(self, name: str, x: Sequence[Cell],
+                   y: Iterable[float]) -> Series:
+        series = Series(name, list(x), [float(v) for v in y])
+        self.series.append(series)
+        return series
+
+    def get_series(self, name: str) -> Series:
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(f"figure {self.figure_id} has no series {name!r}")
+
+    def render(self) -> str:
+        lines = [f"{self.figure_id}: {self.caption}",
+                 "=" * (len(self.figure_id) + len(self.caption) + 2)]
+        for series in self.series:
+            lines.append(f"[{series.name}]")
+            for x, y in zip(series.x, series.y):
+                lines.append(f"  {format_cell(x):>24s}  {y:.4f}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's Fig. 1 aggregation)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

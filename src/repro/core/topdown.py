@@ -1,0 +1,145 @@
+"""Top-Down microarchitectural analysis (Yasin, ISPASS 2014).
+
+The paper's methodology: every pipeline-slot of every cycle is
+attributed to exactly one of four level-1 buckets — **retiring**,
+**bad speculation**, **front-end bound**, **back-end bound** — and the
+front-end bucket splits further into latency (iCache, iTLB, branch
+resteers) and bandwidth (MITE vs DSB µop supply) at level 2/3.
+
+:class:`TopDownCounters` is the raw accumulator filled by the host CPU
+replay; :class:`TopDownBreakdown` is the derived percentage view that
+the experiment harness prints, matching the paper's Figs. 2–5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TopDownCounters:
+    """Raw slot/cycle accounting for one run on one host platform."""
+
+    pipeline_width: int = 4
+    retired_uops: int = 0
+    bad_spec_uops: int = 0
+    # Front-end latency stall cycles, by cause:
+    icache_stall_cycles: float = 0.0
+    itlb_stall_cycles: float = 0.0
+    mispredict_resteer_cycles: float = 0.0
+    clear_resteer_cycles: float = 0.0
+    unknown_branch_cycles: float = 0.0
+    # Front-end bandwidth stall cycles, by µop source:
+    mite_bw_cycles: float = 0.0
+    dsb_bw_cycles: float = 0.0
+    # Back-end stall cycles:
+    dcache_stall_cycles: float = 0.0
+    dtlb_stall_cycles: float = 0.0
+    exec_stall_cycles: float = 0.0
+
+    # ------------------------------------------------------------------
+    # derived cycle totals
+    # ------------------------------------------------------------------
+    @property
+    def fe_latency_cycles(self) -> float:
+        return (self.icache_stall_cycles + self.itlb_stall_cycles
+                + self.mispredict_resteer_cycles + self.clear_resteer_cycles
+                + self.unknown_branch_cycles)
+
+    @property
+    def fe_bandwidth_cycles(self) -> float:
+        return self.mite_bw_cycles + self.dsb_bw_cycles
+
+    @property
+    def be_cycles(self) -> float:
+        return (self.dcache_stall_cycles + self.dtlb_stall_cycles
+                + self.exec_stall_cycles)
+
+    @property
+    def base_cycles(self) -> float:
+        return (self.retired_uops + self.bad_spec_uops) / self.pipeline_width
+
+    @property
+    def total_cycles(self) -> float:
+        """The slot-conserving cycle count (see DESIGN.md §4)."""
+        return (self.base_cycles + self.fe_latency_cycles
+                + self.fe_bandwidth_cycles + self.be_cycles)
+
+    def breakdown(self) -> "TopDownBreakdown":
+        width = self.pipeline_width
+        total_slots = max(1e-9, width * self.total_cycles)
+        fe_lat_slots = width * self.fe_latency_cycles
+        fe_bw_slots = width * self.fe_bandwidth_cycles
+        return TopDownBreakdown(
+            retiring=self.retired_uops / total_slots,
+            bad_speculation=self.bad_spec_uops / total_slots,
+            frontend_bound=(fe_lat_slots + fe_bw_slots) / total_slots,
+            backend_bound=width * self.be_cycles / total_slots,
+            fe_latency=fe_lat_slots / total_slots,
+            fe_bandwidth=fe_bw_slots / total_slots,
+            fe_icache=width * self.icache_stall_cycles / total_slots,
+            fe_itlb=width * self.itlb_stall_cycles / total_slots,
+            fe_mispredict_resteers=(width * self.mispredict_resteer_cycles
+                                    / total_slots),
+            fe_clear_resteers=width * self.clear_resteer_cycles / total_slots,
+            fe_unknown_branches=(width * self.unknown_branch_cycles
+                                 / total_slots),
+            fe_mite=width * self.mite_bw_cycles / total_slots,
+            fe_dsb=width * self.dsb_bw_cycles / total_slots,
+        )
+
+
+@dataclass(frozen=True)
+class TopDownBreakdown:
+    """Fractions of total pipeline slots (the paper's stacked bars)."""
+
+    retiring: float
+    bad_speculation: float
+    frontend_bound: float
+    backend_bound: float
+    # level 2: front-end split
+    fe_latency: float
+    fe_bandwidth: float
+    # level 3: front-end latency causes
+    fe_icache: float
+    fe_itlb: float
+    fe_mispredict_resteers: float
+    fe_clear_resteers: float
+    fe_unknown_branches: float
+    # level 3: front-end bandwidth sources
+    fe_mite: float
+    fe_dsb: float
+
+    def level1(self) -> dict[str, float]:
+        return {
+            "retiring": self.retiring,
+            "bad_speculation": self.bad_speculation,
+            "frontend_bound": self.frontend_bound,
+            "backend_bound": self.backend_bound,
+        }
+
+    def fe_latency_breakdown(self) -> dict[str, float]:
+        return {
+            "icache": self.fe_icache,
+            "itlb": self.fe_itlb,
+            "mispredict_resteers": self.fe_mispredict_resteers,
+            "clear_resteers": self.fe_clear_resteers,
+            "unknown_branches": self.fe_unknown_branches,
+        }
+
+    def fe_bandwidth_breakdown(self) -> dict[str, float]:
+        return {"mite": self.fe_mite, "dsb": self.fe_dsb}
+
+    @property
+    def mite_share_of_bandwidth(self) -> float:
+        """Fraction of bandwidth-bound cycles waiting on the MITE."""
+        total = self.fe_mite + self.fe_dsb
+        return self.fe_mite / total if total > 0 else 0.0
+
+    def validate(self, tolerance: float = 1e-6) -> None:
+        """Level-1 buckets must account for every slot exactly once."""
+        total = (self.retiring + self.bad_speculation
+                 + self.frontend_bound + self.backend_bound)
+        if abs(total - 1.0) > tolerance:
+            raise AssertionError(
+                f"top-down level-1 buckets sum to {total}, expected 1.0")

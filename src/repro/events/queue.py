@@ -1,0 +1,159 @@
+"""The discrete-event simulation kernel.
+
+``EventQueue`` is the heart of the gem5-like simulator: a priority queue
+of :class:`~repro.events.event.Event` ordered by ``(tick, priority,
+insertion order)``, plus a run loop with exit-event and max-tick support.
+This mirrors gem5's ``EventQueue`` + ``simulate()`` pair.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from .event import CallbackEvent, Event, ExitEvent
+
+
+class EventQueueError(RuntimeError):
+    """Raised on scheduling misuse (past-tick schedules, double schedule)."""
+
+
+class EventQueue:
+    """A deterministic discrete-event queue.
+
+    The queue never moves time backwards; scheduling an event in the past
+    raises :class:`EventQueueError`.  Squashed events stay in the heap and
+    are discarded lazily when they reach the head, matching gem5's
+    approach to descheduling.
+    """
+
+    def __init__(self, name: str = "MainEventQueue") -> None:
+        self.name = name
+        self.now: int = 0
+        # Heap entries carry the event's schedule generation (its _seq)
+        # so stale entries left by deschedule/reschedule are skipped.
+        self._heap: list[tuple[tuple[int, int, int], int, Event]] = []
+        self._events_processed = 0
+        self._exit_event: Optional[ExitEvent] = None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, when: int) -> Event:
+        """Schedule ``event`` to fire at absolute tick ``when``."""
+        if when < self.now:
+            raise EventQueueError(
+                f"cannot schedule {event.name!r} at tick {when}; "
+                f"current tick is {self.now}")
+        if event.scheduled:
+            raise EventQueueError(
+                f"event {event.name!r} is already scheduled for tick "
+                f"{event.when}; deschedule or squash it first")
+        event._mark_scheduled(when)
+        heapq.heappush(self._heap, (event.sort_key(), event._seq, event))
+        return event
+
+    def schedule_in(self, event: Event, delay: int) -> Event:
+        """Schedule ``event`` ``delay`` ticks from now."""
+        if delay < 0:
+            raise EventQueueError(f"delay cannot be negative, got {delay}")
+        return self.schedule(event, self.now + delay)
+
+    def call_at(self, when: int, callback: Callable[[], None],
+                name: str = "", priority: int = 0) -> CallbackEvent:
+        """Convenience: schedule ``callback`` at absolute tick ``when``."""
+        event = CallbackEvent(callback, name=name, priority=priority)
+        self.schedule(event, when)
+        return event
+
+    def call_in(self, delay: int, callback: Callable[[], None],
+                name: str = "", priority: int = 0) -> CallbackEvent:
+        """Convenience: schedule ``callback`` ``delay`` ticks from now."""
+        event = CallbackEvent(callback, name=name, priority=priority)
+        self.schedule_in(event, delay)
+        return event
+
+    def deschedule(self, event: Event) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+        if not event.scheduled:
+            raise EventQueueError(f"event {event.name!r} is not scheduled")
+        event.squash()
+
+    def reschedule(self, event: Event, when: int) -> Event:
+        """Move a (possibly scheduled) event to a new tick."""
+        if event.scheduled:
+            event.squash()
+        return self.schedule(event, when)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for key, seq, ev in self._heap
+                   if not ev.squashed and ev._seq == seq)
+
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def next_tick(self) -> Optional[int]:
+        """Tick of the next live event, or ``None`` if the queue is empty."""
+        self._drop_squashed_head()
+        if not self._heap:
+            return None
+        return self._heap[0][2].when
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def exit_simulation(self, cause: str, code: int = 0,
+                        when: Optional[int] = None) -> ExitEvent:
+        """Schedule an exit event (defaults to the current tick)."""
+        event = ExitEvent(cause, code)
+        self.schedule(event, self.now if when is None else when)
+        return event
+
+    def run(self, max_tick: Optional[int] = None,
+            max_events: Optional[int] = None) -> ExitEvent:
+        """Run until an exit event fires, the queue drains, or a limit hits.
+
+        Returns the :class:`ExitEvent` describing why the loop stopped,
+        synthesising one for drain/limit conditions the way gem5's
+        ``simulate()`` reports "simulate() limit reached".
+        """
+        self._exit_event = None
+        processed_this_run = 0
+        while True:
+            self._drop_squashed_head()
+            if not self._heap:
+                return ExitEvent("event queue empty", code=0)
+            key, seq, event = self._heap[0]
+            if max_tick is not None and event.when > max_tick:
+                self.now = max_tick
+                return ExitEvent("simulate() limit reached", code=0)
+            heapq.heappop(self._heap)
+            self.now = event.when
+            event._mark_done()
+            self._events_processed += 1
+            processed_this_run += 1
+            if isinstance(event, ExitEvent):
+                self._exit_event = event
+                return event
+            event.process()
+            if max_events is not None and processed_this_run >= max_events:
+                return ExitEvent("event count limit reached", code=0)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _drop_squashed_head(self) -> None:
+        heap = self._heap
+        while heap and (heap[0][2].squashed or heap[0][2]._seq != heap[0][1]):
+            heapq.heappop(heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<EventQueue {self.name!r} now={self.now} "
+                f"pending={len(self)} processed={self._events_processed}>")

@@ -1,0 +1,73 @@
+"""Simulated-time bookkeeping, mirroring gem5's tick infrastructure.
+
+gem5 measures simulated time in *ticks*; by convention one tick is one
+picosecond, so a 1 GHz simulated clock has a period of 1000 ticks.  This
+module provides the same vocabulary so CPU and memory models can be
+written in terms of cycles while the event queue operates on ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Ticks per simulated second (gem5 default: 1 tick = 1 ps).
+TICKS_PER_SECOND = 10**12
+
+#: Ticks per common sub-units, for readability at call sites.
+TICKS_PER_MS = TICKS_PER_SECOND // 10**3
+TICKS_PER_US = TICKS_PER_SECOND // 10**6
+TICKS_PER_NS = TICKS_PER_SECOND // 10**9
+TICKS_PER_PS = 1
+
+
+def freq_to_period(freq_hz: float) -> int:
+    """Return the clock period in ticks for a clock of ``freq_hz`` hertz."""
+    if freq_hz <= 0:
+        raise ValueError(f"clock frequency must be positive, got {freq_hz}")
+    return max(1, round(TICKS_PER_SECOND / freq_hz))
+
+
+def ticks_to_seconds(ticks: int) -> float:
+    """Convert a tick count to simulated seconds."""
+    return ticks / TICKS_PER_SECOND
+
+
+def seconds_to_ticks(seconds: float) -> int:
+    """Convert simulated seconds to a tick count."""
+    if seconds < 0:
+        raise ValueError(f"simulated time cannot be negative, got {seconds}")
+    return round(seconds * TICKS_PER_SECOND)
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A clock shared by one or more clocked objects.
+
+    Mirrors gem5's ``ClockDomain``: objects attached to the domain convert
+    between cycles and ticks through it, so changing the simulated
+    frequency in one place rescales every attached model.
+    """
+
+    freq_hz: float
+
+    @property
+    def period(self) -> int:
+        """Clock period in ticks."""
+        return freq_to_period(self.freq_hz)
+
+    def cycles_to_ticks(self, cycles: int) -> int:
+        """Ticks covered by ``cycles`` whole clock cycles."""
+        if cycles < 0:
+            raise ValueError(f"cycle count cannot be negative, got {cycles}")
+        return cycles * self.period
+
+    def ticks_to_cycles(self, ticks: int) -> int:
+        """Whole cycles elapsed after ``ticks`` (rounded down)."""
+        if ticks < 0:
+            raise ValueError(f"tick count cannot be negative, got {ticks}")
+        return ticks // self.period
+
+    def next_cycle_edge(self, now: int) -> int:
+        """First clock edge at or after tick ``now``."""
+        period = self.period
+        return ((now + period - 1) // period) * period

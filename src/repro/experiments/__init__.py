@@ -1,0 +1,50 @@
+"""Experiments: one module per paper figure/table (see DESIGN.md §5)."""
+
+from . import (
+    fig01_platform_comparison,
+    fig02_topdown_level1,
+    fig03_frontend_split,
+    fig04_fe_latency_breakdown,
+    fig05_fe_bandwidth_breakdown,
+    fig06_dsb_coverage,
+    fig07_m1_ipc,
+    fig08_miss_rates,
+    fig09_llc_dram,
+    fig10_hugepages,
+    fig11_thp_itlb,
+    fig12_compiler_o3,
+    fig13_frequency,
+    fig14_firesim_sweep,
+    fig15_hot_functions,
+    tables,
+)
+from .common import GEM5_CONFIGS, PARSEC_REPRESENTATIVE, SPEC_CONFIGS
+from .runner import ExperimentRunner
+
+#: Figure modules by id, for the CLI and the benchmark harness.
+FIGURES = {
+    "fig1": fig01_platform_comparison,
+    "fig2": fig02_topdown_level1,
+    "fig3": fig03_frontend_split,
+    "fig4": fig04_fe_latency_breakdown,
+    "fig5": fig05_fe_bandwidth_breakdown,
+    "fig6": fig06_dsb_coverage,
+    "fig7": fig07_m1_ipc,
+    "fig8": fig08_miss_rates,
+    "fig9": fig09_llc_dram,
+    "fig10": fig10_hugepages,
+    "fig11": fig11_thp_itlb,
+    "fig12": fig12_compiler_o3,
+    "fig13": fig13_frequency,
+    "fig14": fig14_firesim_sweep,
+    "fig15": fig15_hot_functions,
+}
+
+__all__ = [
+    "ExperimentRunner",
+    "FIGURES",
+    "GEM5_CONFIGS",
+    "PARSEC_REPRESENTATIVE",
+    "SPEC_CONFIGS",
+    "tables",
+]

@@ -1,0 +1,45 @@
+"""Shared configuration vocabulary for the experiments.
+
+The paper's Top-Down figures (Figs. 2–6) all use the same eight gem5
+rows — four CPU models, each in Boot-Exit (FS) and PARSEC (SE,
+represented by water_nsquared per the paper's footnote 2) — plus the
+three SPEC reference benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The workload footnote 2 designates as PARSEC's representative.
+PARSEC_REPRESENTATIVE = "water_nsquared"
+
+
+@dataclass(frozen=True)
+class Gem5Config:
+    """One row of the paper's Top-Down figures."""
+
+    label: str
+    cpu_model: str
+    workload: str
+    mode: str
+
+
+GEM5_CONFIGS: list[Gem5Config] = [
+    Gem5Config("O3_BOOT_EXIT", "o3", "boot_exit", "fs"),
+    Gem5Config("O3_PARSEC", "o3", PARSEC_REPRESENTATIVE, "se"),
+    Gem5Config("MINOR_BOOT_EXIT", "minor", "boot_exit", "fs"),
+    Gem5Config("MINOR_PARSEC", "minor", PARSEC_REPRESENTATIVE, "se"),
+    Gem5Config("TIMING_BOOT_EXIT", "timing", "boot_exit", "fs"),
+    Gem5Config("TIMING_PARSEC", "timing", PARSEC_REPRESENTATIVE, "se"),
+    Gem5Config("ATOMIC_BOOT_EXIT", "atomic", "boot_exit", "fs"),
+    Gem5Config("ATOMIC_PARSEC", "atomic", PARSEC_REPRESENTATIVE, "se"),
+]
+
+#: SPEC reference rows (run on bare metal in the paper, never on gem5).
+SPEC_CONFIGS = ["525.x264_r", "531.deepsjeng_r", "505.mcf_r"]
+
+#: Platforms of Table II.
+PLATFORM_NAMES = ["Intel_Xeon", "M1_Pro", "M1_Ultra"]
+
+#: CPU models compared in Figs. 1 and 7 (the paper's headline set).
+FIG1_CPU_MODELS = ["atomic", "timing", "o3"]

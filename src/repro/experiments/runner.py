@@ -1,0 +1,153 @@
+"""Experiment runner: caching layer between g5 runs and host replays.
+
+Every figure needs some subset of the same expensive artifacts — g5
+traces per (workload, CPU model, mode) and host replays per (trace,
+platform, knobs).  The runner computes each artifact once per process
+and memoizes it, so regenerating all fifteen figures costs one g5 run
+per configuration rather than fifteen.
+
+Traces can be truncated to ``max_records`` before replay (documented
+sampling: rate/percentage metrics are stable under truncation; only
+absolute wall-clock shrinks proportionally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..g5.system import SimConfig, SimResult, System, simulate
+from ..host.binary import BinaryImage
+from ..host.corun import Contention
+from ..host.cpu import HostCPU, HostRunResult
+from ..host.hugepages import HugePagePolicy
+from ..host.platform import HostPlatform, get_platform
+from ..workloads.registry import get_workload
+from ..workloads.spec import SyntheticHostWorkload, build_spec
+
+PlatformLike = Union[str, HostPlatform]
+
+
+@dataclass(frozen=True)
+class _HostKey:
+    workload: str
+    cpu_model: str
+    mode: str
+    platform: str
+    opt_level: int
+    hugepages: str
+    contention: Optional[Contention]
+    layout_quality: float
+    roi_only: bool
+
+
+class ExperimentRunner:
+    """Caches g5 simulations and host replays across experiments."""
+
+    def __init__(self, scale: str = "simsmall",
+                 max_records: Optional[int] = None,
+                 spec_records: int = 30000) -> None:
+        self.scale = scale
+        self.max_records = max_records
+        self.spec_records = spec_records
+        self._g5_cache: dict[tuple[str, str, str], SimResult] = {}
+        self._host_cache: dict[_HostKey, HostRunResult] = {}
+        self._spec_cache: dict[tuple[str, str], HostRunResult] = {}
+
+    # ------------------------------------------------------------------
+    # g5 side
+    # ------------------------------------------------------------------
+    def g5_result(self, workload: str, cpu_model: str,
+                  mode: Optional[str] = None) -> SimResult:
+        """Run (or fetch) one g5 simulation and its recorded trace."""
+        spec = get_workload(workload)
+        mode = mode or spec.mode
+        key = (workload, cpu_model, mode)
+        cached = self._g5_cache.get(key)
+        if cached is not None:
+            return cached
+        program = spec.build(self.scale)
+        system = System(SimConfig(cpu_model=cpu_model, mode=mode))
+        if mode == "se":
+            system.set_se_workload(program, process_name=workload)
+        else:
+            system.set_fs_workload(program)
+        result = simulate(system)
+        self._g5_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # host side
+    # ------------------------------------------------------------------
+    def host_result(self, workload: str, cpu_model: str,
+                    platform: PlatformLike,
+                    mode: Optional[str] = None,
+                    opt_level: int = 2,
+                    hugepages: HugePagePolicy = HugePagePolicy.NONE,
+                    contention: Optional[Contention] = None,
+                    layout_quality: float = 1.0,
+                    roi_only: bool = False) -> HostRunResult:
+        """Replay one g5 trace on one host configuration (cached).
+
+        ``roi_only`` restricts the replay to the guest-marked region of
+        interest (m5 work begin/end), the paper's counter-read window.
+        """
+        platform_obj = self._resolve(platform)
+        spec = get_workload(workload)
+        mode = mode or spec.mode
+        key = _HostKey(workload, cpu_model, mode, platform_obj.name,
+                       opt_level, hugepages.value, contention,
+                       layout_quality, roi_only)
+        cached = self._host_cache.get(key)
+        if cached is not None:
+            return cached
+        g5 = self.g5_result(workload, cpu_model, mode)
+        recorder = g5.recorder
+        if roi_only:
+            trace_fns, trace_daddrs = recorder.roi_slice()
+        else:
+            trace_fns = recorder.trace_fns
+            trace_daddrs = recorder.trace_daddrs
+        if self.max_records is not None and len(trace_fns) > self.max_records:
+            trace_fns = trace_fns[:self.max_records]
+            trace_daddrs = trace_daddrs[:self.max_records]
+        image = BinaryImage.for_recorder_functions(
+            recorder.known_functions(), opt_level=opt_level,
+            layout_quality=layout_quality)
+        cpu = HostCPU(platform_obj, image, hugepages=hugepages,
+                      contention=contention)
+        result = cpu.replay(trace_fns, trace_daddrs, recorder.fn_names)
+        self._host_cache[key] = result
+        return result
+
+    def spec_result(self, spec_name: str,
+                    platform: PlatformLike) -> HostRunResult:
+        """Replay one SPEC synthetic on one platform (cached)."""
+        platform_obj = self._resolve(platform)
+        key = (spec_name, platform_obj.name)
+        cached = self._spec_cache.get(key)
+        if cached is not None:
+            return cached
+        workload: SyntheticHostWorkload = build_spec(
+            spec_name, n_records=self.spec_records)
+        cpu = HostCPU(platform_obj, workload.image)
+        result = cpu.replay(workload.trace_fns, workload.trace_daddrs,
+                            workload.fn_names)
+        self._spec_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve(platform: PlatformLike) -> HostPlatform:
+        if isinstance(platform, str):
+            return get_platform(platform)
+        return platform
+
+    def cache_stats(self) -> dict[str, int]:
+        return {
+            "g5_runs": len(self._g5_cache),
+            "host_replays": len(self._host_cache),
+            "spec_replays": len(self._spec_cache),
+        }

@@ -1,0 +1,64 @@
+"""Tables I and II: the hardware configurations.
+
+These are configuration tables in the paper; here they render the actual
+parameter sets the host model uses, so a reader can diff our model
+inputs against the paper's hardware directly.
+"""
+
+from __future__ import annotations
+
+from ..core.report import Table
+from ..host.platform import firesim_rocket, get_platform
+from .common import PLATFORM_NAMES
+
+
+def table1() -> Table:
+    """Table I: base hardware configuration on FireSim."""
+    platform = firesim_rocket(icache_kb=48, icache_assoc=12,
+                              dcache_kb=32, dcache_assoc=8)
+    table = Table("Table I: Base Hardware Configuration on FireSim",
+                  ["Parameter", "Value"])
+    table.add_row("Core Frequency", f"{platform.freq_ghz:.0f}GHz")
+    table.add_row("Number of Cores", f"{platform.physical_cores} Cores")
+    table.add_row("Superscalar", f"{platform.pipeline_width}-width wide")
+    table.add_row("ROB/IQ/LQ/SQ Entries", "192/64/32/32")
+    table.add_row("Int & FP Registers", "128 & 192")
+    table.add_row("Branch Predictor/BTB Entries",
+                  f"TournamentBP/{platform.btb_entries}")
+    table.add_row("Cache: L1I/L1D",
+                  f"{platform.l1i.size // 1024}KB(I), "
+                  f"{platform.l1d.size // 1024}KB(D)")
+    table.add_row("DRAM", "2GB, DDR3-1600-8x8")
+    table.add_row("Operating System", "Linux Linaro (kernel 5.4.0)")
+    return table
+
+
+def table2() -> Table:
+    """Table II: the three evaluation platforms."""
+    table = Table("Table II: Evaluation Platforms",
+                  ["Parameter"] + PLATFORM_NAMES)
+    platforms = [get_platform(name) for name in PLATFORM_NAMES]
+    table.add_row("Max Freq (GHz)",
+                  *[f"{p.freq_ghz:.1f}" for p in platforms])
+    table.add_row("Pipeline width",
+                  *[str(p.pipeline_width) for p in platforms])
+    table.add_row("L1I (KB)", *[str(p.l1i.size // 1024) for p in platforms])
+    table.add_row("L1D (KB)", *[str(p.l1d.size // 1024) for p in platforms])
+    table.add_row("L2 (MB)",
+                  *[f"{p.l2.size / 1024 / 1024:.0f}" for p in platforms])
+    table.add_row("LLC (MB)",
+                  *[f"{p.llc.size / 1024 / 1024:.0f}" for p in platforms])
+    table.add_row("Cache line (B)",
+                  *[str(p.l1i.line_size) for p in platforms])
+    table.add_row("VM page size (KB)",
+                  *[str(p.page_size // 1024) for p in platforms])
+    table.add_row("iTLB entries", *[str(p.itlb_entries) for p in platforms])
+    table.add_row("dTLB entries", *[str(p.dtlb_entries) for p in platforms])
+    table.add_row("DRAM BW (GB/s)",
+                  *[f"{p.dram_bw_gbps:.1f}" for p in platforms])
+    table.add_row("DRAM latency (ns)",
+                  *[f"{p.dram_latency_ns:.0f}" for p in platforms])
+    table.add_row("Physical cores",
+                  *[str(p.physical_cores) for p in platforms])
+    table.add_row("SMT", *[("yes" if p.smt else "no") for p in platforms])
+    return table

@@ -1,0 +1,55 @@
+"""repro.g5 — the gem5-like architectural simulator.
+
+The simulator that the rest of the library *profiles*: an event-driven
+full-system/SE machine simulator with four CPU models (Atomic, Timing,
+Minor, O3), classic caches, and a small RISC guest ISA.
+"""
+
+from .cpus import (
+    CPU_MODELS,
+    AtomicSimpleCPU,
+    BaseCPU,
+    MinorCPU,
+    O3CPU,
+    TimingSimpleCPU,
+)
+from .isa import Assembler, Decoder, Program, StaticInst
+from .mem import Cache, CacheParams, CoherentXBar, MemCtrl
+from .pseudo import PseudoOpHandler
+from .se import Process
+from .serialize import Checkpoint, restore_checkpoint, take_checkpoint
+from .stats import dump_stats
+from .statsfile import load_stats, parse_stats, save_stats, write_stats
+from .system import DEFAULT_MEM_SIZE, SimConfig, SimResult, System, simulate
+
+__all__ = [
+    "Assembler",
+    "AtomicSimpleCPU",
+    "BaseCPU",
+    "CPU_MODELS",
+    "Cache",
+    "Checkpoint",
+    "CacheParams",
+    "CoherentXBar",
+    "DEFAULT_MEM_SIZE",
+    "Decoder",
+    "MemCtrl",
+    "MinorCPU",
+    "O3CPU",
+    "Process",
+    "Program",
+    "PseudoOpHandler",
+    "SimConfig",
+    "SimResult",
+    "StaticInst",
+    "System",
+    "TimingSimpleCPU",
+    "dump_stats",
+    "load_stats",
+    "parse_stats",
+    "restore_checkpoint",
+    "save_stats",
+    "simulate",
+    "take_checkpoint",
+    "write_stats",
+]

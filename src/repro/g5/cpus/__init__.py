@@ -1,0 +1,30 @@
+"""g5 CPU models: Atomic, Timing, Minor (in-order), and O3 (out-of-order)."""
+
+from .atomic import AtomicSimpleCPU
+from .base import BaseCPU, CPUError
+from .branchpred import TournamentBP
+from .dyninst import DynInst, InstStream
+from .minor import MinorCPU
+from .o3 import O3CPU
+from .timing import TimingSimpleCPU
+
+#: Paper-facing names of the four CPU models.
+CPU_MODELS = {
+    "atomic": AtomicSimpleCPU,
+    "timing": TimingSimpleCPU,
+    "minor": MinorCPU,
+    "o3": O3CPU,
+}
+
+__all__ = [
+    "AtomicSimpleCPU",
+    "BaseCPU",
+    "CPUError",
+    "CPU_MODELS",
+    "DynInst",
+    "InstStream",
+    "MinorCPU",
+    "O3CPU",
+    "TimingSimpleCPU",
+    "TournamentBP",
+]

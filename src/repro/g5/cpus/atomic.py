@@ -1,0 +1,78 @@
+"""AtomicSimpleCPU: CPI=1, atomic memory accesses.
+
+Mirrors gem5's AtomicSimpleCPU: one tick event per instruction, memory
+accesses complete immediately through the atomic protocol (optionally
+adding their latency to simulated time), no pipeline modelling.  Used for
+fast-forwarding and cache warm-up, and — per the paper — the cheapest
+CPU model for the host to simulate.
+"""
+
+from __future__ import annotations
+
+from ...events import CPU_TICK_PRI, Event
+from .base import BaseCPU
+
+
+class _TickEvent(Event):
+    __slots__ = ("cpu",)
+
+    def __init__(self, cpu: "AtomicSimpleCPU") -> None:
+        super().__init__(name=f"{cpu.name}.tick", priority=CPU_TICK_PRI)
+        self.cpu = cpu
+
+    def process(self) -> None:
+        self.cpu.tick()
+
+
+class AtomicSimpleCPU(BaseCPU):
+    """Single-cycle CPU with atomic memory."""
+
+    cpu_type = "atomic"
+
+    def __init__(self, name: str, parent, cpu_id: int = 0,
+                 width: int = 1, simulate_mem_latency: bool = False) -> None:
+        super().__init__(name, parent, cpu_id)
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+        self.simulate_mem_latency = simulate_mem_latency
+        self._tick_event = _TickEvent(self)
+        self._fn_tick = self.host_fn("AtomicSimpleCPU::tick")
+
+    def activate(self) -> None:
+        """Start executing at the bound workload's entry point."""
+        self.schedule_in(self._tick_event, 0)
+
+    def tick(self) -> None:
+        """Fetch/decode/execute up to ``width`` instructions, reschedule."""
+        self.host_record(self._fn_tick)
+        extra_latency = 0
+        for _ in range(self.width):
+            if self._halted:
+                return
+            extra_latency += self._step()
+        self.stat_cycles.inc()
+        if not self._halted:
+            delay = self.cycles(1)
+            if self.simulate_mem_latency:
+                delay += extra_latency
+            self.schedule_in(self._tick_event, delay)
+
+    def _step(self) -> int:
+        """Run one instruction; returns atomic memory latency in ticks."""
+        pc = self.regs.pc
+        ifetch = self.make_ifetch(pc)
+        self.host_record(self._fn_fetch)
+        latency = self.icache_port.send_atomic(ifetch)
+        word = self.fetch_word(pc)
+        inst = self.decode_inst(word)
+        if inst.is_mem:
+            addr = inst.ea(self)
+            if self._device_at(addr) is None:
+                self.host_record(self._fn_mem, 0)
+                data_pkt = self.make_data_req(inst, addr)
+                latency += self.dcache_port.send_atomic(data_pkt)
+        next_pc = self.execute_inst(inst)
+        self.regs.pc = next_pc
+        self.stat_committed.inc()
+        return latency if self.simulate_mem_latency else 0

@@ -1,0 +1,117 @@
+"""Branch prediction for the detailed g5 CPU models.
+
+A tournament predictor in the style of the Alpha 21264 (which gem5's O3
+model is loosely based on): a local 2-bit-counter predictor, a global
+(gshare) predictor, a chooser, plus a BTB and a return-address stack.
+"""
+
+from __future__ import annotations
+
+from ..isa import INST_BYTES, StaticInst
+
+
+class _CounterTable:
+    """A table of saturating 2-bit counters."""
+
+    __slots__ = ("mask", "counters")
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a positive power of two: {entries}")
+        self.mask = entries - 1
+        self.counters = [1] * entries  # weakly not-taken
+
+    def predict(self, index: int) -> bool:
+        return self.counters[index & self.mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        slot = index & self.mask
+        count = self.counters[slot]
+        if taken:
+            self.counters[slot] = min(3, count + 1)
+        else:
+            self.counters[slot] = max(0, count - 1)
+
+
+class TournamentBP:
+    """Local/global tournament predictor with BTB and RAS."""
+
+    def __init__(self, local_entries: int = 2048, global_entries: int = 8192,
+                 btb_entries: int = 4096, ras_entries: int = 16) -> None:
+        self._local = _CounterTable(local_entries)
+        self._global = _CounterTable(global_entries)
+        self._chooser = _CounterTable(global_entries)
+        self._history = 0
+        self._history_mask = global_entries - 1
+        self._btb: dict[int, int] = {}
+        self._btb_entries = btb_entries
+        self._ras: list[int] = []
+        self._ras_entries = ras_entries
+        self.lookups = 0
+        self.mispredicts = 0
+        self.btb_misses = 0
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(self, pc: int, inst: StaticInst) -> tuple[bool, int]:
+        """Predict ``inst`` at ``pc``; returns ``(taken, target)``."""
+        self.lookups += 1
+        fallthrough = pc + INST_BYTES
+        if inst.is_return and self._ras:
+            return True, self._ras[-1]
+        if inst.is_jump:
+            target = self._btb.get(pc)
+            if target is None:
+                self.btb_misses += 1
+                return True, fallthrough  # unknown target: fetch stalls
+            return True, target
+        # Conditional branch: tournament choice.
+        ghist_index = (pc >> 2) ^ self._history
+        use_global = self._chooser.predict(ghist_index)
+        if use_global:
+            taken = self._global.predict(ghist_index)
+        else:
+            taken = self._local.predict(pc >> 2)
+        if not taken:
+            return False, fallthrough
+        target = self._btb.get(pc)
+        if target is None:
+            self.btb_misses += 1
+            return True, fallthrough
+        return True, target
+
+    def on_fetch(self, pc: int, inst: StaticInst) -> None:
+        """Maintain the RAS speculatively at fetch."""
+        if inst.is_call:
+            if len(self._ras) >= self._ras_entries:
+                self._ras.pop(0)
+            self._ras.append(pc + INST_BYTES)
+        elif inst.is_return and self._ras:
+            self._ras.pop()
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def update(self, pc: int, inst: StaticInst, taken: bool, target: int,
+               mispredicted: bool) -> None:
+        """Train on the resolved outcome."""
+        if mispredicted:
+            self.mispredicts += 1
+        if inst.is_branch:
+            ghist_index = (pc >> 2) ^ self._history
+            local_correct = self._local.predict(pc >> 2) == taken
+            global_correct = self._global.predict(ghist_index) == taken
+            if local_correct != global_correct:
+                self._chooser.update(ghist_index, global_correct)
+            self._local.update(pc >> 2, taken)
+            self._global.update(ghist_index, taken)
+            self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        if taken:
+            if len(self._btb) >= self._btb_entries:
+                self._btb.pop(next(iter(self._btb)))
+            self._btb[pc] = target
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / max(1, self.lookups)

@@ -1,0 +1,272 @@
+"""MinorCPU: an in-order pipeline with detailed memory timing.
+
+Models gem5's Minor CPU at the fidelity the paper exercises: a four-stage
+in-order pipeline (fetch → decode → execute → writeback) with a
+tournament branch predictor, per-class functional-unit latencies,
+line-granular instruction fetch through the timing icache, and blocking
+loads through the timing dcache.  Mispredicted branches stall fetch until
+resolution plus a resteer penalty.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ...events import CPU_TICK_PRI, Event
+from ..mem.packet import Packet
+from .base import BaseCPU
+from .branchpred import TournamentBP
+from .dyninst import DynInst, InstStream
+
+
+class _PipelineTick(Event):
+    __slots__ = ("cpu",)
+
+    def __init__(self, cpu: "MinorCPU") -> None:
+        super().__init__(name=f"{cpu.name}.tick", priority=CPU_TICK_PRI)
+        self.cpu = cpu
+
+    def process(self) -> None:
+        self.cpu.tick()
+
+
+class MinorCPU(BaseCPU):
+    """In-order pipelined CPU."""
+
+    cpu_type = "minor"
+    defer_halt = True
+
+    def __init__(self, name: str, parent, cpu_id: int = 0,
+                 fetch_width: int = 2, issue_width: int = 2,
+                 commit_width: int = 2, fetch_buffer: int = 8,
+                 inflight_window: int = 4,
+                 resteer_penalty: int = 3, line_size: int = 64) -> None:
+        super().__init__(name, parent, cpu_id)
+        self.fetch_width = fetch_width
+        self.issue_width = issue_width
+        self.commit_width = commit_width
+        self.fetch_buffer_size = fetch_buffer
+        self.inflight_window = inflight_window
+        self.resteer_penalty = resteer_penalty
+        self.line_size = line_size
+        self.bpred = TournamentBP()
+        self.stream = InstStream(self)
+        self._fetch_q: deque[DynInst] = deque()
+        self._exec_q: deque[DynInst] = deque()
+        self._inflight_loads: dict[int, DynInst] = {}
+        self._fetch_line: Optional[int] = None  # line currently resident
+        self._ifetch_pending = False
+        self._fetch_blocked_on: Optional[DynInst] = None
+        self._reg_ready: dict[tuple[bool, int], int] = {}
+        self._tick_event = _PipelineTick(self)
+        self._tick_scheduled = False
+        self._last_account_tick = 0
+        self._pc_cursor: Optional[int] = None
+        # Host instrumentation: Minor's stage functions.
+        self._fn_tick = self.host_fn("MinorCPU::tick")
+        self._fn_f1 = self.host_fn("Fetch1::evaluate")
+        self._fn_f2 = self.host_fn("Fetch2::evaluate")
+        self._fn_dec = self.host_fn("Minor::Decode::evaluate")
+        self._fn_exec = self.host_fn("Minor::Execute::evaluate")
+        self._fn_lsq = self.host_fn("Minor::LSQ::pushRequest")
+        self._fn_bp = self.host_fn("BPredUnit::predict")
+        self._fn_bp_update = self.host_fn("BPredUnit::update")
+        self._scoreboard_host = self.host_alloc(64 * 8, "scoreboard")
+        self._fn_scoreboard = self.host_fn("Minor::Scoreboard::canInstIssue")
+
+    def reg_stats(self) -> None:
+        super().reg_stats()
+        stats = self.stats
+        self.stat_mispredicts = stats.scalar(
+            "branchMispredicts", "resolved mispredicted branches")
+        self.stat_fetch_stall_cycles = stats.scalar(
+            "fetchStallCycles", "cycles fetch was blocked on a resteer")
+        self.stat_issued = stats.scalar("numIssued", "instructions issued")
+
+    # ------------------------------------------------------------------
+    # run control
+    # ------------------------------------------------------------------
+    def activate(self) -> None:
+        self._pc_cursor = self.regs.pc
+        self._schedule_tick(0)
+
+    def _schedule_tick(self, delay_cycles: int) -> None:
+        if not self._tick_scheduled and not self._halted:
+            self._tick_scheduled = True
+            self.schedule_in(self._tick_event, self.cycles(delay_cycles))
+
+    # ------------------------------------------------------------------
+    # the pipeline
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        self._tick_scheduled = False
+        self.host_record(self._fn_tick)
+        self._account_cycles()
+        self._commit_stage()
+        self._execute_stage()
+        self._fetch_stage()
+        if self._halted:
+            return
+        if self._drained():
+            self.finish_halt()
+            return
+        if self._work_pending():
+            self._schedule_tick(1)
+        # otherwise sleep; a memory response will reschedule us.
+
+    def _drained(self) -> bool:
+        return (self._halt_pending and not self._fetch_q
+                and not self._exec_q and not self._inflight_loads)
+
+    def _work_pending(self) -> bool:
+        if self._fetch_q or self._exec_q:
+            if (self._inflight_loads and not self._can_issue_any()
+                    and not self._can_commit_any()):
+                return False  # fully stalled on memory; response wakes us
+            return True
+        if self._inflight_loads or self._ifetch_pending:
+            return False  # memory will wake us
+        return not self.stream.exhausted
+
+    def _can_issue_any(self) -> bool:
+        if not self._fetch_q or len(self._exec_q) >= self.inflight_window:
+            return False
+        return self._sources_ready(self._fetch_q[0])
+
+    def _can_commit_any(self) -> bool:
+        return bool(self._exec_q) and self._exec_q[0].done
+
+    # -- fetch ---------------------------------------------------------
+    def _fetch_stage(self) -> None:
+        self.host_record(self._fn_f1)
+        if self._fetch_blocked_on is not None:
+            blocker = self._fetch_blocked_on
+            resume = (None if blocker.complete_tick is None else
+                      blocker.complete_tick + self.cycles(self.resteer_penalty))
+            if resume is not None and self.now >= resume:
+                self._fetch_blocked_on = None
+            else:
+                self.stat_fetch_stall_cycles.inc()
+                return
+        if self._ifetch_pending:
+            return
+        fetched = 0
+        while (fetched < self.fetch_width
+               and len(self._fetch_q) < self.fetch_buffer_size
+               and not self.stream.exhausted):
+            cursor = self._pc_cursor
+            line = None if cursor is None else cursor & ~(self.line_size - 1)
+            if line is not None and line != self._fetch_line:
+                self._issue_ifetch(line)
+                return
+            self.host_record(self._fn_f2)
+            dyn = self.stream.next_inst()
+            if dyn is None:
+                return
+            self._pc_cursor = dyn.next_pc
+            fetched += 1
+            self._predict(dyn)
+            self._fetch_q.append(dyn)
+            if dyn.mispredicted:
+                self._fetch_blocked_on = dyn
+                return
+
+    def _issue_ifetch(self, line: int) -> None:
+        self.host_record(self._fn_fetch)
+        pkt = self.make_ifetch(line, self.line_size)
+        pkt.push_state(self)
+        self._ifetch_pending = True
+        self.icache_port.send_timing_req(pkt)
+
+    def _predict(self, dyn: DynInst) -> None:
+        if not dyn.inst.is_control:
+            return
+        self.host_record(self._fn_bp)
+        taken, target = self.bpred.predict(dyn.pc, dyn.inst)
+        self.bpred.on_fetch(dyn.pc, dyn.inst)
+        correct = (taken == dyn.taken) and (not dyn.taken or target == dyn.next_pc)
+        dyn.mispredicted = not correct
+        self.host_record(self._fn_bp_update)
+        self.bpred.update(dyn.pc, dyn.inst, dyn.taken, dyn.next_pc,
+                          dyn.mispredicted)
+
+    # -- decode + execute (in-order issue) --------------------------------
+    def _execute_stage(self) -> None:
+        self.host_record(self._fn_exec)
+        issued = 0
+        while (issued < self.issue_width and self._fetch_q
+               and len(self._exec_q) < self.inflight_window):
+            dyn = self._fetch_q[0]
+            self.host_record(self._fn_dec)
+            self.host_record(self._fn_scoreboard,
+                             self._scoreboard_host)
+            if not self._sources_ready(dyn):
+                break
+            self._fetch_q.popleft()
+            self._exec_q.append(dyn)
+            dyn.issued = True
+            issued += 1
+            self.stat_issued.inc()
+            if dyn.inst.is_load and self._device_at(dyn.mem_addr or 0) is None:
+                self._issue_load(dyn)
+            else:
+                latency = dyn.inst.op_latency
+                if dyn.inst.is_store:
+                    latency = 1  # stores complete into the write buffer
+                dyn.complete_tick = self.now + self.cycles(latency)
+                self._set_dest_ready(dyn)
+
+    def _sources_ready(self, dyn: DynInst) -> bool:
+        now = self.now
+        return all(self._reg_ready.get(src, 0) <= now for src in dyn.src_regs)
+
+    def _set_dest_ready(self, dyn: DynInst) -> None:
+        if dyn.dst_reg is not None:
+            assert dyn.complete_tick is not None
+            self._reg_ready[dyn.dst_reg] = dyn.complete_tick
+
+    def _issue_load(self, dyn: DynInst) -> None:
+        assert dyn.mem_addr is not None
+        self.host_record(self._fn_lsq)
+        pkt = self.make_data_req(dyn.inst, dyn.mem_addr)
+        pkt.push_state(self)
+        self._inflight_loads[pkt.packet_id] = dyn
+        self.dcache_port.send_timing_req(pkt)
+
+    # -- commit ----------------------------------------------------------
+    def _commit_stage(self) -> None:
+        committed = 0
+        while committed < self.commit_width and self._exec_q:
+            dyn = self._exec_q[0]
+            if not dyn.is_ready(self.now):
+                break
+            self._exec_q.popleft()
+            committed += 1
+            self.stat_committed.inc()
+            if dyn.mispredicted:
+                self.stat_mispredicts.inc()
+
+    # ------------------------------------------------------------------
+    # memory responses
+    # ------------------------------------------------------------------
+    def recv_timing_resp(self, pkt: Packet) -> None:
+        owner = pkt.pop_state()
+        assert owner is self
+        if pkt.is_instruction:
+            self._ifetch_pending = False
+            self._fetch_line = pkt.addr
+        else:
+            dyn = self._inflight_loads.pop(pkt.packet_id)
+            dyn.complete_tick = self.now
+            self._set_dest_ready(dyn)
+        self._schedule_tick(1)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _account_cycles(self) -> None:
+        now = self.now
+        self.stat_cycles.inc(self.clock.ticks_to_cycles(
+            now - self._last_account_tick))
+        self._last_account_tick = now

@@ -1,0 +1,92 @@
+"""Instruction queue and functional-unit pool for the O3 CPU."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...isa import Opcode, StaticInst
+from ..dyninst import DynInst
+
+
+@dataclass(frozen=True)
+class FUPool:
+    """Counts of functional units per class (per cycle issue capacity)."""
+
+    int_alu: int = 4
+    int_muldiv: int = 1
+    fp_alu: int = 2
+    fp_muldiv: int = 1
+    mem_ports: int = 2
+
+    def slots(self) -> dict[str, int]:
+        return {
+            "int_alu": self.int_alu,
+            "int_muldiv": self.int_muldiv,
+            "fp_alu": self.fp_alu,
+            "fp_muldiv": self.fp_muldiv,
+            "mem": self.mem_ports,
+        }
+
+
+def fu_class(inst: StaticInst) -> str:
+    """Functional-unit class an instruction issues to."""
+    if inst.is_mem:
+        return "mem"
+    op = inst.opcode
+    if op in (Opcode.MUL, Opcode.DIV, Opcode.REM):
+        return "int_muldiv"
+    if op in (Opcode.FMUL, Opcode.FDIV, Opcode.FSQRT, Opcode.FMADD):
+        return "fp_muldiv"
+    if inst.is_fp:
+        return "fp_alu"
+    return "int_alu"
+
+
+class InstructionQueue:
+    """Out-of-order scheduler window."""
+
+    def __init__(self, entries: int, fu_pool: FUPool) -> None:
+        if entries <= 0:
+            raise ValueError(f"IQ needs a positive entry count, got {entries}")
+        self.entries = entries
+        self.fu_pool = fu_pool
+        self._insts: list[DynInst] = []
+
+    def __len__(self) -> int:
+        return len(self._insts)
+
+    @property
+    def full(self) -> bool:
+        return len(self._insts) >= self.entries
+
+    def insert(self, dyn: DynInst) -> None:
+        if self.full:
+            raise RuntimeError("IQ overflow: caller must check full first")
+        self._insts.append(dyn)
+
+    def schedule_ready(self, now: int, issue_width: int) -> list[DynInst]:
+        """Pick ready instructions (oldest first) respecting FU capacity."""
+        slots = self.fu_pool.slots()
+        picked: list[DynInst] = []
+        for dyn in self._insts:
+            if len(picked) >= issue_width:
+                break
+            if not self._deps_ready(dyn, now):
+                continue
+            cls = fu_class(dyn.inst)
+            if slots[cls] <= 0:
+                continue
+            slots[cls] -= 1
+            picked.append(dyn)
+        for dyn in picked:
+            self._insts.remove(dyn)
+        return picked
+
+    def schedulable(self, now: int) -> bool:
+        """True if at least one queued instruction could issue this cycle."""
+        return any(self._deps_ready(dyn, now) for dyn in self._insts)
+
+    @staticmethod
+    def _deps_ready(dyn: DynInst, now: int) -> bool:
+        return all(dep.complete_tick is not None and dep.complete_tick <= now
+                   for dep in dyn.deps)

@@ -1,0 +1,44 @@
+"""Reorder buffer for the O3 CPU."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..dyninst import DynInst
+
+
+class ROB:
+    """A bounded in-order retirement window."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError(f"ROB needs a positive entry count, got {entries}")
+        self.entries = entries
+        self._queue: deque[DynInst] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.entries
+
+    @property
+    def free_entries(self) -> int:
+        return self.entries - len(self._queue)
+
+    def insert(self, dyn: DynInst) -> None:
+        if self.full:
+            raise RuntimeError("ROB overflow: caller must check full first")
+        self._queue.append(dyn)
+
+    def head(self) -> Optional[DynInst]:
+        return self._queue[0] if self._queue else None
+
+    def retire_head(self) -> DynInst:
+        return self._queue.popleft()
+
+    @property
+    def occupancy(self) -> float:
+        return len(self._queue) / self.entries

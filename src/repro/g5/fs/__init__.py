@@ -1,0 +1,29 @@
+"""FS (full-system) mode: platform devices and the firmware kernel shim."""
+
+from .devices import (
+    POWER_BASE,
+    RTC_BASE,
+    SHUTDOWN_MAGIC,
+    UART_BASE,
+    Device,
+    PowerController,
+    Rtc,
+    Uart,
+)
+from .kernel import FW_MARK_PHASE, FW_PUTCHAR, FW_SHUTDOWN, KernelPanic, MiniKernel
+
+__all__ = [
+    "Device",
+    "FW_MARK_PHASE",
+    "FW_PUTCHAR",
+    "FW_SHUTDOWN",
+    "KernelPanic",
+    "MiniKernel",
+    "POWER_BASE",
+    "PowerController",
+    "RTC_BASE",
+    "Rtc",
+    "SHUTDOWN_MAGIC",
+    "UART_BASE",
+    "Uart",
+]

@@ -1,0 +1,115 @@
+"""Platform devices for full-system mode.
+
+FS mode models the whole machine, so the guest talks to hardware through
+memory-mapped I/O.  We provide the minimal ARM-VExpress-like platform the
+boot workload needs: a UART for the console, an RTC, and a power
+controller whose shutdown register ends the simulation (gem5's
+``m5 exit`` analogue).
+"""
+
+from __future__ import annotations
+
+from ...events import SimObject
+
+UART_BASE = 0x0900_0000
+RTC_BASE = 0x0901_0000
+POWER_BASE = 0x0902_0000
+DEVICE_SIZE = 0x1000
+
+#: Register offsets.
+UART_DATA = 0x0
+UART_STATUS = 0x4
+RTC_TICKS_LO = 0x0
+RTC_TICKS_HI = 0x4
+POWER_SHUTDOWN = 0x0
+SHUTDOWN_MAGIC = 0x5555
+
+
+class Device(SimObject):
+    """Base class for MMIO devices."""
+
+    def __init__(self, name: str, parent, base: int,
+                 size: int = DEVICE_SIZE) -> None:
+        super().__init__(name, parent)
+        self.base = base
+        self.size = size
+        self._fn_read = self.host_fn(f"{type(self).__name__}::read")
+        self._fn_write = self.host_fn(f"{type(self).__name__}::write")
+        self._regs_host = self.host_alloc(size_bytes_for(size), "deviceRegs")
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def read(self, addr: int, size: int) -> int:
+        self.host_record(self._fn_read, self._regs_host)
+        return self.reg_read(addr - self.base, size)
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        self.host_record(self._fn_write, self._regs_host)
+        self.reg_write(addr - self.base, size, value)
+
+    def reg_read(self, offset: int, size: int) -> int:
+        raise NotImplementedError
+
+    def reg_write(self, offset: int, size: int, value: int) -> None:
+        raise NotImplementedError
+
+
+def size_bytes_for(mmio_size: int) -> int:
+    """Host bytes modelling a device's register file (bounded)."""
+    return min(256, max(16, mmio_size // 64))
+
+
+class Uart(Device):
+    """Transmit-only PL011-flavoured UART."""
+
+    def __init__(self, name: str, parent, base: int = UART_BASE) -> None:
+        super().__init__(name, parent, base)
+        self.console = bytearray()
+
+    def reg_read(self, offset: int, size: int) -> int:
+        if offset == UART_STATUS:
+            return 1  # always ready to transmit
+        return 0
+
+    def reg_write(self, offset: int, size: int, value: int) -> None:
+        if offset == UART_DATA:
+            self.console.append(value & 0xFF)
+
+    @property
+    def console_text(self) -> str:
+        return self.console.decode("utf-8", errors="replace")
+
+
+class Rtc(Device):
+    """Real-time clock exposing the current simulated tick."""
+
+    def __init__(self, name: str, parent, base: int = RTC_BASE) -> None:
+        super().__init__(name, parent, base)
+
+    def reg_read(self, offset: int, size: int) -> int:
+        now = self.now
+        if offset == RTC_TICKS_LO:
+            return now & 0xFFFF_FFFF
+        if offset == RTC_TICKS_HI:
+            return (now >> 32) & 0xFFFF_FFFF
+        return 0
+
+    def reg_write(self, offset: int, size: int, value: int) -> None:
+        pass  # read-only device
+
+
+class PowerController(Device):
+    """Shutdown register: writing the magic value exits the simulation."""
+
+    def __init__(self, name: str, parent, base: int = POWER_BASE) -> None:
+        super().__init__(name, parent, base)
+        self.shutdown_requested = False
+
+    def reg_read(self, offset: int, size: int) -> int:
+        return int(self.shutdown_requested)
+
+    def reg_write(self, offset: int, size: int, value: int) -> None:
+        if offset == POWER_SHUTDOWN and value == SHUTDOWN_MAGIC:
+            self.shutdown_requested = True
+            self._eventq().exit_simulation("guest requested shutdown")

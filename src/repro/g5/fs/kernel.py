@@ -1,0 +1,56 @@
+"""The FS-mode kernel interface.
+
+In full-system mode there is no syscall emulation: the guest program *is*
+the operating system plus its init process.  ``MiniKernel`` plays the
+role of machine firmware: it fields ``ecall`` traps from the guest
+(console output, shutdown) the way a real platform's SBI/PSCI firmware
+would, and tracks boot progress markers the Boot-Exit workload emits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .devices import SHUTDOWN_MAGIC, PowerController, Uart
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cpus.base import BaseCPU
+
+#: Firmware call numbers (a7 register).
+FW_PUTCHAR = 0
+FW_SHUTDOWN = 1
+FW_MARK_PHASE = 2
+
+
+class KernelPanic(RuntimeError):
+    """Raised when the guest traps with an unknown firmware call."""
+
+
+class MiniKernel:
+    """Firmware-level trap handler + boot-progress bookkeeping."""
+
+    def __init__(self, uart: Uart, power: PowerController) -> None:
+        self.uart = uart
+        self.power = power
+        self.boot_phases: list[int] = []
+
+    def handle_trap(self, cpu: "BaseCPU") -> None:
+        call = cpu.read_int(17)  # a7
+        arg = cpu.read_int(10)   # a0
+        if call == FW_PUTCHAR:
+            self.uart.reg_write(0, 1, arg)
+        elif call == FW_SHUTDOWN:
+            self.power.reg_write(0, 4, SHUTDOWN_MAGIC)
+        elif call == FW_MARK_PHASE:
+            self.boot_phases.append(arg)
+        else:
+            raise KernelPanic(f"unknown firmware call {call}")
+
+    @property
+    def console_text(self) -> str:
+        return self.uart.console_text
+
+    @property
+    def booted(self) -> bool:
+        """True once the guest reported its final boot phase."""
+        return bool(self.boot_phases) and self.boot_phases[-1] >= 100

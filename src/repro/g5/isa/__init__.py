@@ -1,0 +1,34 @@
+"""SimRISC: the guest ISA executed by the g5 CPU models."""
+
+from .assembler import Assembler, AssemblyError, Program
+from .decoder import DecodeError, Decoder
+from .instructions import INST_BYTES, ExecContext, Opcode, StaticInst, encode
+from .registers import (
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RegisterFile,
+    parse_freg,
+    parse_reg,
+    to_signed64,
+    to_unsigned64,
+)
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "DecodeError",
+    "Decoder",
+    "ExecContext",
+    "INST_BYTES",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "Opcode",
+    "Program",
+    "RegisterFile",
+    "StaticInst",
+    "encode",
+    "parse_freg",
+    "parse_reg",
+    "to_signed64",
+    "to_unsigned64",
+]

@@ -1,0 +1,375 @@
+"""A small macro assembler for SimRISC.
+
+Guest workloads (:mod:`repro.workloads`) are written against this builder
+API rather than a text syntax: each mnemonic method appends one
+instruction, labels give symbolic branch targets, and ``assemble``
+resolves labels and returns the encoded program image.
+
+Example::
+
+    asm = Assembler(base=0x1000)
+    asm.li("t0", 10)
+    asm.label("loop")
+    asm.addi("t0", "t0", -1)
+    asm.bne("t0", "zero", "loop")
+    asm.halt()
+    program = asm.assemble()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .instructions import INST_BYTES, Opcode, encode
+from .registers import parse_freg, parse_reg
+
+Reg = Union[str, int]
+
+
+class AssemblyError(ValueError):
+    """Raised for unresolved labels or out-of-range operands."""
+
+
+@dataclass
+class _Pending:
+    """One not-yet-encoded instruction."""
+
+    opcode: int
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    label: Optional[str] = None  # branch/jump target to resolve
+
+
+@dataclass
+class Program:
+    """An assembled guest program image."""
+
+    base: int
+    words: list[int]
+    labels: dict[str, int]
+    entry: int
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.words) * INST_BYTES
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+    def address_of(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise AssemblyError(f"no label {label!r} in program") from None
+
+
+class Assembler:
+    """Builder-style SimRISC assembler."""
+
+    def __init__(self, base: int = 0x1000) -> None:
+        if base % INST_BYTES:
+            raise AssemblyError(f"base address {base:#x} is not word aligned")
+        self.base = base
+        self._pending: list[_Pending] = []
+        self._labels: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # label handling
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> None:
+        """Bind ``name`` to the address of the next instruction."""
+        if name in self._labels:
+            raise AssemblyError(f"label {name!r} defined twice")
+        self._labels[name] = self.here
+
+    @property
+    def here(self) -> int:
+        """Address of the next instruction to be emitted."""
+        return self.base + len(self._pending) * INST_BYTES
+
+    # ------------------------------------------------------------------
+    # emission helpers
+    # ------------------------------------------------------------------
+    def _emit(self, opcode: int, rd: int = 0, rs1: int = 0, rs2: int = 0,
+              imm: int = 0, label: Optional[str] = None) -> None:
+        self._pending.append(_Pending(opcode, rd, rs1, rs2, imm, label))
+
+    @staticmethod
+    def _r(reg: Reg) -> int:
+        return reg if isinstance(reg, int) else parse_reg(reg)
+
+    @staticmethod
+    def _f(reg: Reg) -> int:
+        return reg if isinstance(reg, int) else parse_freg(reg)
+
+    # -- integer R-type ---------------------------------------------------
+    def add(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.ADD, self._r(rd), self._r(rs1), self._r(rs2))
+
+    def sub(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.SUB, self._r(rd), self._r(rs1), self._r(rs2))
+
+    def mul(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.MUL, self._r(rd), self._r(rs1), self._r(rs2))
+
+    def div(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.DIV, self._r(rd), self._r(rs1), self._r(rs2))
+
+    def rem(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.REM, self._r(rd), self._r(rs1), self._r(rs2))
+
+    def and_(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.AND, self._r(rd), self._r(rs1), self._r(rs2))
+
+    def or_(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.OR, self._r(rd), self._r(rs1), self._r(rs2))
+
+    def xor(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.XOR, self._r(rd), self._r(rs1), self._r(rs2))
+
+    def sll(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.SLL, self._r(rd), self._r(rs1), self._r(rs2))
+
+    def srl(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.SRL, self._r(rd), self._r(rs1), self._r(rs2))
+
+    def sra(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.SRA, self._r(rd), self._r(rs1), self._r(rs2))
+
+    def slt(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.SLT, self._r(rd), self._r(rs1), self._r(rs2))
+
+    def sltu(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Opcode.SLTU, self._r(rd), self._r(rs1), self._r(rs2))
+
+    # -- integer I-type ---------------------------------------------------
+    def addi(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(Opcode.ADDI, self._r(rd), self._r(rs1), imm=imm)
+
+    def andi(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(Opcode.ANDI, self._r(rd), self._r(rs1), imm=imm)
+
+    def ori(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(Opcode.ORI, self._r(rd), self._r(rs1), imm=imm)
+
+    def xori(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(Opcode.XORI, self._r(rd), self._r(rs1), imm=imm)
+
+    def slli(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(Opcode.SLLI, self._r(rd), self._r(rs1), imm=imm)
+
+    def srli(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(Opcode.SRLI, self._r(rd), self._r(rs1), imm=imm)
+
+    def slti(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(Opcode.SLTI, self._r(rd), self._r(rs1), imm=imm)
+
+    def lui(self, rd: Reg, imm: int) -> None:
+        self._emit(Opcode.LUI, self._r(rd), imm=imm)
+
+    # -- pseudo-instructions ------------------------------------------------
+    def nop(self) -> None:
+        self._emit(Opcode.NOP)
+
+    def mv(self, rd: Reg, rs1: Reg) -> None:
+        self.addi(rd, rs1, 0)
+
+    def li(self, rd: Reg, value: int) -> None:
+        """Load an arbitrary constant (expands to LUI+ADDI when needed)."""
+        if -(1 << 15) <= value < (1 << 15):
+            self.addi(rd, "zero", value)
+            return
+        if not -(1 << 31) <= value < (1 << 31):
+            raise AssemblyError(f"li constant {value} out of 32-bit range")
+        high = value >> 11
+        low = value - (high << 11)
+        if not -(1 << 15) <= low < (1 << 15):  # pragma: no cover - defensive
+            raise AssemblyError(f"li split failed for {value}")
+        self.lui(rd, high)
+        if low:
+            self.addi(rd, rd, low)
+
+    def la(self, rd: Reg, label: str) -> None:
+        """Load a label's address (resolved at assemble time via JAL trick).
+
+        Implemented as a pending LUI/ADDI pair patched during assembly.
+        """
+        # Reserve two slots; patch in assemble().
+        self._emit(Opcode.LUI, self._r(rd), imm=0, label=f"@hi:{label}")
+        self._emit(Opcode.ADDI, self._r(rd), self._r(rd), imm=0,
+                   label=f"@lo:{label}")
+
+    # -- memory --------------------------------------------------------------
+    def lb(self, rd: Reg, rs1: Reg, imm: int = 0) -> None:
+        self._emit(Opcode.LB, self._r(rd), self._r(rs1), imm=imm)
+
+    def lw(self, rd: Reg, rs1: Reg, imm: int = 0) -> None:
+        self._emit(Opcode.LW, self._r(rd), self._r(rs1), imm=imm)
+
+    def ld(self, rd: Reg, rs1: Reg, imm: int = 0) -> None:
+        self._emit(Opcode.LD, self._r(rd), self._r(rs1), imm=imm)
+
+    def sb(self, rs2: Reg, rs1: Reg, imm: int = 0) -> None:
+        self._emit(Opcode.SB, rs1=self._r(rs1), rs2=self._r(rs2), imm=imm)
+
+    def sw(self, rs2: Reg, rs1: Reg, imm: int = 0) -> None:
+        self._emit(Opcode.SW, rs1=self._r(rs1), rs2=self._r(rs2), imm=imm)
+
+    def sd(self, rs2: Reg, rs1: Reg, imm: int = 0) -> None:
+        self._emit(Opcode.SD, rs1=self._r(rs1), rs2=self._r(rs2), imm=imm)
+
+    def fld(self, fd: Reg, rs1: Reg, imm: int = 0) -> None:
+        self._emit(Opcode.FLD, self._f(fd), self._r(rs1), imm=imm)
+
+    def fsd(self, fs2: Reg, rs1: Reg, imm: int = 0) -> None:
+        self._emit(Opcode.FSD, rs1=self._r(rs1), rs2=self._f(fs2), imm=imm)
+
+    # -- control flow -----------------------------------------------------
+    def _branch(self, opcode: int, rs1: Reg, rs2: Reg, target: str) -> None:
+        self._emit(opcode, rs1=self._r(rs1), rs2=self._r(rs2), label=target)
+
+    def beq(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        self._branch(Opcode.BEQ, rs1, rs2, target)
+
+    def bne(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        self._branch(Opcode.BNE, rs1, rs2, target)
+
+    def blt(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        self._branch(Opcode.BLT, rs1, rs2, target)
+
+    def bge(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        self._branch(Opcode.BGE, rs1, rs2, target)
+
+    def bltu(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        self._branch(Opcode.BLTU, rs1, rs2, target)
+
+    def bgeu(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        self._branch(Opcode.BGEU, rs1, rs2, target)
+
+    def jal(self, rd: Reg, target: str) -> None:
+        self._emit(Opcode.JAL, self._r(rd), label=target)
+
+    def j(self, target: str) -> None:
+        self.jal("zero", target)
+
+    def call(self, target: str) -> None:
+        self.jal("ra", target)
+
+    def jalr(self, rd: Reg, rs1: Reg, imm: int = 0) -> None:
+        self._emit(Opcode.JALR, self._r(rd), self._r(rs1), imm=imm)
+
+    def ret(self) -> None:
+        self.jalr("zero", "ra", 0)
+
+    # -- floating point -----------------------------------------------------
+    def fadd(self, fd: Reg, fs1: Reg, fs2: Reg) -> None:
+        self._emit(Opcode.FADD, self._f(fd), self._f(fs1), self._f(fs2))
+
+    def fsub(self, fd: Reg, fs1: Reg, fs2: Reg) -> None:
+        self._emit(Opcode.FSUB, self._f(fd), self._f(fs1), self._f(fs2))
+
+    def fmul(self, fd: Reg, fs1: Reg, fs2: Reg) -> None:
+        self._emit(Opcode.FMUL, self._f(fd), self._f(fs1), self._f(fs2))
+
+    def fdiv(self, fd: Reg, fs1: Reg, fs2: Reg) -> None:
+        self._emit(Opcode.FDIV, self._f(fd), self._f(fs1), self._f(fs2))
+
+    def fsqrt(self, fd: Reg, fs1: Reg) -> None:
+        self._emit(Opcode.FSQRT, self._f(fd), self._f(fs1))
+
+    def fmin(self, fd: Reg, fs1: Reg, fs2: Reg) -> None:
+        self._emit(Opcode.FMIN, self._f(fd), self._f(fs1), self._f(fs2))
+
+    def fmax(self, fd: Reg, fs1: Reg, fs2: Reg) -> None:
+        self._emit(Opcode.FMAX, self._f(fd), self._f(fs1), self._f(fs2))
+
+    def fmadd(self, fd: Reg, fs1: Reg, fs2: Reg) -> None:
+        self._emit(Opcode.FMADD, self._f(fd), self._f(fs1), self._f(fs2))
+
+    def fmv(self, fd: Reg, fs1: Reg) -> None:
+        self._emit(Opcode.FMV, self._f(fd), self._f(fs1))
+
+    def fcvt_d_l(self, fd: Reg, rs1: Reg) -> None:
+        self._emit(Opcode.FCVT_D_L, self._f(fd), self._r(rs1))
+
+    def fcvt_l_d(self, rd: Reg, fs1: Reg) -> None:
+        self._emit(Opcode.FCVT_L_D, self._r(rd), self._f(fs1))
+
+    def flt(self, rd: Reg, fs1: Reg, fs2: Reg) -> None:
+        self._emit(Opcode.FLT, self._r(rd), self._f(fs1), self._f(fs2))
+
+    def fle(self, rd: Reg, fs1: Reg, fs2: Reg) -> None:
+        self._emit(Opcode.FLE, self._r(rd), self._f(fs1), self._f(fs2))
+
+    # -- system --------------------------------------------------------------
+    def ecall(self) -> None:
+        self._emit(Opcode.ECALL)
+
+    def halt(self) -> None:
+        self._emit(Opcode.HALT)
+
+    # -- m5 pseudo-ops ---------------------------------------------------
+    def m5op(self, op: int) -> None:
+        """Emit a raw m5 pseudo instruction."""
+        self._emit(Opcode.M5OP, imm=op)
+
+    def m5_exit(self) -> None:
+        from .pseudo_numbers import M5_EXIT
+
+        self.m5op(M5_EXIT)
+
+    def m5_reset_stats(self) -> None:
+        from .pseudo_numbers import M5_RESET_STATS
+
+        self.m5op(M5_RESET_STATS)
+
+    def m5_dump_stats(self) -> None:
+        from .pseudo_numbers import M5_DUMP_STATS
+
+        self.m5op(M5_DUMP_STATS)
+
+    def m5_work_begin(self) -> None:
+        from .pseudo_numbers import M5_WORK_BEGIN
+
+        self.m5op(M5_WORK_BEGIN)
+
+    def m5_work_end(self) -> None:
+        from .pseudo_numbers import M5_WORK_END
+
+        self.m5op(M5_WORK_END)
+
+    # ------------------------------------------------------------------
+    # final assembly
+    # ------------------------------------------------------------------
+    def assemble(self, entry: Optional[str] = None) -> Program:
+        """Resolve labels and encode the program."""
+        words: list[int] = []
+        for index, pending in enumerate(self._pending):
+            pc = self.base + index * INST_BYTES
+            imm = pending.imm
+            if pending.label is not None:
+                imm = self._resolve(pending, pc)
+            words.append(encode(pending.opcode, pending.rd, pending.rs1,
+                                pending.rs2, imm))
+        entry_addr = self.base if entry is None else self._label_addr(entry)
+        return Program(self.base, words, dict(self._labels), entry_addr)
+
+    def _label_addr(self, name: str) -> int:
+        try:
+            return self._labels[name]
+        except KeyError:
+            raise AssemblyError(f"undefined label {name!r}") from None
+
+    def _resolve(self, pending: _Pending, pc: int) -> int:
+        label = pending.label
+        assert label is not None
+        if label.startswith("@hi:"):
+            return self._label_addr(label[4:]) >> 11
+        if label.startswith("@lo:"):
+            addr = self._label_addr(label[4:])
+            return addr - ((addr >> 11) << 11)
+        return self._label_addr(label) - pc

@@ -1,0 +1,47 @@
+"""Instruction decoder with a gem5-style decode cache.
+
+gem5 decodes each fetched machine word into a ``StaticInst`` and caches
+the result keyed by the word, so hot code decodes once.  We reproduce
+that structure; the decode cache is also what the host-profiling layer
+observes as ``Decoder::decode`` work.
+"""
+
+from __future__ import annotations
+
+from .instructions import MNEMONICS, OP_SHIFT, StaticInst
+
+
+class DecodeError(ValueError):
+    """Raised on an undecodable machine word."""
+
+
+class Decoder:
+    """Decode 32-bit SimRISC words into (cached) StaticInsts."""
+
+    def __init__(self) -> None:
+        self._cache: dict[int, StaticInst] = {}
+        self.lookups = 0
+        self.misses = 0
+
+    def decode(self, machine_word: int) -> StaticInst:
+        """Decode ``machine_word``, reusing the decode cache when possible."""
+        self.lookups += 1
+        inst = self._cache.get(machine_word)
+        if inst is None:
+            self.misses += 1
+            opcode = (machine_word >> OP_SHIFT) & 0x3F
+            if opcode not in MNEMONICS:
+                raise DecodeError(
+                    f"undecodable machine word {machine_word:#010x} "
+                    f"(opcode {opcode})")
+            inst = StaticInst(machine_word)
+            self._cache[machine_word] = inst
+        return inst
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def reset_stats(self) -> None:
+        self.lookups = 0
+        self.misses = 0

@@ -1,0 +1,438 @@
+"""SimRISC static instructions: semantics, flags, and encodings.
+
+The design copies gem5's ``StaticInst`` split: a decoded instruction is an
+immutable object describing *what* to do; *when* it happens is decided by
+the CPU model driving it through an :class:`ExecContext`.  Memory
+instructions expose ``ea``/``store_value``/``complete`` so timing CPUs can
+split address generation from data delivery, while ``execute`` performs
+the whole access for atomic-mode CPUs.
+
+Encoding layout (32-bit word):
+
+====== ======================= =========================================
+format fields                  used by
+====== ======================= =========================================
+R      op rd rs1 rs2           register ALU / FP ops
+I      op rd rs1 imm16         immediate ALU, loads, JALR
+S      op rs1 rs2 imm11        stores
+B      op rs1 rs2 imm11        conditional branches (byte offset)
+U      op rd imm21             LUI (imm << 11), JAL (byte offset)
+====== ======================= =========================================
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Optional, Protocol
+
+from .registers import to_signed64, to_unsigned64
+
+# ---------------------------------------------------------------------------
+# encoding constants
+# ---------------------------------------------------------------------------
+OP_SHIFT = 26
+RD_SHIFT = 21
+RS1_SHIFT = 16
+RS2_SHIFT = 11
+REG_MASK = 0x1F
+IMM16_MASK = 0xFFFF
+IMM11_MASK = 0x7FF
+IMM21_MASK = 0x1FFFFF
+
+INST_BYTES = 4
+
+
+class Opcode:
+    """SimRISC opcode space (6 bits)."""
+
+    # R-type integer ALU
+    ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU = range(13)
+    # I-type integer ALU
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SLTI = range(13, 20)
+    LUI = 20
+    # memory
+    LB, LW, LD = 21, 22, 23
+    SB, SW, SD = 24, 25, 26
+    FLD, FSD = 27, 28
+    # control
+    BEQ, BNE, BLT, BGE, BLTU, BGEU = range(29, 35)
+    JAL, JALR = 35, 36
+    # FP
+    FADD, FSUB, FMUL, FDIV, FSQRT, FMIN, FMAX, FMADD = range(37, 45)
+    FCVT_D_L, FCVT_L_D, FLT, FLE, FMV = range(45, 50)
+    # system
+    ECALL, NOP, HALT, M5OP = 50, 51, 52, 53
+
+_R_ALU = {Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+          Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SLL, Opcode.SRL,
+          Opcode.SRA, Opcode.SLT, Opcode.SLTU}
+_I_ALU = {Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI,
+          Opcode.SRLI, Opcode.SLTI}
+_LOADS = {Opcode.LB: 1, Opcode.LW: 4, Opcode.LD: 8, Opcode.FLD: 8}
+_STORES = {Opcode.SB: 1, Opcode.SW: 4, Opcode.SD: 8, Opcode.FSD: 8}
+_BRANCHES = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+             Opcode.BLTU, Opcode.BGEU}
+_FP_R = {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FSQRT,
+         Opcode.FMIN, Opcode.FMAX, Opcode.FMADD, Opcode.FLT, Opcode.FLE,
+         Opcode.FMV, Opcode.FCVT_D_L, Opcode.FCVT_L_D}
+
+MNEMONICS = {v: k.lower() for k, v in vars(Opcode).items()
+             if not k.startswith("_") and isinstance(v, int)}
+
+
+def _truncdiv(a: int, b: int) -> int:
+    """C-style (truncate-toward-zero) integer division."""
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _sext(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` of ``value``."""
+    sign = 1 << (bits - 1)
+    value &= (1 << bits) - 1
+    return value - (1 << bits) if value & sign else value
+
+
+def float_to_raw(value: float) -> int:
+    """Bit-pattern of a double, as an unsigned 64-bit integer."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def raw_to_float(raw: int) -> float:
+    """Double from its 64-bit bit-pattern."""
+    return struct.unpack("<d", struct.pack("<Q", raw & ((1 << 64) - 1)))[0]
+
+
+class ExecContext(Protocol):
+    """What a StaticInst needs from the CPU model executing it."""
+
+    def read_int(self, index: int) -> int: ...
+    def write_int(self, index: int, value: int) -> None: ...
+    def read_fp(self, index: int) -> float: ...
+    def write_fp(self, index: int, value: float) -> None: ...
+    @property
+    def pc(self) -> int: ...
+    def set_npc(self, addr: int) -> None: ...
+    def read_mem(self, addr: int, size: int) -> int: ...
+    def write_mem(self, addr: int, size: int, value: int) -> None: ...
+    def syscall(self) -> None: ...
+    def pseudo_op(self, op: int) -> None: ...
+
+
+class StaticInst:
+    """One decoded SimRISC instruction."""
+
+    __slots__ = ("machine_word", "opcode", "rd", "rs1", "rs2", "imm")
+
+    def __init__(self, machine_word: int) -> None:
+        self.machine_word = machine_word
+        self.opcode = (machine_word >> OP_SHIFT) & 0x3F
+        self.rd = (machine_word >> RD_SHIFT) & REG_MASK
+        self.rs1 = (machine_word >> RS1_SHIFT) & REG_MASK
+        self.rs2 = (machine_word >> RS2_SHIFT) & REG_MASK
+        op = self.opcode
+        if op in _I_ALU or op in _LOADS or op in (Opcode.JALR, Opcode.M5OP):
+            self.imm = _sext(machine_word, 16)
+        elif op in _STORES or op in _BRANCHES:
+            self.imm = _sext(machine_word, 11)
+        elif op in (Opcode.LUI, Opcode.JAL):
+            self.imm = _sext(machine_word, 21)
+        else:
+            self.imm = 0
+
+    # -- classification -------------------------------------------------
+    @property
+    def mnemonic(self) -> str:
+        return MNEMONICS.get(self.opcode, f"op{self.opcode}")
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in _LOADS
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in _STORES
+
+    @property
+    def is_mem(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        """Conditional control flow."""
+        return self.opcode in _BRANCHES
+
+    @property
+    def is_jump(self) -> bool:
+        """Unconditional control flow."""
+        return self.opcode in (Opcode.JAL, Opcode.JALR)
+
+    @property
+    def is_control(self) -> bool:
+        return self.is_branch or self.is_jump
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.opcode == Opcode.JALR
+
+    @property
+    def is_call(self) -> bool:
+        return self.is_jump and self.rd == 1  # link register ra
+
+    @property
+    def is_return(self) -> bool:
+        return self.opcode == Opcode.JALR and self.rd == 0 and self.rs1 == 1
+
+    @property
+    def is_fp(self) -> bool:
+        return self.opcode in _FP_R or self.opcode in (Opcode.FLD, Opcode.FSD)
+
+    @property
+    def is_syscall(self) -> bool:
+        return self.opcode == Opcode.ECALL
+
+    @property
+    def is_halt(self) -> bool:
+        return self.opcode == Opcode.HALT
+
+    @property
+    def mem_size(self) -> int:
+        if self.is_load:
+            return _LOADS[self.opcode]
+        if self.is_store:
+            return _STORES[self.opcode]
+        raise TypeError(f"{self.mnemonic} is not a memory instruction")
+
+    # -- micro-op weight (used by detailed CPU models) -------------------
+    @property
+    def op_latency(self) -> int:
+        """Functional-unit latency in cycles for detailed models."""
+        op = self.opcode
+        if op in (Opcode.MUL,):
+            return 3
+        if op in (Opcode.DIV, Opcode.REM):
+            return 12
+        if op in (Opcode.FADD, Opcode.FSUB, Opcode.FMIN, Opcode.FMAX,
+                  Opcode.FMV, Opcode.FCVT_D_L, Opcode.FCVT_L_D,
+                  Opcode.FLT, Opcode.FLE):
+            return 2
+        if op in (Opcode.FMUL, Opcode.FMADD):
+            return 4
+        if op == Opcode.FDIV:
+            return 12
+        if op == Opcode.FSQRT:
+            return 24
+        return 1
+
+    # -- control-flow helpers --------------------------------------------
+    def branch_target(self, pc: int) -> Optional[int]:
+        """Static target for direct control flow (``None`` for indirect)."""
+        if self.is_branch or self.opcode == Opcode.JAL:
+            return pc + self.imm
+        return None
+
+    # -- memory helpers ---------------------------------------------------
+    def ea(self, xc: ExecContext) -> int:
+        """Effective address of a memory access."""
+        return to_unsigned64(xc.read_int(self.rs1) + self.imm)
+
+    def store_value(self, xc: ExecContext) -> int:
+        """Raw integer value a store writes to memory."""
+        if self.opcode == Opcode.FSD:
+            return float_to_raw(xc.read_fp(self.rs2))
+        size = self.mem_size
+        return xc.read_int(self.rs2) & ((1 << (size * 8)) - 1)
+
+    def complete(self, xc: ExecContext, raw: int) -> None:
+        """Deliver load data to the destination register."""
+        if self.opcode == Opcode.FLD:
+            xc.write_fp(self.rd, raw_to_float(raw))
+        elif self.opcode == Opcode.LB:
+            xc.write_int(self.rd, _sext(raw, 8))
+        elif self.opcode == Opcode.LW:
+            xc.write_int(self.rd, _sext(raw, 32))
+        else:
+            xc.write_int(self.rd, raw)
+
+    # -- full semantics ----------------------------------------------------
+    def execute(self, xc: ExecContext) -> None:
+        """Execute completely (atomic-mode semantics)."""
+        op = self.opcode
+        if op in _R_ALU:
+            self._exec_r_alu(xc)
+        elif op in _I_ALU:
+            self._exec_i_alu(xc)
+        elif op == Opcode.LUI:
+            xc.write_int(self.rd, self.imm << 11)
+        elif self.is_load:
+            raw = xc.read_mem(self.ea(xc), self.mem_size)
+            self.complete(xc, raw)
+        elif self.is_store:
+            xc.write_mem(self.ea(xc), self.mem_size, self.store_value(xc))
+        elif op in _BRANCHES:
+            if self._branch_taken(xc):
+                xc.set_npc(xc.pc + self.imm)
+        elif op == Opcode.JAL:
+            xc.write_int(self.rd, xc.pc + INST_BYTES)
+            xc.set_npc(xc.pc + self.imm)
+        elif op == Opcode.JALR:
+            target = to_unsigned64(xc.read_int(self.rs1) + self.imm) & ~1
+            xc.write_int(self.rd, xc.pc + INST_BYTES)
+            xc.set_npc(target)
+        elif op in _FP_R:
+            self._exec_fp(xc)
+        elif op == Opcode.ECALL:
+            xc.syscall()
+        elif op == Opcode.M5OP:
+            xc.pseudo_op(self.imm)
+        elif op == Opcode.NOP:
+            pass
+        elif op == Opcode.HALT:
+            pass  # the CPU model observes is_halt and exits
+        else:
+            raise ValueError(f"cannot execute unknown opcode {op}")
+
+    def _branch_taken(self, xc: ExecContext) -> bool:
+        a = xc.read_int(self.rs1)
+        b = xc.read_int(self.rs2)
+        sa, sb = to_signed64(a), to_signed64(b)
+        op = self.opcode
+        if op == Opcode.BEQ:
+            return a == b
+        if op == Opcode.BNE:
+            return a != b
+        if op == Opcode.BLT:
+            return sa < sb
+        if op == Opcode.BGE:
+            return sa >= sb
+        if op == Opcode.BLTU:
+            return a < b
+        return a >= b  # BGEU
+
+    def _exec_r_alu(self, xc: ExecContext) -> None:
+        a = xc.read_int(self.rs1)
+        b = xc.read_int(self.rs2)
+        sa, sb = to_signed64(a), to_signed64(b)
+        op = self.opcode
+        if op == Opcode.ADD:
+            result = a + b
+        elif op == Opcode.SUB:
+            result = a - b
+        elif op == Opcode.MUL:
+            result = sa * sb
+        elif op == Opcode.DIV:
+            result = -1 if sb == 0 else _truncdiv(sa, sb)
+        elif op == Opcode.REM:
+            result = sa if sb == 0 else sa - _truncdiv(sa, sb) * sb
+        elif op == Opcode.AND:
+            result = a & b
+        elif op == Opcode.OR:
+            result = a | b
+        elif op == Opcode.XOR:
+            result = a ^ b
+        elif op == Opcode.SLL:
+            result = a << (b & 63)
+        elif op == Opcode.SRL:
+            result = a >> (b & 63)
+        elif op == Opcode.SRA:
+            result = sa >> (b & 63)
+        elif op == Opcode.SLT:
+            result = int(sa < sb)
+        else:  # SLTU
+            result = int(a < b)
+        xc.write_int(self.rd, result)
+
+    def _exec_i_alu(self, xc: ExecContext) -> None:
+        a = xc.read_int(self.rs1)
+        imm = self.imm
+        op = self.opcode
+        if op == Opcode.ADDI:
+            result = a + imm
+        elif op == Opcode.ANDI:
+            result = a & (imm & ((1 << 64) - 1))
+        elif op == Opcode.ORI:
+            result = a | (imm & ((1 << 64) - 1))
+        elif op == Opcode.XORI:
+            result = a ^ (imm & ((1 << 64) - 1))
+        elif op == Opcode.SLLI:
+            result = a << (imm & 63)
+        elif op == Opcode.SRLI:
+            result = a >> (imm & 63)
+        else:  # SLTI
+            result = int(to_signed64(a) < imm)
+        xc.write_int(self.rd, result)
+
+    def _exec_fp(self, xc: ExecContext) -> None:
+        op = self.opcode
+        if op == Opcode.FCVT_D_L:
+            xc.write_fp(self.rd, float(to_signed64(xc.read_int(self.rs1))))
+            return
+        if op == Opcode.FCVT_L_D:
+            value = xc.read_fp(self.rs1)
+            if math.isnan(value) or math.isinf(value):
+                xc.write_int(self.rd, 0)
+            else:
+                xc.write_int(self.rd, int(value))
+            return
+        a = xc.read_fp(self.rs1)
+        if op == Opcode.FSQRT:
+            xc.write_fp(self.rd, math.sqrt(a) if a >= 0 else float("nan"))
+            return
+        if op == Opcode.FMV:
+            xc.write_fp(self.rd, a)
+            return
+        b = xc.read_fp(self.rs2)
+        if op == Opcode.FADD:
+            xc.write_fp(self.rd, a + b)
+        elif op == Opcode.FSUB:
+            xc.write_fp(self.rd, a - b)
+        elif op == Opcode.FMUL:
+            xc.write_fp(self.rd, a * b)
+        elif op == Opcode.FDIV:
+            xc.write_fp(self.rd, a / b if b != 0.0 else math.inf * (1 if a >= 0 else -1))
+        elif op == Opcode.FMIN:
+            xc.write_fp(self.rd, min(a, b))
+        elif op == Opcode.FMAX:
+            xc.write_fp(self.rd, max(a, b))
+        elif op == Opcode.FMADD:
+            # fd = fs1 * fs2 + fd (destructive accumulate keeps 3 fields)
+            xc.write_fp(self.rd, a * b + xc.read_fp(self.rd))
+        elif op == Opcode.FLT:
+            xc.write_int(self.rd, int(a < b))
+        elif op == Opcode.FLE:
+            xc.write_int(self.rd, int(a <= b))
+        else:  # pragma: no cover - exhaustive above
+            raise ValueError(f"unknown fp opcode {op}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<StaticInst {self.mnemonic} rd={self.rd} rs1={self.rs1} "
+                f"rs2={self.rs2} imm={self.imm}>")
+
+
+def encode(opcode: int, rd: int = 0, rs1: int = 0, rs2: int = 0,
+           imm: int = 0) -> int:
+    """Pack fields into a 32-bit SimRISC machine word."""
+    word = (opcode & 0x3F) << OP_SHIFT
+    word |= (rd & REG_MASK) << RD_SHIFT
+    word |= (rs1 & REG_MASK) << RS1_SHIFT
+    if opcode in _STORES or opcode in _BRANCHES:
+        if not -1024 <= imm < 1024:
+            raise ValueError(
+                f"{MNEMONICS[opcode]} offset {imm} out of 11-bit range")
+        word |= (rs2 & REG_MASK) << RS2_SHIFT
+        word |= imm & IMM11_MASK
+    elif opcode in (Opcode.LUI, Opcode.JAL):
+        if not -(1 << 20) <= imm < (1 << 20):
+            raise ValueError(
+                f"{MNEMONICS[opcode]} immediate {imm} out of 21-bit range")
+        word |= imm & IMM21_MASK
+    elif opcode in _I_ALU or opcode in _LOADS or opcode in (Opcode.JALR,
+                                                            Opcode.M5OP):
+        if not -(1 << 15) <= imm < (1 << 15):
+            raise ValueError(
+                f"{MNEMONICS[opcode]} immediate {imm} out of 16-bit range")
+        word |= imm & IMM16_MASK
+    else:
+        word |= (rs2 & REG_MASK) << RS2_SHIFT
+    return word

@@ -1,0 +1,11 @@
+"""m5 pseudo-op numbers shared by the assembler and the handler.
+
+Lives under ``isa`` so the assembler does not import simulator modules;
+:mod:`repro.g5.pseudo` re-exports these for the handler side.
+"""
+
+M5_EXIT = 0x21
+M5_RESET_STATS = 0x40
+M5_DUMP_STATS = 0x41
+M5_WORK_BEGIN = 0x5A
+M5_WORK_END = 0x5B

@@ -1,0 +1,101 @@
+"""SimRISC register file definitions.
+
+SimRISC is the small RISC guest ISA executed by the g5 CPU models.  It is
+loosely RISC-V-shaped: 32 64-bit integer registers (``x0`` hard-wired to
+zero), 32 double-precision float registers, and a handful of ABI aliases
+used by the assembler and the syscall layer.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: ABI aliases, RISC-V style: a0..a7 argument regs, sp, ra, t*/s* temps.
+ABI_ALIASES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13,
+    "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+#: Register used for syscall numbers / return codes (RISC-V convention).
+SYSCALL_NUM_REG = ABI_ALIASES["a7"]
+SYSCALL_RET_REG = ABI_ALIASES["a0"]
+SYSCALL_ARG_REGS = tuple(ABI_ALIASES[f"a{i}"] for i in range(7))
+
+_MASK64 = (1 << 64) - 1
+
+
+def parse_reg(name: str) -> int:
+    """Resolve an integer-register name (``x7``, ``a0``, ``sp``) to its index."""
+    if name in ABI_ALIASES:
+        return ABI_ALIASES[name]
+    if name.startswith("x"):
+        try:
+            index = int(name[1:])
+        except ValueError:
+            raise ValueError(f"bad register name {name!r}") from None
+        if 0 <= index < NUM_INT_REGS:
+            return index
+    raise ValueError(f"bad register name {name!r}")
+
+
+def parse_freg(name: str) -> int:
+    """Resolve a float-register name (``f0``..``f31``) to its index."""
+    if name.startswith("f"):
+        try:
+            index = int(name[1:])
+        except ValueError:
+            raise ValueError(f"bad float register name {name!r}") from None
+        if 0 <= index < NUM_FP_REGS:
+            return index
+    raise ValueError(f"bad float register name {name!r}")
+
+
+def to_signed64(value: int) -> int:
+    """Interpret the low 64 bits of ``value`` as a signed integer."""
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def to_unsigned64(value: int) -> int:
+    """Truncate ``value`` to its low 64 bits."""
+    return value & _MASK64
+
+
+class RegisterFile:
+    """Architectural register state for one hardware thread."""
+
+    __slots__ = ("ints", "floats", "pc")
+
+    def __init__(self) -> None:
+        self.ints = [0] * NUM_INT_REGS
+        self.floats = [0.0] * NUM_FP_REGS
+        self.pc = 0
+
+    def read_int(self, index: int) -> int:
+        return self.ints[index]
+
+    def write_int(self, index: int, value: int) -> None:
+        if index != 0:  # x0 is hard-wired to zero
+            self.ints[index] = to_unsigned64(value)
+
+    def read_fp(self, index: int) -> float:
+        return self.floats[index]
+
+    def write_fp(self, index: int, value: float) -> None:
+        self.floats[index] = float(value)
+
+    def copy(self) -> "RegisterFile":
+        dup = RegisterFile()
+        dup.ints = list(self.ints)
+        dup.floats = list(self.floats)
+        dup.pc = self.pc
+        return dup

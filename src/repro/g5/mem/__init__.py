@@ -1,0 +1,27 @@
+"""g5 memory system: packets, ports, caches, crossbars, memory controller."""
+
+from .cache import Cache, CacheParams
+from .dram import MemCtrl
+from .packet import MemCmd, Packet, ifetch_req, read_req, write_req, writeback
+from .physmem import PAGE_SIZE, PhysicalMemory
+from .port import Port, PortError, RequestPort, ResponsePort
+from .xbar import CoherentXBar
+
+__all__ = [
+    "Cache",
+    "CacheParams",
+    "CoherentXBar",
+    "MemCmd",
+    "MemCtrl",
+    "PAGE_SIZE",
+    "Packet",
+    "PhysicalMemory",
+    "Port",
+    "PortError",
+    "RequestPort",
+    "ResponsePort",
+    "ifetch_req",
+    "read_req",
+    "write_req",
+    "writeback",
+]

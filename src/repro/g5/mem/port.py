@@ -1,0 +1,112 @@
+"""Ports: the point-to-point connection fabric between memory objects.
+
+Mirrors gem5's master/slave (request/response) port pairs with the three
+access protocols:
+
+- **atomic** — caller blocks, callee returns total latency in ticks;
+- **timing** — requests and responses are separate events; and
+- **functional** — debug access with no timing side effects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from .packet import Packet
+
+
+class PortError(RuntimeError):
+    """Raised on unbound ports or protocol misuse."""
+
+
+class TimingTarget(Protocol):
+    """What a ResponsePort owner must implement."""
+
+    def recv_atomic(self, pkt: Packet) -> int: ...
+    def recv_timing_req(self, pkt: Packet) -> bool: ...
+    def recv_functional(self, pkt: Packet) -> None: ...
+
+
+class TimingSource(Protocol):
+    """What a RequestPort owner must implement."""
+
+    def recv_timing_resp(self, pkt: Packet) -> None: ...
+    def recv_req_retry(self) -> None: ...
+
+
+class Port:
+    """Common port plumbing: naming and peer binding."""
+
+    def __init__(self, name: str, owner) -> None:
+        self.name = name
+        self.owner = owner
+        self.peer: Optional[Port] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.peer is not None
+
+    def bind(self, peer: "Port") -> None:
+        if self.peer is not None or peer.peer is not None:
+            raise PortError(
+                f"port {self.full_name} or {peer.full_name} already bound")
+        self.peer = peer
+        peer.peer = self
+
+    @property
+    def full_name(self) -> str:
+        owner_path = getattr(self.owner, "path", repr(self.owner))
+        return f"{owner_path}.{self.name}"
+
+    def _require_peer(self) -> "Port":
+        if self.peer is None:
+            raise PortError(f"port {self.full_name} is not connected")
+        return self.peer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        peer = self.peer.full_name if self.peer else "<unbound>"
+        return f"<{type(self).__name__} {self.full_name} -> {peer}>"
+
+
+class RequestPort(Port):
+    """Initiates transactions (CPU side of a cache, cache's memory side)."""
+
+    def send_atomic(self, pkt: Packet) -> int:
+        """Perform an atomic access; returns latency in ticks."""
+        peer = self._require_peer()
+        assert isinstance(peer, ResponsePort)
+        return peer.owner.recv_atomic(pkt)
+
+    def send_timing_req(self, pkt: Packet) -> bool:
+        """Send a timing request; False means the target is busy (retry)."""
+        peer = self._require_peer()
+        assert isinstance(peer, ResponsePort)
+        return peer.owner.recv_timing_req(pkt)
+
+    def send_functional(self, pkt: Packet) -> None:
+        peer = self._require_peer()
+        assert isinstance(peer, ResponsePort)
+        peer.owner.recv_functional(pkt)
+
+    # Called by the peer ResponsePort:
+    def recv_timing_resp(self, pkt: Packet) -> None:
+        self.owner.recv_timing_resp(pkt)
+
+    def recv_req_retry(self) -> None:
+        self.owner.recv_req_retry()
+
+
+class ResponsePort(Port):
+    """Receives transactions (memory side of a CPU, CPU side of a cache)."""
+
+    def send_timing_resp(self, pkt: Packet) -> None:
+        """Deliver a response back to the requesting port."""
+        peer = self._require_peer()
+        assert isinstance(peer, RequestPort)
+        peer.recv_timing_resp(pkt)
+
+    def send_retry(self) -> None:
+        """Tell the requester a previously-rejected request may retry."""
+        peer = self._require_peer()
+        assert isinstance(peer, RequestPort)
+        peer.recv_req_retry()

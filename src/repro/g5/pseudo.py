@@ -1,0 +1,72 @@
+"""m5-style pseudo-ops: guest hooks into the simulator.
+
+gem5 guests use "m5 ops" (magic instructions) to talk to the simulator:
+reset the statistics at the region of interest, dump them, mark work
+boundaries, or exit.  SimRISC reserves the ``m5op`` opcode for the same
+purpose; its 16-bit immediate selects the operation.
+
+ROI (region-of-interest) markers also annotate the host-level execution
+trace, so host profiling can be restricted to the measured region —
+the methodology the paper's per-workload numbers rely on (counters are
+read around the simulation loop, not around process startup).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .stats import dump_stats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import System
+
+from .isa.pseudo_numbers import (  # noqa: F401  (re-exported)
+    M5_DUMP_STATS,
+    M5_EXIT,
+    M5_RESET_STATS,
+    M5_WORK_BEGIN,
+    M5_WORK_END,
+)
+
+
+class PseudoOpError(RuntimeError):
+    """Raised on an unknown pseudo-op number."""
+
+
+class PseudoOpHandler:
+    """Services m5 ops for one system."""
+
+    def __init__(self, system: "System") -> None:
+        self.system = system
+        self.stat_dumps: list[dict[str, float]] = []
+        self.work_begin_count = 0
+        self.work_end_count = 0
+
+    def handle(self, op: int) -> None:
+        """Dispatch one m5 pseudo-op by its immediate number."""
+        system = self.system
+        if op == M5_EXIT:
+            system.cpu.halt("m5_exit instruction encountered")
+        elif op == M5_RESET_STATS:
+            self._reset_stats()
+        elif op == M5_DUMP_STATS:
+            self.stat_dumps.append(dump_stats(system))
+        elif op == M5_WORK_BEGIN:
+            self.work_begin_count += 1
+            self._reset_stats()
+            system.recorder.mark_roi_begin()
+        elif op == M5_WORK_END:
+            self.work_end_count += 1
+            self.stat_dumps.append(dump_stats(system))
+            system.recorder.mark_roi_end()
+        else:
+            raise PseudoOpError(f"unknown m5 pseudo-op {op:#x}")
+
+    def _reset_stats(self) -> None:
+        for obj in [self.system, *self.system.descendants()]:
+            if obj._stats is not None:
+                obj._stats.reset()
+
+    @property
+    def in_roi(self) -> bool:
+        return self.work_begin_count > self.work_end_count

@@ -1,0 +1,25 @@
+"""SE (system-call emulation) mode: processes and syscall servicing."""
+
+from .process import Process
+from .syscalls import (
+    SYS_BRK,
+    SYS_CLOCK_GETTIME,
+    SYS_EXIT,
+    SYS_EXIT_GROUP,
+    SYS_GETRANDOM,
+    SYS_WRITE,
+    DeterministicRandom,
+    SyscallError,
+)
+
+__all__ = [
+    "DeterministicRandom",
+    "Process",
+    "SYS_BRK",
+    "SYS_CLOCK_GETTIME",
+    "SYS_EXIT",
+    "SYS_EXIT_GROUP",
+    "SYS_GETRANDOM",
+    "SYS_WRITE",
+    "SyscallError",
+]

@@ -1,0 +1,114 @@
+"""SE-mode guest processes.
+
+A :class:`Process` owns one assembled guest program plus its memory
+layout (text, heap, stack) and services its syscalls, mirroring gem5's
+``Process``/``SEWorkload`` pair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..isa import Program
+from .syscalls import (
+    STDERR_FD,
+    STDOUT_FD,
+    SYS_BRK,
+    SYS_CLOCK_GETTIME,
+    SYS_EXIT,
+    SYS_EXIT_GROUP,
+    SYS_GETRANDOM,
+    SYS_WRITE,
+    DeterministicRandom,
+    SyscallError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cpus.base import BaseCPU
+    from ..mem.physmem import PhysicalMemory
+
+
+class Process:
+    """One guest program plus its address-space layout."""
+
+    def __init__(self, name: str, program: Program, mem_size: int,
+                 stack_size: int = 64 * 1024) -> None:
+        self.name = name
+        self.program = program
+        self.mem_size = mem_size
+        self.entry = program.entry
+        self.stack_top = mem_size - 16
+        self.stack_limit = mem_size - stack_size
+        self.brk = (program.end + 0xFFF) & ~0xFFF  # page-aligned heap start
+        if self.brk >= self.stack_limit:
+            raise ValueError(
+                f"program {name!r} does not fit below the stack: "
+                f"text ends at {program.end:#x}, stack starts at "
+                f"{self.stack_limit:#x}")
+        self.exit_code: Optional[int] = None
+        self.console = bytearray()
+        self._random = DeterministicRandom()
+        self.syscall_counts: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load(self, memory: "PhysicalMemory") -> None:
+        """Write the program image into guest memory (the loader)."""
+        addr = self.program.base
+        for word in self.program.words:
+            memory.write(addr, 4, word)
+            addr += 4
+
+    # ------------------------------------------------------------------
+    # syscall dispatch
+    # ------------------------------------------------------------------
+    def handle_syscall(self, cpu: "BaseCPU") -> None:
+        """Service the ecall the CPU just executed."""
+        num = cpu.read_int(17)  # a7
+        self.syscall_counts[num] = self.syscall_counts.get(num, 0) + 1
+        if num in (SYS_EXIT, SYS_EXIT_GROUP):
+            self.exit_code = cpu.read_int(10)  # a0
+            cpu.halt("target called exit()")
+        elif num == SYS_WRITE:
+            cpu.write_int(10, self._sys_write(cpu))
+        elif num == SYS_BRK:
+            cpu.write_int(10, self._sys_brk(cpu.read_int(10)))
+        elif num == SYS_CLOCK_GETTIME:
+            cpu.write_int(10, 0)
+            cpu.write_int(11, cpu.now)  # ticks, in lieu of a timespec
+        elif num == SYS_GETRANDOM:
+            cpu.write_int(10, self._sys_getrandom(cpu))
+        else:
+            raise SyscallError(
+                f"process {self.name!r}: unimplemented syscall {num}")
+
+    def _sys_write(self, cpu: "BaseCPU") -> int:
+        fd = cpu.read_int(10)
+        buf = cpu.read_int(11)
+        count = cpu.read_int(12)
+        if fd not in (STDOUT_FD, STDERR_FD):
+            return -9  # -EBADF
+        for offset in range(count):
+            self.console.append(cpu.read_mem(buf + offset, 1))
+        return count
+
+    def _sys_brk(self, requested: int) -> int:
+        if requested == 0:
+            return self.brk
+        if requested >= self.stack_limit:
+            return self.brk  # refuse: collide with stack
+        if requested > self.brk:
+            self.brk = requested
+        return self.brk
+
+    def _sys_getrandom(self, cpu: "BaseCPU") -> int:
+        buf = cpu.read_int(10)
+        count = cpu.read_int(11)
+        for offset, byte in enumerate(self._random.fill(count)):
+            cpu.write_mem(buf + offset, 1, byte)
+        return count
+
+    @property
+    def console_text(self) -> str:
+        return self.console.decode("utf-8", errors="replace")

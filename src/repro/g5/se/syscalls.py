@@ -1,0 +1,43 @@
+"""Syscall numbers and emulation helpers for SE mode.
+
+SE (system-call emulation) mode services guest syscalls directly on the
+"host" — here, in Python — exactly like gem5's SE mode bypasses the
+simulated OS.  Numbers follow the RISC-V Linux convention so workloads
+read naturally.
+"""
+
+from __future__ import annotations
+
+# RISC-V Linux syscall numbers (subset).
+SYS_EXIT = 93
+SYS_EXIT_GROUP = 94
+SYS_WRITE = 64
+SYS_BRK = 214
+SYS_CLOCK_GETTIME = 113
+SYS_GETRANDOM = 278
+
+#: Console file descriptors accepted by SYS_WRITE.
+STDOUT_FD = 1
+STDERR_FD = 2
+
+
+class SyscallError(RuntimeError):
+    """Raised for unknown or malformed guest syscalls."""
+
+
+class DeterministicRandom:
+    """A tiny LCG so SYS_GETRANDOM is reproducible across runs."""
+
+    MULTIPLIER = 6364136223846793005
+    INCREMENT = 1442695040888963407
+    MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15) -> None:
+        self.state = seed & self.MASK
+
+    def next_byte(self) -> int:
+        self.state = (self.state * self.MULTIPLIER + self.INCREMENT) & self.MASK
+        return (self.state >> 33) & 0xFF
+
+    def fill(self, count: int) -> bytes:
+        return bytes(self.next_byte() for _ in range(count))

@@ -1,0 +1,187 @@
+"""Checkpointing: save and restore simulated-machine state.
+
+The paper's methodology depends on checkpoints — the M1 machines cannot
+*take* readable checkpoints, so they restore from checkpoints taken on
+the Xeon (paper §III).  We reproduce gem5's checkpoint workflow for SE
+mode: architectural state (registers, PC), the touched guest memory
+pages, and the process's kernel-visible state (brk, console, syscall
+counts) serialize to a JSON document; restoring rebuilds that state in
+a *fresh* system — which may use a different CPU model, the classic
+"fast-forward with Atomic, measure with O3" flow.
+
+Checkpoints are taken at instruction boundaries (run with ``max_ticks``
+to pause); the pipelined models drain before halting, so any paused
+Atomic/Timing system and any *completed* system is checkpointable.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .isa.registers import NUM_FP_REGS, NUM_INT_REGS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import System
+
+#: Format version stamped into every checkpoint.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised for unusable or incompatible checkpoints."""
+
+
+@dataclass
+class Checkpoint:
+    """One serialized machine state."""
+
+    version: int
+    tick: int
+    committed_insts: int
+    pc: int
+    int_regs: list[int]
+    fp_regs: list[float]
+    pages: dict[int, bytes]            # page number -> raw page bytes
+    mem_size: int
+    process_name: str
+    brk: int
+    console: bytes
+    syscall_counts: dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({
+            "version": self.version,
+            "tick": self.tick,
+            "committed_insts": self.committed_insts,
+            "pc": self.pc,
+            "int_regs": self.int_regs,
+            "fp_regs": self.fp_regs,
+            "pages": {str(num): base64.b64encode(raw).decode("ascii")
+                      for num, raw in self.pages.items()},
+            "mem_size": self.mem_size,
+            "process_name": self.process_name,
+            "brk": self.brk,
+            "console": base64.b64encode(self.console).decode("ascii"),
+            "syscall_counts": {str(k): v
+                               for k, v in self.syscall_counts.items()},
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "Checkpoint":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {data.get('version')} not supported "
+                f"(expected {CHECKPOINT_VERSION})")
+        return cls(
+            version=data["version"],
+            tick=data["tick"],
+            committed_insts=data["committed_insts"],
+            pc=data["pc"],
+            int_regs=list(data["int_regs"]),
+            fp_regs=list(data["fp_regs"]),
+            pages={int(num): base64.b64decode(raw)
+                   for num, raw in data["pages"].items()},
+            mem_size=data["mem_size"],
+            process_name=data["process_name"],
+            brk=data["brk"],
+            console=base64.b64decode(data["console"]),
+            syscall_counts={int(k): v
+                            for k, v in data["syscall_counts"].items()},
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "Checkpoint":
+        with open(path, encoding="ascii") as handle:
+            return cls.from_json(handle.read())
+
+    @property
+    def touched_bytes(self) -> int:
+        return sum(len(raw) for raw in self.pages.values())
+
+
+def take_checkpoint(system: "System") -> Checkpoint:
+    """Capture the current state of an SE-mode system."""
+    if system.process is None:
+        raise CheckpointError(
+            "checkpointing requires an SE-mode system with a bound process")
+    cpu = system.cpu
+    if cpu._halt_pending or (not cpu.halted and _pipeline_in_flight(cpu)):
+        raise CheckpointError(
+            "cannot checkpoint a CPU with instructions in flight; pause an "
+            "Atomic/Timing run at a tick boundary or let the run complete")
+    memory = system.memctrl.memory
+    pages = {num: bytes(page) for num, page in memory._pages.items()}
+    process = system.process
+    return Checkpoint(
+        version=CHECKPOINT_VERSION,
+        tick=system.eventq.now,
+        committed_insts=int(cpu.stat_committed.value()),
+        pc=cpu.regs.pc,
+        int_regs=list(cpu.regs.ints),
+        fp_regs=list(cpu.regs.floats),
+        pages=pages,
+        mem_size=memory.size,
+        process_name=process.name,
+        brk=process.brk,
+        console=bytes(process.console),
+        syscall_counts=dict(process.syscall_counts),
+    )
+
+
+def restore_checkpoint(system: "System", checkpoint: Checkpoint) -> None:
+    """Load ``checkpoint`` into a freshly built SE-mode system.
+
+    The system must already have its process bound (the loader sets up
+    the text segment and stack); the checkpoint then overwrites all
+    architectural and memory state.  The CPU model may differ from the
+    one that took the checkpoint.
+    """
+    if system.process is None:
+        raise CheckpointError(
+            "restore requires an SE-mode system with a bound process")
+    if system.config.mem_size != checkpoint.mem_size:
+        raise CheckpointError(
+            f"memory size mismatch: checkpoint has "
+            f"{checkpoint.mem_size:#x}, system has "
+            f"{system.config.mem_size:#x}")
+    if len(checkpoint.int_regs) != NUM_INT_REGS \
+            or len(checkpoint.fp_regs) != NUM_FP_REGS:
+        raise CheckpointError("register file shape mismatch")
+    memory = system.memctrl.memory
+    for page_num, raw in checkpoint.pages.items():
+        memory.write_block(page_num << 12, raw)
+    cpu = system.cpu
+    cpu.regs.ints = list(checkpoint.int_regs)
+    cpu.regs.floats = list(checkpoint.fp_regs)
+    cpu.regs.pc = checkpoint.pc
+    process = system.process
+    process.brk = checkpoint.brk
+    process.console = bytearray(checkpoint.console)
+    process.syscall_counts = dict(checkpoint.syscall_counts)
+
+
+def _pipeline_in_flight(cpu) -> bool:
+    """True when a CPU model holds uncommitted work."""
+    if getattr(cpu, "_waiting_inst", None) is not None:  # TimingSimple
+        return True
+    for attr in ("_fetch_q", "_exec_q", "_inflight_loads"):
+        if getattr(cpu, attr, None):
+            return True
+    rob = getattr(cpu, "rob", None)
+    if rob is not None and len(rob):
+        return True
+    return False

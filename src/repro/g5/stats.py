@@ -1,0 +1,221 @@
+"""gem5-style statistics framework.
+
+Models register :class:`Scalar`, :class:`Formula`, :class:`Distribution`
+and :class:`VectorStat` statistics in per-SimObject groups; a run ends by
+dumping all groups into a flat ``stats.txt``-like mapping, which the
+experiment harness consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Union
+
+Number = Union[int, float]
+
+
+class Stat:
+    """Base class for all statistics."""
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        if not name:
+            raise ValueError("statistic requires a non-empty name")
+        self.name = name
+        self.desc = desc
+
+    def value(self) -> Number:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class Scalar(Stat):
+    """A simple counter or gauge."""
+
+    def __init__(self, name: str, desc: str = "", init: Number = 0) -> None:
+        super().__init__(name, desc)
+        self._init = init
+        self._value: Number = init
+
+    def __iadd__(self, amount: Number) -> "Scalar":
+        self._value += amount
+        return self
+
+    def inc(self, amount: Number = 1) -> None:
+        self._value += amount
+
+    def set(self, value: Number) -> None:
+        self._value = value
+
+    def value(self) -> Number:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = self._init
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Scalar {self.name}={self._value}>"
+
+
+class Formula(Stat):
+    """A derived statistic computed lazily from other stats."""
+
+    def __init__(self, name: str, fn: Callable[[], Number], desc: str = "") -> None:
+        super().__init__(name, desc)
+        self._fn = fn
+
+    def value(self) -> Number:
+        try:
+            return self._fn()
+        except ZeroDivisionError:
+            return 0.0
+
+    def reset(self) -> None:
+        pass
+
+
+class VectorStat(Stat):
+    """A fixed set of named sub-counters (gem5's Vector)."""
+
+    def __init__(self, name: str, labels: list[str], desc: str = "") -> None:
+        super().__init__(name, desc)
+        if not labels:
+            raise ValueError(f"vector stat {name!r} needs at least one label")
+        self.labels = list(labels)
+        self._values: dict[str, Number] = {label: 0 for label in labels}
+
+    def inc(self, label: str, amount: Number = 1) -> None:
+        if label not in self._values:
+            raise KeyError(f"{self.name} has no bucket {label!r}")
+        self._values[label] += amount
+
+    def __getitem__(self, label: str) -> Number:
+        return self._values[label]
+
+    def value(self) -> Number:
+        return sum(self._values.values())
+
+    def items(self) -> Iterator[tuple[str, Number]]:
+        return iter(self._values.items())
+
+    def reset(self) -> None:
+        for label in self._values:
+            self._values[label] = 0
+
+
+class Distribution(Stat):
+    """A bucketed histogram with running mean/min/max."""
+
+    def __init__(self, name: str, lo: Number, hi: Number, n_buckets: int = 16,
+                 desc: str = "") -> None:
+        super().__init__(name, desc)
+        if hi <= lo:
+            raise ValueError(f"distribution {name!r}: hi must exceed lo")
+        if n_buckets <= 0:
+            raise ValueError(f"distribution {name!r}: need >=1 bucket")
+        self.lo = lo
+        self.hi = hi
+        self.n_buckets = n_buckets
+        self.buckets = [0] * n_buckets
+        self.underflow = 0
+        self.overflow = 0
+        self.samples = 0
+        self.total: Number = 0
+        self.min_value: Optional[Number] = None
+        self.max_value: Optional[Number] = None
+
+    def sample(self, value: Number, count: int = 1) -> None:
+        self.samples += count
+        self.total += value * count
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        if value < self.lo:
+            self.underflow += count
+        elif value >= self.hi:
+            self.overflow += count
+        else:
+            width = (self.hi - self.lo) / self.n_buckets
+            index = int((value - self.lo) / width)
+            self.buckets[min(index, self.n_buckets - 1)] += count
+
+    @property
+    def mean(self) -> float:
+        if self.samples == 0:
+            return 0.0
+        return self.total / self.samples
+
+    def value(self) -> Number:
+        return self.mean
+
+    def reset(self) -> None:
+        self.buckets = [0] * self.n_buckets
+        self.underflow = self.overflow = 0
+        self.samples = 0
+        self.total = 0
+        self.min_value = self.max_value = None
+
+
+@dataclass
+class StatGroup:
+    """All statistics belonging to one SimObject."""
+
+    owner_path: str
+    _stats: dict[str, Stat] = field(default_factory=dict)
+
+    def _add(self, stat: Stat) -> Stat:
+        if stat.name in self._stats:
+            raise ValueError(
+                f"{self.owner_path} already has a stat named {stat.name!r}")
+        self._stats[stat.name] = stat
+        return stat
+
+    def scalar(self, name: str, desc: str = "") -> Scalar:
+        return self._add(Scalar(name, desc))  # type: ignore[return-value]
+
+    def formula(self, name: str, fn: Callable[[], Number],
+                desc: str = "") -> Formula:
+        return self._add(Formula(name, fn, desc))  # type: ignore[return-value]
+
+    def vector(self, name: str, labels: list[str], desc: str = "") -> VectorStat:
+        return self._add(VectorStat(name, labels, desc))  # type: ignore[return-value]
+
+    def distribution(self, name: str, lo: Number, hi: Number,
+                     n_buckets: int = 16, desc: str = "") -> Distribution:
+        return self._add(
+            Distribution(name, lo, hi, n_buckets, desc))  # type: ignore[return-value]
+
+    def __getitem__(self, name: str) -> Stat:
+        return self._stats[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def __iter__(self) -> Iterator[Stat]:
+        return iter(self._stats.values())
+
+    def reset(self) -> None:
+        for stat in self._stats.values():
+            stat.reset()
+
+
+def dump_stats(root) -> dict[str, Number]:
+    """Flatten every stat below ``root`` into a ``path.stat -> value`` map.
+
+    Vector stats expand one entry per bucket (``path.stat::label``),
+    mirroring gem5's stats.txt format.
+    """
+    flat: dict[str, Number] = {}
+    for obj in [root, *root.descendants()]:
+        group = obj._stats
+        if group is None:
+            continue
+        for stat in group:
+            key = f"{obj.path}.{stat.name}"
+            flat[key] = stat.value()
+            if isinstance(stat, VectorStat):
+                for label, value in stat.items():
+                    flat[f"{key}::{label}"] = value
+    return flat

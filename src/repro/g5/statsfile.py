@@ -1,0 +1,92 @@
+"""gem5-style ``stats.txt`` output.
+
+gem5 ends every run by dumping its statistics to ``m5out/stats.txt`` in
+a fixed text format (``name  value  # description``) that a large
+ecosystem of scripts parses.  This module writes and parses that format
+for g5 runs, so downstream tooling built for gem5 output works on ours.
+"""
+
+from __future__ import annotations
+
+from typing import TextIO, Union
+
+from .stats import Distribution, VectorStat
+
+Number = Union[int, float]
+
+BEGIN_MARKER = "---------- Begin Simulation Statistics ----------"
+END_MARKER = "---------- End Simulation Statistics   ----------"
+
+
+def _format_value(value: Number) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6f}"
+
+
+def write_stats(root, stream: TextIO) -> None:
+    """Dump every statistic below ``root`` in gem5's stats.txt format."""
+    stream.write(BEGIN_MARKER + "\n")
+    for obj in [root, *root.descendants()]:
+        group = obj._stats
+        if group is None:
+            continue
+        for stat in group:
+            name = f"{obj.path}.{stat.name}"
+            desc = stat.desc or "(no description)"
+            if isinstance(stat, VectorStat):
+                for label, value in stat.items():
+                    stream.write(f"{name}::{label:<24} "
+                                 f"{_format_value(value):>14} # {desc}\n")
+                stream.write(f"{name}::total{'':<19} "
+                             f"{_format_value(stat.value()):>14} # {desc}\n")
+            elif isinstance(stat, Distribution):
+                stream.write(f"{name}::samples{'':<17} "
+                             f"{_format_value(stat.samples):>14} # {desc}\n")
+                stream.write(f"{name}::mean{'':<20} "
+                             f"{_format_value(stat.mean):>14} # {desc}\n")
+            else:
+                stream.write(f"{name:<48} "
+                             f"{_format_value(stat.value()):>14} # {desc}\n")
+    stream.write(END_MARKER + "\n")
+
+
+def save_stats(root, path) -> None:
+    """Write stats.txt to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        write_stats(root, handle)
+
+
+def parse_stats(text: str) -> dict[str, float]:
+    """Parse a stats.txt body back into a flat name->value mapping.
+
+    Tolerates gem5's real format quirks: comment-only lines, the
+    begin/end markers, and blank lines.
+    """
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("-"):
+            continue
+        body = line.split("#", 1)[0].strip()
+        if not body:
+            continue
+        parts = body.split()
+        if len(parts) < 2:
+            continue
+        name, raw = parts[0], parts[1]
+        try:
+            values[name] = float(raw)
+        except ValueError:
+            continue
+    return values
+
+
+def load_stats(path) -> dict[str, float]:
+    """Read and parse a stats.txt file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_stats(handle.read())

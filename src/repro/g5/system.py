@@ -1,0 +1,184 @@
+"""System assembly: wiring CPUs, caches, interconnect, memory, devices.
+
+This module plays the role of gem5's ``configs/`` scripts: a
+:class:`SimConfig` describes the simulated machine, :func:`build_system`
+instantiates and wires it, and :func:`simulate` runs it to completion and
+returns a :class:`SimResult` with gem5-style statistics plus the recorded
+host execution trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..events import ClockDomain, EventQueue, Root, ticks_to_seconds
+from ..host.trace import ExecutionRecorder, NullRecorder
+from .cpus import CPU_MODELS, BaseCPU
+from .fs import MiniKernel, PowerController, Rtc, Uart
+from .isa import Program
+from .mem import Cache, CacheParams, CoherentXBar, MemCtrl
+from .pseudo import PseudoOpHandler
+from .se import Process
+from .stats import dump_stats
+
+#: Default simulated-system memory size (deliberately small, like the
+#: paper's observation that simulated memory is rarely fully touched).
+DEFAULT_MEM_SIZE = 32 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Configuration of the simulated (guest) machine."""
+
+    cpu_model: str = "atomic"
+    mode: str = "se"                      # "se" or "fs"
+    cpu_clock_ghz: float = 3.0
+    mem_size: int = DEFAULT_MEM_SIZE
+    l1i: CacheParams = field(default_factory=lambda: CacheParams(
+        size=32 * 1024, assoc=2, tag_latency=1, data_latency=1))
+    l1d: CacheParams = field(default_factory=lambda: CacheParams(
+        size=64 * 1024, assoc=2, tag_latency=1, data_latency=1))
+    l2: CacheParams = field(default_factory=lambda: CacheParams(
+        size=1024 * 1024, assoc=8, tag_latency=4, data_latency=8))
+    record: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cpu_model not in CPU_MODELS:
+            raise ValueError(
+                f"unknown CPU model {self.cpu_model!r}; choose from "
+                f"{sorted(CPU_MODELS)}")
+        if self.mode not in ("se", "fs"):
+            raise ValueError(f"mode must be 'se' or 'fs', got {self.mode!r}")
+
+    def with_cpu(self, cpu_model: str) -> "SimConfig":
+        return replace(self, cpu_model=cpu_model)
+
+    def with_mode(self, mode: str) -> "SimConfig":
+        return replace(self, mode=mode)
+
+
+class System(Root):
+    """The simulated machine: CPU + caches + interconnect + memory."""
+
+    def __init__(self, config: SimConfig,
+                 recorder: Optional[ExecutionRecorder] = None) -> None:
+        if recorder is None:
+            recorder = (ExecutionRecorder() if config.record
+                        else NullRecorder())
+        super().__init__(
+            name="system",
+            eventq=EventQueue(),
+            clock=ClockDomain(config.cpu_clock_ghz * 1e9),
+            recorder=recorder,
+        )
+        self.config = config
+        self.memctrl = MemCtrl("mem_ctrl", self, size=config.mem_size)
+        cpu_cls = CPU_MODELS[config.cpu_model]
+        self.cpu: BaseCPU = cpu_cls("cpu", self)
+        self.icache = Cache("icache", self, config.l1i)
+        self.dcache = Cache("dcache", self, config.l1d)
+        self.l2bus = CoherentXBar("l2bus", self)
+        self.l2cache = Cache("l2", self, config.l2)
+        self._wire()
+        self.pseudo_ops = PseudoOpHandler(self)
+        self.devices: list = []
+        self.kernel: Optional[MiniKernel] = None
+        self.process: Optional[Process] = None
+        if config.mode == "fs":
+            self._add_fs_devices()
+        self.reg_all_stats()
+
+    def _wire(self) -> None:
+        self.cpu.icache_port.bind(self.icache.cpu_side)
+        self.cpu.dcache_port.bind(self.dcache.cpu_side)
+        self.icache.mem_side.bind(self.l2bus.new_cpu_side_port())
+        self.dcache.mem_side.bind(self.l2bus.new_cpu_side_port())
+        self.l2bus.mem_side.bind(self.l2cache.cpu_side)
+        self.l2cache.mem_side.bind(self.memctrl.port)
+
+    def _add_fs_devices(self) -> None:
+        uart = Uart("uart", self)
+        rtc = Rtc("rtc", self)
+        power = PowerController("power", self)
+        self.devices = [uart, rtc, power]
+        self.kernel = MiniKernel(uart, power)
+
+    # ------------------------------------------------------------------
+    # workload binding
+    # ------------------------------------------------------------------
+    def set_se_workload(self, program: Program,
+                        process_name: str = "guest") -> Process:
+        """Bind an SE-mode process built from ``program``."""
+        if self.config.mode != "se":
+            raise ValueError("set_se_workload requires an SE-mode system")
+        process = Process(process_name, program, self.config.mem_size)
+        process.load(self.memctrl.memory)
+        self.process = process
+        self.cpu.bind(self, process)
+        return process
+
+    def set_fs_workload(self, program: Program) -> None:
+        """Load an FS-mode kernel image and point the CPU at its entry."""
+        if self.config.mode != "fs":
+            raise ValueError("set_fs_workload requires an FS-mode system")
+        addr = program.base
+        for word in program.words:
+            self.memctrl.memory.write(addr, 4, word)
+            addr += 4
+        self.cpu.bind(self, None)
+        self.cpu.regs.pc = program.entry
+        self.cpu.regs.write_int(2, self.config.mem_size - 16)  # sp
+
+    def device_at(self, addr: int):
+        """Device mapped at guest address ``addr``, or None."""
+        for device in self.devices:
+            if device.contains(addr):
+                return device
+        return None
+
+
+@dataclass
+class SimResult:
+    """Outcome of one g5 simulation."""
+
+    exit_cause: str
+    sim_ticks: int
+    sim_insts: int
+    sim_cycles: int
+    stats: dict[str, float]
+    recorder: ExecutionRecorder
+    console: str = ""
+    exit_code: int = 0
+
+    @property
+    def sim_seconds(self) -> float:
+        return ticks_to_seconds(self.sim_ticks)
+
+    @property
+    def ipc(self) -> float:
+        return self.sim_insts / max(1, self.sim_cycles)
+
+
+def simulate(system: System, max_ticks: Optional[int] = None) -> SimResult:
+    """Run the system to completion (gem5's ``m5.simulate``)."""
+    system.cpu.activate()
+    exit_event = system.eventq.run(max_tick=max_ticks)
+    stats = dump_stats(system)
+    console = ""
+    exit_code = 0
+    if system.process is not None:
+        console = system.process.console_text
+        exit_code = system.process.exit_code or 0
+    elif system.kernel is not None:
+        console = system.kernel.console_text
+    return SimResult(
+        exit_cause=exit_event.cause,
+        sim_ticks=system.eventq.now,
+        sim_insts=int(system.cpu.stat_committed.value()),
+        sim_cycles=int(system.cpu.stat_cycles.value()),
+        stats=stats,
+        recorder=system.recorder,
+        console=console,
+        exit_code=exit_code,
+    )

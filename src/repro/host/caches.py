@@ -1,0 +1,159 @@
+"""Host cache hierarchy: fast set-associative LRU models.
+
+These run inside the replay hot loop, so they are written for speed:
+plain lists of tags per set, move-to-front LRU, integer arithmetic only.
+The hierarchy routes an access through L1 (I or D side) → L2 → LLC →
+DRAM and returns the total penalty in cycles beyond the L1 hit latency.
+"""
+
+from __future__ import annotations
+
+from .platform import CacheGeometry, HostPlatform
+
+
+class HostCache:
+    """One set-associative LRU cache level."""
+
+    __slots__ = ("name", "geometry", "n_sets", "line_shift", "sets",
+                 "hits", "misses", "evictions")
+
+    def __init__(self, name: str, geometry: CacheGeometry) -> None:
+        self.name = name
+        self.geometry = geometry
+        self.n_sets = geometry.n_sets
+        self.line_shift = geometry.line_size.bit_length() - 1
+        self.sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, addr: int) -> bool:
+        """Access the line containing ``addr``; returns True on hit."""
+        line = addr >> self.line_shift
+        cache_set = self.sets[line % self.n_sets]
+        if line in cache_set:
+            self.hits += 1
+            if cache_set[0] != line:
+                cache_set.remove(line)
+                cache_set.insert(0, line)
+            return True
+        self.misses += 1
+        cache_set.insert(0, line)
+        if len(cache_set) > self.geometry.assoc:
+            cache_set.pop()
+            self.evictions += 1
+        return False
+
+    def access_line(self, line: int) -> bool:
+        """Like :meth:`access` but the caller pre-computed the line index."""
+        cache_set = self.sets[line % self.n_sets]
+        if line in cache_set:
+            self.hits += 1
+            if cache_set[0] != line:
+                cache_set.remove(line)
+                cache_set.insert(0, line)
+            return True
+        self.misses += 1
+        cache_set.insert(0, line)
+        if len(cache_set) > self.geometry.assoc:
+            cache_set.pop()
+            self.evictions += 1
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / max(1, self.accesses)
+
+    def resident_lines(self) -> int:
+        return sum(len(cache_set) for cache_set in self.sets)
+
+    def resident_bytes(self) -> int:
+        return self.resident_lines() * self.geometry.line_size
+
+    def evict_fraction(self, fraction: float, stride: int = 3) -> int:
+        """Invalidate roughly ``fraction`` of resident lines.
+
+        Used by the co-run contention model: other processes' working
+        sets push this process's lines out between scheduling quanta.
+        Returns the number of lines dropped.  Deterministic: walks sets
+        with a fixed stride.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        to_drop = int(self.resident_lines() * fraction)
+        dropped = 0
+        index = 0
+        consecutive_empty = 0
+        # Odd stride + power-of-two set count visits every set.
+        while dropped < to_drop and consecutive_empty < self.n_sets:
+            cache_set = self.sets[index % self.n_sets]
+            if cache_set:
+                cache_set.pop()
+                dropped += 1
+                consecutive_empty = 0
+            else:
+                consecutive_empty += 1
+            index += stride
+        return dropped
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+
+class HostHierarchy:
+    """L1I + L1D + unified L2 + LLC, with DRAM traffic accounting."""
+
+    __slots__ = ("platform", "l1i", "l1d", "l2", "llc",
+                 "dram_reads", "dram_bytes", "l1i_miss_penalty_total",
+                 "l1d_miss_penalty_total")
+
+    def __init__(self, platform: HostPlatform) -> None:
+        self.platform = platform
+        self.l1i = HostCache("L1I", platform.l1i)
+        self.l1d = HostCache("L1D", platform.l1d)
+        self.l2 = HostCache("L2", platform.l2)
+        self.llc = HostCache("LLC", platform.llc)
+        self.dram_reads = 0
+        self.dram_bytes = 0
+        self.l1i_miss_penalty_total = 0
+        self.l1d_miss_penalty_total = 0
+
+    def fetch_line(self, line: int) -> int:
+        """Instruction-side access; returns penalty cycles beyond L1 hit."""
+        if self.l1i.access_line(line):
+            return 0
+        platform = self.platform
+        addr = line << self.l1i.line_shift
+        if self.l2.access(addr):
+            penalty = platform.l2_latency
+        elif self.llc.access(addr):
+            penalty = platform.llc_latency
+        else:
+            penalty = platform.dram_latency_cycles
+            self.dram_reads += 1
+            self.dram_bytes += platform.llc.line_size
+        self.l1i_miss_penalty_total += penalty
+        return penalty
+
+    def data_access(self, addr: int) -> int:
+        """Data-side access; returns penalty cycles beyond L1 hit."""
+        if self.l1d.access(addr):
+            return 0
+        platform = self.platform
+        if self.l2.access(addr):
+            penalty = platform.l2_latency
+        elif self.llc.access(addr):
+            penalty = platform.llc_latency
+        else:
+            penalty = platform.dram_latency_cycles
+            self.dram_reads += 1
+            self.dram_bytes += platform.llc.line_size
+        self.l1d_miss_penalty_total += penalty
+        return penalty
+
+    def llc_occupancy_bytes(self) -> int:
+        return self.llc.resident_bytes()

@@ -1,0 +1,877 @@
+"""The host CPU model: replays a g5 execution trace on a platform.
+
+This is the reproduction's analogue of running gem5 on a Xeon/M1/Rocket
+and watching the PMU: the recorded stream of logical simulator-function
+invocations expands through the synthetic binary image into host
+function executions, each of which exercises the platform's iTLB/iCache
+(fetch), DSB/MITE (µop supply), branch predictor/BTB (control flow) and
+dTLB/dCache hierarchy (data).  Structure misses convert to stall cycles
+through a small set of exposure factors (out-of-order machines hide part
+of every penalty), and the Top-Down accountant attributes every pipeline
+slot.  Everything is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from dataclasses import replace as _dc_replace
+
+from ..core.topdown import TopDownBreakdown, TopDownCounters
+from .binary import BinaryImage, SimFunction
+from .branch import HostBranchUnit
+from .caches import HostHierarchy
+from .corun import Contention, no_contention
+from .frontend import DSB
+from .hugepages import CodeBacking, HugePagePolicy, resolve_backing
+from .platform import HostPlatform
+from .tlb import HostTLB
+from .trace import ExecutionRecorder
+
+
+@dataclass(frozen=True)
+class ReplayTuning:
+    """Exposure/penalty factors converting miss events to stall cycles.
+
+    Out-of-order cores overlap much of each miss with useful work; these
+    factors are the modelled *exposed* fraction.  They are global model
+    constants, not per-platform knobs.
+    """
+
+    icache_exposure: float = 0.22      # exposed fraction of ifetch penalty
+    data_exposure: float = 0.3         # exposed fraction of load penalty
+    stlb_hit_cycles: int = 8           # L1-TLB miss hitting the STLB
+    mite_cold_efficiency: float = 0.7   # MITE µops/cycle factor, cold code
+    mite_loopy_efficiency: float = 0.9  # ... for loop bodies
+    dsb_efficiency: float = 0.62        # DSB µops/cycle factor
+    wrong_path_cycle_fraction: float = 0.35  # mispredict slots wasted
+    indirect_targets: int = 4          # distinct targets per virtual site
+    exec_stall_per_kuop: float = 2.0   # intrinsic scheduler stalls
+
+
+def _smt_shared_platform(platform: HostPlatform) -> HostPlatform:
+    """Halve the per-thread share of competitively shared structures.
+
+    With SMT enabled and a sibling gem5 process on the same core, the
+    L1 caches, TLBs and µop cache are effectively split between the two
+    hardware threads — the mechanism behind the paper's observation
+    that disabling SMT buys ~47% per-process simulation time.
+    """
+    def halve(geometry):
+        if geometry.assoc > 1:
+            return _dc_replace(geometry, size=geometry.size // 2,
+                               assoc=geometry.assoc // 2)
+        return _dc_replace(geometry, size=max(geometry.line_size,
+                                              geometry.size // 2))
+
+    return _dc_replace(
+        platform,
+        l1i=halve(platform.l1i),
+        l1d=halve(platform.l1d),
+        itlb_entries=max(8, platform.itlb_entries // 2),
+        dtlb_entries=max(8, platform.dtlb_entries // 2),
+        stlb_entries=max(64, platform.stlb_entries // 2),
+        dsb_uops=platform.dsb_uops // 2,
+    )
+
+
+@dataclass
+class FunctionProfile:
+    """Per-host-function attributed time (for the paper's Fig. 15)."""
+
+    names: list[str]
+    cycles: list[float]
+
+    def hottest(self, count: int = 50) -> list[tuple[str, float]]:
+        order = sorted(range(len(self.cycles)),
+                       key=lambda i: self.cycles[i], reverse=True)
+        return [(self.names[i], self.cycles[i]) for i in order[:count]]
+
+    def executed_functions(self) -> int:
+        return sum(1 for value in self.cycles if value > 0)
+
+    def cdf(self, count: int = 50) -> list[float]:
+        """Cumulative share of total cycles covered by the top-N functions."""
+        total = sum(self.cycles) or 1.0
+        running = 0.0
+        out = []
+        for _, cyc in self.hottest(count):
+            running += cyc
+            out.append(running / total)
+        return out
+
+    @property
+    def hottest_share(self) -> float:
+        total = sum(self.cycles) or 1.0
+        return max(self.cycles, default=0.0) / total
+
+
+@dataclass
+class HostRunResult:
+    """Everything the paper measures for one (workload, platform) cell."""
+
+    platform_name: str
+    cycles: float
+    insts: int
+    uops: int
+    time_seconds: float
+    topdown: TopDownBreakdown
+    counters: TopDownCounters
+    # structure stats
+    l1i_miss_rate: float
+    l1d_miss_rate: float
+    l2_miss_rate: float
+    llc_miss_rate: float
+    itlb_mpki: float
+    dtlb_mpki: float
+    itlb_miss_rate: float
+    dtlb_miss_rate: float
+    branch_mispredict_rate: float
+    btb_miss_rate: float
+    dsb_coverage: float
+    llc_occupancy_bytes: int
+    dram_bytes: int
+    profile: FunctionProfile
+    functions_executed: int = 0
+    raw_counters: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.insts / max(1.0, self.cycles)
+
+    @property
+    def dram_bandwidth_gbps(self) -> float:
+        return self.dram_bytes / max(1e-12, self.time_seconds) / 1e9
+
+    @property
+    def stall_fraction(self) -> float:
+        """Share of cycles not spent retiring at full width."""
+        return max(0.0, 1.0 - self.topdown.retiring)
+
+
+class HostCPU:
+    """Replays traces against one platform configuration."""
+
+    def __init__(self, platform: HostPlatform, image: BinaryImage,
+                 hugepages: HugePagePolicy = HugePagePolicy.NONE,
+                 contention: Optional[Contention] = None,
+                 tuning: Optional[ReplayTuning] = None) -> None:
+        self.tuning = tuning or ReplayTuning()
+        self.contention = contention or no_contention()
+        if self.contention.smt_shared:
+            platform = _smt_shared_platform(platform)
+        self.platform = platform
+        self.image = image
+        self.backing: CodeBacking = resolve_backing(hugepages, image)
+        base_shift = platform.page_size.bit_length() - 1
+        if hugepages is HugePagePolicy.NONE:
+            itlb_shift_fn = None
+        else:
+            backing = self.backing
+            itlb_shift_fn = (
+                lambda addr: backing.page_shift_for(addr, base_shift))
+        self.hierarchy = HostHierarchy(platform)
+        self.itlb = HostTLB("iTLB", platform.itlb_entries,
+                            platform.page_size, itlb_shift_fn)
+        self.dtlb = HostTLB("dTLB", platform.dtlb_entries, platform.page_size)
+        self.stlb = HostTLB("STLB", platform.stlb_entries, platform.page_size,
+                            itlb_shift_fn)
+        self.branch = HostBranchUnit(platform.bp_table_bits,
+                                     platform.btb_entries)
+        self.dsb = DSB(platform.dsb_uops)
+        self._indirect_state: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def replay_recorder(self, recorder: ExecutionRecorder) -> HostRunResult:
+        """Replay a g5 run captured by ``recorder``."""
+        return self.replay(recorder.trace_fns, recorder.trace_daddrs,
+                           recorder.fn_names)
+
+    def replay(self, trace_fns: list[int], trace_daddrs: list[int],
+               fn_names: list[str], fast: bool = True) -> HostRunResult:
+        """Replay a raw trace (parallel fn-id/data-address lists).
+
+        ``fast=True`` uses the inlined hot loop (identical semantics to
+        the reference path; property tests assert the equivalence).
+        """
+        counters = TopDownCounters(pipeline_width=self._effective_width())
+        profile_cycles = [0.0] * max(
+            len(self.image.functions) + 4096, 8192)
+        self._run_startup(counters, profile_cycles)
+        if fast:
+            self._run_trace_fast(trace_fns, trace_daddrs, fn_names,
+                                 counters, profile_cycles)
+        else:
+            self._run_trace(trace_fns, trace_daddrs, fn_names, counters,
+                            profile_cycles)
+        return self._finalize(counters, profile_cycles)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _effective_width(self) -> float:
+        """Per-thread pipeline slots; fractional under SMT sharing."""
+        width = self.platform.pipeline_width * self.contention.width_factor
+        return max(1.0, width)
+
+    def _run_startup(self, counters: TopDownCounters,
+                     profile_cycles: list[float]) -> None:
+        for fn in self.image.startup:
+            self._execute_function(fn, 0, counters, profile_cycles)
+
+    def _run_trace(self, trace_fns: list[int], trace_daddrs: list[int],
+                   fn_names: list[str], counters: TopDownCounters,
+                   profile_cycles: list[float]) -> None:
+        image = self.image
+        # Map recorder fn ids to cluster executors.
+        clusters = [None] + [image.cluster_for(name)
+                             for name in fn_names[1:]]
+        execute = self._execute_function
+        contention = self.contention
+        quantum = contention.quantum_records if contention.active else 0
+        since_disturb = 0
+        from .binary import COLD_EVERY, COLD_PER_VISIT
+        for index in range(len(trace_fns)):
+            cluster = clusters[trace_fns[index]]
+            if cluster is None:
+                continue
+            daddr = trace_daddrs[index]
+            for fn in cluster.hot:
+                execute(fn, daddr, counters, profile_cycles)
+            cold = cluster.cold
+            cursor = cluster._cursor
+            cluster._cursor = cursor + 1
+            if cold and cursor % COLD_EVERY == COLD_EVERY - 1:
+                n_cold = len(cold)
+                offset = (cursor // COLD_EVERY) * COLD_PER_VISIT
+                for extra in range(COLD_PER_VISIT):
+                    execute(cold[(offset + extra) % n_cold], daddr,
+                            counters, profile_cycles)
+            if quantum:
+                since_disturb += 1
+                if since_disturb >= quantum:
+                    since_disturb = 0
+                    self._disturb()
+
+    # ------------------------------------------------------------------
+    # fast replay path
+    # ------------------------------------------------------------------
+    def _function_descriptor(self, fn: SimFunction, width: int):
+        """Precompute everything the fast loop needs for one function."""
+        platform = self.platform
+        tuning = self.tuning
+        line_shift = platform.l1i.line_size.bit_length() - 1
+        lines = tuple(range(fn.addr >> line_shift,
+                            (fn.addr + fn.size - 1 >> line_shift) + 1))
+        base_shift = platform.page_size.bit_length() - 1
+        if self.itlb.page_shift_for is not None:
+            shift = self.itlb.page_shift_for(fn.addr)
+        else:
+            shift = base_shift
+        itlb_key = (fn.addr >> shift) << 6 | shift
+        ideal = fn.n_uops / width
+        dsb_stall = max(0.0, fn.n_uops / (platform.dsb_width
+                                          * tuning.dsb_efficiency) - ideal)
+        efficiency = (tuning.mite_loopy_efficiency if fn.loopy
+                      else tuning.mite_cold_efficiency)
+        mite_stall = max(0.0, fn.n_uops / (platform.mite_width * efficiency)
+                         - ideal)
+        dsb_install = fn.loopy and fn.n_uops <= platform.dsb_uops
+        slots = min(len(fn.branch_slots), fn.n_branches)
+        slot_specs = []
+        base_key = fn.addr >> 2
+        for slot in range(slots):
+            bias = fn.branch_slots[slot]
+            key = (base_key + slot * 97) & ((1 << 64) - 1)
+            if bias >= 1.0:
+                kind = 1
+            elif bias <= 0.0:
+                kind = 0
+            else:
+                kind = 2
+            slot_specs.append((key, kind, int(bias * 255)))
+        scale = fn.n_branches / max(1, slots)
+        site = (fn.addr ^ 0x5BD1) if fn.n_indirect else -1
+        return (fn.index, lines, itlb_key, fn.n_uops, dsb_stall, mite_stall,
+                dsb_install, tuple(slot_specs), scale, fn.addr, site,
+                fn.data_addr, fn.n_uops * tuning.exec_stall_per_kuop / 1000.0,
+                ideal, fn.n_branches)
+
+    def _run_trace_fast(self, trace_fns: list[int], trace_daddrs: list[int],
+                        fn_names: list[str], counters: TopDownCounters,
+                        profile_cycles: list[float]) -> None:
+        """Inlined replay loop, semantically identical to ``_run_trace``."""
+        from .binary import COLD_EVERY, COLD_PER_VISIT
+
+        platform = self.platform
+        tuning = self.tuning
+        width = counters.pipeline_width
+        # Per-cluster executable schedules as descriptor lists.
+        image = self.image
+        descriptor = self._function_descriptor
+        schedules: list = [None]
+        for name in fn_names[1:]:
+            cluster = image.cluster_for(name)
+            hot = [descriptor(fn, width) for fn in cluster.hot]
+            cold = [descriptor(fn, width) for fn in cluster.cold]
+            schedules.append([hot, cold, cluster])
+        # --- local aliases for every structure --------------------------
+        hier = self.hierarchy
+        l1i_sets, l1i_nsets = hier.l1i.sets, hier.l1i.n_sets
+        l1i_assoc = platform.l1i.assoc
+        l1d_sets, l1d_nsets = hier.l1d.sets, hier.l1d.n_sets
+        l1d_assoc = platform.l1d.assoc
+        l1d_shift = hier.l1d.line_shift
+        l2_sets, l2_nsets = hier.l2.sets, hier.l2.n_sets
+        l2_assoc, l2_shift = platform.l2.assoc, hier.l2.line_shift
+        llc_sets, llc_nsets = hier.llc.sets, hier.llc.n_sets
+        llc_assoc, llc_shift = platform.llc.assoc, hier.llc.line_shift
+        l1i_line_shift = hier.l1i.line_shift
+        l2_latency = platform.l2_latency
+        llc_latency = platform.llc_latency
+        dram_latency = platform.dram_latency_cycles
+        line_bytes = platform.llc.line_size
+        itlb_map, itlb_entries = self.itlb.map, self.itlb.entries
+        dtlb_map, dtlb_entries = self.dtlb.map, self.dtlb.entries
+        dshift = self.dtlb.default_page_shift
+        stlb_access = self.stlb.access
+        bp_table, bp_mask = self.branch.table, self.branch.table_mask
+        slot_state = self.branch._slot_state
+        btb, btb_entries = self.branch.btb, self.branch.btb_entries
+        ind_table = self.branch.ind_table
+        ind_entries = btb_entries // 2
+        dsb_entries = self.dsb.entries
+        dsb_capacity = self.dsb.capacity_uops
+        dsb_present = dsb_capacity > 0
+        dsb_occupied = self.dsb.occupied_uops
+        icache_exposure = tuning.icache_exposure
+        data_exposure = tuning.data_exposure
+        stlb_hit_cycles = tuning.stlb_hit_cycles
+        walk_cycles = platform.tlb_walk_cycles
+        mispredict_penalty = platform.mispredict_penalty
+        unknown_penalty = platform.unknown_branch_penalty
+        wrong_frac = tuning.wrong_path_cycle_fraction
+        indirect_targets = tuning.indirect_targets
+        contention = self.contention
+        penalty_factor = (contention.dram_penalty_factor
+                          if contention.active else 1.0)
+        quantum = contention.quantum_records if contention.active else 0
+        l1_quantum = (contention.l1_quantum_records
+                      if contention.active else 0)
+        since_disturb = 0
+        since_l1_disturb = 0
+        # --- local stat accumulators -------------------------------------
+        retired_uops = 0
+        bad_spec = 0.0
+        icache_stall = itlb_stall = 0.0
+        mispredict_stall = clear_stall = unknown_stall = 0.0
+        mite_bw = dsb_bw = 0.0
+        dcache_stall = dtlb_stall = exec_stall_total = 0.0
+        l1i_hits = l1i_misses = 0
+        l1d_hits = l1d_misses = 0
+        dram_reads = 0
+        dram_bytes = 0
+        l1i_pen_total = 0
+        l1d_pen_total = 0
+        itlb_hits = itlb_misses = 0
+        dtlb_hits = dtlb_misses = 0
+        dsb_hits = dsb_misses = 0
+        uops_dsb = uops_mite = 0
+        btb_lookups = btb_misses = 0
+        ind_lookups = ind_misses = 0
+        cond_branches = 0
+        cond_mispredicts = 0.0
+        lcg_mul = 6364136223846793005
+        lcg_inc = 1442695040888963407
+        mask64 = (1 << 64) - 1
+        n_records = len(trace_fns)
+        for record in range(n_records):
+            schedule = schedules[trace_fns[record]]
+            if schedule is None:
+                continue
+            daddr = trace_daddrs[record]
+            hot, cold, cluster = schedule
+            cursor = cluster._cursor
+            cluster._cursor = cursor + 1
+            if cold and cursor % COLD_EVERY == COLD_EVERY - 1:
+                n_cold = len(cold)
+                offset = cursor // COLD_EVERY * COLD_PER_VISIT
+                todo = hot + [cold[(offset + extra) % n_cold]
+                              for extra in range(COLD_PER_VISIT)]
+            else:
+                todo = hot
+            for desc in todo:
+                (fn_index, lines, itlb_key, n_uops, dsb_stall, mite_stall,
+                 dsb_install, slot_specs, scale, fn_addr, site, data_addr,
+                 exec_stall, ideal, n_branches) = desc
+                fn_cycles = 0.0
+                retired_uops += n_uops
+                # --- µop supply (DSB hit bypasses the fetch path) --------
+                if dsb_present and fn_index in dsb_entries:
+                    dsb_hits += 1
+                    uops_dsb += n_uops
+                    del dsb_entries[fn_index]
+                    dsb_entries[fn_index] = n_uops
+                    if dsb_stall:
+                        dsb_bw += dsb_stall
+                        fn_cycles += dsb_stall
+                else:
+                    if dsb_present:
+                        dsb_misses += 1
+                    uops_mite += n_uops
+                    if dsb_present and dsb_install:
+                        dsb_entries[fn_index] = n_uops
+                        dsb_occupied += n_uops
+                        while dsb_occupied > dsb_capacity:
+                            victim = next(iter(dsb_entries))
+                            dsb_occupied -= dsb_entries.pop(victim)
+                    if mite_stall:
+                        mite_bw += mite_stall
+                        fn_cycles += mite_stall
+                    # --- iTLB --------------------------------------------
+                    if itlb_key in itlb_map:
+                        itlb_hits += 1
+                        del itlb_map[itlb_key]
+                        itlb_map[itlb_key] = None
+                    else:
+                        itlb_misses += 1
+                        itlb_map[itlb_key] = None
+                        if len(itlb_map) > itlb_entries:
+                            del itlb_map[next(iter(itlb_map))]
+                        stall = (stlb_hit_cycles if stlb_access(fn_addr)
+                                 else walk_cycles)
+                        itlb_stall += stall
+                        fn_cycles += stall
+                    # --- iCache ------------------------------------------
+                    for line in lines:
+                        cache_set = l1i_sets[line % l1i_nsets]
+                        if line in cache_set:
+                            l1i_hits += 1
+                            if cache_set[0] != line:
+                                cache_set.remove(line)
+                                cache_set.insert(0, line)
+                            continue
+                        l1i_misses += 1
+                        cache_set.insert(0, line)
+                        if len(cache_set) > l1i_assoc:
+                            cache_set.pop()
+                        addr = line << l1i_line_shift
+                        # L2
+                        l2_line = addr >> l2_shift
+                        l2_set = l2_sets[l2_line % l2_nsets]
+                        if l2_line in l2_set:
+                            hier.l2.hits += 1
+                            if l2_set[0] != l2_line:
+                                l2_set.remove(l2_line)
+                                l2_set.insert(0, l2_line)
+                            penalty = l2_latency
+                        else:
+                            hier.l2.misses += 1
+                            l2_set.insert(0, l2_line)
+                            if len(l2_set) > l2_assoc:
+                                l2_set.pop()
+                            llc_line = addr >> llc_shift
+                            llc_set = llc_sets[llc_line % llc_nsets]
+                            if llc_line in llc_set:
+                                hier.llc.hits += 1
+                                if llc_set[0] != llc_line:
+                                    llc_set.remove(llc_line)
+                                    llc_set.insert(0, llc_line)
+                                penalty = llc_latency
+                            else:
+                                hier.llc.misses += 1
+                                llc_set.insert(0, llc_line)
+                                if len(llc_set) > llc_assoc:
+                                    llc_set.pop()
+                                penalty = dram_latency
+                                dram_reads += 1
+                                dram_bytes += line_bytes
+                        l1i_pen_total += penalty
+                        stall = penalty * icache_exposure * penalty_factor
+                        icache_stall += stall
+                        fn_cycles += stall
+                # --- conditional branches --------------------------------
+                mispredicted = 0
+                for key, kind, threshold in slot_specs:
+                    if kind == 1:
+                        taken = True
+                    elif kind == 0:
+                        taken = False
+                    else:
+                        state = slot_state.get(key)
+                        if state is None:
+                            state = key ^ 0x9E3779B9
+                        state = (state * lcg_mul + lcg_inc) & mask64
+                        slot_state[key] = state
+                        taken = ((state >> 40) & 0xFF) < threshold
+                    index = key & bp_mask
+                    counter = bp_table[index]
+                    if (counter >= 2) != taken:
+                        mispredicted += 1
+                    if taken:
+                        if counter < 3:
+                            bp_table[index] = counter + 1
+                    elif counter > 0:
+                        bp_table[index] = counter - 1
+                cond_branches += n_branches
+                if mispredicted:
+                    mispredicts = mispredicted * scale
+                    cond_mispredicts += mispredicts
+                    stall = mispredicts * mispredict_penalty
+                    mispredict_stall += stall
+                    bad_spec += stall * width * wrong_frac
+                    fn_cycles += stall
+                # --- BTB -------------------------------------------------
+                btb_lookups += 1
+                if fn_addr in btb:
+                    del btb[fn_addr]
+                    btb[fn_addr] = None
+                else:
+                    btb_misses += 1
+                    btb[fn_addr] = None
+                    if len(btb) > btb_entries:
+                        del btb[next(iter(btb))]
+                    unknown_stall += unknown_penalty
+                    fn_cycles += unknown_penalty
+                # --- indirect (virtual) calls ----------------------------
+                if site >= 0:
+                    ind_lookups += 1
+                    variant = (daddr >> 4) % indirect_targets
+                    tagged = (site << 20) ^ variant
+                    if tagged in ind_table:
+                        del ind_table[tagged]
+                        ind_table[tagged] = None
+                    else:
+                        ind_misses += 1
+                        ind_table[tagged] = None
+                        if len(ind_table) > ind_entries:
+                            del ind_table[next(iter(ind_table))]
+                        clear_stall += mispredict_penalty
+                        bad_spec += (mispredict_penalty * width * wrong_frac)
+                        fn_cycles += mispredict_penalty
+                # --- data side -------------------------------------------
+                for addr in (daddr, data_addr) if daddr else (data_addr,):
+                    dkey = (addr >> dshift) << 6 | dshift
+                    if dkey in dtlb_map:
+                        dtlb_hits += 1
+                        del dtlb_map[dkey]
+                        dtlb_map[dkey] = None
+                    else:
+                        dtlb_misses += 1
+                        dtlb_map[dkey] = None
+                        if len(dtlb_map) > dtlb_entries:
+                            del dtlb_map[next(iter(dtlb_map))]
+                        if stlb_access(addr):
+                            stall = stlb_hit_cycles * data_exposure
+                        else:
+                            stall = walk_cycles * data_exposure
+                        dtlb_stall += stall
+                        fn_cycles += stall
+                    dline = addr >> l1d_shift
+                    d_set = l1d_sets[dline % l1d_nsets]
+                    if dline in d_set:
+                        l1d_hits += 1
+                        if d_set[0] != dline:
+                            d_set.remove(dline)
+                            d_set.insert(0, dline)
+                        continue
+                    l1d_misses += 1
+                    d_set.insert(0, dline)
+                    if len(d_set) > l1d_assoc:
+                        d_set.pop()
+                    l2_line = addr >> l2_shift
+                    l2_set = l2_sets[l2_line % l2_nsets]
+                    if l2_line in l2_set:
+                        hier.l2.hits += 1
+                        if l2_set[0] != l2_line:
+                            l2_set.remove(l2_line)
+                            l2_set.insert(0, l2_line)
+                        penalty = l2_latency
+                    else:
+                        hier.l2.misses += 1
+                        l2_set.insert(0, l2_line)
+                        if len(l2_set) > l2_assoc:
+                            l2_set.pop()
+                        llc_line = addr >> llc_shift
+                        llc_set = llc_sets[llc_line % llc_nsets]
+                        if llc_line in llc_set:
+                            hier.llc.hits += 1
+                            if llc_set[0] != llc_line:
+                                llc_set.remove(llc_line)
+                                llc_set.insert(0, llc_line)
+                            penalty = llc_latency
+                        else:
+                            hier.llc.misses += 1
+                            llc_set.insert(0, llc_line)
+                            if len(llc_set) > llc_assoc:
+                                llc_set.pop()
+                            penalty = dram_latency
+                            dram_reads += 1
+                            dram_bytes += line_bytes
+                    l1d_pen_total += penalty
+                    if penalty >= dram_latency:
+                        penalty *= penalty_factor
+                    stall = penalty * data_exposure
+                    dcache_stall += stall
+                    fn_cycles += stall
+                # --- intrinsic back-end stalls ---------------------------
+                exec_stall_total += exec_stall
+                fn_cycles += exec_stall
+                profile_cycles[fn_index] += fn_cycles + ideal
+            if quantum:
+                since_disturb += 1
+                if since_disturb >= quantum:
+                    since_disturb = 0
+                    self.dsb.occupied_uops = dsb_occupied
+                    self._disturb()
+                    dsb_occupied = self.dsb.occupied_uops
+                if l1_quantum:
+                    since_l1_disturb += 1
+                    if since_l1_disturb >= l1_quantum:
+                        since_l1_disturb = 0
+                        self._disturb_l1()
+        # --- write the accumulators back ----------------------------------
+        counters.retired_uops += retired_uops
+        counters.bad_spec_uops += bad_spec
+        counters.icache_stall_cycles += icache_stall
+        counters.itlb_stall_cycles += itlb_stall
+        counters.mispredict_resteer_cycles += mispredict_stall
+        counters.clear_resteer_cycles += clear_stall
+        counters.unknown_branch_cycles += unknown_stall
+        counters.mite_bw_cycles += mite_bw
+        counters.dsb_bw_cycles += dsb_bw
+        counters.dcache_stall_cycles += dcache_stall
+        counters.dtlb_stall_cycles += dtlb_stall
+        counters.exec_stall_cycles += exec_stall_total
+        hier.l1i.hits += l1i_hits
+        hier.l1i.misses += l1i_misses
+        hier.l1d.hits += l1d_hits
+        hier.l1d.misses += l1d_misses
+        hier.dram_reads += dram_reads
+        hier.dram_bytes += dram_bytes
+        hier.l1i_miss_penalty_total += l1i_pen_total
+        hier.l1d_miss_penalty_total += l1d_pen_total
+        self.itlb.hits += itlb_hits
+        self.itlb.misses += itlb_misses
+        self.dtlb.hits += dtlb_hits
+        self.dtlb.misses += dtlb_misses
+        self.dsb.hits += dsb_hits
+        self.dsb.misses += dsb_misses
+        self.dsb.uops_from_dsb += uops_dsb
+        self.dsb.uops_from_mite += uops_mite
+        self.dsb.occupied_uops = dsb_occupied
+        self.branch.btb_lookups += btb_lookups
+        self.branch.btb_misses += btb_misses
+        self.branch.ind_lookups += ind_lookups
+        self.branch.ind_misses += ind_misses
+        self.branch.cond_branches += cond_branches
+        self.branch.cond_mispredicts += cond_mispredicts
+
+    def _disturb(self) -> None:
+        """Apply one scheduling quantum of shared-resource pressure."""
+        contention = self.contention
+        hier = self.hierarchy
+        if contention.llc_evict_fraction:
+            hier.llc.evict_fraction(contention.llc_evict_fraction)
+        if contention.l2_evict_fraction:
+            hier.l2.evict_fraction(contention.l2_evict_fraction)
+        if not contention.l1_quantum_records:
+            self._disturb_l1()
+
+    def _disturb_l1(self) -> None:
+        """Apply one burst of sibling-thread L1/TLB pollution (SMT)."""
+        contention = self.contention
+        hier = self.hierarchy
+        if contention.l1_evict_fraction:
+            hier.l1i.evict_fraction(contention.l1_evict_fraction)
+            hier.l1d.evict_fraction(contention.l1_evict_fraction)
+        if contention.tlb_evict_fraction >= 1.0:
+            self.itlb.flush()
+            self.dtlb.flush()
+        elif contention.tlb_evict_fraction > 0:
+            # Partial flush: drop the LRU part of each TLB.
+            for tlb in (self.itlb, self.dtlb):
+                drop = int(len(tlb.map) * contention.tlb_evict_fraction)
+                for _ in range(drop):
+                    if not tlb.map:
+                        break
+                    del tlb.map[next(iter(tlb.map))]
+
+    def _execute_function(self, fn: SimFunction, daddr: int,
+                          counters: TopDownCounters,
+                          profile_cycles: list[float]) -> None:
+        platform = self.platform
+        tuning = self.tuning
+        width = counters.pipeline_width
+        fn_cycles = 0.0
+        counters.retired_uops += fn.n_uops
+        penalty_factor = (self.contention.dram_penalty_factor
+                          if self.contention.active else 1.0)
+        # --- µop supply (DSB vs MITE) -----------------------------------
+        # A DSB hit streams µops from the decoded cache and bypasses the
+        # legacy fetch path entirely (no iTLB/iCache activity).
+        if self.dsb.supply(fn):
+            supply_cycles = fn.n_uops / (platform.dsb_width
+                                         * tuning.dsb_efficiency)
+            ideal = fn.n_uops / width
+            if supply_cycles > ideal:
+                counters.dsb_bw_cycles += supply_cycles - ideal
+                fn_cycles += supply_cycles - ideal
+        else:
+            efficiency = (tuning.mite_loopy_efficiency if fn.loopy
+                          else tuning.mite_cold_efficiency)
+            supply_cycles = fn.n_uops / (platform.mite_width * efficiency)
+            ideal = fn.n_uops / width
+            if supply_cycles > ideal:
+                counters.mite_bw_cycles += supply_cycles - ideal
+                fn_cycles += supply_cycles - ideal
+            # --- instruction-side translation ---------------------------
+            if not self.itlb.access(fn.addr):
+                if self.stlb.access(fn.addr):
+                    stall = tuning.stlb_hit_cycles
+                else:
+                    stall = platform.tlb_walk_cycles
+                counters.itlb_stall_cycles += stall
+                fn_cycles += stall
+            # --- instruction fetch ---------------------------------------
+            fetch_line = self.hierarchy.fetch_line
+            exposure = tuning.icache_exposure
+            line_size = platform.l1i.line_size
+            dram_penalty = platform.dram_latency_cycles
+            first = fn.addr // line_size
+            last = (fn.addr + fn.size - 1) // line_size
+            for line in range(first, last + 1):
+                penalty = fetch_line(line)
+                if penalty:
+                    # Bandwidth contention queues DRAM accesses only.
+                    if penalty >= dram_penalty:
+                        penalty *= penalty_factor
+                    stall = penalty * exposure
+                    counters.icache_stall_cycles += stall
+                    fn_cycles += stall
+        # --- control flow -----------------------------------------------
+        branches, mispredicts = self.branch.run_function_branches(fn)
+        if mispredicts:
+            stall = mispredicts * platform.mispredict_penalty
+            counters.mispredict_resteer_cycles += stall
+            counters.bad_spec_uops += (
+                mispredicts * platform.mispredict_penalty
+                * width * self.tuning.wrong_path_cycle_fraction)
+            fn_cycles += stall
+        if not self.branch.btb_lookup(fn.addr):
+            counters.unknown_branch_cycles += platform.unknown_branch_penalty
+            fn_cycles += platform.unknown_branch_penalty
+        if fn.n_indirect:
+            # Virtual dispatch: the target depends on the object's dynamic
+            # type, modelled as a function of the data address.
+            site = fn.addr ^ 0x5BD1
+            variant = (daddr >> 4) % tuning.indirect_targets
+            if not self.branch.indirect_lookup(site, variant):
+                counters.clear_resteer_cycles += platform.mispredict_penalty
+                counters.bad_spec_uops += (
+                    platform.mispredict_penalty * width
+                    * tuning.wrong_path_cycle_fraction)
+                fn_cycles += platform.mispredict_penalty
+        # --- data side ----------------------------------------------------
+        data_access = self.hierarchy.data_access
+        data_exposure = tuning.data_exposure
+        for addr in (daddr, fn.data_addr) if daddr else (fn.data_addr,):
+            if not self.dtlb.access(addr):
+                if self.stlb.access(addr):
+                    stall = tuning.stlb_hit_cycles * data_exposure
+                else:
+                    stall = platform.tlb_walk_cycles * data_exposure
+                counters.dtlb_stall_cycles += stall
+                fn_cycles += stall
+            penalty = data_access(addr)
+            if penalty:
+                if penalty >= platform.dram_latency_cycles:
+                    penalty *= penalty_factor
+                stall = penalty * data_exposure
+                counters.dcache_stall_cycles += stall
+                fn_cycles += stall
+        # --- intrinsic back-end stalls -------------------------------------
+        exec_stall = fn.n_uops * tuning.exec_stall_per_kuop / 1000.0
+        counters.exec_stall_cycles += exec_stall
+        fn_cycles += exec_stall
+        profile_cycles[fn.index] += fn_cycles + fn.n_uops / width
+
+    def _finalize(self, counters: TopDownCounters,
+                  profile_cycles: list[float]) -> HostRunResult:
+        platform = self.platform
+        cycles = counters.total_cycles
+        insts = int(counters.retired_uops / 1.15)  # µops back to insts
+        time_seconds = cycles / (platform.freq_ghz * 1e9)
+        kilo_insts = insts / 1000.0
+        hier = self.hierarchy
+        names = [fn.name for fn in self.image.functions]
+        padded = profile_cycles[:len(names)]
+        breakdown = counters.breakdown()
+        breakdown.validate()
+        profile = FunctionProfile(names=names, cycles=padded)
+        raw = {
+            "CYCLES": cycles,
+            "INSTRUCTIONS": float(insts),
+            "UOPS_RETIRED": float(counters.retired_uops),
+            "L1I_MISSES": float(hier.l1i.misses),
+            "L1I_ACCESSES": float(hier.l1i.accesses),
+            "L1D_MISSES": float(hier.l1d.misses),
+            "L1D_ACCESSES": float(hier.l1d.accesses),
+            "L2_MISSES": float(hier.l2.misses),
+            "L2_ACCESSES": float(hier.l2.accesses),
+            "LLC_MISSES": float(hier.llc.misses),
+            "LLC_ACCESSES": float(hier.llc.accesses),
+            "ITLB_MISSES": float(self.itlb.misses),
+            "ITLB_ACCESSES": float(self.itlb.accesses),
+            "DTLB_MISSES": float(self.dtlb.misses),
+            "DTLB_ACCESSES": float(self.dtlb.accesses),
+            "BR_COND": float(self.branch.cond_branches),
+            "BR_MISP": float(self.branch.cond_mispredicts),
+            "BTB_LOOKUPS": float(self.branch.btb_lookups),
+            "BTB_MISSES": float(self.branch.btb_misses),
+            "DSB_UOPS": float(self.dsb.uops_from_dsb),
+            "MITE_UOPS": float(self.dsb.uops_from_mite),
+            "DRAM_BYTES": float(hier.dram_bytes),
+        }
+        return HostRunResult(
+            platform_name=platform.name,
+            cycles=cycles,
+            insts=insts,
+            uops=counters.retired_uops,
+            time_seconds=time_seconds,
+            topdown=breakdown,
+            counters=counters,
+            l1i_miss_rate=hier.l1i.miss_rate,
+            l1d_miss_rate=hier.l1d.miss_rate,
+            l2_miss_rate=hier.l2.miss_rate,
+            llc_miss_rate=hier.llc.miss_rate,
+            itlb_mpki=self.itlb.mpki(kilo_insts),
+            dtlb_mpki=self.dtlb.mpki(kilo_insts),
+            itlb_miss_rate=self.itlb.miss_rate,
+            dtlb_miss_rate=self.dtlb.miss_rate,
+            branch_mispredict_rate=self.branch.mispredict_rate,
+            btb_miss_rate=(self.branch.btb_misses
+                           / max(1, self.branch.btb_lookups)),
+            dsb_coverage=self.dsb.coverage,
+            llc_occupancy_bytes=hier.llc_occupancy_bytes(),
+            dram_bytes=hier.dram_bytes,
+            profile=profile,
+            functions_executed=profile.executed_functions(),
+            raw_counters=raw,
+        )
+
+
+def profile_g5_run(recorder: ExecutionRecorder, platform: HostPlatform,
+                   opt_level: int = 2,
+                   hugepages: HugePagePolicy = HugePagePolicy.NONE,
+                   contention: Optional[Contention] = None,
+                   seed: int = 1) -> HostRunResult:
+    """Convenience: build the binary image for a recorder and replay it."""
+    image = BinaryImage.for_recorder_functions(
+        recorder.known_functions(), opt_level=opt_level, seed=seed)
+    cpu = HostCPU(platform, image, hugepages=hugepages,
+                  contention=contention)
+    return cpu.replay_recorder(recorder)

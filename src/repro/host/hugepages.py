@@ -1,0 +1,76 @@
+"""Huge-page backing of the simulator's code segment (paper §V-A).
+
+The paper evaluates two ways to put gem5's text on 2MB pages:
+
+- **THP** (transparent huge pages via Intel iodlr): remaps the *hot*
+  subset of the code at runtime — effective, no rebuild needed.
+- **EHP** (libhugetlbfs): backs everything explicitly but depends on the
+  binary's layout being huge-page friendly; the paper found gem5's
+  layout sub-optimal, so coverage of the hot code is imperfect too.
+
+The model: a policy marks an address range of the text segment as
+2MB-backed; the iTLB then uses the large page shift inside that range,
+multiplying its reach exactly the way real huge pages do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .binary import TEXT_BASE, BinaryImage
+
+HUGE_PAGE_SHIFT = 21  # 2MB
+
+
+class HugePagePolicy(Enum):
+    """How the simulator binary's code is backed."""
+
+    NONE = "none"
+    THP = "thp"    # transparent: hot code remapped at runtime
+    EHP = "ehp"    # explicit: whole text, modulo layout quality
+
+
+@dataclass(frozen=True)
+class CodeBacking:
+    """Resolved huge-page backing: [start, end) of 2MB-backed text."""
+
+    policy: HugePagePolicy
+    huge_start: int
+    huge_end: int
+
+    def page_shift_for(self, addr: int, base_shift: int) -> int:
+        if self.huge_start <= addr < self.huge_end:
+            return HUGE_PAGE_SHIFT
+        return base_shift
+
+    @property
+    def covers_bytes(self) -> int:
+        return max(0, self.huge_end - self.huge_start)
+
+
+def resolve_backing(policy: HugePagePolicy, image: BinaryImage,
+                    thp_hot_fraction: float = 0.72,
+                    ehp_coverage: float = 0.88) -> CodeBacking:
+    """Compute which text range ends up on huge pages.
+
+    THP: the iodlr library remaps the leading (hottest-laid-out) portion
+    of the text; the library only grabs whole aligned 2MB regions, so
+    coverage is the hot fraction of what is actually executed.
+
+    EHP: libhugetlbfs backs the text from its (re-aligned) start, but
+    the paper observed gem5's layout wastes part of the benefit —
+    modelled as covering ``ehp_coverage`` of the text, further scaled by
+    the image's layout quality.
+    """
+    if not 0.0 < thp_hot_fraction <= 1.0 or not 0.0 < ehp_coverage <= 1.0:
+        raise ValueError("coverage fractions must be in (0, 1]")
+    text_end = TEXT_BASE + image.text_bytes
+    if policy is HugePagePolicy.NONE:
+        return CodeBacking(policy, 0, 0)
+    if policy is HugePagePolicy.THP:
+        covered = int(image.text_bytes * thp_hot_fraction)
+    else:
+        covered = int(image.text_bytes * ehp_coverage * image.layout_quality)
+    covered = max(covered, 1 << HUGE_PAGE_SHIFT)  # at least one region
+    return CodeBacking(policy, TEXT_BASE, min(text_end, TEXT_BASE + covered))

@@ -1,0 +1,17 @@
+"""Guest workloads: PARSEC/SPLASH-2x-like kernels, Boot-Exit, sieve."""
+
+from .bootexit import BANNER, build_boot_exit
+from .registry import PARSEC_SPLASH_NAMES, SCALES, WORKLOADS, Workload, get_workload
+from .sieve import build_sieve, prime_count_reference
+
+__all__ = [
+    "BANNER",
+    "PARSEC_SPLASH_NAMES",
+    "SCALES",
+    "WORKLOADS",
+    "Workload",
+    "build_boot_exit",
+    "build_sieve",
+    "get_workload",
+    "prime_count_reference",
+]

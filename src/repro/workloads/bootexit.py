@@ -1,0 +1,112 @@
+"""The Boot-Exit workload: boot the (mini) OS in FS mode and exit.
+
+Mirrors the paper's Boot-Exit configuration: in full-system mode the
+guest runs kernel-style boot work — device probing over MMIO, memory
+scrubbing, page-table construction, init-process spawn — prints a boot
+banner through the UART, then powers the machine off.  Every phase
+reports a marker via the firmware interface so tests can verify boot
+progress.
+"""
+
+from __future__ import annotations
+
+from ..g5.fs.devices import (
+    POWER_BASE,
+    RTC_BASE,
+    SHUTDOWN_MAGIC,
+    UART_BASE,
+    UART_DATA,
+    UART_STATUS,
+)
+from ..g5.isa import Assembler, Program
+from .kernels import DATA_BASE
+
+#: Boot banner transmitted over the UART.
+BANNER = "miniux 5.4.0 booting...\n"
+
+#: Phase markers emitted through the firmware interface.
+PHASE_DEVICES = 10
+PHASE_MEMINIT = 20
+PHASE_PAGETABLES = 30
+PHASE_INIT_SPAWN = 40
+PHASE_DONE = 100
+
+
+def _emit_mark_phase(asm: Assembler, phase: int) -> None:
+    asm.li("a0", phase)
+    asm.li("a7", 2)  # FW_MARK_PHASE
+    asm.ecall()
+
+
+def build_boot_exit(mem_pages: int = 24, probe_loops: int = 40) -> Program:
+    """Build the FS boot image.
+
+    ``mem_pages`` controls how many 4KB pages the boot scrubs/maps (the
+    dominant boot cost); ``probe_loops`` the device-probe polling count.
+    """
+    if mem_pages <= 0 or probe_loops <= 0:
+        raise ValueError("mem_pages and probe_loops must be positive")
+    asm = Assembler(base=0x1000)
+
+    # Phase 1: probe devices — poll UART status, read the RTC twice.
+    asm.li("s0", UART_BASE)
+    asm.li("s1", RTC_BASE)
+    asm.li("t0", 0)
+    asm.label("probe")
+    asm.lw("t1", "s0", UART_STATUS)
+    asm.beq("t1", "zero", "probe_next")  # not ready: keep polling
+    asm.lw("t2", "s1", 0)                # RTC low word
+    asm.label("probe_next")
+    asm.addi("t0", "t0", 1)
+    asm.li("t3", probe_loops)
+    asm.blt("t0", "t3", "probe")
+    _emit_mark_phase(asm, PHASE_DEVICES)
+
+    # Phase 2: scrub memory — zero mem_pages pages, 64B granularity.
+    asm.li("s2", DATA_BASE)
+    asm.li("s3", mem_pages * 4096 // 64)
+    asm.li("t0", 0)
+    asm.mv("t1", "s2")
+    asm.label("scrub")
+    asm.sd("zero", "t1", 0)
+    asm.sd("zero", "t1", 8)
+    asm.sd("zero", "t1", 16)
+    asm.sd("zero", "t1", 24)
+    asm.sd("zero", "t1", 32)
+    asm.sd("zero", "t1", 40)
+    asm.sd("zero", "t1", 48)
+    asm.sd("zero", "t1", 56)
+    asm.addi("t1", "t1", 64)
+    asm.addi("t0", "t0", 1)
+    asm.blt("t0", "s3", "scrub")
+    _emit_mark_phase(asm, PHASE_MEMINIT)
+
+    # Phase 3: build page tables — one 8-byte PTE per page.
+    asm.li("s4", DATA_BASE + mem_pages * 4096)
+    asm.li("t0", 0)
+    asm.label("ptes")
+    asm.slli("t1", "t0", 12)             # page frame address
+    asm.ori("t1", "t1", 0x7)             # V|R|W bits
+    asm.slli("t2", "t0", 3)
+    asm.add("t2", "t2", "s4")
+    asm.sd("t1", "t2", 0)
+    asm.addi("t0", "t0", 1)
+    asm.li("t3", mem_pages)
+    asm.blt("t0", "t3", "ptes")
+    _emit_mark_phase(asm, PHASE_PAGETABLES)
+
+    # Phase 4: spawn init — print the banner byte by byte over the UART.
+    banner_bytes = BANNER.encode()
+    asm.li("s5", UART_BASE)
+    for byte in banner_bytes:
+        asm.li("t0", byte)
+        asm.sw("t0", "s5", UART_DATA)
+    _emit_mark_phase(asm, PHASE_INIT_SPAWN)
+
+    # Phase 5: done — mark and power off.
+    _emit_mark_phase(asm, PHASE_DONE)
+    asm.li("t0", SHUTDOWN_MAGIC)
+    asm.li("s6", POWER_BASE)
+    asm.sw("t0", "s6", 0)
+    asm.halt()  # unreachable: the power write exits the simulation
+    return asm.assemble()

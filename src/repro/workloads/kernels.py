@@ -1,0 +1,110 @@
+"""Shared building blocks for guest workload kernels.
+
+Each workload is a SimRISC program built with the
+:class:`~repro.g5.isa.assembler.Assembler`.  This module provides the
+recurring idioms: deterministic pseudo-random number generation in guest
+registers, array initialisation loops, and the standard exit sequence.
+
+Register conventions used by all kernels
+----------------------------------------
+``s11`` is reserved as the LCG state register; ``a0``/``a7`` are used by
+the exit sequence.  Kernels otherwise follow the normal ABI.
+"""
+
+from __future__ import annotations
+
+from ..g5.isa import Assembler
+
+#: Guest data segment base: leaves plenty of room for program text.
+DATA_BASE = 0x0010_0000
+
+#: LCG multiplier/increment (Numerical Recipes), fits li's 32-bit range
+#: when split; we use a 32-bit variant to keep constants loadable.
+LCG_MUL = 1103515245
+LCG_INC = 12345
+
+
+def emit_exit(asm: Assembler, code_reg: str = "a0") -> None:
+    """Exit via the SE-mode exit syscall and a trailing halt.
+
+    The halt backstops FS-mode runs of the same kernel, where ecall is
+    routed to firmware instead of syscall emulation.
+    """
+    if code_reg != "a0":
+        asm.mv("a0", code_reg)
+    asm.li("a7", 93)  # SYS_EXIT
+    asm.ecall()
+    asm.halt()
+
+
+def emit_lcg_init(asm: Assembler, seed: int = 12345) -> None:
+    """Seed the guest LCG (state lives in ``s11``)."""
+    asm.li("s11", seed)
+
+
+def emit_lcg_next(asm: Assembler, dst: str, modulus_reg: str) -> None:
+    """dst = next_random() % modulus_reg; clobbers t5/t6.
+
+    ``modulus_reg`` must hold a positive value.
+    """
+    asm.li("t5", LCG_MUL)
+    asm.mul("s11", "s11", "t5")
+    asm.li("t6", LCG_INC)
+    asm.add("s11", "s11", "t6")
+    # Keep the state positive 31-bit so rem behaves like C's unsigned mix.
+    asm.srli("t5", "s11", 16)
+    asm.li("t6", 0x7FFFFFFF)
+    asm.and_("t5", "t5", "t6")
+    asm.rem(dst, "t5", modulus_reg)
+
+
+def emit_load_const_f(asm: Assembler, freg: str, numerator: int,
+                      denominator: int = 1) -> None:
+    """Load numerator/denominator into ``freg``; clobbers t5 and f31."""
+    asm.li("t5", numerator)
+    asm.fcvt_d_l(freg, "t5")
+    if denominator != 1:
+        asm.li("t5", denominator)
+        asm.fcvt_d_l("f31", "t5")
+        asm.fdiv(freg, freg, "f31")
+
+
+def emit_fill_linear(asm: Assembler, base_reg: str, count_reg: str,
+                     stride: int, label_prefix: str) -> None:
+    """Fill count doubles at base with f(i) = i * 0.5 + 1.0.
+
+    Clobbers t0, t1, f0, f1, f2.  ``base_reg`` is preserved.
+    """
+    asm.li("t0", 0)
+    asm.mv("t1", base_reg)
+    asm.li("t2", 2)
+    asm.fcvt_d_l("f1", "t2")       # 2.0
+    asm.label(f"{label_prefix}_fill")
+    asm.fcvt_d_l("f0", "t0")
+    asm.fdiv("f0", "f0", "f1")     # i / 2.0
+    asm.li("t2", 1)
+    asm.fcvt_d_l("f2", "t2")
+    asm.fadd("f0", "f0", "f2")     # + 1.0
+    asm.fsd("f0", "t1", 0)
+    asm.addi("t1", "t1", stride)
+    asm.addi("t0", "t0", 1)
+    asm.blt("t0", count_reg, f"{label_prefix}_fill")
+
+
+def emit_fill_bytes(asm: Assembler, base_reg: str, count_reg: str,
+                    label_prefix: str) -> None:
+    """Fill count bytes at base with a rolling pattern (i * 31 + 7) & 0xFF.
+
+    Clobbers t0, t1, t2, t3.  ``base_reg`` is preserved.
+    """
+    asm.li("t0", 0)
+    asm.mv("t1", base_reg)
+    asm.label(f"{label_prefix}_fillb")
+    asm.li("t2", 31)
+    asm.mul("t2", "t0", "t2")
+    asm.addi("t2", "t2", 7)
+    asm.andi("t3", "t2", 0xFF)
+    asm.sb("t3", "t1", 0)
+    asm.addi("t1", "t1", 1)
+    asm.addi("t0", "t0", 1)
+    asm.blt("t0", count_reg, f"{label_prefix}_fillb")

@@ -1,0 +1,288 @@
+"""PARSEC-3.0-like guest kernels.
+
+Four kernels modelled on the PARSEC workloads the paper simulates, with
+the same computational character (see DESIGN.md §2 for the substitution
+argument):
+
+- **blackscholes** — option pricing: regular, floating-point heavy.
+- **canneal** — simulated-annealing element swaps: data-dependent
+  branches and irregular memory access.
+- **dedup** — rolling-hash chunking: byte streaming plus hash buckets.
+- **streamcluster** — k-means-style clustering: dense FP distance loops.
+
+Sizes are scaled down so a detailed-CPU simulation finishes in seconds;
+the paper's "simmedium" corresponds to the default scales here.
+"""
+
+from __future__ import annotations
+
+from ..g5.isa import Assembler, Program
+from .kernels import (
+    DATA_BASE,
+    emit_exit,
+    emit_fill_bytes,
+    emit_fill_linear,
+    emit_lcg_init,
+    emit_lcg_next,
+    emit_load_const_f,
+)
+
+
+def build_blackscholes(n_options: int = 160, rounds: int = 2) -> Program:
+    """Black-Scholes-style option pricing over ``n_options`` options.
+
+    Each option computes a polynomial approximation of the cumulative
+    normal distribution — a dozen FP operations including divide and
+    square root — and stores the price.  Exit code is the integer part
+    of the price sum, a checksum tests can verify.
+    """
+    if n_options <= 0 or rounds <= 0:
+        raise ValueError("n_options and rounds must be positive")
+    asm = Assembler(base=0x1000)
+    spot = DATA_BASE
+    price = DATA_BASE + n_options * 8
+
+    asm.li("s0", spot)
+    asm.li("s1", n_options)
+    emit_fill_linear(asm, "s0", "s1", 8, "bs")
+
+    asm.li("s2", price)
+    asm.li("s3", 0)                      # round counter
+    emit_load_const_f(asm, "f20", 4, 5)   # strike scale 0.8
+    emit_load_const_f(asm, "f21", 1968, 10000)   # cnd coefficient
+    emit_load_const_f(asm, "f22", 113, 10000)    # cubic coefficient
+    emit_load_const_f(asm, "f23", 1, 2)          # 0.5
+    emit_load_const_f(asm, "f24", 1, 1)          # 1.0
+    asm.fmv("f25", "f24")
+    asm.fsub("f25", "f25", "f25")        # running sum = 0.0
+
+    asm.m5_work_begin()
+    asm.label("round")
+    asm.li("t0", 0)
+    asm.label("option")
+    # load spot, derive strike and time-to-maturity
+    asm.slli("t1", "t0", 3)
+    asm.add("t1", "t1", "s0")
+    asm.fld("f0", "t1", 0)               # S
+    asm.fmul("f1", "f0", "f20")          # K = 0.8 S
+    # d = (S - K) / sqrt(S)
+    asm.fsub("f2", "f0", "f1")
+    asm.fsqrt("f3", "f0")
+    asm.fdiv("f2", "f2", "f3")
+    # cnd(d) = 0.5 + c1*d - c3*d^3
+    asm.fmul("f4", "f2", "f2")
+    asm.fmul("f4", "f4", "f2")           # d^3
+    asm.fmul("f5", "f2", "f21")
+    asm.fmul("f6", "f4", "f22")
+    asm.fsub("f5", "f5", "f6")
+    asm.fadd("f5", "f5", "f23")          # cnd
+    # price = S*cnd - K*(1-cnd)
+    asm.fmul("f7", "f0", "f5")
+    asm.fsub("f8", "f24", "f5")
+    asm.fmul("f8", "f1", "f8")
+    asm.fsub("f7", "f7", "f8")
+    asm.slli("t2", "t0", 3)
+    asm.add("t2", "t2", "s2")
+    asm.fsd("f7", "t2", 0)
+    asm.fadd("f25", "f25", "f7")
+    asm.addi("t0", "t0", 1)
+    asm.blt("t0", "s1", "option")
+    asm.addi("s3", "s3", 1)
+    asm.li("t3", rounds)
+    asm.blt("s3", "t3", "round")
+
+    asm.m5_work_end()
+    asm.fcvt_l_d("a0", "f25")
+    emit_exit(asm)
+    return asm.assemble()
+
+
+def build_canneal(n_elements: int = 512, n_swaps: int = 600) -> Program:
+    """Simulated-annealing routing-cost minimisation over element swaps.
+
+    Picks two pseudo-random elements per step, evaluates the cost delta
+    of swapping them toward their "ideal" slots, and swaps when the cost
+    improves — data-dependent branching and irregular loads, like
+    canneal's netlist swaps.  Exit code is the number of accepted swaps.
+    """
+    if n_elements <= 1 or n_swaps <= 0:
+        raise ValueError("need at least two elements and one swap")
+    asm = Assembler(base=0x1000)
+    elements = DATA_BASE
+
+    # elements[i] = random slot preference in [0, n_elements)
+    emit_lcg_init(asm, seed=20230419)
+    asm.li("s0", elements)
+    asm.li("s1", n_elements)
+    asm.li("t0", 0)
+    asm.label("init")
+    emit_lcg_next(asm, "t1", "s1")
+    asm.slli("t2", "t0", 3)
+    asm.add("t2", "t2", "s0")
+    asm.sd("t1", "t2", 0)
+    asm.addi("t0", "t0", 1)
+    asm.blt("t0", "s1", "init")
+
+    asm.li("s2", 0)          # accepted swaps
+    asm.li("s3", 0)          # step counter
+    asm.li("s4", n_swaps)
+    asm.m5_work_begin()
+    asm.label("step")
+    emit_lcg_next(asm, "s5", "s1")       # index i
+    emit_lcg_next(asm, "s6", "s1")       # index j
+    asm.slli("t1", "s5", 3)
+    asm.add("t1", "t1", "s0")
+    asm.ld("s7", "t1", 0)                # a = elements[i]
+    asm.slli("t2", "s6", 3)
+    asm.add("t2", "t2", "s0")
+    asm.ld("s8", "t2", 0)                # b = elements[j]
+    # cost now: |a - i| + |b - j|; cost after: |a - j| + |b - i|
+    asm.sub("t3", "s7", "s5")
+    # abs via arithmetic-shift sign mask
+    asm.li("t6", 63)
+    asm.sra("t4", "t3", "t6")
+    asm.xor("t3", "t3", "t4")
+    asm.sub("t3", "t3", "t4")
+    asm.sub("t5", "s8", "s6")
+    asm.sra("t4", "t5", "t6")
+    asm.xor("t5", "t5", "t4")
+    asm.sub("t5", "t5", "t4")
+    asm.add("s9", "t3", "t5")            # cost_now
+    asm.sub("t3", "s7", "s6")
+    asm.sra("t4", "t3", "t6")
+    asm.xor("t3", "t3", "t4")
+    asm.sub("t3", "t3", "t4")
+    asm.sub("t5", "s8", "s5")
+    asm.sra("t4", "t5", "t6")
+    asm.xor("t5", "t5", "t4")
+    asm.sub("t5", "t5", "t4")
+    asm.add("s10", "t3", "t5")           # cost_after
+    asm.bge("s10", "s9", "reject")
+    # accept: swap the two elements
+    asm.sd("s8", "t1", 0)
+    asm.sd("s7", "t2", 0)
+    asm.addi("s2", "s2", 1)
+    asm.label("reject")
+    asm.addi("s3", "s3", 1)
+    asm.blt("s3", "s4", "step")
+    asm.m5_work_end()
+
+    emit_exit(asm, "s2")
+    return asm.assemble()
+
+
+def build_dedup(n_bytes: int = 4096, chunk_mask: int = 0x3F) -> Program:
+    """Content-defined chunking with a rolling hash, like dedup's pipeline.
+
+    Streams bytes, maintains ``h = h*31 + b``, declares a chunk boundary
+    whenever ``h & chunk_mask == 0``, and counts boundary hits per hash
+    bucket.  Exit code is the number of chunks found.
+    """
+    if n_bytes <= 0:
+        raise ValueError("n_bytes must be positive")
+    n_buckets = 64
+    asm = Assembler(base=0x1000)
+    data = DATA_BASE
+    buckets = DATA_BASE + n_bytes + 64
+
+    asm.li("s0", data)
+    asm.li("s1", n_bytes)
+    emit_fill_bytes(asm, "s0", "s1", "dd")
+
+    asm.li("s2", buckets)
+    asm.li("s3", 0)          # chunk count
+    asm.li("s4", 0)          # hash state
+    asm.li("s5", 0)          # byte index
+    asm.li("s6", n_buckets)
+    asm.m5_work_begin()
+    asm.label("scan")
+    asm.add("t0", "s0", "s5")
+    asm.lb("t1", "t0", 0)
+    asm.li("t2", 31)
+    asm.mul("s4", "s4", "t2")
+    asm.add("s4", "s4", "t1")
+    asm.li("t2", 0xFFFFFF)
+    asm.and_("s4", "s4", "t2")
+    asm.andi("t3", "s4", chunk_mask)
+    asm.bne("t3", "zero", "nochunk")
+    # chunk boundary: bump bucket h % n_buckets
+    asm.rem("t4", "s4", "s6")
+    asm.slli("t4", "t4", 3)
+    asm.add("t4", "t4", "s2")
+    asm.ld("t5", "t4", 0)
+    asm.addi("t5", "t5", 1)
+    asm.sd("t5", "t4", 0)
+    asm.addi("s3", "s3", 1)
+    asm.li("s4", 0)
+    asm.label("nochunk")
+    asm.addi("s5", "s5", 1)
+    asm.blt("s5", "s1", "scan")
+    asm.m5_work_end()
+
+    emit_exit(asm, "s3")
+    return asm.assemble()
+
+
+def build_streamcluster(n_points: int = 96, n_centers: int = 8,
+                        n_dims: int = 4) -> Program:
+    """Online-clustering distance kernel, like streamcluster's core.
+
+    For every point, computes the squared Euclidean distance to each
+    centre, tracks the minimum, and accumulates the total assignment
+    cost.  Exit code is the integer part of the total cost.
+    """
+    if n_points <= 0 or n_centers <= 0 or n_dims <= 0:
+        raise ValueError("points/centers/dims must be positive")
+    asm = Assembler(base=0x1000)
+    points = DATA_BASE
+    centers = DATA_BASE + n_points * n_dims * 8
+
+    asm.li("s0", points)
+    asm.li("t4", n_points * n_dims)
+    emit_fill_linear(asm, "s0", "t4", 8, "pts")
+    asm.li("s1", centers)
+    asm.li("t4", n_centers * n_dims)
+    emit_fill_linear(asm, "s1", "t4", 8, "ctr")
+
+    emit_load_const_f(asm, "f20", 0)     # total cost
+    asm.m5_work_begin()
+    asm.li("s2", 0)                      # point index
+    asm.label("point")
+    emit_load_const_f(asm, "f21", 1 << 20)   # current min (large)
+    asm.li("s3", 0)                      # center index
+    asm.label("center")
+    emit_load_const_f(asm, "f22", 0)     # dist accumulator
+    asm.li("s4", 0)                      # dim index
+    asm.label("dim")
+    asm.li("t0", n_dims)
+    asm.mul("t1", "s2", "t0")
+    asm.add("t1", "t1", "s4")
+    asm.slli("t1", "t1", 3)
+    asm.add("t1", "t1", "s0")
+    asm.fld("f0", "t1", 0)               # point[p][d]
+    asm.mul("t2", "s3", "t0")
+    asm.add("t2", "t2", "s4")
+    asm.slli("t2", "t2", 3)
+    asm.add("t2", "t2", "s1")
+    asm.fld("f1", "t2", 0)               # center[c][d]
+    asm.fsub("f2", "f0", "f1")
+    asm.fmadd("f22", "f2", "f2")         # acc += diff^2
+    asm.addi("s4", "s4", 1)
+    asm.li("t3", n_dims)
+    asm.blt("s4", "t3", "dim")
+    asm.flt("t4", "f22", "f21")
+    asm.beq("t4", "zero", "notmin")
+    asm.fmv("f21", "f22")
+    asm.label("notmin")
+    asm.addi("s3", "s3", 1)
+    asm.li("t3", n_centers)
+    asm.blt("s3", "t3", "center")
+    asm.fadd("f20", "f20", "f21")
+    asm.addi("s2", "s2", 1)
+    asm.li("t3", n_points)
+    asm.blt("s2", "t3", "point")
+    asm.m5_work_end()
+
+    asm.fcvt_l_d("a0", "f20")
+    emit_exit(asm)
+    return asm.assemble()

@@ -1,0 +1,121 @@
+"""Workload registry: every guest program the experiments run.
+
+Mirrors the paper's workload set: nine PARSEC/SPLASH-2x applications,
+the Boot-Exit FS workload, and the sieve program used on FireSim.  Each
+workload builds at one of three scales (``test`` < ``simsmall`` <
+``simmedium``); the paper's runs correspond to ``simmedium``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..g5.isa import Program
+from .bootexit import build_boot_exit
+from .parsec import (
+    build_blackscholes,
+    build_canneal,
+    build_dedup,
+    build_streamcluster,
+)
+from .sieve import build_sieve
+from .splash2x import (
+    build_fmm,
+    build_ocean_cp,
+    build_ocean_ncp,
+    build_water_nsquared,
+    build_water_spatial,
+)
+
+SCALES = ("test", "simsmall", "simmedium")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One guest workload with per-scale build parameters."""
+
+    name: str
+    suite: str                     # "parsec", "splash2x", "os", "micro"
+    mode: str                      # "se" or "fs"
+    builder: Callable[..., Program]
+    scale_params: dict[str, dict[str, int]]
+
+    def build(self, scale: str = "simsmall") -> Program:
+        if scale not in self.scale_params:
+            raise KeyError(
+                f"workload {self.name!r} has no scale {scale!r}; "
+                f"choose from {sorted(self.scale_params)}")
+        return self.builder(**self.scale_params[scale])
+
+
+def _w(name: str, suite: str, mode: str, builder: Callable[..., Program],
+       test: dict[str, int], simsmall: dict[str, int],
+       simmedium: dict[str, int]) -> Workload:
+    return Workload(name, suite, mode, builder, {
+        "test": test, "simsmall": simsmall, "simmedium": simmedium})
+
+
+#: The paper's nine PARSEC/SPLASH-2x workloads plus Boot-Exit and sieve.
+WORKLOADS: dict[str, Workload] = {w.name: w for w in [
+    _w("blackscholes", "parsec", "se", build_blackscholes,
+       test={"n_options": 16, "rounds": 1},
+       simsmall={"n_options": 96, "rounds": 2},
+       simmedium={"n_options": 160, "rounds": 3}),
+    _w("canneal", "parsec", "se", build_canneal,
+       test={"n_elements": 32, "n_swaps": 40},
+       simsmall={"n_elements": 256, "n_swaps": 350},
+       simmedium={"n_elements": 512, "n_swaps": 700}),
+    _w("dedup", "parsec", "se", build_dedup,
+       test={"n_bytes": 256},
+       simsmall={"n_bytes": 2048},
+       simmedium={"n_bytes": 5120}),
+    _w("streamcluster", "parsec", "se", build_streamcluster,
+       test={"n_points": 12, "n_centers": 3, "n_dims": 2},
+       simsmall={"n_points": 64, "n_centers": 6, "n_dims": 3},
+       simmedium={"n_points": 96, "n_centers": 8, "n_dims": 4}),
+    _w("water_nsquared", "splash2x", "se", build_water_nsquared,
+       test={"n_molecules": 8, "steps": 1},
+       simsmall={"n_molecules": 28, "steps": 2},
+       simmedium={"n_molecules": 40, "steps": 3}),
+    _w("water_spatial", "splash2x", "se", build_water_spatial,
+       test={"n_molecules": 16, "n_cells": 4, "steps": 1},
+       simsmall={"n_molecules": 48, "n_cells": 6, "steps": 2},
+       simmedium={"n_molecules": 64, "n_cells": 8, "steps": 3}),
+    _w("ocean_cp", "splash2x", "se", build_ocean_cp,
+       test={"grid": 6, "sweeps": 1},
+       simsmall={"grid": 14, "sweeps": 2},
+       simmedium={"grid": 18, "sweeps": 4}),
+    _w("ocean_ncp", "splash2x", "se", build_ocean_ncp,
+       test={"grid": 6, "sweeps": 1},
+       simsmall={"grid": 14, "sweeps": 2},
+       simmedium={"grid": 18, "sweeps": 4}),
+    _w("fmm", "splash2x", "se", build_fmm,
+       test={"levels": 4, "rounds": 1},
+       simsmall={"levels": 6, "rounds": 2},
+       simmedium={"levels": 7, "rounds": 3}),
+    _w("boot_exit", "os", "fs", build_boot_exit,
+       test={"mem_pages": 4, "probe_loops": 8},
+       simsmall={"mem_pages": 16, "probe_loops": 30},
+       simmedium={"mem_pages": 28, "probe_loops": 50}),
+    _w("sieve", "micro", "se", build_sieve,
+       test={"limit": 50},
+       simsmall={"limit": 300},
+       simmedium={"limit": 600}),
+]}
+
+#: The nine benchmark workloads Fig. 1 averages over.
+PARSEC_SPLASH_NAMES = [
+    "blackscholes", "canneal", "dedup", "streamcluster",
+    "water_nsquared", "water_spatial", "ocean_cp", "ocean_ncp", "fmm",
+]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a registered workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from "
+            f"{sorted(WORKLOADS)}") from None

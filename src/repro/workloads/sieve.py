@@ -1,0 +1,78 @@
+"""Sieve of Eratosthenes — the paper's FireSim benchmark program.
+
+The paper runs "a simple C++ application" (the sieve) on gem5 when gem5
+itself executes on the FireSim-simulated host, because FireSim is too
+slow for PARSEC.  Exit code is the number of primes below ``limit``,
+which tests verify against a Python reference.
+"""
+
+from __future__ import annotations
+
+from ..g5.isa import Assembler, Program
+from .kernels import DATA_BASE, emit_exit
+
+
+def build_sieve(limit: int = 500) -> Program:
+    """Count primes < ``limit`` with a byte-per-number sieve."""
+    if limit < 3:
+        raise ValueError(f"limit must be at least 3, got {limit}")
+    asm = Assembler(base=0x1000)
+    flags = DATA_BASE
+
+    # clear flags[0..limit)
+    asm.li("s0", flags)
+    asm.li("s1", limit)
+    asm.li("t0", 0)
+    asm.label("clear")
+    asm.add("t1", "s0", "t0")
+    asm.sb("zero", "t1", 0)
+    asm.addi("t0", "t0", 1)
+    asm.blt("t0", "s1", "clear")
+
+    # sieve
+    asm.m5_work_begin()
+    asm.li("s2", 2)                      # candidate p
+    asm.label("outer")
+    asm.add("t0", "s0", "s2")
+    asm.lb("t1", "t0", 0)
+    asm.bne("t1", "zero", "next_p")      # composite: skip
+    asm.mul("t2", "s2", "s2")            # start at p*p
+    asm.bge("t2", "s1", "next_p")
+    asm.label("mark")
+    asm.add("t3", "s0", "t2")
+    asm.li("t4", 1)
+    asm.sb("t4", "t3", 0)
+    asm.add("t2", "t2", "s2")
+    asm.blt("t2", "s1", "mark")
+    asm.label("next_p")
+    asm.addi("s2", "s2", 1)
+    asm.blt("s2", "s1", "outer")
+
+    # count primes
+    asm.li("s3", 0)
+    asm.li("t0", 2)
+    asm.label("count")
+    asm.add("t1", "s0", "t0")
+    asm.lb("t2", "t1", 0)
+    asm.bne("t2", "zero", "not_prime")
+    asm.addi("s3", "s3", 1)
+    asm.label("not_prime")
+    asm.addi("t0", "t0", 1)
+    asm.blt("t0", "s1", "count")
+    asm.m5_work_end()
+
+    emit_exit(asm, "s3")
+    return asm.assemble()
+
+
+def prime_count_reference(limit: int) -> int:
+    """Python reference for the sieve's expected exit code."""
+    if limit < 3:
+        raise ValueError(f"limit must be at least 3, got {limit}")
+    flags = bytearray(limit)
+    for p in range(2, limit):
+        if flags[p]:
+            continue
+        for multiple in range(p * p, limit, p):
+            flags[multiple] = 1
+    return sum(1 for i in range(2, limit) if not flags[i])

@@ -1,0 +1,164 @@
+"""SPEC CPU2017 reference workloads (host-level synthetics).
+
+The paper runs three SPEC benchmarks on *bare metal* (never on gem5) as
+a contrast to gem5's host profile in Figs. 2–6:
+
+- **525.x264_r** — the highest-IPC benchmark in the suite: small, loopy
+  code with a cache-resident working set and near-total µop-cache reuse;
+- **531.deepsjeng_r** — large memory footprint, the suite's highest L3
+  miss rate;
+- **505.mcf_r** — the lowest IPC: pointer chasing over a huge working
+  set (heavily back-end bound) plus hard data-dependent branches.
+
+Each synthetic builds its own small binary image and a deterministic
+invocation trace; the same :class:`~repro.host.cpu.HostCPU` replays it,
+so gem5 and SPEC numbers come out of the *same* host model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..host.binary import BinaryImage, synthetic_image
+
+#: Data-segment base for SPEC working sets (clear of the text segment).
+SPEC_DATA_BASE = 0x4000_0000
+
+_LCG_MUL = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_MASK = (1 << 64) - 1
+
+
+@dataclass
+class SyntheticHostWorkload:
+    """A host-level workload: binary image + invocation trace."""
+
+    name: str
+    image: BinaryImage
+    trace_fns: list[int]
+    trace_daddrs: list[int]
+    fn_names: list[str]
+
+
+def _interleave(weights: dict[str, int], n_records: int,
+                seed: int) -> list[str]:
+    """Deterministic weighted round-robin over logical function names."""
+    expanded = [name for name, weight in weights.items()
+                for _ in range(weight)]
+    state = seed & _MASK
+    names = []
+    for _ in range(n_records):
+        state = (state * _LCG_MUL + _LCG_INC) & _MASK
+        names.append(expanded[(state >> 33) % len(expanded)])
+    return names
+
+
+def _assemble(name: str, image: BinaryImage, logical_names: list[str],
+              daddrs: list[int]) -> SyntheticHostWorkload:
+    fn_names = ["<reserved>"] + sorted(set(logical_names))
+    ids = {fn_name: index for index, fn_name in enumerate(fn_names)}
+    return SyntheticHostWorkload(
+        name=name,
+        image=image,
+        trace_fns=[ids[n] for n in logical_names],
+        trace_daddrs=daddrs,
+        fn_names=fn_names,
+    )
+
+
+def build_x264(n_records: int = 40000, seed: int = 525) -> SyntheticHostWorkload:
+    """525.x264_r: loopy kernels over a cache-resident frame slice."""
+    if n_records <= 0:
+        raise ValueError("n_records must be positive")
+    image = synthetic_image([
+        # (name, subfns, mean bytes, hot fraction, loopy)
+        ("x264::pixel_sad", 4, 180, 0.75, True),
+        ("x264::me_search", 6, 240, 0.6, True),
+        ("x264::dct4x4", 4, 200, 0.75, True),
+        ("x264::quant", 3, 160, 0.8, True),
+        ("x264::cabac_encode", 5, 220, 0.6, True),
+        ("x264::deblock", 4, 200, 0.75, True),
+    ], seed=seed)
+    logical = _interleave({
+        "x264::pixel_sad": 5, "x264::me_search": 4, "x264::dct4x4": 3,
+        "x264::quant": 2, "x264::cabac_encode": 2, "x264::deblock": 1,
+    }, n_records, seed)
+    # Working set: one macroblock row (~24KB), streamed repeatedly.
+    working_set = 24 * 1024
+    daddrs = []
+    cursor = 0
+    for _ in range(n_records):
+        cursor = (cursor + 64) % working_set
+        daddrs.append(SPEC_DATA_BASE + cursor)
+    return _assemble("525.x264_r", image, logical, daddrs)
+
+
+def build_deepsjeng(n_records: int = 40000,
+                    seed: int = 531) -> SyntheticHostWorkload:
+    """531.deepsjeng_r: tree search with a huge transposition table."""
+    if n_records <= 0:
+        raise ValueError("n_records must be positive")
+    image = synthetic_image([
+        ("sjeng::search", 10, 300, 0.4, False),
+        ("sjeng::evaluate", 8, 340, 0.5, True),
+        ("sjeng::movegen", 6, 260, 0.5, True),
+        ("sjeng::tt_probe", 4, 180, 0.75, False),
+        ("sjeng::make_move", 5, 200, 0.6, True),
+    ], seed=seed)
+    logical = _interleave({
+        "sjeng::search": 4, "sjeng::evaluate": 4, "sjeng::movegen": 3,
+        "sjeng::tt_probe": 3, "sjeng::make_move": 2,
+    }, n_records, seed)
+    # 64MB transposition table probed at random: the suite's highest L3
+    # miss rate.
+    table_bytes = 64 * 1024 * 1024
+    daddrs = []
+    state = seed & _MASK
+    for _ in range(n_records):
+        state = (state * _LCG_MUL + _LCG_INC) & _MASK
+        daddrs.append(SPEC_DATA_BASE + ((state >> 24) % table_bytes & ~0x3F))
+    return _assemble("531.deepsjeng_r", image, logical, daddrs)
+
+
+def build_mcf(n_records: int = 40000, seed: int = 505) -> SyntheticHostWorkload:
+    """505.mcf_r: pointer chasing over ~½GB; lowest IPC in the suite."""
+    if n_records <= 0:
+        raise ValueError("n_records must be positive")
+    image = synthetic_image([
+        ("mcf::refresh_potential", 4, 220, 0.5, False),
+        ("mcf::price_out_impl", 5, 280, 0.4, False),
+        ("mcf::primal_bea_mpp", 6, 300, 0.35, False),
+        ("mcf::sort_basket", 3, 180, 0.7, True),
+    ], seed=seed, branch_hostility=0.5)
+    logical = _interleave({
+        "mcf::refresh_potential": 3, "mcf::price_out_impl": 3,
+        "mcf::primal_bea_mpp": 3, "mcf::sort_basket": 1,
+    }, n_records, seed)
+    # Pointer chases over a 512MB arc network: nearly every access
+    # misses the whole hierarchy.
+    arena = 512 * 1024 * 1024
+    daddrs = []
+    state = (seed * 2654435761) & _MASK
+    for _ in range(n_records):
+        state = (state * _LCG_MUL + _LCG_INC) & _MASK
+        daddrs.append(SPEC_DATA_BASE + ((state >> 16) % arena & ~0x3F))
+    return _assemble("505.mcf_r", image, logical, daddrs)
+
+
+SPEC_BUILDERS = {
+    "525.x264_r": build_x264,
+    "531.deepsjeng_r": build_deepsjeng,
+    "505.mcf_r": build_mcf,
+}
+
+SPEC_NAMES = list(SPEC_BUILDERS)
+
+
+def build_spec(name: str, n_records: int = 40000) -> SyntheticHostWorkload:
+    """Build one of the three SPEC synthetics by its paper name."""
+    try:
+        builder = SPEC_BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown SPEC workload {name!r}; choose from "
+                       f"{SPEC_NAMES}") from None
+    return builder(n_records=n_records)

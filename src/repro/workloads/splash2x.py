@@ -1,0 +1,317 @@
+"""SPLASH-2x-like guest kernels.
+
+Five kernels mirroring the SPLASH-2x applications the paper runs:
+
+- **water_nsquared** — O(n²) pairwise molecular forces (the paper's
+  representative workload for its Top-Down analysis).
+- **water_spatial** — the same physics with cell-list binning.
+- **ocean_cp / ocean_ncp** — red-black grid relaxation with contiguous
+  vs. non-contiguous partition traversal.
+- **fmm** — hierarchical (tree) multipole-style up/down sweeps.
+"""
+
+from __future__ import annotations
+
+from ..g5.isa import Assembler, Program
+from .kernels import (
+    DATA_BASE,
+    emit_exit,
+    emit_fill_linear,
+    emit_load_const_f,
+)
+
+
+def build_water_nsquared(n_molecules: int = 40, steps: int = 2) -> Program:
+    """Pairwise force computation over ``n_molecules`` 1-D molecules.
+
+    For each pair (i, j>i): r = |x_i - x_j| (fsqrt of the square keeps
+    the FP pipe busy), potential += 1/(r + 1).  Exit code is the integer
+    part of the accumulated potential.
+    """
+    if n_molecules < 2 or steps <= 0:
+        raise ValueError("need >=2 molecules and >=1 step")
+    asm = Assembler(base=0x1000)
+    pos = DATA_BASE
+
+    asm.li("s0", pos)
+    asm.li("t4", n_molecules)
+    emit_fill_linear(asm, "s0", "t4", 8, "wn")
+
+    emit_load_const_f(asm, "f20", 0)       # potential
+    emit_load_const_f(asm, "f24", 1)       # 1.0
+    asm.m5_work_begin()
+    asm.li("s5", 0)                        # step
+    asm.label("step")
+    asm.li("s1", 0)                        # i
+    asm.label("outer")
+    asm.addi("s2", "s1", 1)                # j = i + 1
+    asm.label("inner")
+    asm.slli("t0", "s1", 3)
+    asm.add("t0", "t0", "s0")
+    asm.fld("f0", "t0", 0)
+    asm.slli("t1", "s2", 3)
+    asm.add("t1", "t1", "s0")
+    asm.fld("f1", "t1", 0)
+    asm.fsub("f2", "f0", "f1")
+    asm.fmul("f3", "f2", "f2")
+    asm.fsqrt("f3", "f3")                  # |dx|
+    asm.fadd("f3", "f3", "f24")
+    asm.fdiv("f4", "f24", "f3")            # 1/(r+1)
+    asm.fadd("f20", "f20", "f4")
+    asm.addi("s2", "s2", 1)
+    asm.li("t3", n_molecules)
+    asm.blt("s2", "t3", "inner")
+    asm.addi("s1", "s1", 1)
+    asm.li("t3", n_molecules - 1)
+    asm.blt("s1", "t3", "outer")
+    asm.addi("s5", "s5", 1)
+    asm.li("t3", steps)
+    asm.blt("s5", "t3", "step")
+    asm.m5_work_end()
+
+    asm.fcvt_l_d("a0", "f20")
+    emit_exit(asm)
+    return asm.assemble()
+
+
+def build_water_spatial(n_molecules: int = 64, n_cells: int = 8,
+                        steps: int = 2) -> Program:
+    """Cell-binned force computation (water_spatial's structure).
+
+    Molecules are binned round-robin into cells; each step walks every
+    cell and accumulates interactions only within the cell, giving the
+    indexed, two-level memory access pattern of the spatial variant.
+    Exit code is the integer part of the potential.
+    """
+    if n_molecules < 2 or n_cells <= 0 or steps <= 0:
+        raise ValueError("bad water_spatial parameters")
+    per_cell = (n_molecules + n_cells - 1) // n_cells
+    asm = Assembler(base=0x1000)
+    pos = DATA_BASE
+    cells = DATA_BASE + n_molecules * 8          # cell -> molecule indices
+
+    asm.li("s0", pos)
+    asm.li("t4", n_molecules)
+    emit_fill_linear(asm, "s0", "t4", 8, "ws")
+
+    # Bin molecule m into cells[m % n_cells][m / n_cells].
+    asm.li("s1", cells)
+    asm.li("t0", 0)
+    asm.label("bin")
+    asm.li("t1", n_cells)
+    asm.rem("t2", "t0", "t1")                    # cell index
+    asm.div("t3", "t0", "t1")                    # slot within cell
+    asm.li("t1", per_cell)
+    asm.mul("t2", "t2", "t1")
+    asm.add("t2", "t2", "t3")
+    asm.slli("t2", "t2", 3)
+    asm.add("t2", "t2", "s1")
+    asm.sd("t0", "t2", 0)
+    asm.addi("t0", "t0", 1)
+    asm.li("t1", n_molecules)
+    asm.blt("t0", "t1", "bin")
+
+    emit_load_const_f(asm, "f20", 0)             # potential
+    emit_load_const_f(asm, "f24", 1)             # 1.0
+    asm.m5_work_begin()
+    asm.li("s6", 0)                              # step
+    asm.label("step")
+    asm.li("s2", 0)                              # cell
+    asm.label("cell")
+    asm.li("s3", 0)                              # slot a
+    asm.label("slota")
+    asm.addi("s4", "s3", 1)                      # slot b
+    asm.label("slotb")
+    # molecule indices from the cell table
+    asm.li("t0", per_cell)
+    asm.mul("t1", "s2", "t0")
+    asm.add("t2", "t1", "s3")
+    asm.slli("t2", "t2", 3)
+    asm.add("t2", "t2", "s1")
+    asm.ld("t3", "t2", 0)                        # m_a
+    asm.add("t2", "t1", "s4")
+    asm.slli("t2", "t2", 3)
+    asm.add("t2", "t2", "s1")
+    asm.ld("t4", "t2", 0)                        # m_b
+    asm.slli("t3", "t3", 3)
+    asm.add("t3", "t3", "s0")
+    asm.fld("f0", "t3", 0)
+    asm.slli("t4", "t4", 3)
+    asm.add("t4", "t4", "s0")
+    asm.fld("f1", "t4", 0)
+    asm.fsub("f2", "f0", "f1")
+    asm.fmul("f3", "f2", "f2")
+    asm.fadd("f3", "f3", "f24")
+    asm.fdiv("f4", "f24", "f3")
+    asm.fadd("f20", "f20", "f4")
+    asm.addi("s4", "s4", 1)
+    asm.li("t0", per_cell)
+    asm.blt("s4", "t0", "slotb")
+    asm.addi("s3", "s3", 1)
+    asm.li("t0", per_cell - 1)
+    asm.blt("s3", "t0", "slota")
+    asm.addi("s2", "s2", 1)
+    asm.li("t0", n_cells)
+    asm.blt("s2", "t0", "cell")
+    asm.addi("s6", "s6", 1)
+    asm.li("t0", steps)
+    asm.blt("s6", "t0", "step")
+    asm.m5_work_end()
+
+    asm.fcvt_l_d("a0", "f20")
+    emit_exit(asm)
+    return asm.assemble()
+
+
+def _build_ocean(grid: int, sweeps: int, row_major: bool) -> Program:
+    """Shared body of the two ocean variants: 5-point stencil relaxation."""
+    if grid < 3 or sweeps <= 0:
+        raise ValueError("grid must be >=3 with >=1 sweep")
+    asm = Assembler(base=0x1000)
+    field = DATA_BASE
+    row_bytes = grid * 8
+
+    asm.li("s0", field)
+    asm.li("t4", grid * grid)
+    emit_fill_linear(asm, "s0", "t4", 8, "oc")
+
+    emit_load_const_f(asm, "f24", 1, 4)          # 0.25
+    asm.m5_work_begin()
+    asm.li("s5", 0)                              # sweep counter
+    asm.label("sweep")
+    asm.li("s1", 1)                              # outer index (1..grid-2)
+    asm.label("outer")
+    asm.li("s2", 1)                              # inner index
+    asm.label("inner")
+    if row_major:
+        row_reg, col_reg = "s1", "s2"
+    else:
+        row_reg, col_reg = "s2", "s1"            # column-major: strided
+    asm.li("t0", grid)
+    asm.mul("t1", row_reg, "t0")
+    asm.add("t1", "t1", col_reg)
+    asm.slli("t1", "t1", 3)
+    asm.add("t1", "t1", "s0")                    # &u[r][c]
+    asm.fld("f0", "t1", -8)                      # left
+    asm.fld("f1", "t1", 8)                       # right
+    asm.li("t2", row_bytes)
+    asm.sub("t3", "t1", "t2")
+    asm.fld("f2", "t3", 0)                       # up
+    asm.add("t3", "t1", "t2")
+    asm.fld("f3", "t3", 0)                       # down
+    asm.fadd("f0", "f0", "f1")
+    asm.fadd("f0", "f0", "f2")
+    asm.fadd("f0", "f0", "f3")
+    asm.fmul("f0", "f0", "f24")
+    asm.fsd("f0", "t1", 0)
+    asm.addi("s2", "s2", 1)
+    asm.li("t0", grid - 1)
+    asm.blt("s2", "t0", "inner")
+    asm.addi("s1", "s1", 1)
+    asm.li("t0", grid - 1)
+    asm.blt("s1", "t0", "outer")
+    asm.addi("s5", "s5", 1)
+    asm.li("t0", sweeps)
+    asm.blt("s5", "t0", "sweep")
+    asm.m5_work_end()
+
+    # checksum: centre cell
+    asm.li("t0", grid)
+    asm.li("t1", grid // 2)
+    asm.mul("t0", "t0", "t1")
+    asm.add("t0", "t0", "t1")
+    asm.slli("t0", "t0", 3)
+    asm.add("t0", "t0", "s0")
+    asm.fld("f0", "t0", 0)
+    asm.fcvt_l_d("a0", "f0")
+    emit_exit(asm)
+    return asm.assemble()
+
+
+def build_ocean_cp(grid: int = 18, sweeps: int = 3) -> Program:
+    """Ocean with contiguous partitions: row-major stencil sweeps."""
+    return _build_ocean(grid, sweeps, row_major=True)
+
+
+def build_ocean_ncp(grid: int = 18, sweeps: int = 3) -> Program:
+    """Ocean with non-contiguous partitions: column-major (strided)."""
+    return _build_ocean(grid, sweeps, row_major=False)
+
+
+def build_fmm(levels: int = 7, rounds: int = 2) -> Program:
+    """Fast-multipole-style tree sweeps over an implicit binary tree.
+
+    The tree of ``2**levels - 1`` nodes lives in an array.  Each round
+    does an upward accumulation (parents gather children) followed by a
+    downward pass (children receive a parent share), matching FMM's
+    upward/downward traversal pattern.  Exit code is the root value
+    modulo 2^31.
+    """
+    if levels < 2 or rounds <= 0:
+        raise ValueError("need >=2 levels and >=1 round")
+    n_nodes = (1 << levels) - 1
+    asm = Assembler(base=0x1000)
+    tree = DATA_BASE
+
+    # node[i] = i + 1 (integers)
+    asm.li("s0", tree)
+    asm.li("t0", 0)
+    asm.label("init")
+    asm.slli("t1", "t0", 3)
+    asm.add("t1", "t1", "s0")
+    asm.addi("t2", "t0", 1)
+    asm.sd("t2", "t1", 0)
+    asm.addi("t0", "t0", 1)
+    asm.li("t3", n_nodes)
+    asm.blt("t0", "t3", "init")
+
+    first_leaf = (1 << (levels - 1)) - 1
+    asm.m5_work_begin()
+    asm.li("s5", 0)                              # round counter
+    asm.label("round")
+    # upward: for i from first_leaf-1 down to 0: n[i] += n[2i+1] + n[2i+2]
+    asm.li("s1", first_leaf - 1)
+    asm.label("up")
+    asm.slli("t0", "s1", 3)
+    asm.add("t0", "t0", "s0")
+    asm.ld("t1", "t0", 0)
+    asm.slli("t2", "s1", 1)
+    asm.addi("t2", "t2", 1)                      # left child index
+    asm.slli("t3", "t2", 3)
+    asm.add("t3", "t3", "s0")
+    asm.ld("t4", "t3", 0)
+    asm.ld("t5", "t3", 8)                        # right child (adjacent)
+    asm.add("t1", "t1", "t4")
+    asm.add("t1", "t1", "t5")
+    asm.li("t6", 0x7FFFFFFF)
+    asm.and_("t1", "t1", "t6")
+    asm.sd("t1", "t0", 0)
+    asm.addi("s1", "s1", -1)
+    asm.bge("s1", "zero", "up")
+    # downward: for i in 1..n_nodes-1: n[i] += n[(i-1)/2] >> 1
+    asm.li("s1", 1)
+    asm.label("down")
+    asm.addi("t0", "s1", -1)
+    asm.srli("t0", "t0", 1)                      # parent index
+    asm.slli("t0", "t0", 3)
+    asm.add("t0", "t0", "s0")
+    asm.ld("t1", "t0", 0)
+    asm.srli("t1", "t1", 1)
+    asm.slli("t2", "s1", 3)
+    asm.add("t2", "t2", "s0")
+    asm.ld("t3", "t2", 0)
+    asm.add("t3", "t3", "t1")
+    asm.li("t6", 0x7FFFFFFF)
+    asm.and_("t3", "t3", "t6")
+    asm.sd("t3", "t2", 0)
+    asm.addi("s1", "s1", 1)
+    asm.li("t4", n_nodes)
+    asm.blt("s1", "t4", "down")
+    asm.addi("s5", "s5", 1)
+    asm.li("t4", rounds)
+    asm.blt("s5", "t4", "round")
+    asm.m5_work_end()
+
+    asm.ld("a0", "s0", 0)
+    emit_exit(asm)
+    return asm.assemble()

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+The expensive artifacts — g5 simulations and host replays — are cached
+in session-scoped fixtures so the paper-claim tests (which need
+realistic trace sizes) pay for each run once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.g5.system import SimConfig, System, simulate
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Paper-claim runner: simsmall traces, lightly truncated."""
+    return ExperimentRunner(scale="simsmall", max_records=80000)
+
+
+@pytest.fixture(scope="session")
+def tiny_runner() -> ExperimentRunner:
+    """Smoke-test runner: test-scale traces (seconds for all figures)."""
+    return ExperimentRunner(scale="test", max_records=20000,
+                            spec_records=4000)
+
+
+@pytest.fixture(scope="session")
+def g5_run_cache():
+    """Session cache of raw g5 runs keyed by (workload, cpu, scale)."""
+    cache: dict[tuple[str, str, str], object] = {}
+
+    def run(workload_name: str, cpu_model: str, scale: str = "test"):
+        key = (workload_name, cpu_model, scale)
+        if key not in cache:
+            workload = get_workload(workload_name)
+            system = System(SimConfig(cpu_model=cpu_model,
+                                      mode=workload.mode))
+            program = workload.build(scale)
+            if workload.mode == "se":
+                system.set_se_workload(program, process_name=workload_name)
+            else:
+                system.set_fs_workload(program)
+            cache[key] = (simulate(system), system)
+        return cache[key]
+
+    return run

@@ -1,0 +1,148 @@
+"""Tests for the core methodology: Top-Down, counters, reports."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.report import Figure, Series, Table, format_cell, geomean
+from repro.core.topdown import TopDownCounters
+
+
+nonneg = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+
+
+class TestTopDownCounters:
+    def _counters(self, **kwargs):
+        counters = TopDownCounters(pipeline_width=4, retired_uops=4000)
+        for key, value in kwargs.items():
+            setattr(counters, key, value)
+        return counters
+
+    def test_pure_retiring(self):
+        breakdown = self._counters().breakdown()
+        assert breakdown.retiring == pytest.approx(1.0)
+        assert breakdown.frontend_bound == 0.0
+        breakdown.validate()
+
+    def test_fe_latency_attribution(self):
+        breakdown = self._counters(icache_stall_cycles=1000.0).breakdown()
+        # 4000 uops / 4 = 1000 base cycles + 1000 stall = 2000 cycles.
+        assert breakdown.retiring == pytest.approx(0.5)
+        assert breakdown.fe_icache == pytest.approx(0.5)
+        breakdown.validate()
+
+    def test_backend_attribution(self):
+        breakdown = self._counters(dcache_stall_cycles=500.0).breakdown()
+        assert breakdown.backend_bound == pytest.approx(500 / 1500)
+        breakdown.validate()
+
+    def test_bad_speculation(self):
+        breakdown = self._counters(bad_spec_uops=400).breakdown()
+        assert breakdown.bad_speculation == pytest.approx(400 / 4400)
+        breakdown.validate()
+
+    @given(nonneg, nonneg, nonneg, nonneg, nonneg, nonneg, nonneg)
+    def test_slots_always_conserved(self, icache, itlb, mispredict, mite,
+                                    dsb, dcache, bad_spec):
+        counters = TopDownCounters(
+            pipeline_width=4, retired_uops=10000,
+            bad_spec_uops=bad_spec,
+            icache_stall_cycles=icache, itlb_stall_cycles=itlb,
+            mispredict_resteer_cycles=mispredict,
+            mite_bw_cycles=mite, dsb_bw_cycles=dsb,
+            dcache_stall_cycles=dcache)
+        counters.breakdown().validate()
+
+    def test_validate_catches_corruption(self):
+        breakdown = self._counters().breakdown()
+        from dataclasses import replace
+
+        broken = replace(breakdown, retiring=0.5)
+        with pytest.raises(AssertionError):
+            broken.validate()
+
+
+class TestCounterSet:
+    def test_read_from_host_result(self, tiny_runner):
+        from repro.core.counters import read_counters
+
+        result = tiny_runner.host_result("sieve", "atomic", "Intel_Xeon")
+        counters = read_counters(result)
+        assert counters.ipc == pytest.approx(result.ipc, rel=1e-6)
+        assert counters["CYCLES"] == result.cycles
+        assert counters.l1i_miss_rate == pytest.approx(
+            result.l1i_miss_rate, rel=1e-6)
+        assert counters.dsb_coverage == pytest.approx(
+            result.dsb_coverage, rel=1e-6)
+        assert counters.mpki("ITLB_MISSES") >= 0
+
+    def test_unknown_counter_raises(self):
+        from repro.core.counters import CounterSet
+
+        counters = CounterSet({"CYCLES": 1.0})
+        with pytest.raises(KeyError):
+            counters["NOPE"]
+        assert "CYCLES" in counters
+
+
+class TestTable:
+    def test_add_and_render(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", 0.001)
+        text = table.render()
+        assert "T" in text and "a" in text
+        assert table.column("a") == [1, "x"]
+        assert table.to_dicts()[0] == {"a": 1, "b": 2.5}
+
+    def test_wrong_arity_rejected(self):
+        table = Table("T", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_missing_column_raises(self):
+        table = Table("T", ["a"])
+        with pytest.raises(KeyError):
+            table.column("z")
+
+
+class TestFigure:
+    def test_series_length_checked(self):
+        with pytest.raises(ValueError):
+            Series("s", [1, 2], [1.0])
+
+    def test_get_series(self):
+        figure = Figure("F", "caption")
+        figure.add_series("s", ["x"], [1.0])
+        assert figure.get_series("s").y == [1.0]
+        with pytest.raises(KeyError):
+            figure.get_series("t")
+
+    def test_render_contains_values(self):
+        figure = Figure("F", "caption")
+        figure.add_series("s", ["x"], [0.1234])
+        assert "0.1234" in figure.render()
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100),
+                    min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        result = geomean(values)
+        assert min(values) * 0.999 <= result <= max(values) * 1.001
+
+
+class TestFormatCell:
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, "0"), (12345.0, "12,345"), ("abc", "abc"), (7, "7"),
+    ])
+    def test_formats(self, value, expected):
+        assert format_cell(value) == expected

@@ -1,0 +1,209 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.events import (
+    CallbackEvent,
+    Event,
+    EventQueue,
+    EventQueueError,
+    ExitEvent,
+    PeriodicEvent,
+)
+
+
+def make_queue() -> EventQueue:
+    return EventQueue("test")
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        queue = make_queue()
+        fired = []
+        for when in (30, 10, 20):
+            queue.call_at(when, lambda w=when: fired.append(w))
+        queue.run()
+        assert fired == [10, 20, 30]
+
+    def test_same_tick_ordered_by_priority(self):
+        queue = make_queue()
+        fired = []
+        queue.call_at(5, lambda: fired.append("low"), priority=10)
+        queue.call_at(5, lambda: fired.append("high"), priority=-10)
+        queue.run()
+        assert fired == ["high", "low"]
+
+    def test_same_tick_same_priority_fifo(self):
+        queue = make_queue()
+        fired = []
+        for index in range(5):
+            queue.call_at(7, lambda i=index: fired.append(i))
+        queue.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_cannot_schedule_in_the_past(self):
+        queue = make_queue()
+        queue.call_at(10, lambda: None)
+        queue.run()
+        assert queue.now == 10
+        with pytest.raises(EventQueueError):
+            queue.call_at(5, lambda: None)
+
+    def test_cannot_double_schedule(self):
+        queue = make_queue()
+        event = CallbackEvent(lambda: None)
+        queue.schedule(event, 5)
+        with pytest.raises(EventQueueError):
+            queue.schedule(event, 10)
+
+    def test_negative_delay_rejected(self):
+        queue = make_queue()
+        with pytest.raises(EventQueueError):
+            queue.schedule_in(CallbackEvent(lambda: None), -1)
+
+    def test_schedule_during_processing(self):
+        queue = make_queue()
+        fired = []
+
+        def chain():
+            fired.append(queue.now)
+            if queue.now < 30:
+                queue.call_in(10, chain)
+
+        queue.call_at(10, chain)
+        queue.run()
+        assert fired == [10, 20, 30]
+
+
+class TestDeschedule:
+    def test_squashed_event_does_not_fire(self):
+        queue = make_queue()
+        fired = []
+        event = queue.call_at(10, lambda: fired.append("no"))
+        queue.deschedule(event)
+        queue.call_at(20, lambda: fired.append("yes"))
+        queue.run()
+        assert fired == ["yes"]
+
+    def test_deschedule_unscheduled_raises(self):
+        queue = make_queue()
+        with pytest.raises(EventQueueError):
+            queue.deschedule(CallbackEvent(lambda: None))
+
+    def test_reschedule_moves_event(self):
+        queue = make_queue()
+        fired = []
+        event = queue.call_at(10, lambda: fired.append(queue.now))
+        queue.reschedule(event, 50)
+        queue.run()
+        assert fired == [50]
+
+    def test_len_ignores_squashed(self):
+        queue = make_queue()
+        event = queue.call_at(10, lambda: None)
+        queue.call_at(20, lambda: None)
+        assert len(queue) == 2
+        queue.deschedule(event)
+        assert len(queue) == 1
+
+
+class TestRunControl:
+    def test_empty_queue_returns_exit_event(self):
+        queue = make_queue()
+        exit_event = queue.run()
+        assert isinstance(exit_event, ExitEvent)
+        assert exit_event.cause == "event queue empty"
+
+    def test_max_tick_stops_and_clamps_time(self):
+        queue = make_queue()
+        fired = []
+        queue.call_at(10, lambda: fired.append(10))
+        queue.call_at(100, lambda: fired.append(100))
+        exit_event = queue.run(max_tick=50)
+        assert fired == [10]
+        assert queue.now == 50
+        assert "limit" in exit_event.cause
+        # The later event survives and fires on resume.
+        queue.run()
+        assert fired == [10, 100]
+
+    def test_exit_event_stops_the_loop(self):
+        queue = make_queue()
+        fired = []
+        queue.call_at(10, lambda: queue.exit_simulation("done", code=3))
+        queue.call_at(20, lambda: fired.append("late"))
+        exit_event = queue.run()
+        assert exit_event.cause == "done"
+        assert exit_event.code == 3
+        assert fired == []
+
+    def test_exit_event_respects_priority_order(self):
+        queue = make_queue()
+        fired = []
+        # Exit is scheduled at the current tick but with high priority
+        # value, so same-tick normal-priority work still runs first.
+        queue.call_at(10, lambda: (fired.append("work"),
+                                   queue.exit_simulation("bye")))
+        queue.call_at(10, lambda: fired.append("work2"), priority=50)
+        queue.run()
+        assert fired == ["work", "work2"]
+
+    def test_max_events_limit(self):
+        queue = make_queue()
+        for index in range(10):
+            queue.call_at(index + 1, lambda: None)
+        exit_event = queue.run(max_events=3)
+        assert "count limit" in exit_event.cause
+        assert queue.events_processed == 3
+
+    def test_events_processed_counts(self):
+        queue = make_queue()
+        for when in range(1, 6):
+            queue.call_at(when, lambda: None)
+        queue.run()
+        assert queue.events_processed == 5
+
+    def test_next_tick(self):
+        queue = make_queue()
+        assert queue.next_tick() is None
+        queue.call_at(42, lambda: None)
+        assert queue.next_tick() == 42
+
+
+class TestPeriodicEvent:
+    def test_fires_repeatedly_until_stopped(self):
+        queue = make_queue()
+        fired = []
+
+        def sample():
+            fired.append(queue.now)
+            return len(fired) < 3
+
+        queue.schedule(PeriodicEvent(queue, 100, sample), 100)
+        queue.run()
+        assert fired == [100, 200, 300]
+
+    def test_zero_interval_rejected(self):
+        queue = make_queue()
+        with pytest.raises(ValueError):
+            PeriodicEvent(queue, 0, lambda: None)
+
+
+class TestEventBasics:
+    def test_unimplemented_process_raises(self):
+        with pytest.raises(NotImplementedError):
+            Event().process()
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(-5, 5)),
+                    min_size=1, max_size=50))
+    def test_arbitrary_schedules_fire_in_sorted_order(self, schedule):
+        queue = make_queue()
+        fired = []
+        for when, priority in schedule:
+            queue.call_at(when, lambda w=when, p=priority: fired.append((w, p)),
+                          priority=priority)
+        queue.run()
+        # Stable sort keeps insertion order for (when, priority) ties,
+        # which is exactly the queue's FIFO guarantee.
+        assert fired == sorted(fired, key=lambda pair: (pair[0], pair[1]))

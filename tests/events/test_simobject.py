@@ -1,0 +1,111 @@
+"""Tests for the SimObject tree and its host-instrumentation hooks."""
+
+import pytest
+
+from repro.events import ClockDomain, EventQueue, Root, SimObject
+from repro.host.trace import ExecutionRecorder
+
+
+def make_root(recorder=None) -> Root:
+    return Root("root", EventQueue(), ClockDomain(1e9), recorder)
+
+
+class TestTree:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            SimObject("")
+
+    def test_path_nesting(self):
+        root = make_root()
+        cpu = SimObject("cpu", root)
+        icache = SimObject("icache", cpu)
+        assert icache.path == "root.cpu.icache"
+
+    def test_children_registered(self):
+        root = make_root()
+        a = SimObject("a", root)
+        b = SimObject("b", a)
+        assert root.children == [a]
+        assert a.children == [b]
+
+    def test_descendants_depth_first(self):
+        root = make_root()
+        a = SimObject("a", root)
+        b = SimObject("b", a)
+        c = SimObject("c", root)
+        assert list(root.descendants()) == [a, b, c]
+
+    def test_find_by_path(self):
+        root = make_root()
+        cpu = SimObject("cpu", root)
+        icache = SimObject("icache", cpu)
+        assert root.find("cpu.icache") is icache
+
+    def test_find_missing_raises(self):
+        root = make_root()
+        SimObject("cpu", root)
+        with pytest.raises(KeyError):
+            root.find("cpu.nonexistent")
+
+    def test_children_inherit_queue_clock_recorder(self):
+        recorder = ExecutionRecorder()
+        root = make_root(recorder)
+        child = SimObject("child", root)
+        assert child.eventq is root.eventq
+        assert child.clock is root.clock
+        assert child.recorder is recorder
+
+
+class TestTiming:
+    def test_cycles_uses_clock_domain(self):
+        root = make_root()
+        obj = SimObject("obj", root)
+        assert obj.cycles(3) == 3000  # 1GHz -> 1000 ticks/cycle
+
+    def test_now_tracks_queue(self):
+        root = make_root()
+        obj = SimObject("obj", root)
+        root.eventq.call_at(500, lambda: None)
+        root.eventq.run()
+        assert obj.now == 500
+
+    def test_unattached_object_raises(self):
+        orphan = SimObject("orphan")
+        with pytest.raises(RuntimeError):
+            _ = orphan.now
+        with pytest.raises(RuntimeError):
+            orphan.cycles(1)
+
+
+class TestHostInstrumentation:
+    def test_host_fn_interns_and_records(self):
+        recorder = ExecutionRecorder()
+        root = make_root(recorder)
+        obj = SimObject("obj", root)
+        fn = obj.host_fn("Widget::frobnicate")
+        obj.host_record(fn, 0x1234)
+        obj.host_record(fn)
+        assert recorder.invocation_counts() == {"Widget::frobnicate": 2}
+        assert recorder.trace_daddrs == [0x1234, 0]
+
+    def test_no_recorder_is_a_noop(self):
+        root = make_root(recorder=None)
+        obj = SimObject("obj", root)
+        fn = obj.host_fn("anything")
+        assert fn == 0
+        obj.host_record(fn)  # must not raise
+
+    def test_host_alloc_returns_distinct_ranges(self):
+        recorder = ExecutionRecorder()
+        root = make_root(recorder)
+        obj = SimObject("obj", root)
+        first = obj.host_alloc(100, "a")
+        second = obj.host_alloc(100, "b")
+        assert second >= first + 100
+
+    def test_stats_group_lazy(self):
+        root = make_root()
+        obj = SimObject("obj", root)
+        counter = obj.stats.scalar("count")
+        counter.inc(5)
+        assert obj.stats["count"].value() == 5

@@ -1,0 +1,79 @@
+"""Tests for tick/cycle conversion and clock domains."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.events.ticks import (
+    TICKS_PER_SECOND,
+    ClockDomain,
+    freq_to_period,
+    seconds_to_ticks,
+    ticks_to_seconds,
+)
+
+
+class TestFreqToPeriod:
+    def test_one_ghz_is_1000_ticks(self):
+        assert freq_to_period(1e9) == 1000
+
+    def test_three_ghz_rounds(self):
+        assert freq_to_period(3e9) == 333
+
+    def test_one_hz_is_a_full_second(self):
+        assert freq_to_period(1.0) == TICKS_PER_SECOND
+
+    @pytest.mark.parametrize("bad", [0, -1, -1e9])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            freq_to_period(bad)
+
+    def test_never_returns_zero_even_at_extreme_frequency(self):
+        assert freq_to_period(1e15) == 1
+
+
+class TestSecondsConversion:
+    def test_roundtrip_one_second(self):
+        assert ticks_to_seconds(seconds_to_ticks(1.0)) == 1.0
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_ticks(-0.5)
+
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_ticks_to_seconds_monotone(self, ticks):
+        assert ticks_to_seconds(ticks) >= 0
+        assert ticks_to_seconds(ticks + 1) > ticks_to_seconds(ticks)
+
+
+class TestClockDomain:
+    def test_cycles_to_ticks(self):
+        clock = ClockDomain(2e9)  # 500-tick period
+        assert clock.period == 500
+        assert clock.cycles_to_ticks(4) == 2000
+
+    def test_ticks_to_cycles_floors(self):
+        clock = ClockDomain(1e9)
+        assert clock.ticks_to_cycles(999) == 0
+        assert clock.ticks_to_cycles(1000) == 1
+        assert clock.ticks_to_cycles(2999) == 2
+
+    def test_next_cycle_edge(self):
+        clock = ClockDomain(1e9)
+        assert clock.next_cycle_edge(0) == 0
+        assert clock.next_cycle_edge(1) == 1000
+        assert clock.next_cycle_edge(1000) == 1000
+        assert clock.next_cycle_edge(1001) == 2000
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            ClockDomain(1e9).cycles_to_ticks(-1)
+
+    def test_negative_ticks_rejected(self):
+        with pytest.raises(ValueError):
+            ClockDomain(1e9).ticks_to_cycles(-1)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.sampled_from([1e9, 2e9, 3.1e9, 4e9]))
+    def test_roundtrip_cycles(self, cycles, freq):
+        clock = ClockDomain(freq)
+        assert clock.ticks_to_cycles(clock.cycles_to_ticks(cycles)) == cycles

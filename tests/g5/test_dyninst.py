@@ -1,0 +1,134 @@
+"""Tests for DynInst dependency extraction and the functional stream."""
+
+import pytest
+
+from repro.g5 import Assembler, SimConfig, System
+from repro.g5.cpus.dyninst import DynInst, InstStream
+from repro.g5.isa import Opcode, StaticInst, encode
+
+
+def dyn_for(opcode, rd=0, rs1=0, rs2=0, imm=0):
+    inst = StaticInst(encode(opcode, rd, rs1, rs2, imm))
+    return DynInst(1, 0x1000, inst, 0x1004, None, False)
+
+
+class TestSourceExtraction:
+    def test_r_alu_reads_both_sources(self):
+        dyn = dyn_for(Opcode.ADD, rd=3, rs1=1, rs2=2)
+        assert set(dyn.src_regs) == {(False, 1), (False, 2)}
+        assert dyn.dst_reg == (False, 3)
+
+    def test_x0_sources_excluded(self):
+        dyn = dyn_for(Opcode.ADD, rd=3, rs1=0, rs2=2)
+        assert set(dyn.src_regs) == {(False, 2)}
+
+    def test_store_reads_base_and_data(self):
+        dyn = dyn_for(Opcode.SD, rs1=1, rs2=2)
+        assert set(dyn.src_regs) == {(False, 1), (False, 2)}
+        assert dyn.dst_reg is None
+
+    def test_load_writes_destination(self):
+        dyn = dyn_for(Opcode.LD, rd=5, rs1=1)
+        assert dyn.src_regs == ((False, 1),)
+        assert dyn.dst_reg == (False, 5)
+
+    def test_branch_has_no_destination(self):
+        dyn = dyn_for(Opcode.BEQ, rs1=1, rs2=2, imm=16)
+        assert dyn.dst_reg is None
+        assert set(dyn.src_regs) == {(False, 1), (False, 2)}
+
+    def test_fp_ops_use_fp_space(self):
+        dyn = dyn_for(Opcode.FADD, rd=3, rs1=1, rs2=2)
+        assert set(dyn.src_regs) == {(True, 1), (True, 2)}
+        assert dyn.dst_reg == (True, 3)
+
+    def test_fmadd_reads_accumulator(self):
+        dyn = dyn_for(Opcode.FMADD, rd=3, rs1=1, rs2=2)
+        assert (True, 3) in dyn.src_regs
+
+    def test_fcvt_crosses_register_files(self):
+        to_fp = dyn_for(Opcode.FCVT_D_L, rd=3, rs1=1)
+        assert to_fp.src_regs == ((False, 1),)
+        assert to_fp.dst_reg == (True, 3)
+        to_int = dyn_for(Opcode.FCVT_L_D, rd=3, rs1=1)
+        assert to_int.dst_reg == (False, 3)
+
+    def test_fp_store_reads_fp_data(self):
+        dyn = dyn_for(Opcode.FSD, rs1=1, rs2=2)
+        assert (True, 2) in dyn.src_regs
+        assert (False, 1) in dyn.src_regs
+
+    def test_nop_and_lui_have_no_sources(self):
+        assert dyn_for(Opcode.NOP).src_regs == ()
+        lui = dyn_for(Opcode.LUI, rd=4, imm=7)
+        assert lui.src_regs == ()
+        assert lui.dst_reg == (False, 4)
+
+    def test_rd_zero_discards_destination(self):
+        dyn = dyn_for(Opcode.ADD, rd=0, rs1=1, rs2=2)
+        assert dyn.dst_reg is None
+
+    def test_readiness(self):
+        dyn = dyn_for(Opcode.ADD, rd=3, rs1=1, rs2=2)
+        assert not dyn.done
+        dyn.complete_tick = 100
+        assert dyn.is_ready(100)
+        assert not dyn.is_ready(99)
+
+
+class TestInstStream:
+    def _stream_for(self, build):
+        asm = Assembler(base=0x1000)
+        build(asm)
+        system = System(SimConfig(cpu_model="o3", record=False))
+        system.set_se_workload(asm.assemble())
+        return InstStream(system.cpu), system
+
+    def test_yields_instructions_in_order(self):
+        def body(asm):
+            asm.li("t0", 1)
+            asm.li("t1", 2)
+            asm.halt()
+
+        stream, _ = self._stream_for(body)
+        first = stream.next_inst()
+        second = stream.next_inst()
+        assert first.pc == 0x1000
+        assert second.pc == 0x1004
+        assert second.seq == first.seq + 1
+
+    def test_taken_branch_reports_target(self):
+        def body(asm):
+            asm.li("t0", 1)
+            asm.bne("t0", "zero", "skip")
+            asm.nop()
+            asm.label("skip")
+            asm.halt()
+
+        stream, _ = self._stream_for(body)
+        stream.next_inst()
+        branch = stream.next_inst()
+        assert branch.inst.is_branch
+        assert branch.taken
+        assert branch.next_pc == branch.pc + 8
+
+    def test_exhausts_on_halt(self):
+        def body(asm):
+            asm.halt()
+
+        stream, _ = self._stream_for(body)
+        halt = stream.next_inst()
+        assert halt.inst.is_halt
+        assert stream.exhausted
+        assert stream.next_inst() is None
+
+    def test_mem_addr_captured(self):
+        def body(asm):
+            asm.li("t0", 0x4000)
+            asm.ld("t1", "t0", 8)
+            asm.halt()
+
+        stream, _ = self._stream_for(body)
+        stream.next_inst()
+        load = stream.next_inst()
+        assert load.mem_addr == 0x4008

@@ -1,0 +1,469 @@
+"""Tests for the SimRISC ISA: encoding, decoding, and semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.g5.isa import (
+    Assembler,
+    AssemblyError,
+    DecodeError,
+    Decoder,
+    INST_BYTES,
+    Opcode,
+    RegisterFile,
+    StaticInst,
+    encode,
+    parse_freg,
+    parse_reg,
+    to_signed64,
+    to_unsigned64,
+)
+
+
+class FakeContext:
+    """Minimal ExecContext with flat memory for semantics tests."""
+
+    def __init__(self):
+        self.regs = RegisterFile()
+        self.memory = {}
+        self.npc = None
+        self.syscalled = False
+
+    def read_int(self, index):
+        return self.regs.read_int(index)
+
+    def write_int(self, index, value):
+        self.regs.write_int(index, value)
+
+    def read_fp(self, index):
+        return self.regs.read_fp(index)
+
+    def write_fp(self, index, value):
+        self.regs.write_fp(index, value)
+
+    @property
+    def pc(self):
+        return self.regs.pc
+
+    def set_npc(self, addr):
+        self.npc = addr
+
+    def read_mem(self, addr, size):
+        return self.memory.get((addr, size), 0)
+
+    def write_mem(self, addr, size, value):
+        self.memory[(addr, size)] = value
+
+    def syscall(self):
+        self.syscalled = True
+
+
+def run_one(opcode, rd=0, rs1=0, rs2=0, imm=0, setup=None):
+    xc = FakeContext()
+    if setup:
+        setup(xc)
+    inst = StaticInst(encode(opcode, rd, rs1, rs2, imm))
+    inst.execute(xc)
+    return xc, inst
+
+
+class TestRegisters:
+    def test_x0_is_hardwired_zero(self):
+        regs = RegisterFile()
+        regs.write_int(0, 42)
+        assert regs.read_int(0) == 0
+
+    def test_values_truncate_to_64_bits(self):
+        regs = RegisterFile()
+        regs.write_int(1, 1 << 70)
+        assert regs.read_int(1) == 0
+
+    def test_parse_reg_aliases(self):
+        assert parse_reg("zero") == 0
+        assert parse_reg("sp") == 2
+        assert parse_reg("a0") == 10
+        assert parse_reg("x31") == 31
+
+    @pytest.mark.parametrize("bad", ["x32", "q5", "", "f1"])
+    def test_parse_reg_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+    def test_parse_freg(self):
+        assert parse_freg("f0") == 0
+        assert parse_freg("f31") == 31
+        with pytest.raises(ValueError):
+            parse_freg("f32")
+
+    def test_signed_conversion(self):
+        assert to_signed64((1 << 64) - 1) == -1
+        assert to_signed64(5) == 5
+        assert to_unsigned64(-1) == (1 << 64) - 1
+
+
+class TestALUSemantics:
+    def test_add(self):
+        xc, _ = run_one(Opcode.ADD, rd=3, rs1=1, rs2=2,
+                        setup=lambda c: (c.write_int(1, 7), c.write_int(2, 5)))
+        assert xc.read_int(3) == 12
+
+    def test_sub_wraps(self):
+        xc, _ = run_one(Opcode.SUB, rd=3, rs1=1, rs2=2,
+                        setup=lambda c: (c.write_int(1, 0), c.write_int(2, 1)))
+        assert xc.read_int(3) == (1 << 64) - 1
+
+    def test_mul_signed(self):
+        def setup(c):
+            c.write_int(1, to_unsigned64(-3))
+            c.write_int(2, 4)
+        xc, _ = run_one(Opcode.MUL, rd=3, rs1=1, rs2=2, setup=setup)
+        assert to_signed64(xc.read_int(3)) == -12
+
+    def test_div_truncates_toward_zero(self):
+        def setup(c):
+            c.write_int(1, to_unsigned64(-7))
+            c.write_int(2, 2)
+        xc, _ = run_one(Opcode.DIV, rd=3, rs1=1, rs2=2, setup=setup)
+        assert to_signed64(xc.read_int(3)) == -3
+
+    def test_div_by_zero_gives_minus_one(self):
+        xc, _ = run_one(Opcode.DIV, rd=3, rs1=1, rs2=2,
+                        setup=lambda c: c.write_int(1, 9))
+        assert to_signed64(xc.read_int(3)) == -1
+
+    def test_rem(self):
+        def setup(c):
+            c.write_int(1, to_unsigned64(-7))
+            c.write_int(2, 2)
+        xc, _ = run_one(Opcode.REM, rd=3, rs1=1, rs2=2, setup=setup)
+        assert to_signed64(xc.read_int(3)) == -1
+
+    def test_rem_by_zero_returns_dividend(self):
+        xc, _ = run_one(Opcode.REM, rd=3, rs1=1, rs2=2,
+                        setup=lambda c: c.write_int(1, 9))
+        assert xc.read_int(3) == 9
+
+    def test_logic_ops(self):
+        def setup(c):
+            c.write_int(1, 0b1100)
+            c.write_int(2, 0b1010)
+        for opcode, expected in ((Opcode.AND, 0b1000), (Opcode.OR, 0b1110),
+                                 (Opcode.XOR, 0b0110)):
+            xc, _ = run_one(opcode, rd=3, rs1=1, rs2=2, setup=setup)
+            assert xc.read_int(3) == expected
+
+    def test_shifts(self):
+        def setup(c):
+            c.write_int(1, 0x10)
+            c.write_int(2, 2)
+        xc, _ = run_one(Opcode.SLL, rd=3, rs1=1, rs2=2, setup=setup)
+        assert xc.read_int(3) == 0x40
+        xc, _ = run_one(Opcode.SRL, rd=3, rs1=1, rs2=2, setup=setup)
+        assert xc.read_int(3) == 0x4
+
+    def test_sra_preserves_sign(self):
+        def setup(c):
+            c.write_int(1, to_unsigned64(-8))
+            c.write_int(2, 1)
+        xc, _ = run_one(Opcode.SRA, rd=3, rs1=1, rs2=2, setup=setup)
+        assert to_signed64(xc.read_int(3)) == -4
+
+    def test_slt_vs_sltu(self):
+        def setup(c):
+            c.write_int(1, to_unsigned64(-1))
+            c.write_int(2, 1)
+        xc, _ = run_one(Opcode.SLT, rd=3, rs1=1, rs2=2, setup=setup)
+        assert xc.read_int(3) == 1   # -1 < 1 signed
+        xc, _ = run_one(Opcode.SLTU, rd=3, rs1=1, rs2=2, setup=setup)
+        assert xc.read_int(3) == 0   # 2^64-1 > 1 unsigned
+
+    def test_addi_negative(self):
+        xc, _ = run_one(Opcode.ADDI, rd=3, rs1=1, imm=-5,
+                        setup=lambda c: c.write_int(1, 3))
+        assert to_signed64(xc.read_int(3)) == -2
+
+    def test_lui(self):
+        xc, _ = run_one(Opcode.LUI, rd=3, imm=5)
+        assert xc.read_int(3) == 5 << 11
+
+
+class TestMemorySemantics:
+    def test_load_byte_sign_extends(self):
+        def setup(c):
+            c.write_int(1, 0x100)
+            c.memory[(0x108, 1)] = 0xFF
+        xc, _ = run_one(Opcode.LB, rd=3, rs1=1, imm=8, setup=setup)
+        assert to_signed64(xc.read_int(3)) == -1
+
+    def test_load_word_sign_extends(self):
+        def setup(c):
+            c.write_int(1, 0x100)
+            c.memory[(0x100, 4)] = 0x8000_0000
+        xc, _ = run_one(Opcode.LW, rd=3, rs1=1, setup=setup)
+        assert to_signed64(xc.read_int(3)) == -(1 << 31)
+
+    def test_store_truncates(self):
+        def setup(c):
+            c.write_int(1, 0x200)
+            c.write_int(2, 0x1_FF)
+        xc, _ = run_one(Opcode.SB, rs1=1, rs2=2, setup=setup)
+        assert xc.memory[(0x200, 1)] == 0xFF
+
+    def test_ea_uses_offset(self):
+        inst = StaticInst(encode(Opcode.LD, 3, 1, imm=-16))
+        xc = FakeContext()
+        xc.write_int(1, 0x1000)
+        assert inst.ea(xc) == 0x1000 - 16
+
+    def test_fp_load_store_roundtrip(self):
+        xc = FakeContext()
+        xc.write_int(1, 0x300)
+        xc.write_fp(2, 3.25)
+        store = StaticInst(encode(Opcode.FSD, rs1=1, rs2=2))
+        store.execute(xc)
+        load = StaticInst(encode(Opcode.FLD, rd=4, rs1=1))
+        load.execute(xc)
+        assert xc.read_fp(4) == 3.25
+
+    def test_mem_size(self):
+        assert StaticInst(encode(Opcode.LB, 1, 2)).mem_size == 1
+        assert StaticInst(encode(Opcode.LW, 1, 2)).mem_size == 4
+        assert StaticInst(encode(Opcode.LD, 1, 2)).mem_size == 8
+        with pytest.raises(TypeError):
+            _ = StaticInst(encode(Opcode.ADD, 1, 2, 3)).mem_size
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize("opcode,a,b,taken", [
+        (Opcode.BEQ, 5, 5, True), (Opcode.BEQ, 5, 6, False),
+        (Opcode.BNE, 5, 6, True), (Opcode.BNE, 5, 5, False),
+        (Opcode.BLT, -1, 1, True), (Opcode.BLT, 1, -1, False),
+        (Opcode.BGE, 1, -1, True), (Opcode.BGE, -1, 1, False),
+        (Opcode.BLTU, 1, 2, True), (Opcode.BLTU, -1, 1, False),
+        (Opcode.BGEU, -1, 1, True), (Opcode.BGEU, 1, 2, False),
+    ])
+    def test_branch_conditions(self, opcode, a, b, taken):
+        def setup(c):
+            c.regs.pc = 0x1000
+            c.write_int(1, to_unsigned64(a))
+            c.write_int(2, to_unsigned64(b))
+        xc, _ = run_one(opcode, rs1=1, rs2=2, imm=64, setup=setup)
+        if taken:
+            assert xc.npc == 0x1000 + 64
+        else:
+            assert xc.npc is None
+
+    def test_jal_links_and_jumps(self):
+        def setup(c):
+            c.regs.pc = 0x2000
+        xc, _ = run_one(Opcode.JAL, rd=1, imm=-32, setup=setup)
+        assert xc.npc == 0x2000 - 32
+        assert xc.read_int(1) == 0x2000 + INST_BYTES
+
+    def test_jalr_indirect(self):
+        def setup(c):
+            c.regs.pc = 0x2000
+            c.write_int(5, 0x3001)  # low bit cleared by JALR
+        xc, _ = run_one(Opcode.JALR, rd=1, rs1=5, imm=0, setup=setup)
+        assert xc.npc == 0x3000
+        assert xc.read_int(1) == 0x2004
+
+    def test_branch_target_static(self):
+        inst = StaticInst(encode(Opcode.BEQ, rs1=1, rs2=2, imm=100))
+        assert inst.branch_target(0x1000) == 0x1064
+        jalr = StaticInst(encode(Opcode.JALR, 1, 5))
+        assert jalr.branch_target(0x1000) is None
+
+    def test_classification_flags(self):
+        beq = StaticInst(encode(Opcode.BEQ, rs1=1, rs2=2, imm=4))
+        assert beq.is_branch and not beq.is_jump
+        jal = StaticInst(encode(Opcode.JAL, rd=1, imm=4))
+        assert jal.is_jump and jal.is_call and not jal.is_branch
+        ret = StaticInst(encode(Opcode.JALR, rd=0, rs1=1))
+        assert ret.is_return and ret.is_indirect
+
+    def test_ecall_dispatches(self):
+        xc, _ = run_one(Opcode.ECALL)
+        assert xc.syscalled
+
+    def test_halt_flag(self):
+        inst = StaticInst(encode(Opcode.HALT))
+        assert inst.is_halt
+
+
+class TestFPSemantics:
+    def test_arith(self):
+        def setup(c):
+            c.write_fp(1, 6.0)
+            c.write_fp(2, 1.5)
+        for opcode, expected in ((Opcode.FADD, 7.5), (Opcode.FSUB, 4.5),
+                                 (Opcode.FMUL, 9.0), (Opcode.FDIV, 4.0),
+                                 (Opcode.FMIN, 1.5), (Opcode.FMAX, 6.0)):
+            xc, _ = run_one(opcode, rd=3, rs1=1, rs2=2, setup=setup)
+            assert xc.read_fp(3) == expected
+
+    def test_fsqrt(self):
+        xc, _ = run_one(Opcode.FSQRT, rd=3, rs1=1,
+                        setup=lambda c: c.write_fp(1, 9.0))
+        assert xc.read_fp(3) == 3.0
+
+    def test_fmadd_accumulates(self):
+        def setup(c):
+            c.write_fp(1, 2.0)
+            c.write_fp(2, 3.0)
+            c.write_fp(3, 10.0)
+        xc, _ = run_one(Opcode.FMADD, rd=3, rs1=1, rs2=2, setup=setup)
+        assert xc.read_fp(3) == 16.0
+
+    def test_conversions(self):
+        xc, _ = run_one(Opcode.FCVT_D_L, rd=3, rs1=1,
+                        setup=lambda c: c.write_int(1, to_unsigned64(-7)))
+        assert xc.read_fp(3) == -7.0
+        xc, _ = run_one(Opcode.FCVT_L_D, rd=3, rs1=1,
+                        setup=lambda c: c.write_fp(1, 42.9))
+        assert xc.read_int(3) == 42
+
+    def test_compares_write_int(self):
+        def setup(c):
+            c.write_fp(1, 1.0)
+            c.write_fp(2, 2.0)
+        xc, _ = run_one(Opcode.FLT, rd=3, rs1=1, rs2=2, setup=setup)
+        assert xc.read_int(3) == 1
+        xc, _ = run_one(Opcode.FLE, rd=3, rs1=2, rs2=2, setup=setup)
+        assert xc.read_int(3) == 1
+
+
+class TestEncoding:
+    @given(st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.XOR]),
+           st.integers(0, 31), st.integers(0, 31), st.integers(0, 31))
+    def test_r_type_roundtrip(self, opcode, rd, rs1, rs2):
+        inst = StaticInst(encode(opcode, rd, rs1, rs2))
+        assert (inst.opcode, inst.rd, inst.rs1, inst.rs2) == \
+            (opcode, rd, rs1, rs2)
+
+    @given(st.sampled_from([Opcode.ADDI, Opcode.LD, Opcode.JALR]),
+           st.integers(0, 31), st.integers(0, 31),
+           st.integers(-(1 << 15), (1 << 15) - 1))
+    def test_i_type_roundtrip(self, opcode, rd, rs1, imm):
+        inst = StaticInst(encode(opcode, rd, rs1, imm=imm))
+        assert (inst.opcode, inst.rd, inst.rs1, inst.imm) == \
+            (opcode, rd, rs1, imm)
+
+    @given(st.sampled_from([Opcode.BEQ, Opcode.SD]),
+           st.integers(0, 31), st.integers(0, 31),
+           st.integers(-1024, 1023))
+    def test_sb_type_roundtrip(self, opcode, rs1, rs2, imm):
+        inst = StaticInst(encode(opcode, rs1=rs1, rs2=rs2, imm=imm))
+        assert (inst.opcode, inst.rs1, inst.rs2, inst.imm) == \
+            (opcode, rs1, rs2, imm)
+
+    def test_out_of_range_immediates_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Opcode.ADDI, 1, 1, imm=1 << 15)
+        with pytest.raises(ValueError):
+            encode(Opcode.BEQ, rs1=1, rs2=2, imm=1024)
+        with pytest.raises(ValueError):
+            encode(Opcode.JAL, rd=1, imm=1 << 20)
+
+
+class TestDecoder:
+    def test_caches_decoded_instructions(self):
+        decoder = Decoder()
+        word = encode(Opcode.ADD, 1, 2, 3)
+        first = decoder.decode(word)
+        second = decoder.decode(word)
+        assert first is second
+        assert decoder.lookups == 2
+        assert decoder.misses == 1
+        assert decoder.cache_size == 1
+
+    def test_undecodable_word_raises(self):
+        decoder = Decoder()
+        with pytest.raises(DecodeError):
+            decoder.decode(0x3F << 26)  # opcode 63 unused
+
+    def test_reset_stats(self):
+        decoder = Decoder()
+        decoder.decode(encode(Opcode.NOP))
+        decoder.reset_stats()
+        assert decoder.lookups == 0
+
+
+class TestAssembler:
+    def test_labels_resolve_backwards_and_forwards(self):
+        asm = Assembler(base=0x1000)
+        asm.j("end")
+        asm.label("middle")
+        asm.nop()
+        asm.label("end")
+        asm.j("middle")
+        program = asm.assemble()
+        jump_fwd = StaticInst(program.words[0])
+        assert jump_fwd.imm == 8   # 0x1000 -> 0x1008
+        jump_back = StaticInst(program.words[2])
+        assert jump_back.imm == -4
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(AssemblyError):
+            asm.label("x")
+
+    def test_undefined_label_rejected(self):
+        asm = Assembler()
+        asm.j("nowhere")
+        with pytest.raises(AssemblyError):
+            asm.assemble()
+
+    def test_li_small_is_one_inst(self):
+        asm = Assembler()
+        asm.li("t0", 100)
+        assert len(asm.assemble().words) == 1
+
+    def test_li_large_expands(self):
+        asm = Assembler()
+        asm.li("t0", 0x123456)
+        program = asm.assemble()
+        assert len(program.words) == 2
+
+    @given(st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_li_loads_exact_value(self, value):
+        from repro.g5 import SimConfig, System, simulate
+
+        asm = Assembler(base=0x1000)
+        asm.li("a0", value)
+        asm.li("a7", 93)
+        asm.ecall()
+        asm.halt()
+        system = System(SimConfig(cpu_model="atomic", record=False))
+        process = system.set_se_workload(asm.assemble())
+        simulate(system)
+        assert to_signed64(process.exit_code) == value
+
+    def test_la_loads_label_address(self):
+        asm = Assembler(base=0x1000)
+        asm.la("t0", "data")
+        asm.halt()
+        asm.label("data")
+        program = asm.assemble()
+        # Reconstruct: LUI imm<<11 + ADDI low.
+        lui = StaticInst(program.words[0])
+        addi = StaticInst(program.words[1])
+        assert (lui.imm << 11) + addi.imm == program.address_of("data")
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(AssemblyError):
+            Assembler(base=0x1001)
+
+    def test_entry_defaults_to_base(self):
+        asm = Assembler(base=0x2000)
+        asm.nop()
+        assert asm.assemble().entry == 0x2000
+
+    def test_program_size(self):
+        asm = Assembler(base=0x1000)
+        asm.nop()
+        asm.nop()
+        program = asm.assemble()
+        assert program.size_bytes == 8
+        assert program.end == 0x1008

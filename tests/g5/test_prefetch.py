@@ -1,0 +1,89 @@
+"""Tests for the next-line cache prefetcher."""
+
+import pytest
+
+from repro.g5 import Assembler, SimConfig, System, simulate
+from repro.g5.mem import CacheParams
+
+
+def streaming_program(n_lines=64):
+    """Walk an array one 64B line at a time — ideal for next-line."""
+    asm = Assembler(base=0x1000)
+    asm.li("s0", 0x10000)
+    asm.li("t0", 0)
+    asm.li("s1", 0)
+    asm.label("loop")
+    asm.slli("t1", "t0", 6)       # line stride
+    asm.add("t1", "t1", "s0")
+    asm.ld("t2", "t1", 0)
+    asm.add("s1", "s1", "t2")
+    asm.addi("t0", "t0", 1)
+    asm.li("t3", n_lines)
+    asm.blt("t0", "t3", "loop")
+    asm.mv("a0", "s1")
+    asm.li("a7", 93)
+    asm.ecall()
+    asm.halt()
+    return asm.assemble()
+
+
+def run(program, cpu_model="timing", prefetcher="none"):
+    config = SimConfig(
+        cpu_model=cpu_model,
+        l1d=CacheParams(size=64 * 1024, assoc=2, prefetcher=prefetcher),
+        record=False)
+    system = System(config)
+    system.set_se_workload(program)
+    result = simulate(system)
+    return result, system
+
+
+class TestNextLinePrefetcher:
+    def test_invalid_prefetcher_rejected(self):
+        with pytest.raises(ValueError):
+            CacheParams(size=4096, assoc=2, prefetcher="tage")
+
+    def test_streaming_misses_drop_atomic(self):
+        """Atomic-mode prefetch fills instantly: the chained next-line
+        stream turns all but the first access into hits."""
+        program = streaming_program()
+        base, base_system = run(program, "atomic", "none")
+        pf, pf_system = run(program, "atomic", "nextline")
+        base_misses = base_system.dcache.stat_misses.value()
+        pf_misses = pf_system.dcache.stat_misses.value()
+        assert pf_misses <= base_misses / 8
+        assert pf_system.dcache.stat_prefetches.value() > 0
+        assert pf_system.dcache.stat_prefetch_useful.value() > 0
+
+    def test_timing_prefetches_merge_late(self):
+        """In timing mode the stream runs ahead of memory, so demands
+        merge into in-flight prefetch MSHRs (late prefetches) — the
+        latency is still partially hidden."""
+        program = streaming_program()
+        _, pf_system = run(program, "timing", "nextline")
+        assert pf_system.dcache.stat_mshr_merges.value() > 0
+
+    def test_streaming_runs_faster(self):
+        program = streaming_program()
+        base, _ = run(program, prefetcher="none")
+        pf, _ = run(program, prefetcher="nextline")
+        assert pf.sim_cycles < base.sim_cycles
+
+    @pytest.mark.parametrize("cpu_model", ["atomic", "timing", "minor", "o3"])
+    def test_correctness_unchanged(self, cpu_model):
+        program = streaming_program(32)
+        base, _ = run(program, cpu_model, "none")
+        pf, _ = run(program, cpu_model, "nextline")
+        assert base.exit_code == pf.exit_code
+        assert base.sim_insts == pf.sim_insts
+
+    def test_atomic_mode_prefetches(self):
+        program = streaming_program()
+        _, system = run(streaming_program(), "atomic", "nextline")
+        assert system.dcache.stat_prefetches.value() > 0
+        assert system.dcache.stat_prefetch_useful.value() > 0
+
+    def test_useful_never_exceeds_issued(self):
+        _, system = run(streaming_program(), "timing", "nextline")
+        assert system.dcache.stat_prefetch_useful.value() <= \
+            system.dcache.stat_prefetches.value()

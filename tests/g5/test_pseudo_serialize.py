@@ -1,0 +1,247 @@
+"""Tests for m5 pseudo-ops and checkpointing."""
+
+import pytest
+
+from repro.g5 import Assembler, SimConfig, System, simulate
+from repro.g5.pseudo import (
+    M5_DUMP_STATS,
+    M5_EXIT,
+    M5_RESET_STATS,
+    M5_WORK_BEGIN,
+    M5_WORK_END,
+    PseudoOpError,
+)
+from repro.g5.serialize import (
+    Checkpoint,
+    CheckpointError,
+    restore_checkpoint,
+    take_checkpoint,
+)
+from repro.workloads import build_sieve, get_workload, prime_count_reference
+
+ALL_MODELS = ["atomic", "timing", "minor", "o3"]
+
+
+def roi_program(iterations=20):
+    asm = Assembler(base=0x1000)
+    asm.li("t0", iterations)
+    asm.m5_work_begin()
+    asm.label("loop")
+    asm.addi("t0", "t0", -1)
+    asm.bne("t0", "zero", "loop")
+    asm.m5_work_end()
+    asm.li("a0", 7)
+    asm.li("a7", 93)
+    asm.ecall()
+    asm.halt()
+    return asm.assemble()
+
+
+class TestPseudoOps:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_roi_markers_recorded(self, model):
+        system = System(SimConfig(cpu_model=model))
+        system.set_se_workload(roi_program())
+        result = simulate(system)
+        recorder = result.recorder
+        assert recorder.roi_begin is not None
+        assert recorder.roi_end is not None
+        assert 0 < recorder.roi_begin < recorder.roi_end <= len(recorder)
+        roi_fns, roi_daddrs = recorder.roi_slice()
+        assert len(roi_fns) == recorder.roi_end - recorder.roi_begin
+        assert len(roi_fns) == len(roi_daddrs)
+
+    def test_work_begin_resets_stats(self):
+        asm = Assembler(base=0x1000)
+        for _ in range(30):
+            asm.nop()
+        asm.m5op(M5_RESET_STATS)
+        asm.li("a0", 0)
+        asm.li("a7", 93)
+        asm.ecall()
+        asm.halt()
+        system = System(SimConfig(cpu_model="atomic"))
+        system.set_se_workload(asm.assemble())
+        result = simulate(system)
+        # Only the instructions after the reset are counted.
+        assert result.sim_insts < 10
+
+    def test_dump_stats_snapshots(self):
+        asm = Assembler(base=0x1000)
+        asm.nop()
+        asm.m5op(M5_DUMP_STATS)
+        asm.nop()
+        asm.nop()
+        asm.m5op(M5_DUMP_STATS)
+        asm.halt()
+        system = System(SimConfig(cpu_model="atomic"))
+        system.set_se_workload(asm.assemble())
+        simulate(system)
+        dumps = system.pseudo_ops.stat_dumps
+        assert len(dumps) == 2
+        assert dumps[1]["system.cpu.committedInsts"] > \
+            dumps[0]["system.cpu.committedInsts"]
+
+    def test_m5_exit_stops_simulation(self):
+        asm = Assembler(base=0x1000)
+        asm.m5op(M5_EXIT)
+        asm.nop()   # never reached
+        asm.halt()
+        system = System(SimConfig(cpu_model="atomic"))
+        system.set_se_workload(asm.assemble())
+        result = simulate(system)
+        assert "m5_exit" in result.exit_cause
+
+    def test_unknown_pseudo_op_raises(self):
+        asm = Assembler(base=0x1000)
+        asm.m5op(0x7F)
+        asm.halt()
+        system = System(SimConfig(cpu_model="atomic"))
+        system.set_se_workload(asm.assemble())
+        with pytest.raises(PseudoOpError):
+            simulate(system)
+
+    def test_in_roi_tracking(self):
+        system = System(SimConfig(cpu_model="atomic"))
+        system.set_se_workload(roi_program())
+        simulate(system)
+        handler = system.pseudo_ops
+        assert handler.work_begin_count == 1
+        assert handler.work_end_count == 1
+        assert not handler.in_roi
+
+    def test_workloads_mark_rois(self):
+        for name in ("sieve", "dedup", "water_nsquared"):
+            program = get_workload(name).build("test")
+            system = System(SimConfig(cpu_model="atomic"))
+            system.set_se_workload(program)
+            result = simulate(system)
+            assert result.recorder.roi_begin is not None, name
+            assert result.recorder.roi_end is not None, name
+
+
+class TestCheckpointing:
+    def _run_with_pause(self, program, pause_ticks, cpu_model="atomic"):
+        system = System(SimConfig(cpu_model=cpu_model))
+        system.set_se_workload(program, process_name="ckpt")
+        result = simulate(system, max_ticks=pause_ticks)
+        assert "limit" in result.exit_cause, "run ended before the pause"
+        return system
+
+    def test_checkpoint_roundtrip_same_model(self):
+        program = build_sieve(limit=150)
+        system = self._run_with_pause(program, pause_ticks=20_000)
+        checkpoint = take_checkpoint(system)
+        # Restore into a fresh system and finish the run.
+        fresh = System(SimConfig(cpu_model="atomic"))
+        fresh.set_se_workload(program, process_name="ckpt")
+        restore_checkpoint(fresh, checkpoint)
+        final = simulate(fresh)
+        assert fresh.process.exit_code == prime_count_reference(150)
+        assert final.exit_cause == "target called exit()"
+
+    @pytest.mark.parametrize("restore_model", ["timing", "minor", "o3"])
+    def test_cross_model_restore(self, restore_model):
+        """The paper's flow: checkpoint with one machine/model, restore
+        with another (fast-forward Atomic, measure detailed)."""
+        program = build_sieve(limit=150)
+        system = self._run_with_pause(program, pause_ticks=30_000)
+        checkpoint = take_checkpoint(system)
+        fresh = System(SimConfig(cpu_model=restore_model))
+        fresh.set_se_workload(program, process_name="ckpt")
+        restore_checkpoint(fresh, checkpoint)
+        simulate(fresh)
+        assert fresh.process.exit_code == prime_count_reference(150)
+
+    def test_checkpoint_preserves_console_and_brk(self):
+        asm = Assembler(base=0x1000)
+        asm.li("t0", ord("A"))
+        asm.li("s0", 0x9000)
+        asm.sb("t0", "s0", 0)
+        asm.li("a0", 1)
+        asm.li("a1", 0x9000)
+        asm.li("a2", 1)
+        asm.li("a7", 64)   # write
+        asm.ecall()
+        asm.li("a0", 0)
+        asm.li("a7", 214)  # brk
+        asm.ecall()
+        asm.addi("a0", "a0", 8192)
+        asm.li("a7", 214)
+        asm.ecall()
+        asm.label("spin")
+        asm.j("spin")
+        program = asm.assemble()
+        system = self._run_with_pause(program, pause_ticks=100_000)
+        checkpoint = take_checkpoint(system)
+        fresh = System(SimConfig(cpu_model="atomic"))
+        fresh.set_se_workload(program, process_name="ckpt")
+        restore_checkpoint(fresh, checkpoint)
+        assert fresh.process.console_text == "A"
+        assert fresh.process.brk == system.process.brk
+        assert fresh.process.syscall_counts[64] == 1
+
+    def test_json_roundtrip(self, tmp_path):
+        program = build_sieve(limit=100)
+        system = self._run_with_pause(program, pause_ticks=20_000)
+        checkpoint = take_checkpoint(system)
+        path = tmp_path / "sieve.cpt"
+        checkpoint.save(path)
+        loaded = Checkpoint.load(path)
+        assert loaded.pc == checkpoint.pc
+        assert loaded.int_regs == checkpoint.int_regs
+        assert loaded.pages == checkpoint.pages
+        assert loaded.touched_bytes == checkpoint.touched_bytes
+
+    def test_malformed_checkpoint_rejected(self):
+        with pytest.raises(CheckpointError):
+            Checkpoint.from_json("not json at all {")
+        with pytest.raises(CheckpointError):
+            Checkpoint.from_json('{"version": 99}')
+
+    def test_fs_system_not_checkpointable(self):
+        system = System(SimConfig(mode="fs"))
+        with pytest.raises(CheckpointError):
+            take_checkpoint(system)
+
+    def test_memory_size_mismatch_rejected(self):
+        program = build_sieve(limit=100)
+        system = self._run_with_pause(program, pause_ticks=20_000)
+        checkpoint = take_checkpoint(system)
+        other = System(SimConfig(cpu_model="atomic",
+                                 mem_size=64 * 1024 * 1024))
+        other.set_se_workload(program, process_name="ckpt")
+        with pytest.raises(CheckpointError):
+            restore_checkpoint(other, checkpoint)
+
+    def test_restored_run_matches_uninterrupted(self):
+        """Checkpoint/restore must not change the computation at all.
+
+        Uses an ROI-free program: the workload kernels' m5_work_begin
+        resets committedInsts, which would break the additivity check.
+        """
+        asm = Assembler(base=0x1000)
+        asm.li("t0", 500)
+        asm.li("s1", 0)
+        asm.label("loop")
+        asm.add("s1", "s1", "t0")
+        asm.addi("t0", "t0", -1)
+        asm.bne("t0", "zero", "loop")
+        asm.mv("a0", "s1")
+        asm.li("a7", 93)
+        asm.ecall()
+        asm.halt()
+        program = asm.assemble()
+        straight = System(SimConfig(cpu_model="atomic"))
+        straight.set_se_workload(program)
+        straight_result = simulate(straight)
+        paused = self._run_with_pause(program, pause_ticks=50_000)
+        checkpoint = take_checkpoint(paused)
+        resumed = System(SimConfig(cpu_model="atomic"))
+        resumed.set_se_workload(program, process_name="ckpt")
+        restore_checkpoint(resumed, checkpoint)
+        resumed_result = simulate(resumed)
+        assert resumed.process.exit_code == straight.process.exit_code
+        # Total instructions split across the two runs add up.
+        assert (checkpoint.committed_insts + resumed_result.sim_insts
+                == straight_result.sim_insts)

@@ -1,0 +1,237 @@
+"""Tests for SE-mode syscalls and FS-mode devices/kernel."""
+
+import pytest
+
+from repro.g5 import Assembler, SimConfig, System, simulate
+from repro.g5.fs.devices import (
+    POWER_BASE,
+    RTC_BASE,
+    SHUTDOWN_MAGIC,
+    UART_BASE,
+    UART_STATUS,
+)
+from repro.g5.se.syscalls import DeterministicRandom, SyscallError
+from repro.workloads import BANNER, build_boot_exit
+from repro.workloads.bootexit import (
+    PHASE_DEVICES,
+    PHASE_DONE,
+    PHASE_INIT_SPAWN,
+    PHASE_MEMINIT,
+    PHASE_PAGETABLES,
+)
+
+
+def run_se(asm_builder, cpu_model="atomic"):
+    asm = Assembler(base=0x1000)
+    asm_builder(asm)
+    system = System(SimConfig(cpu_model=cpu_model, record=False))
+    process = system.set_se_workload(asm.assemble())
+    result = simulate(system, max_ticks=10**12)
+    return result, process
+
+
+class TestSyscalls:
+    def test_exit_code_propagates(self):
+        def body(asm):
+            asm.li("a0", 42)
+            asm.li("a7", 93)
+            asm.ecall()
+            asm.halt()
+
+        result, process = run_se(body)
+        assert process.exit_code == 42
+        assert result.exit_code == 42
+
+    def test_write_to_stdout_collects_console(self):
+        def body(asm):
+            asm.li("t0", ord("h"))
+            asm.li("s0", 0x9000)
+            asm.sb("t0", "s0", 0)
+            asm.li("t0", ord("i"))
+            asm.sb("t0", "s0", 1)
+            asm.li("a0", 1)       # stdout
+            asm.li("a1", 0x9000)  # buffer
+            asm.li("a2", 2)       # count
+            asm.li("a7", 64)      # SYS_WRITE
+            asm.ecall()
+            asm.mv("s1", "a0")    # return value = byte count
+            asm.mv("a0", "s1")
+            asm.li("a7", 93)
+            asm.ecall()
+            asm.halt()
+
+        result, process = run_se(body)
+        assert process.console_text == "hi"
+        assert process.exit_code == 2
+
+    def test_write_bad_fd_returns_ebadf(self):
+        def body(asm):
+            asm.li("a0", 7)
+            asm.li("a1", 0x9000)
+            asm.li("a2", 1)
+            asm.li("a7", 64)
+            asm.ecall()
+            asm.mv("t0", "a0")
+            asm.li("t1", -9)
+            asm.sub("a0", "t0", "t1")  # 0 if returned -9
+            asm.li("a7", 93)
+            asm.ecall()
+            asm.halt()
+
+        _, process = run_se(body)
+        assert process.exit_code == 0
+
+    def test_brk_grows_heap(self):
+        def body(asm):
+            asm.li("a0", 0)
+            asm.li("a7", 214)
+            asm.ecall()           # a0 = current brk
+            asm.addi("a0", "a0", 4096)
+            asm.li("a7", 214)
+            asm.ecall()           # grow
+            asm.li("a7", 93)      # exit with new brk
+            asm.ecall()
+            asm.halt()
+
+        _, process = run_se(body)
+        assert process.exit_code == process.brk
+        assert process.brk > 0x1000
+
+    def test_getrandom_is_deterministic(self):
+        def body(asm):
+            asm.li("a0", 0x9100)
+            asm.li("a1", 8)
+            asm.li("a7", 278)
+            asm.ecall()
+            asm.li("s0", 0x9100)
+            asm.ld("a0", "s0", 0)
+            asm.li("a7", 93)
+            asm.ecall()
+            asm.halt()
+
+        _, first = run_se(body)
+        _, second = run_se(body)
+        assert first.exit_code == second.exit_code != 0
+
+    def test_unknown_syscall_raises(self):
+        def body(asm):
+            asm.li("a7", 9999)
+            asm.ecall()
+            asm.halt()
+
+        with pytest.raises(SyscallError):
+            run_se(body)
+
+    def test_syscall_counts_tracked(self):
+        def body(asm):
+            asm.li("a0", 0)
+            asm.li("a7", 214)
+            asm.ecall()
+            asm.li("a7", 93)
+            asm.ecall()
+            asm.halt()
+
+        _, process = run_se(body)
+        assert process.syscall_counts == {214: 1, 93: 1}
+
+
+class TestDeterministicRandom:
+    def test_repeatable(self):
+        assert DeterministicRandom(1).fill(16) == DeterministicRandom(1).fill(16)
+
+    def test_seed_changes_stream(self):
+        assert DeterministicRandom(1).fill(16) != DeterministicRandom(2).fill(16)
+
+
+def run_fs(program, cpu_model="atomic"):
+    system = System(SimConfig(cpu_model=cpu_model, mode="fs"))
+    system.set_fs_workload(program)
+    result = simulate(system, max_ticks=10**12)
+    return result, system
+
+
+class TestFSDevices:
+    def test_uart_mmio_write_reaches_console(self):
+        asm = Assembler(base=0x1000)
+        asm.li("s0", UART_BASE)
+        asm.li("t0", ord("X"))
+        asm.sw("t0", "s0", 0)
+        asm.li("t1", SHUTDOWN_MAGIC)
+        asm.li("s1", POWER_BASE)
+        asm.sw("t1", "s1", 0)
+        asm.halt()
+        result, system = run_fs(asm.assemble())
+        assert system.kernel.console_text == "X"
+        assert result.exit_cause == "guest requested shutdown"
+
+    def test_uart_status_reads_ready(self):
+        asm = Assembler(base=0x1000)
+        asm.li("s0", UART_BASE)
+        asm.lw("a0", "s0", UART_STATUS)
+        asm.li("a7", 1)  # FW_SHUTDOWN
+        asm.ecall()
+        asm.halt()
+        result, system = run_fs(asm.assemble())
+        assert result.exit_cause == "guest requested shutdown"
+
+    def test_rtc_returns_monotonic_time(self):
+        asm = Assembler(base=0x1000)
+        asm.li("s0", RTC_BASE)
+        asm.lw("t0", "s0", 0)
+        asm.nop()
+        asm.nop()
+        asm.lw("t1", "s0", 0)
+        asm.sub("a0", "t1", "t0")
+        asm.li("a7", 2)  # mark phase with the delta
+        asm.ecall()
+        asm.li("a7", 1)
+        asm.ecall()
+        asm.halt()
+        _, system = run_fs(asm.assemble())
+        assert system.kernel.boot_phases[0] > 0
+
+    def test_power_requires_magic(self):
+        asm = Assembler(base=0x1000)
+        asm.li("s0", POWER_BASE)
+        asm.li("t0", 0x1234)   # wrong magic
+        asm.sw("t0", "s0", 0)
+        asm.halt()
+        result, system = run_fs(asm.assemble())
+        assert result.exit_cause == "target called exit()"  # via halt
+
+    def test_kernel_unknown_trap_panics(self):
+        from repro.g5.fs.kernel import KernelPanic
+
+        asm = Assembler(base=0x1000)
+        asm.li("a7", 99)
+        asm.ecall()
+        asm.halt()
+        with pytest.raises(KernelPanic):
+            run_fs(asm.assemble())
+
+
+class TestBootExit:
+    @pytest.mark.parametrize("cpu_model", ["atomic", "timing", "minor", "o3"])
+    def test_boots_all_phases_and_shuts_down(self, cpu_model):
+        program = build_boot_exit(mem_pages=2, probe_loops=4)
+        result, system = run_fs(program, cpu_model)
+        assert system.kernel.boot_phases == [
+            PHASE_DEVICES, PHASE_MEMINIT, PHASE_PAGETABLES,
+            PHASE_INIT_SPAWN, PHASE_DONE]
+        assert system.kernel.booted
+        assert system.kernel.console_text == BANNER
+        assert result.exit_cause == "guest requested shutdown"
+
+    def test_memory_actually_scrubbed(self):
+        program = build_boot_exit(mem_pages=2, probe_loops=4)
+        _, system = run_fs(program)
+        from repro.workloads.kernels import DATA_BASE
+
+        assert system.memctrl.memory.read(DATA_BASE, 8) == 0
+        # PTEs were written after the scrubbed region.
+        pte0 = system.memctrl.memory.read(DATA_BASE + 2 * 4096, 8)
+        assert pte0 & 0x7 == 0x7
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            build_boot_exit(mem_pages=0)

@@ -1,0 +1,139 @@
+"""Tests for the gem5-style statistics framework."""
+
+import pytest
+
+from repro.events import EventQueue, Root, SimObject
+from repro.g5.stats import (
+    Distribution,
+    Formula,
+    Scalar,
+    StatGroup,
+    VectorStat,
+    dump_stats,
+)
+
+
+class TestScalar:
+    def test_inc_and_value(self):
+        stat = Scalar("count")
+        stat.inc()
+        stat.inc(4)
+        assert stat.value() == 5
+
+    def test_iadd(self):
+        stat = Scalar("count")
+        stat += 7
+        assert stat.value() == 7
+
+    def test_reset_restores_init(self):
+        stat = Scalar("count", init=2)
+        stat.inc(10)
+        stat.reset()
+        assert stat.value() == 2
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Scalar("")
+
+
+class TestFormula:
+    def test_computes_lazily(self):
+        numerator = Scalar("n")
+        formula = Formula("ratio", lambda: numerator.value() / 2)
+        numerator.inc(10)
+        assert formula.value() == 5
+
+    def test_division_by_zero_returns_zero(self):
+        formula = Formula("bad", lambda: 1 / 0)
+        assert formula.value() == 0.0
+
+
+class TestVectorStat:
+    def test_buckets(self):
+        stat = VectorStat("cmds", ["read", "write"])
+        stat.inc("read", 3)
+        stat.inc("write")
+        assert stat["read"] == 3
+        assert stat.value() == 4
+
+    def test_unknown_bucket_raises(self):
+        stat = VectorStat("cmds", ["read"])
+        with pytest.raises(KeyError):
+            stat.inc("write")
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ValueError):
+            VectorStat("cmds", [])
+
+    def test_reset(self):
+        stat = VectorStat("cmds", ["a"])
+        stat.inc("a", 9)
+        stat.reset()
+        assert stat["a"] == 0
+
+
+class TestDistribution:
+    def test_mean_min_max(self):
+        dist = Distribution("lat", 0, 100, 10)
+        for value in (10, 20, 30):
+            dist.sample(value)
+        assert dist.mean == 20
+        assert dist.min_value == 10
+        assert dist.max_value == 30
+
+    def test_under_and_overflow(self):
+        dist = Distribution("lat", 10, 20, 2)
+        dist.sample(5)
+        dist.sample(25)
+        dist.sample(15)
+        assert dist.underflow == 1
+        assert dist.overflow == 1
+        assert sum(dist.buckets) == 1
+
+    def test_bucket_placement(self):
+        dist = Distribution("lat", 0, 10, 2)
+        dist.sample(2)   # first bucket
+        dist.sample(7)   # second bucket
+        assert dist.buckets == [1, 1]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution("lat", 10, 10)
+
+    def test_empty_mean_is_zero(self):
+        assert Distribution("lat", 0, 10).mean == 0.0
+
+
+class TestStatGroup:
+    def test_duplicate_names_rejected(self):
+        group = StatGroup("obj")
+        group.scalar("x")
+        with pytest.raises(ValueError):
+            group.scalar("x")
+
+    def test_contains_and_getitem(self):
+        group = StatGroup("obj")
+        stat = group.scalar("x")
+        assert "x" in group
+        assert group["x"] is stat
+
+    def test_reset_all(self):
+        group = StatGroup("obj")
+        stat = group.scalar("x")
+        stat.inc(3)
+        group.reset()
+        assert stat.value() == 0
+
+
+class TestDumpStats:
+    def test_flattens_tree_with_paths(self):
+        root = Root("system", EventQueue())
+        cpu = SimObject("cpu", root)
+        cpu.stats.scalar("committedInsts").inc(42)
+        vector = cpu.stats.vector("cmds", ["read", "write"])
+        vector.inc("read", 2)
+        flat = dump_stats(root)
+        assert flat["system.cpu.committedInsts"] == 42
+        assert flat["system.cpu.cmds"] == 2
+        assert flat["system.cpu.cmds::read"] == 2
+        assert flat["system.cpu.cmds::write"] == 0

@@ -1,0 +1,74 @@
+"""Tests for the gem5-style stats.txt writer/parser."""
+
+import io
+
+from repro.g5 import SimConfig, System, simulate
+from repro.g5.statsfile import (
+    BEGIN_MARKER,
+    END_MARKER,
+    load_stats,
+    parse_stats,
+    save_stats,
+    write_stats,
+)
+from repro.workloads import build_sieve, prime_count_reference
+
+
+def run_system():
+    system = System(SimConfig(cpu_model="timing", record=False))
+    system.set_se_workload(build_sieve(limit=80))
+    simulate(system)
+    return system
+
+
+class TestStatsFile:
+    def test_roundtrip_through_text(self):
+        system = run_system()
+        stream = io.StringIO()
+        write_stats(system, stream)
+        text = stream.getvalue()
+        assert text.startswith(BEGIN_MARKER)
+        assert text.rstrip().endswith(END_MARKER)
+        parsed = parse_stats(text)
+        assert parsed["system.cpu.committedInsts"] == \
+            system.cpu.stat_committed.value()
+        assert parsed["system.icache.overallMisses"] == \
+            system.icache.stat_misses.value()
+
+    def test_file_roundtrip(self, tmp_path):
+        system = run_system()
+        path = tmp_path / "stats.txt"
+        save_stats(system, path)
+        parsed = load_stats(path)
+        assert parsed["system.cpu.numCycles"] == \
+            system.cpu.stat_cycles.value()
+
+    def test_formulas_dumped_as_values(self):
+        system = run_system()
+        stream = io.StringIO()
+        write_stats(system, stream)
+        parsed = parse_stats(stream.getvalue())
+        ipc = parsed["system.cpu.ipc"]
+        assert 0 < ipc <= 1.5
+        # stats.txt stores 6 decimal places, so compare approximately.
+        expected = (parsed["system.cpu.committedInsts"]
+                    / parsed["system.cpu.numCycles"])
+        assert abs(ipc - expected) < 1e-5
+
+    def test_parser_tolerates_gem5_quirks(self):
+        text = """
+---------- Begin Simulation Statistics ----------
+# a stray comment line
+simSeconds                                   0.000123 # seconds simulated
+system.cpu.ipc                               0.847 # committed IPC
+malformed_line_without_value
+---------- End Simulation Statistics   ----------
+"""
+        parsed = parse_stats(text)
+        assert parsed == {"simSeconds": 0.000123, "system.cpu.ipc": 0.847}
+
+    def test_descriptions_present(self):
+        system = run_system()
+        stream = io.StringIO()
+        write_stats(system, stream)
+        assert "# number of instructions committed" in stream.getvalue()

@@ -1,0 +1,119 @@
+"""Tests for system assembly, configuration, and run determinism."""
+
+import pytest
+
+from repro.g5 import SimConfig, System, simulate
+from repro.g5.mem import CacheParams
+from repro.workloads import get_workload
+
+
+class TestSimConfig:
+    def test_defaults(self):
+        config = SimConfig()
+        assert config.cpu_model == "atomic"
+        assert config.mode == "se"
+
+    def test_unknown_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(cpu_model="pentium")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(mode="hypervisor")
+
+    def test_with_cpu_builder(self):
+        config = SimConfig().with_cpu("o3").with_mode("fs")
+        assert config.cpu_model == "o3"
+        assert config.mode == "fs"
+
+
+class TestSystemAssembly:
+    def test_ports_fully_wired(self):
+        system = System(SimConfig())
+        assert system.cpu.icache_port.connected
+        assert system.cpu.dcache_port.connected
+        assert system.icache.mem_side.connected
+        assert system.dcache.mem_side.connected
+        assert system.l2cache.mem_side.connected
+        assert system.memctrl.port.connected
+
+    def test_fs_mode_adds_devices_and_kernel(self):
+        system = System(SimConfig(mode="fs"))
+        assert system.kernel is not None
+        assert len(system.devices) == 3
+        from repro.g5.fs.devices import UART_BASE
+
+        assert system.device_at(UART_BASE) is system.devices[0]
+        assert system.device_at(0x1000) is None
+
+    def test_se_mode_has_no_devices(self):
+        system = System(SimConfig(mode="se"))
+        assert system.kernel is None
+        assert system.device_at(0x0900_0000) is None
+
+    def test_se_workload_on_fs_system_rejected(self):
+        system = System(SimConfig(mode="fs"))
+        program = get_workload("sieve").build("test")
+        with pytest.raises(ValueError):
+            system.set_se_workload(program)
+
+    def test_fs_workload_on_se_system_rejected(self):
+        system = System(SimConfig(mode="se"))
+        program = get_workload("boot_exit").build("test")
+        with pytest.raises(ValueError):
+            system.set_fs_workload(program)
+
+    def test_custom_cache_geometry(self):
+        config = SimConfig(l1i=CacheParams(size=8192, assoc=4))
+        system = System(config)
+        assert system.icache.params.n_sets == 32
+
+
+class TestSimResult:
+    def test_stats_dump_included(self):
+        system = System(SimConfig())
+        system.set_se_workload(get_workload("sieve").build("test"))
+        result = simulate(system)
+        assert result.stats["system.cpu.committedInsts"] == result.sim_insts
+        assert "system.icache.overallMisses" in result.stats
+        assert result.sim_seconds > 0
+
+    def test_runs_are_deterministic(self):
+        def one_run():
+            system = System(SimConfig(cpu_model="o3"))
+            system.set_se_workload(get_workload("canneal").build("test"))
+            result = simulate(system)
+            return (result.sim_ticks, result.sim_insts,
+                    len(result.recorder),
+                    tuple(result.recorder.trace_fns[:100]))
+
+        assert one_run() == one_run()
+
+    def test_recorder_disabled_when_requested(self):
+        system = System(SimConfig(record=False))
+        system.set_se_workload(get_workload("sieve").build("test"))
+        result = simulate(system)
+        assert len(result.recorder) == 0
+
+    @pytest.mark.parametrize("model", ["atomic", "timing", "minor", "o3"])
+    def test_recorder_captures_model_specific_functions(self, model):
+        system = System(SimConfig(cpu_model=model))
+        system.set_se_workload(get_workload("sieve").build("test"))
+        result = simulate(system)
+        names = set(result.recorder.invocation_counts())
+        if model == "o3":
+            assert any(name.startswith("o3::") for name in names)
+        if model == "minor":
+            assert any("Minor" in name for name in names)
+        assert any(name.startswith("BaseCache::") for name in names)
+
+    def test_detail_increases_trace_functions(self):
+        def functions_for(model):
+            system = System(SimConfig(cpu_model=model))
+            system.set_se_workload(get_workload("sieve").build("test"))
+            return simulate(system).recorder.functions_touched()
+
+        atomic = functions_for("atomic")
+        timing = functions_for("timing")
+        o3 = functions_for("o3")
+        assert atomic < timing < o3

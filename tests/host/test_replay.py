@@ -1,0 +1,229 @@
+"""Tests for the host CPU replay engine: equivalence, determinism, and
+directional correctness of every tuning knob."""
+
+import pytest
+
+from repro.host.binary import BinaryImage
+from repro.host.corun import Contention, corun_contention, no_contention
+from repro.host.cpu import HostCPU, ReplayTuning, profile_g5_run
+from repro.host.hugepages import HugePagePolicy
+from repro.host.platform import firesim_rocket, intel_xeon, m1_pro
+
+
+@pytest.fixture(scope="module")
+def small_trace(request):
+    """One o3 g5 trace at test scale shared across this module."""
+    from repro.g5 import SimConfig, System, simulate
+    from repro.workloads import get_workload
+
+    system = System(SimConfig(cpu_model="o3"))
+    system.set_se_workload(get_workload("water_nsquared").build("test"))
+    return simulate(system).recorder
+
+
+def fresh_cpu(recorder, platform=None, **kwargs):
+    image = BinaryImage.for_recorder_functions(recorder.known_functions())
+    return HostCPU(platform or intel_xeon(), image, **kwargs)
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("platform_fn", [intel_xeon, m1_pro,
+                                             firesim_rocket])
+    def test_fast_equals_reference(self, small_trace, platform_fn):
+        rec = small_trace
+        ref = fresh_cpu(rec, platform_fn()).replay(
+            rec.trace_fns, rec.trace_daddrs, rec.fn_names, fast=False)
+        fast = fresh_cpu(rec, platform_fn()).replay(
+            rec.trace_fns, rec.trace_daddrs, rec.fn_names, fast=True)
+        # Float accumulation order differs between the two paths, so
+        # compare to tight relative tolerance rather than bit-exactly.
+        assert fast.cycles == pytest.approx(ref.cycles, rel=1e-9)
+        assert fast.uops == ref.uops
+        for key, ref_value in ref.raw_counters.items():
+            assert fast.raw_counters[key] == pytest.approx(
+                ref_value, rel=1e-9), key
+        assert fast.topdown.retiring == pytest.approx(
+            ref.topdown.retiring, rel=1e-9)
+        assert fast.topdown.frontend_bound == pytest.approx(
+            ref.topdown.frontend_bound, rel=1e-9)
+        assert fast.llc_occupancy_bytes == ref.llc_occupancy_bytes
+        assert fast.profile.cycles == pytest.approx(ref.profile.cycles)
+
+    def test_fast_equals_reference_with_hugepages(self, small_trace):
+        rec = small_trace
+        kwargs = {"hugepages": HugePagePolicy.THP}
+        ref = fresh_cpu(rec, **kwargs).replay(
+            rec.trace_fns, rec.trace_daddrs, rec.fn_names, fast=False)
+        fast = fresh_cpu(rec, **kwargs).replay(
+            rec.trace_fns, rec.trace_daddrs, rec.fn_names, fast=True)
+        assert fast.cycles == pytest.approx(ref.cycles, rel=1e-9)
+        for key, ref_value in ref.raw_counters.items():
+            assert fast.raw_counters[key] == pytest.approx(
+                ref_value, rel=1e-9), key
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self, small_trace):
+        first = fresh_cpu(small_trace).replay_recorder(small_trace)
+        second = fresh_cpu(small_trace).replay_recorder(small_trace)
+        assert first.cycles == second.cycles
+        assert first.raw_counters == second.raw_counters
+
+
+class TestTopDownValidity:
+    def test_level1_sums_to_one(self, small_trace):
+        result = fresh_cpu(small_trace).replay_recorder(small_trace)
+        result.topdown.validate()
+        level1 = result.topdown.level1()
+        assert all(0.0 <= value <= 1.0 for value in level1.values())
+
+    def test_fe_level2_consistent(self, small_trace):
+        td = fresh_cpu(small_trace).replay_recorder(small_trace).topdown
+        assert td.frontend_bound == pytest.approx(
+            td.fe_latency + td.fe_bandwidth)
+        assert td.fe_latency == pytest.approx(
+            td.fe_icache + td.fe_itlb + td.fe_mispredict_resteers
+            + td.fe_clear_resteers + td.fe_unknown_branches)
+        assert td.fe_bandwidth == pytest.approx(td.fe_mite + td.fe_dsb)
+
+
+class TestKnobDirections:
+    """Every modelled optimization must move time the right way."""
+
+    def test_bigger_l1_is_never_slower(self, small_trace):
+        small = fresh_cpu(small_trace, firesim_rocket(icache_kb=8,
+                                                      dcache_kb=8))
+        big = fresh_cpu(small_trace, firesim_rocket(
+            icache_kb=64, icache_assoc=16, dcache_kb=64, dcache_assoc=16))
+        slow = small.replay_recorder(small_trace)
+        fast = big.replay_recorder(small_trace)
+        assert fast.time_seconds < slow.time_seconds
+        assert fast.l1i_miss_rate < slow.l1i_miss_rate
+
+    def test_hugepages_cut_itlb_misses(self, small_trace):
+        base = fresh_cpu(small_trace).replay_recorder(small_trace)
+        thp = fresh_cpu(small_trace,
+                        hugepages=HugePagePolicy.THP).replay_recorder(
+                            small_trace)
+        assert thp.raw_counters["ITLB_MISSES"] < \
+            base.raw_counters["ITLB_MISSES"]
+        assert thp.time_seconds <= base.time_seconds
+
+    def test_higher_frequency_is_faster(self, small_trace):
+        fast_clock = intel_xeon().with_frequency(4.1)
+        slow_clock = intel_xeon().with_frequency(1.2)
+        fast = fresh_cpu(small_trace, fast_clock).replay_recorder(small_trace)
+        slow = fresh_cpu(small_trace, slow_clock).replay_recorder(small_trace)
+        ratio = slow.time_seconds / fast.time_seconds
+        # This tiny cold trace is DRAM-heavy, and DRAM latency is fixed
+        # in nanoseconds, so scaling is sub-linear here; the realistic
+        # near-linear behaviour (paper Fig. 13) is asserted at simsmall
+        # scale in the paper-claims tests.
+        assert 1.5 < ratio < 4.2
+
+    def test_contention_slows_the_process(self, small_trace):
+        platform = intel_xeon()
+        alone = fresh_cpu(small_trace).replay_recorder(small_trace)
+        crowded = fresh_cpu(
+            small_trace,
+            contention=corun_contention(platform, 20)).replay_recorder(
+                small_trace)
+        smt = fresh_cpu(
+            small_trace,
+            contention=corun_contention(platform, 40,
+                                        smt=True)).replay_recorder(
+                small_trace)
+        # On this tiny cold trace LLC pressure can be a no-op (evicted
+        # lines were never going to be re-referenced), so the per-core
+        # scenario is only >= the solo run; SMT must always cost more.
+        assert alone.time_seconds <= crowded.time_seconds < smt.time_seconds
+
+    def test_m1_beats_xeon(self, small_trace):
+        xeon = fresh_cpu(small_trace, intel_xeon()).replay_recorder(
+            small_trace)
+        m1 = fresh_cpu(small_trace, m1_pro()).replay_recorder(small_trace)
+        assert m1.time_seconds < xeon.time_seconds
+        assert m1.ipc > xeon.ipc
+        assert m1.l1i_miss_rate < xeon.l1i_miss_rate
+        assert m1.itlb_miss_rate < xeon.itlb_miss_rate
+
+
+class TestContentionModel:
+    def test_factory_validation(self):
+        with pytest.raises(ValueError):
+            corun_contention(intel_xeon(), 0)
+
+    def test_single_process_no_contention(self):
+        contention = corun_contention(intel_xeon(), 1)
+        assert not contention.active
+
+    def test_smt_shares_l1(self):
+        contention = corun_contention(intel_xeon(), 40, smt=True)
+        assert contention.smt_shared
+        assert contention.l1_evict_fraction > 0
+        assert contention.width_factor < 1.0
+
+    def test_non_smt_keeps_private_caches(self):
+        contention = corun_contention(intel_xeon(), 20, smt=False)
+        assert contention.l1_evict_fraction == 0.0
+        assert contention.width_factor == 1.0
+
+    def test_dram_penalty_factor(self):
+        contention = Contention(n_processes=4, bw_share=0.5)
+        assert contention.dram_penalty_factor == pytest.approx(2.0)
+
+
+class TestHugePageResolution:
+    def test_none_covers_nothing(self, small_trace):
+        from repro.host.hugepages import resolve_backing
+
+        image = BinaryImage.for_recorder_functions(
+            small_trace.known_functions())
+        backing = resolve_backing(HugePagePolicy.NONE, image)
+        assert backing.covers_bytes == 0
+
+    def test_thp_covers_hot_fraction_of_text(self, small_trace):
+        from repro.host.hugepages import resolve_backing
+
+        image = BinaryImage.for_recorder_functions(
+            small_trace.known_functions())
+        thp = resolve_backing(HugePagePolicy.THP, image)
+        ehp = resolve_backing(HugePagePolicy.EHP, image)
+        assert thp.covers_bytes >= 1 << 21
+        assert thp.covers_bytes < ehp.covers_bytes <= image.text_bytes
+
+    def test_page_shift_inside_and_outside(self, small_trace):
+        from repro.host.binary import TEXT_BASE
+        from repro.host.hugepages import resolve_backing
+
+        image = BinaryImage.for_recorder_functions(
+            small_trace.known_functions())
+        backing = resolve_backing(HugePagePolicy.THP, image)
+        assert backing.page_shift_for(TEXT_BASE, 12) == 21
+        assert backing.page_shift_for(backing.huge_end + 10, 12) == 12
+
+
+class TestProfileOutput:
+    def test_function_counts_grow_with_detail(self):
+        from repro.g5 import SimConfig, System, simulate
+        from repro.workloads import get_workload
+
+        counts = {}
+        for model in ("atomic", "o3"):
+            system = System(SimConfig(cpu_model=model))
+            system.set_se_workload(get_workload("sieve").build("test"))
+            recorder = simulate(system).recorder
+            result = profile_g5_run(recorder, intel_xeon())
+            counts[model] = result.functions_executed
+        assert counts["o3"] > counts["atomic"] * 2
+
+    def test_hotspot_report(self, small_trace):
+        from repro.core.profiler import analyze_profile
+
+        result = fresh_cpu(small_trace).replay_recorder(small_trace)
+        report = analyze_profile(result.profile, top_n=50)
+        assert report.total_functions > 400   # startup alone is 420
+        assert 0 < report.hottest_share < 0.5
+        assert report.cdf == sorted(report.cdf)
+        assert report.coverage_at(50) <= 1.0
+        assert report.coverage_at(1) == pytest.approx(report.hottest_share)

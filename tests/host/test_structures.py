@@ -1,0 +1,246 @@
+"""Tests for host caches, TLBs, branch unit, and DSB."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.host.binary import BinaryImage
+from repro.host.branch import HostBranchUnit
+from repro.host.caches import HostCache, HostHierarchy
+from repro.host.frontend import DSB
+from repro.host.platform import CacheGeometry, intel_xeon
+from repro.host.tlb import HostTLB
+
+
+class TestHostCache:
+    def test_hit_after_miss(self):
+        cache = HostCache("L1", CacheGeometry(4096, 2, 64))
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.access(0x13F)  # same line
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = HostCache("L1", CacheGeometry(128, 2, 64))  # 1 set, 2 ways
+        cache.access(0x000)
+        cache.access(0x040)
+        cache.access(0x000)          # A most recent
+        cache.access(0x080)          # evicts B (0x040)
+        assert cache.access(0x000)   # still resident
+        assert not cache.access(0x040)
+
+    def test_resident_bytes(self):
+        cache = HostCache("L1", CacheGeometry(4096, 4, 64))
+        for index in range(10):
+            cache.access(index * 64)
+        assert cache.resident_lines() == 10
+        assert cache.resident_bytes() == 640
+
+    def test_evict_fraction(self):
+        cache = HostCache("L1", CacheGeometry(8192, 4, 64))
+        for index in range(100):
+            cache.access(index * 64)
+        dropped = cache.evict_fraction(0.5)
+        assert 40 <= dropped <= 50
+        assert cache.resident_lines() == 100 - dropped
+
+    def test_evict_fraction_validates(self):
+        cache = HostCache("L1", CacheGeometry(4096, 2, 64))
+        with pytest.raises(ValueError):
+            cache.evict_fraction(1.5)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=300))
+    def test_against_reference_lru_model(self, line_numbers):
+        """The cache must behave exactly like an LRU reference model."""
+        geometry = CacheGeometry(1024, 4, 64)  # 4 sets, 4 ways
+        cache = HostCache("L1", geometry)
+        reference: dict[int, list[int]] = {s: [] for s in range(4)}
+        for line in line_numbers:
+            addr = line * 64
+            set_index = line % 4
+            stack = reference[set_index]
+            expected_hit = line in stack
+            if expected_hit:
+                stack.remove(line)
+            stack.insert(0, line)
+            del stack[4:]
+            assert cache.access(addr) == expected_hit
+
+
+class TestHierarchy:
+    def test_penalties_grow_down_the_hierarchy(self):
+        platform = intel_xeon()
+        hier = HostHierarchy(platform)
+        cold = hier.fetch_line(100)          # full miss -> DRAM
+        assert cold == platform.dram_latency_cycles
+        assert hier.fetch_line(100) == 0     # L1 hit
+        # Evict from L1I only: fill many conflicting lines.
+        for index in range(1, 64):
+            hier.fetch_line(100 + index * platform.l1i.n_sets)
+        l2_penalty = hier.fetch_line(100)
+        assert l2_penalty in (platform.l2_latency, platform.llc_latency)
+
+    def test_dram_traffic_counted(self):
+        hier = HostHierarchy(intel_xeon())
+        hier.data_access(0x1000)
+        hier.data_access(0x200000)
+        assert hier.dram_reads == 2
+        assert hier.dram_bytes == 128
+
+
+class TestHostTLB:
+    def test_hit_and_miss(self):
+        tlb = HostTLB("iTLB", 4, 4096)
+        assert not tlb.access(0x1000)
+        assert tlb.access(0x1FFF)   # same page
+        assert not tlb.access(0x2000)
+
+    def test_lru_capacity(self):
+        tlb = HostTLB("iTLB", 2, 4096)
+        tlb.access(0x1000)
+        tlb.access(0x2000)
+        tlb.access(0x1000)     # refresh page 1
+        tlb.access(0x3000)     # evicts page 2
+        assert tlb.access(0x1000)
+        assert not tlb.access(0x2000)
+
+    def test_page_size_controls_reach(self):
+        small = HostTLB("small", 8, 4096)
+        large = HostTLB("large", 8, 16384)
+        addresses = [i * 4096 for i in range(32)] * 4
+        for addr in addresses:
+            small.access(addr)
+            large.access(addr)
+        assert large.miss_rate < small.miss_rate
+
+    def test_huge_page_shift_fn(self):
+        huge_region = (0x40_0000, 0x80_0000)
+
+        def shift_for(addr):
+            if huge_region[0] <= addr < huge_region[1]:
+                return 21
+            return 12
+
+        tlb = HostTLB("iTLB", 4, 4096, shift_for)
+        tlb.access(0x40_0000)
+        assert tlb.access(0x5F_FFFF)  # same 2MB page
+        assert not tlb.access(0x1000)  # normal page
+
+    def test_mixed_page_sizes_coexist(self):
+        tlb = HostTLB("iTLB", 8, 4096, lambda a: 21 if a >= 1 << 30 else 12)
+        tlb.access(1 << 30)
+        tlb.access(0x1000)
+        assert tlb.access((1 << 30) + 100)
+        assert tlb.access(0x1500)
+
+    def test_flush(self):
+        tlb = HostTLB("iTLB", 4, 4096)
+        tlb.access(0x1000)
+        tlb.flush()
+        assert not tlb.access(0x1000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostTLB("bad", 0, 4096)
+        with pytest.raises(ValueError):
+            HostTLB("bad", 4, 1000)
+
+
+def _fn_with(biases, addr=0x400000, n_branches=9, loopy=False, uops=50):
+    """Build a SimFunction with chosen branch slots for unit tests."""
+    from repro.host.binary import SimFunction
+
+    return SimFunction(index=0, name="test", addr=addr, size=256,
+                       n_insts=40, n_uops=uops, n_branches=n_branches,
+                       branch_slots=tuple(biases), n_indirect=0,
+                       data_addr=0x8000000, loopy=loopy)
+
+
+class TestHostBranchUnit:
+    def test_deterministic_slots_learn_to_zero(self):
+        unit = HostBranchUnit(table_bits=12, btb_entries=64)
+        fn = _fn_with([1.0, 0.0, 1.0])
+        total_mispredicts = 0.0
+        for _ in range(100):
+            _, mispredicts = unit.run_function_branches(fn)
+            total_mispredicts += mispredicts
+        # Only the cold-start transitions mispredict.
+        assert total_mispredicts < 15
+
+    def test_hostile_slots_mispredict_often(self):
+        unit = HostBranchUnit(table_bits=12, btb_entries=64)
+        fn = _fn_with([0.5, 0.5, 0.5])
+        total = 0.0
+        for _ in range(200):
+            _, mispredicts = unit.run_function_branches(fn)
+            total += mispredicts
+        assert unit.mispredict_rate > 0.1
+
+    def test_btb_tracks_capacity(self):
+        unit = HostBranchUnit(table_bits=10, btb_entries=4)
+        for index in range(10):
+            unit.btb_lookup(0x1000 + index * 64)
+        assert len(unit.btb) <= 4
+        assert unit.btb_misses == 10
+
+    def test_btb_hit_on_reuse(self):
+        unit = HostBranchUnit(table_bits=10, btb_entries=16)
+        unit.btb_lookup(0x1000)
+        assert unit.btb_lookup(0x1000)
+
+    def test_indirect_polymorphism_misses(self):
+        unit = HostBranchUnit(table_bits=10, btb_entries=64)
+        assert not unit.indirect_lookup(0x2000, 0)
+        assert unit.indirect_lookup(0x2000, 0)
+        assert not unit.indirect_lookup(0x2000, 1)  # new target
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostBranchUnit(0, 16)
+
+
+class TestDSB:
+    def _loopy_fn(self, index, uops=40):
+        from repro.host.binary import SimFunction
+
+        return SimFunction(index=index, name=f"fn{index}",
+                           addr=0x400000 + index * 512, size=200,
+                           n_insts=30, n_uops=uops, n_branches=3,
+                           branch_slots=(1.0, 0.0, 1.0), n_indirect=0,
+                           data_addr=0x8000000, loopy=True)
+
+    def test_hit_after_install(self):
+        dsb = DSB(capacity_uops=256)
+        fn = self._loopy_fn(0)
+        assert not dsb.supply(fn)
+        assert dsb.supply(fn)
+        assert dsb.coverage == pytest.approx(0.5)
+
+    def test_capacity_evicts_lru(self):
+        dsb = DSB(capacity_uops=100)
+        a, b, c = (self._loopy_fn(i, uops=40) for i in range(3))
+        dsb.supply(a)
+        dsb.supply(b)
+        dsb.supply(c)  # 120 uops: evicts a
+        assert not dsb.supply(a)
+        assert dsb.occupied_uops <= 100 + 40
+
+    def test_non_loopy_functions_never_install(self):
+        dsb = DSB(capacity_uops=1024)
+        from repro.host.binary import SimFunction
+
+        cold = SimFunction(index=9, name="cold", addr=0x400000, size=300,
+                           n_insts=60, n_uops=70, n_branches=5,
+                           branch_slots=(1.0,), n_indirect=1,
+                           data_addr=0x8000000, loopy=False)
+        dsb.supply(cold)
+        assert not dsb.supply(cold)
+        assert dsb.coverage == 0.0
+
+    def test_absent_dsb_sends_everything_to_mite(self):
+        dsb = DSB(capacity_uops=0)
+        fn = self._loopy_fn(0)
+        assert not dsb.supply(fn)
+        assert not dsb.present
+        assert dsb.uops_from_mite == fn.n_uops

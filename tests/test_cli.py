@@ -1,0 +1,62 @@
+"""Tests for the repro-g5 command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "water_nsquared" in out
+        assert "boot_exit" in out
+        assert "fig14" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+
+    def test_simulate_se(self, capsys):
+        assert main(["simulate", "--workload", "sieve", "--cpu", "atomic",
+                     "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "target called exit()" in out
+        assert "sim insts" in out
+
+    def test_simulate_fs(self, capsys):
+        assert main(["simulate", "--workload", "boot_exit",
+                     "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "guest requested shutdown" in out
+        assert "miniux" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--workload", "sieve", "--cpu", "timing",
+                     "--scale", "test", "--platform", "M1_Pro",
+                     "--hotspots", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top-down" in out
+        assert "M1_Pro" in out
+        assert "hottest 3 functions" in out
+
+    def test_figure_smoke(self, capsys):
+        assert main(["figure", "fig13", "--scale", "test",
+                     "--max-records", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.13" in out
+        assert "TurboBoost" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "doom"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
