@@ -5,6 +5,9 @@ Examples::
     repro-g5 simulate --workload water_nsquared --cpu o3 --scale simsmall
     repro-g5 profile --workload dedup --cpu timing --platform M1_Pro
     repro-g5 figure fig2 --scale simsmall
+    repro-g5 figs --jobs 4                 # all figures, parallel executor
+    repro-g5 figs fig2 fig3 --no-cache     # a subset, cold
+    repro-g5 cache info                    # inspect the on-disk cache
     repro-g5 tables
     repro-g5 list
 """
@@ -12,15 +15,47 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
 from .core.profiler import analyze_profile
+from .exec import ProgressReporter, ResultCache, default_cache_dir
 from .experiments import FIGURES, ExperimentRunner, tables
 from .g5.system import SimConfig, System, simulate
 from .host.cpu import profile_g5_run
 from .host.platform import get_platform
 from .workloads.registry import SCALES, WORKLOADS, get_workload
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every command that goes through the executor."""
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for g5 cache misses "
+                             "(default: 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk result cache entirely")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache location (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro-g5)")
+
+
+def _cache_from_args(args: argparse.Namespace) -> Optional[ResultCache]:
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,6 +88,28 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--scale", default="simsmall", choices=SCALES)
     fig.add_argument("--max-records", type=int, default=None,
                      help="truncate traces before replay (sampling)")
+    _add_executor_args(fig)
+
+    figs = sub.add_parser(
+        "figs", help="regenerate many figures via the parallel executor")
+    figs.add_argument("figures", nargs="*", metavar="FIG",
+                      help="figure ids (default: all fifteen)")
+    figs.add_argument("--scale", default="simsmall", choices=SCALES)
+    figs.add_argument("--max-records", type=int, default=None,
+                      help="truncate traces before replay (sampling)")
+    figs.add_argument("--quiet", action="store_true",
+                      help="suppress per-run progress lines")
+    _add_executor_args(figs)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache")
+    cache.add_argument("action", choices=["info", "list", "clear"])
+    cache.add_argument("--kind", default=None,
+                       choices=["g5", "host", "spec"],
+                       help="restrict clear to one entry kind")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache location (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro-g5)")
 
     sub.add_parser("tables", help="print Tables I and II")
     sub.add_parser("list", help="list workloads, platforms, figures")
@@ -63,6 +120,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--max-records", type=int, default=60000)
     report.add_argument("--output", default="EXPERIMENTS.md",
                         help="file to write (default: EXPERIMENTS.md)")
+    _add_executor_args(report)
     return parser
 
 
@@ -131,10 +189,78 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     runner = ExperimentRunner(scale=args.scale,
-                              max_records=args.max_records)
+                              max_records=args.max_records,
+                              jobs=args.jobs,
+                              cache=_cache_from_args(args))
     module = FIGURES[args.figure_id]
+    runner.prefetch(module.required_g5())
     figure = module.run(runner)
     print(figure.render())
+    return 0
+
+
+def _print_executor_summary(runner: ExperimentRunner) -> None:
+    stats = runner.cache_stats()
+    print("== executor summary ==")
+    print(f"g5 simulations executed : {stats['g5_executed']}")
+    print(f"g5 disk-cache hits      : {stats['g5_disk_hits']}")
+    print(f"host replays computed   : {stats['host_replays']} "
+          f"(disk hits {stats['host_disk_hits']})")
+    print(f"spec replays computed   : {stats['spec_replays']} "
+          f"(disk hits {stats['spec_disk_hits']})")
+
+
+def _cmd_figs(args: argparse.Namespace) -> int:
+    figure_ids = args.figures or sorted(FIGURES)
+    unknown = [fid for fid in figure_ids if fid not in FIGURES]
+    if unknown:
+        print(f"unknown figure id(s): {', '.join(unknown)}; choose from "
+              f"{', '.join(sorted(FIGURES))}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else ProgressReporter()
+    runner = ExperimentRunner(scale=args.scale,
+                              max_records=args.max_records,
+                              jobs=args.jobs,
+                              cache=_cache_from_args(args),
+                              progress=progress)
+    requirements: list[tuple] = []
+    for fid in figure_ids:
+        requirements.extend(FIGURES[fid].required_g5())
+    runner.prefetch(requirements)
+    for fid in figure_ids:
+        print(FIGURES[fid].run(runner).render())
+        print()
+    _print_executor_summary(runner)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear(kind=args.kind)
+        what = f"{args.kind} " if args.kind else ""
+        print(f"removed {removed} {what}cache entr"
+              f"{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    if args.action == "list":
+        count = 0
+        for entry in cache.entries():
+            print(f"{entry.digest[:12]}  {entry.size_bytes:>9d}B  "
+                  f"{entry.label}")
+            count += 1
+        if not count:
+            print(f"cache at {cache.root} is empty")
+        return 0
+    stats = cache.stats()
+    print(f"cache root   : {cache.root}")
+    print(f"entries      : {stats['entries']} "
+          f"(g5 {stats.get('g5', 0)}, host {stats.get('host', 0)}, "
+          f"spec {stats.get('spec', 0)})")
+    print(f"total size   : {stats['total_bytes'] / 1024:.1f} KB")
+    from .exec.costmodel import CostModel
+
+    learned = CostModel(cache.costs_path).known_classes()
+    print(f"cost history : {len(learned)} learned job class(es)")
     return 0
 
 
@@ -149,7 +275,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.summary import generate_report
 
     markdown = generate_report(scale=args.scale,
-                               max_records=args.max_records)
+                               max_records=args.max_records,
+                               jobs=args.jobs,
+                               cache=_cache_from_args(args))
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(markdown)
     print(f"wrote {args.output}")
@@ -167,13 +295,27 @@ def _cmd_list() -> int:
 
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(_build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro-g5 cache list | head`);
+        # silence the shutdown flush and exit the way a SIGPIPE would.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 128 + 13
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "figs":
+        return _cmd_figs(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "tables":
         return _cmd_tables()
     if args.command == "report":

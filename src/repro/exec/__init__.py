@@ -1,0 +1,41 @@
+"""Parallel, disk-cached experiment execution (see DESIGN.md).
+
+The scaling backbone under :class:`~repro.experiments.runner.
+ExperimentRunner`: content-addressed result caching
+(:mod:`~repro.exec.cache`, :mod:`~repro.exec.keys`), a cost-model-
+scheduled process pool (:mod:`~repro.exec.pool`,
+:mod:`~repro.exec.costmodel`), and progress reporting
+(:mod:`~repro.exec.progress`).
+"""
+
+from .cache import CacheEntry, ResultCache, default_cache_dir
+from .costmodel import CostModel
+from .keys import (
+    CacheKey,
+    g5_key,
+    host_fingerprint,
+    host_key,
+    sim_fingerprint,
+    spec_key,
+)
+from .pool import EngineStats, ExecutionEngine, G5Job, execute_g5_job
+from .progress import NullReporter, ProgressReporter
+
+__all__ = [
+    "CacheEntry",
+    "CacheKey",
+    "CostModel",
+    "EngineStats",
+    "ExecutionEngine",
+    "G5Job",
+    "NullReporter",
+    "ProgressReporter",
+    "ResultCache",
+    "default_cache_dir",
+    "execute_g5_job",
+    "g5_key",
+    "host_fingerprint",
+    "host_key",
+    "sim_fingerprint",
+    "spec_key",
+]

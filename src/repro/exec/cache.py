@@ -1,0 +1,185 @@
+"""Content-addressed on-disk result cache.
+
+Layout (under the cache root, default ``~/.cache/repro-g5`` or
+``$REPRO_CACHE_DIR``)::
+
+    objects/<digest[:2]>/<digest>.pkl    # one pickled envelope per entry
+    costs.json                           # cost-model history (see costmodel)
+
+Each envelope records the entry kind (``g5`` / ``host`` / ``spec``), the
+human-readable key document, and the payload.  Writes are atomic
+(temp file + ``os.replace``) so a crashed run can never leave a partial
+entry behind; unreadable or wrong-format entries are treated as misses
+and deleted, which doubles as the format-migration path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from .keys import CacheKey
+
+#: Envelope format version; entries with any other version are misses.
+ENVELOPE_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-g5``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-g5"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored result, as listed by ``repro-g5 cache list``."""
+
+    digest: str
+    kind: str
+    describe: dict
+    size_bytes: int
+
+    @property
+    def label(self) -> str:
+        d = self.describe
+        if self.kind == "g5":
+            return (f"g5 {d.get('cpu_model')}/{d.get('workload')} "
+                    f"({d.get('mode')}, {d.get('scale')})")
+        if self.kind == "host":
+            g5 = d.get("g5_describe", {})
+            platform = d.get("platform") or {}
+            name = platform.get("name") if isinstance(platform, dict) else "?"
+            return (f"host {g5.get('cpu_model')}/{g5.get('workload')} "
+                    f"on {name}")
+        if self.kind == "spec":
+            platform = d.get("platform") or {}
+            name = platform.get("name") if isinstance(platform, dict) else "?"
+            return f"spec {d.get('spec')} on {name}"
+        return self.kind
+
+
+class ResultCache:
+    """Content-addressed pickle store with atomic writes."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self._objects = self.root / "objects"
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def _path(self, digest: str) -> Path:
+        return self._objects / digest[:2] / f"{digest}.pkl"
+
+    @property
+    def costs_path(self) -> Path:
+        return self.root / "costs.json"
+
+    # ------------------------------------------------------------------
+    # store / fetch
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[object]:
+        """The stored payload for ``key``, or None on any kind of miss."""
+        path = self._path(key.digest)
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt or unreadable entry: drop it and report a miss.
+            path.unlink(missing_ok=True)
+            return None
+        if (not isinstance(envelope, dict)
+                or envelope.get("version") != ENVELOPE_VERSION
+                or envelope.get("digest") != key.digest):
+            path.unlink(missing_ok=True)
+            return None
+        return envelope["payload"]
+
+    def put(self, key: CacheKey, payload: object) -> None:
+        """Atomically store ``payload`` under ``key``."""
+        envelope = {
+            "version": ENVELOPE_VERSION,
+            "digest": key.digest,
+            "kind": key.kind,
+            "describe": key.describe,
+            "payload": payload,
+        }
+        path = self._path(key.digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(envelope, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return self._path(key.digest).exists()
+
+    # ------------------------------------------------------------------
+    # inspection / maintenance
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[CacheEntry]:
+        """Yield every readable entry (unreadable ones are skipped)."""
+        if not self._objects.is_dir():
+            return
+        for path in sorted(self._objects.rglob("*.pkl")):
+            try:
+                with open(path, "rb") as handle:
+                    envelope = pickle.load(handle)
+                if envelope.get("version") != ENVELOPE_VERSION:
+                    continue
+            except Exception:
+                continue
+            yield CacheEntry(
+                digest=envelope["digest"],
+                kind=envelope["kind"],
+                describe=envelope["describe"],
+                size_bytes=path.stat().st_size,
+            )
+
+    def stats(self) -> dict[str, int]:
+        """Entry counts by kind plus total size in bytes."""
+        counts: dict[str, int] = {"total_bytes": 0, "entries": 0}
+        for entry in self.entries():
+            counts[entry.kind] = counts.get(entry.kind, 0) + 1
+            counts["entries"] += 1
+            counts["total_bytes"] += entry.size_bytes
+        return counts
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete entries (all, or one kind); returns the count removed."""
+        removed = 0
+        if not self._objects.is_dir():
+            return removed
+        for path in list(self._objects.rglob("*.pkl")):
+            if kind is not None:
+                try:
+                    with open(path, "rb") as handle:
+                        envelope = pickle.load(handle)
+                    if envelope.get("kind") != kind:
+                        continue
+                except Exception:
+                    pass  # unreadable entries go regardless of kind
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,129 @@
+"""Predicting g5 simulation cost to schedule longest jobs first.
+
+Fanning a heterogeneous experiment matrix over a worker pool suffers
+from stragglers: an O3 full-system boot takes an order of magnitude
+longer than an Atomic microbenchmark, and if it starts last the pool
+idles behind it.  Longest-processing-time-first scheduling needs only a
+*relative* duration estimate, which simulation time supplies readily
+(Gem5Pred makes the same observation at much larger scale): cost scales
+with the CPU model's per-instruction work, the workload's scale, and the
+mode's device overhead.
+
+The model starts from static weights and then learns: every completed
+run feeds an exponential moving average per (workload, cpu, mode, scale)
+class, persisted as ``costs.json`` in the cache directory, so the second
+experiment campaign schedules from measured durations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pool import G5Job
+
+#: Relative per-instruction simulation work by CPU model (the paper's
+#: Table/Fig. ordering: detail costs time).
+CPU_MODEL_WEIGHT = {"atomic": 1.0, "timing": 2.2, "minor": 4.5, "o3": 7.5}
+
+#: Relative guest work by workload scale.
+SCALE_WEIGHT = {"test": 1.0, "simsmall": 6.0, "simmedium": 20.0}
+
+#: FS mode adds device and kernel events on top of the CPU work.
+MODE_WEIGHT = {"se": 1.0, "fs": 1.6}
+
+#: EMA smoothing for observed durations.
+EMA_ALPHA = 0.5
+
+
+def job_class(job: "G5Job") -> str:
+    """The history bucket a job's duration is learned under."""
+    return f"{job.workload}|{job.cpu_model}|{job.mode}|{job.scale}"
+
+
+class CostModel:
+    """Relative-duration oracle with optional persisted history."""
+
+    def __init__(self,
+                 history_path: Union[str, Path, None] = None) -> None:
+        self.history_path = (Path(history_path)
+                             if history_path is not None else None)
+        self._history: dict[str, float] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if self.history_path is None:
+            return
+        try:
+            data = json.loads(self.history_path.read_text())
+            if isinstance(data, dict):
+                self._history = {str(k): float(v)
+                                 for k, v in data.items()}
+        except (OSError, ValueError):
+            self._history = {}
+
+    def _save(self) -> None:
+        if self.history_path is None:
+            return
+        try:
+            self.history_path.parent.mkdir(parents=True, exist_ok=True)
+            self.history_path.write_text(
+                json.dumps(self._history, sort_keys=True, indent=1))
+        except OSError:
+            pass  # history is an optimisation; never fail a run over it
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def static_weight(self, job: "G5Job") -> float:
+        """Prior relative cost from model/scale/mode weights alone."""
+        return (CPU_MODEL_WEIGHT.get(job.cpu_model, 4.0)
+                * SCALE_WEIGHT.get(job.scale, 6.0)
+                * MODE_WEIGHT.get(job.mode, 1.0))
+
+    def predict(self, job: "G5Job") -> float:
+        """Predicted duration (seconds-ish; only the ordering matters)."""
+        learned = self._history.get(job_class(job))
+        if learned is not None:
+            return learned
+        return self.static_weight(job) * 0.01
+
+    def observe(self, job: "G5Job", seconds: float) -> None:
+        """Fold one measured duration into the per-class EMA."""
+        key = job_class(job)
+        previous = self._history.get(key)
+        if previous is None:
+            self._history[key] = seconds
+        else:
+            self._history[key] = (EMA_ALPHA * seconds
+                                  + (1.0 - EMA_ALPHA) * previous)
+
+    def flush(self) -> None:
+        """Persist the learned durations (best effort)."""
+        self._save()
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, jobs: Sequence["G5Job"]) -> list["G5Job"]:
+        """Jobs ordered predicted-longest-first (LPT minimises makespan).
+
+        Ties break on the job's stable sort key so the order — and hence
+        worker assignment — is deterministic run to run.
+        """
+        return sorted(jobs,
+                      key=lambda j: (-self.predict(j), j.sort_key()))
+
+    def known_classes(self) -> dict[str, float]:
+        """The learned history (for cache inspection)."""
+        return dict(self._history)
+
+
+def load_cost_model(history_path: Optional[Path]) -> CostModel:
+    """Cost model backed by ``history_path`` (None = in-memory only)."""
+    return CostModel(history_path)

@@ -1,0 +1,210 @@
+"""The parallel, disk-cached g5 execution engine.
+
+One :class:`G5Job` names one g5 simulation — ``(workload, cpu_model,
+mode, scale)`` plus an optional non-default :class:`SimConfig`.  The
+engine resolves each job through three layers:
+
+1. the content-addressed disk cache (:mod:`repro.exec.cache`), keyed by
+   config + workload + code fingerprint;
+2. for misses, a ``ProcessPoolExecutor`` fan-out across ``jobs`` workers,
+   scheduled predicted-longest-first (:mod:`repro.exec.costmodel`) so
+   the O3/FS stragglers start immediately;
+3. inline execution when the pool would not help (one worker, or a
+   single miss).
+
+Workers return *packed* results (plain builtins, see
+:mod:`repro.g5.serialize`), which is also the cache value format — so
+a result is bit-identical whether it came from a worker, the disk, or
+an inline run.  Simulation is deterministic, so executing a job twice
+can never produce two different cache values.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..g5.serialize import pack_sim_result, unpack_sim_result
+from ..g5.system import SimConfig, SimResult, System, simulate
+from ..workloads.registry import get_workload
+from .cache import ResultCache
+from .costmodel import CostModel
+from .keys import CacheKey, g5_key
+from .progress import NullReporter, ProgressReporter
+
+
+@dataclass(frozen=True)
+class G5Job:
+    """One g5 simulation the engine can execute or fetch."""
+
+    workload: str
+    cpu_model: str
+    mode: str
+    scale: str
+    sim_config: Optional[SimConfig] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.cpu_model}/{self.workload} ({self.mode}, {self.scale})"
+
+    def sort_key(self) -> tuple:
+        return (self.workload, self.cpu_model, self.mode, self.scale)
+
+    def cache_key(self) -> CacheKey:
+        return g5_key(self.workload, self.cpu_model, self.mode, self.scale,
+                      self.sim_config)
+
+
+def execute_g5_job(job: G5Job) -> SimResult:
+    """Run one g5 simulation to completion (no caching)."""
+    spec = get_workload(job.workload)
+    program = spec.build(job.scale)
+    if job.sim_config is not None:
+        config = job.sim_config
+    else:
+        config = SimConfig(cpu_model=job.cpu_model, mode=job.mode)
+    system = System(config)
+    if job.mode == "se":
+        system.set_se_workload(program, process_name=job.workload)
+    else:
+        system.set_fs_workload(program)
+    return simulate(system)
+
+
+def _pool_worker(job: G5Job) -> tuple[dict, float]:
+    """Process-pool entry point: run a job, return (packed result, secs)."""
+    start = time.perf_counter()
+    result = execute_g5_job(job)
+    return pack_sim_result(result), time.perf_counter() - start
+
+
+@dataclass
+class EngineStats:
+    """What the engine actually did, for summaries and the smoke test."""
+
+    executed: int = 0        # simulations actually run (pool or inline)
+    disk_hits: int = 0       # results served from the on-disk cache
+    executed_seconds: float = 0.0
+    by_label: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, float]:
+        return {"g5_executed": self.executed,
+                "g5_disk_hits": self.disk_hits,
+                "g5_executed_seconds": round(self.executed_seconds, 3)}
+
+
+class ExecutionEngine:
+    """Resolves G5Jobs through cache layers and a worker pool."""
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 cost_model: Optional[CostModel] = None,
+                 progress: Optional[ProgressReporter] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"need at least one worker, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        if cost_model is None:
+            history = cache.costs_path if cache is not None else None
+            cost_model = CostModel(history)
+        self.cost_model = cost_model
+        self.progress = progress if progress is not None else NullReporter()
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # single job
+    # ------------------------------------------------------------------
+    def run(self, job: G5Job) -> SimResult:
+        """Resolve one job: disk cache, then inline execution."""
+        key = job.cache_key()
+        cached = self._fetch(key)
+        if cached is not None:
+            return cached
+        return self._execute_inline(job, key)
+
+    # ------------------------------------------------------------------
+    # batches
+    # ------------------------------------------------------------------
+    def run_batch(self, jobs: Iterable[G5Job]) -> dict[G5Job, SimResult]:
+        """Resolve a job set, fanning cache misses across the pool.
+
+        Duplicate jobs collapse to one execution.  Results come back for
+        every requested job regardless of how each was satisfied.
+        """
+        unique = list(dict.fromkeys(jobs))
+        results: dict[G5Job, SimResult] = {}
+        misses: list[G5Job] = []
+        keys: dict[G5Job, CacheKey] = {}
+        for job in unique:
+            key = job.cache_key()
+            keys[job] = key
+            cached = self._fetch(key)
+            if cached is not None:
+                results[job] = cached
+            else:
+                misses.append(job)
+        ordered = self.cost_model.schedule(misses)
+        workers = min(self.jobs, len(ordered))
+        self.progress.batch_start(len(ordered), len(results), max(1, workers))
+        if workers > 1:
+            self._execute_pool(ordered, keys, results, workers)
+        else:
+            for job in ordered:
+                results[job] = self._execute_inline(job, keys[job])
+        self.cost_model.flush()
+        self.progress.batch_end()
+        return results
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _fetch(self, key: CacheKey) -> Optional[SimResult]:
+        if self.cache is None:
+            return None
+        payload = self.cache.get(key)
+        if payload is None:
+            return None
+        try:
+            result = unpack_sim_result(payload)
+        except Exception:
+            return None
+        self.stats.disk_hits += 1
+        return result
+
+    def _store(self, key: CacheKey, packed: dict) -> None:
+        if self.cache is not None:
+            self.cache.put(key, packed)
+
+    def _record(self, job: G5Job, seconds: float) -> None:
+        self.stats.executed += 1
+        self.stats.executed_seconds += seconds
+        self.stats.by_label[job.label] = round(seconds, 3)
+        self.cost_model.observe(job, seconds)
+
+    def _execute_inline(self, job: G5Job, key: CacheKey) -> SimResult:
+        start = time.perf_counter()
+        result = execute_g5_job(job)
+        seconds = time.perf_counter() - start
+        self._store(key, pack_sim_result(result))
+        self._record(job, seconds)
+        self.progress.job_done(job.label, seconds)
+        return result
+
+    def _execute_pool(self, ordered: list[G5Job],
+                      keys: dict[G5Job, CacheKey],
+                      results: dict[G5Job, SimResult],
+                      workers: int) -> None:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(_pool_worker, job): job
+                       for job in ordered}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    job = pending.pop(future)
+                    packed, seconds = future.result()
+                    self._store(keys[job], packed)
+                    self._record(job, seconds)
+                    results[job] = unpack_sim_result(packed)
+                    self.progress.job_done(job.label, seconds)

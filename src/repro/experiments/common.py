@@ -35,6 +35,13 @@ GEM5_CONFIGS: list[Gem5Config] = [
     Gem5Config("ATOMIC_PARSEC", "atomic", PARSEC_REPRESENTATIVE, "se"),
 ]
 
+#: The g5 requirement tuples of the Top-Down figures (Figs. 2–6): every
+#: row of GEM5_CONFIGS, as (workload, cpu_model, mode) for prefetching.
+def topdown_required_g5() -> list[tuple[str, str, str]]:
+    return [(config.workload, config.cpu_model, config.mode)
+            for config in GEM5_CONFIGS]
+
+
 #: SPEC reference rows (run on bare metal in the paper, never on gem5).
 SPEC_CONFIGS = ["525.x264_r", "531.deepsjeng_r", "505.mcf_r"]
 

@@ -128,3 +128,12 @@ def smt_off_benefit(runner: ExperimentRunner,
         contention=corun_contention(platform, platform.physical_cores * 2,
                                     smt=True)).time_seconds
     return (on - off) / on
+
+def required_g5(workloads: Optional[list[str]] = None,
+                cpu_models: Optional[list[str]] = None) -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    workloads = workloads if workloads is not None else PARSEC_SPLASH_NAMES
+    cpu_models = cpu_models if cpu_models is not None else FIG1_CPU_MODELS
+    needed = [(w, m, None) for m in cpu_models for w in workloads]
+    needed += [("boot_exit", m, "fs") for m in cpu_models]
+    return needed

@@ -12,7 +12,7 @@ front-end bound and only 0.9–11.3% back-end bound; SPEC spans
 from __future__ import annotations
 
 from ..core.report import Figure
-from .common import GEM5_CONFIGS, SPEC_CONFIGS
+from .common import GEM5_CONFIGS, SPEC_CONFIGS, topdown_required_g5
 from .runner import ExperimentRunner
 
 BUCKETS = ["retiring", "frontend_bound", "bad_speculation", "backend_bound"]
@@ -50,3 +50,7 @@ def gem5_rows(figure: Figure) -> list[str]:
 
 def spec_rows(figure: Figure) -> list[str]:
     return [s.name for s in figure.series if s.name[0].isdigit()]
+
+def required_g5() -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return topdown_required_g5()

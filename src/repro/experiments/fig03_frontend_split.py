@@ -10,7 +10,7 @@ is more DSB-supplied and less MITE-limited.
 from __future__ import annotations
 
 from ..core.report import Figure
-from .common import GEM5_CONFIGS, SPEC_CONFIGS
+from .common import GEM5_CONFIGS, SPEC_CONFIGS, topdown_required_g5
 from .runner import ExperimentRunner
 
 CATEGORIES = ["fe_latency", "fe_bandwidth"]
@@ -43,3 +43,7 @@ def latency_share(figure: Figure, label: str) -> float:
     latency, bandwidth = series.y
     total = latency + bandwidth
     return latency / total if total else 0.0
+
+def required_g5() -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return topdown_required_g5()

@@ -13,7 +13,7 @@ branching categories dominate (43.5–73.6% of FE-latency slots).
 from __future__ import annotations
 
 from ..core.report import Figure
-from .common import GEM5_CONFIGS, SPEC_CONFIGS
+from .common import GEM5_CONFIGS, SPEC_CONFIGS, topdown_required_g5
 from .runner import ExperimentRunner
 
 CATEGORIES = ["icache", "itlb", "mispredict_resteers", "clear_resteers",
@@ -56,3 +56,7 @@ def branching_overhead(figure: Figure, label: str) -> float:
     """Aggregate branching share (the paper's mispredict+clear+unknown)."""
     series = figure.get_series(label)
     return sum(series.y[CATEGORIES.index(c)] for c in BRANCHING)
+
+def required_g5() -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return topdown_required_g5()

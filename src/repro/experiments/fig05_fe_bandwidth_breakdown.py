@@ -9,7 +9,7 @@ substantially toward DSB-supplied slots.
 from __future__ import annotations
 
 from ..core.report import Figure
-from .common import GEM5_CONFIGS, SPEC_CONFIGS
+from .common import GEM5_CONFIGS, SPEC_CONFIGS, topdown_required_g5
 from .runner import ExperimentRunner
 
 CATEGORIES = ["mite", "dsb"]
@@ -44,3 +44,7 @@ def mite_share(figure: Figure, label: str) -> float:
     mite, dsb = series.y
     total = mite + dsb
     return mite / total if total else 0.0
+
+def required_g5() -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return topdown_required_g5()

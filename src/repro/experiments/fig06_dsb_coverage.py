@@ -9,7 +9,7 @@ both rare in gem5".
 from __future__ import annotations
 
 from ..core.report import Figure
-from .common import GEM5_CONFIGS, SPEC_CONFIGS
+from .common import GEM5_CONFIGS, SPEC_CONFIGS, topdown_required_g5
 from .runner import ExperimentRunner
 
 PAPER_REFERENCE = {
@@ -35,3 +35,7 @@ def run(runner: ExperimentRunner) -> Figure:
         values.append(runner.spec_result(spec_name, "Intel_Xeon").dsb_coverage)
     figure.add_series("SPEC", labels, values)
     return figure
+
+def required_g5() -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return topdown_required_g5()

@@ -42,3 +42,7 @@ def ipc_ratio(figure: Figure, platform_name: str) -> float:
     other = figure.get_series(f"ipc/{platform_name}").y
     ratios = [o / x for o, x in zip(other, xeon)]
     return sum(ratios) / len(ratios)
+
+def required_g5(workload: str = PARSEC_REPRESENTATIVE) -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return [(workload, cpu_model, None) for cpu_model in FIG1_CPU_MODELS]

@@ -46,3 +46,7 @@ def platform_ratio(figure: Figure, metric: str, platform_a: str,
     a = figure.get_series(f"{platform_a}/{cpu_model}").y[index]
     b = figure.get_series(f"{platform_b}/{cpu_model}").y[index]
     return a / max(b, 1e-12)
+
+def required_g5(workload: str = PARSEC_REPRESENTATIVE) -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return [(workload, cpu_model, None) for cpu_model in FIG1_CPU_MODELS]

@@ -39,3 +39,9 @@ def run(runner: ExperimentRunner) -> Figure:
                           occ_values)
         figure.add_series(f"dram_bw/{mode.upper()}", bw_labels, bw_values)
     return figure
+
+def required_g5() -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return ([("boot_exit", cpu_model, "fs") for cpu_model in CPU_MODELS]
+            + [(PARSEC_REPRESENTATIVE, cpu_model, "se")
+               for cpu_model in CPU_MODELS])

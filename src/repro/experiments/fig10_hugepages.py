@@ -42,3 +42,7 @@ def run(runner: ExperimentRunner,
 def speedup(figure: Figure, policy: str, cpu_model: str) -> float:
     series = figure.get_series(policy.upper())
     return series.y[CPU_MODELS.index(cpu_model)]
+
+def required_g5(workload: str = PARSEC_REPRESENTATIVE) -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return [(workload, cpu_model, None) for cpu_model in CPU_MODELS]

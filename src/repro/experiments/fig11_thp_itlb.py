@@ -45,3 +45,7 @@ def run(runner: ExperimentRunner,
 def mean_itlb_reduction(figure: Figure) -> float:
     series = figure.get_series("itlb_overhead_reduction")
     return sum(series.y) / len(series.y)
+
+def required_g5(workload: str = PARSEC_REPRESENTATIVE) -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return [(workload, cpu_model, None) for cpu_model in CPU_MODELS]

@@ -46,3 +46,7 @@ def run(runner: ExperimentRunner,
 def mean_speedup(figure: Figure, platform_name: str) -> float:
     series = figure.get_series(platform_name)
     return sum(series.y) / len(series.y)
+
+def required_g5(workload: str = PARSEC_REPRESENTATIVE) -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return [(workload, cpu_model, None) for cpu_model in CPU_MODELS]

@@ -49,3 +49,8 @@ def slowdown_at(figure: Figure, freq_ghz: float) -> float:
     series = figure.get_series("normalized_time")
     label = f"{freq_ghz:.1f}GHz"
     return series.y[series.x.index(label)]
+
+def required_g5(workload: str = PARSEC_REPRESENTATIVE,
+                cpu_model: str = "timing") -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return [(workload, cpu_model, None)]

@@ -43,3 +43,7 @@ def run(runner: ExperimentRunner, workload: str = "sieve") -> Figure:
 def speedup_for(figure: Figure, cpu_model: str, label: str) -> float:
     series = figure.get_series(cpu_model.upper())
     return series.y[series.x.index(label)]
+
+def required_g5(workload: str = "sieve") -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return [(workload, cpu_model, None) for cpu_model in CPU_MODELS]

@@ -49,3 +49,7 @@ def hottest_share(figure: Figure, cpu_model: str) -> float:
 def functions_executed(figure: Figure, cpu_model: str) -> int:
     series = figure.get_series(f"{cpu_model.upper()}_meta")
     return int(series.y[1])
+
+def required_g5(workload: str = PARSEC_REPRESENTATIVE) -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return [(workload, cpu_model, None) for cpu_model in CPU_MODELS]

@@ -1,10 +1,23 @@
-"""Experiment runner: caching layer between g5 runs and host replays.
+"""Experiment runner: caching layers between g5 runs and host replays.
 
 Every figure needs some subset of the same expensive artifacts — g5
 traces per (workload, CPU model, mode) and host replays per (trace,
-platform, knobs).  The runner computes each artifact once per process
-and memoizes it, so regenerating all fifteen figures costs one g5 run
-per configuration rather than fifteen.
+platform, knobs).  The runner resolves each artifact through three
+layers:
+
+1. an in-process memo, so one figure campaign computes each artifact
+   once per process;
+2. the content-addressed disk cache (:mod:`repro.exec`), when one is
+   attached, so artifacts survive the process and campaigns restart
+   warm; and
+3. actual execution — fanned across a process pool for g5 cache misses
+   (``jobs > 1``), scheduled predicted-longest-first by the executor's
+   cost model.
+
+:meth:`ExperimentRunner.prefetch` resolves a whole experiment matrix in
+one parallel batch; the per-figure accessors then hit the memo.  By
+default the runner is purely in-memory (seed behaviour); the CLI
+attaches the default disk cache.
 
 Traces can be truncated to ``max_records`` before replay (documented
 sampling: rate/percentage metrics are stable under truncation; only
@@ -14,9 +27,12 @@ absolute wall-clock shrinks proportionally).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
-from ..g5.system import SimConfig, SimResult, System, simulate
+from ..exec import ExecutionEngine, G5Job, ResultCache
+from ..exec.keys import CacheKey, host_key, spec_key
+from ..exec.progress import ProgressReporter
+from ..g5.system import SimResult
 from ..host.binary import BinaryImage
 from ..host.corun import Contention
 from ..host.cpu import HostCPU, HostRunResult
@@ -46,35 +62,62 @@ class ExperimentRunner:
 
     def __init__(self, scale: str = "simsmall",
                  max_records: Optional[int] = None,
-                 spec_records: int = 30000) -> None:
+                 spec_records: int = 30000,
+                 jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[ProgressReporter] = None) -> None:
         self.scale = scale
         self.max_records = max_records
         self.spec_records = spec_records
+        self.cache = cache
+        self.engine = ExecutionEngine(jobs=jobs, cache=cache,
+                                      progress=progress)
         self._g5_cache: dict[tuple[str, str, str], SimResult] = {}
         self._host_cache: dict[_HostKey, HostRunResult] = {}
         self._spec_cache: dict[tuple[str, str], HostRunResult] = {}
+        self._host_disk_hits = 0
+        self._spec_disk_hits = 0
 
     # ------------------------------------------------------------------
     # g5 side
     # ------------------------------------------------------------------
+    def _g5_job(self, workload: str, cpu_model: str,
+                mode: Optional[str] = None) -> G5Job:
+        spec = get_workload(workload)
+        return G5Job(workload=workload, cpu_model=cpu_model,
+                     mode=mode or spec.mode, scale=self.scale)
+
     def g5_result(self, workload: str, cpu_model: str,
                   mode: Optional[str] = None) -> SimResult:
         """Run (or fetch) one g5 simulation and its recorded trace."""
-        spec = get_workload(workload)
-        mode = mode or spec.mode
-        key = (workload, cpu_model, mode)
+        job = self._g5_job(workload, cpu_model, mode)
+        key = (job.workload, job.cpu_model, job.mode)
         cached = self._g5_cache.get(key)
         if cached is not None:
             return cached
-        program = spec.build(self.scale)
-        system = System(SimConfig(cpu_model=cpu_model, mode=mode))
-        if mode == "se":
-            system.set_se_workload(program, process_name=workload)
-        else:
-            system.set_fs_workload(program)
-        result = simulate(system)
+        result = self.engine.run(job)
         self._g5_cache[key] = result
         return result
+
+    def prefetch(self, requirements: Iterable[tuple[str, str,
+                                                    Optional[str]]]) -> None:
+        """Resolve a batch of ``(workload, cpu_model, mode)`` g5 runs.
+
+        Disk-cache misses execute in parallel across the engine's worker
+        pool, longest-predicted-first; everything lands in the in-process
+        memo so subsequent figure accessors are pure lookups.
+        """
+        jobs: dict[tuple[str, str, str], G5Job] = {}
+        for workload, cpu_model, mode in requirements:
+            job = self._g5_job(workload, cpu_model, mode)
+            memo_key = (job.workload, job.cpu_model, job.mode)
+            if memo_key not in self._g5_cache and memo_key not in jobs:
+                jobs[memo_key] = job
+        if not jobs:
+            return
+        results = self.engine.run_batch(list(jobs.values()))
+        for memo_key, job in jobs.items():
+            self._g5_cache[memo_key] = results[job]
 
     # ------------------------------------------------------------------
     # host side
@@ -101,6 +144,17 @@ class ExperimentRunner:
         cached = self._host_cache.get(key)
         if cached is not None:
             return cached
+        disk_key = None
+        if self.cache is not None:
+            job = self._g5_job(workload, cpu_model, mode)
+            disk_key = host_key(job.cache_key(), platform_obj, opt_level,
+                                hugepages, contention, layout_quality,
+                                roi_only, self.max_records)
+            stored = self._fetch_host(disk_key)
+            if stored is not None:
+                self._host_disk_hits += 1
+                self._host_cache[key] = stored
+                return stored
         g5 = self.g5_result(workload, cpu_model, mode)
         recorder = g5.recorder
         if roi_only:
@@ -118,6 +172,8 @@ class ExperimentRunner:
                       contention=contention)
         result = cpu.replay(trace_fns, trace_daddrs, recorder.fn_names)
         self._host_cache[key] = result
+        if disk_key is not None:
+            self.cache.put(disk_key, result)
         return result
 
     def spec_result(self, spec_name: str,
@@ -128,17 +184,33 @@ class ExperimentRunner:
         cached = self._spec_cache.get(key)
         if cached is not None:
             return cached
+        disk_key = None
+        if self.cache is not None:
+            disk_key = spec_key(spec_name, platform_obj, self.spec_records)
+            stored = self._fetch_host(disk_key)
+            if stored is not None:
+                self._spec_disk_hits += 1
+                self._spec_cache[key] = stored
+                return stored
         workload: SyntheticHostWorkload = build_spec(
             spec_name, n_records=self.spec_records)
         cpu = HostCPU(platform_obj, workload.image)
         result = cpu.replay(workload.trace_fns, workload.trace_daddrs,
                             workload.fn_names)
         self._spec_cache[key] = result
+        if disk_key is not None:
+            self.cache.put(disk_key, result)
         return result
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _fetch_host(self, disk_key: CacheKey) -> Optional[HostRunResult]:
+        payload = self.cache.get(disk_key)
+        if isinstance(payload, HostRunResult):
+            return payload
+        return None
+
     @staticmethod
     def _resolve(platform: PlatformLike) -> HostPlatform:
         if isinstance(platform, str):
@@ -146,8 +218,13 @@ class ExperimentRunner:
         return platform
 
     def cache_stats(self) -> dict[str, int]:
+        """Artifact counts by layer (memo sizes + executor activity)."""
         return {
             "g5_runs": len(self._g5_cache),
             "host_replays": len(self._host_cache),
             "spec_replays": len(self._spec_cache),
+            "g5_executed": self.engine.stats.executed,
+            "g5_disk_hits": self.engine.stats.disk_hits,
+            "host_disk_hits": self._host_disk_hits,
+            "spec_disk_hits": self._spec_disk_hits,
         }

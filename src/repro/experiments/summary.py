@@ -287,6 +287,28 @@ def render_markdown(rows: list[ClaimRow], runner: ExperimentRunner) -> str:
             f"{row.measured} | {row.verdict} | {row.note} |")
     lines += [
         "",
+        "## How runs are executed and cached",
+        "",
+        "All g5 simulations behind this table resolve through the",
+        "`repro.exec` engine (`repro-g5 figs` / `repro-g5 report`):",
+        "",
+        "- `--jobs N` fans disk-cache misses across `N` worker",
+        "  processes, scheduled predicted-longest-first by a cost model",
+        "  (static CPU-model/scale/mode weights, refined by measured",
+        "  durations persisted as `costs.json`).",
+        "- Results land in a content-addressed cache at",
+        "  `~/.cache/repro-g5` (override with `--cache-dir` or",
+        "  `$REPRO_CACHE_DIR`). Keys hash the simulated-machine config,",
+        "  workload parameters, replay knobs, *and* a fingerprint of",
+        "  the simulator source, so code edits invalidate exactly the",
+        "  artifacts they can affect — stale results are impossible,",
+        "  and no manual invalidation is ever needed.",
+        "- A warm rerun executes zero simulations and renders",
+        "  bit-identical output (property-tested in `tests/exec/`).",
+        "  `--no-cache` forces a cold run; `repro-g5 cache",
+        "  info|list|clear [--kind g5|host|spec]` inspects or prunes",
+        "  the store.",
+        "",
         "## Known gaps (and why)",
         "",
         "- **Fig. 4 overhead ratios / Fig. 8 L1 ratios**: our synthetic",
@@ -314,8 +336,20 @@ def render_markdown(rows: list[ClaimRow], runner: ExperimentRunner) -> str:
 
 
 def generate_report(scale: str = "simsmall",
-                    max_records: int | None = 60000) -> str:
-    """Convenience: run everything and return the markdown."""
-    runner = ExperimentRunner(scale=scale, max_records=max_records)
+                    max_records: int | None = 60000,
+                    jobs: int = 1,
+                    cache=None) -> str:
+    """Convenience: run everything and return the markdown.
+
+    ``jobs``/``cache`` go straight to the runner's execution engine, so
+    a report regeneration can fan its g5 runs over a worker pool and
+    reuse (or warm) the on-disk result cache.
+    """
+    runner = ExperimentRunner(scale=scale, max_records=max_records,
+                              jobs=jobs, cache=cache)
+    requirements: list[tuple] = []
+    for module in FIGURES.values():
+        requirements.extend(module.required_g5())
+    runner.prefetch(requirements)
     rows = collect_claims(runner)
     return render_markdown(rows, runner)

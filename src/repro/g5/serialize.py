@@ -21,13 +21,17 @@ import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..host.trace import ExecutionRecorder, HostAllocation
 from .isa.registers import NUM_FP_REGS, NUM_INT_REGS
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .system import System
+    from .system import SimResult, System
 
 #: Format version stamped into every checkpoint.
 CHECKPOINT_VERSION = 1
+
+#: Format version of packed traces / SimResults (the exec cache payload).
+TRACE_FORMAT_VERSION = 1
 
 
 class CheckpointError(RuntimeError):
@@ -172,6 +176,84 @@ def restore_checkpoint(system: "System", checkpoint: Checkpoint) -> None:
     process.brk = checkpoint.brk
     process.console = bytearray(checkpoint.console)
     process.syscall_counts = dict(checkpoint.syscall_counts)
+
+
+# ----------------------------------------------------------------------
+# packed traces and SimResults (the repro.exec cache payload)
+# ----------------------------------------------------------------------
+def pack_recorder(recorder: ExecutionRecorder) -> dict:
+    """Flatten an :class:`ExecutionRecorder` into plain builtins.
+
+    The packed form is the exec cache's value format: everything a host
+    replay needs (interned names, the record stream, ROI markers, and the
+    host heap map), with no live objects.
+    """
+    return {
+        "format": TRACE_FORMAT_VERSION,
+        "enabled": recorder.enabled,
+        "fn_names": list(recorder.fn_names),
+        "trace_fns": list(recorder.trace_fns),
+        "trace_daddrs": list(recorder.trace_daddrs),
+        "allocations": [(a.base, a.size, a.label)
+                        for a in recorder.allocations],
+        "brk": recorder._brk,
+        "roi_begin": recorder.roi_begin,
+        "roi_end": recorder.roi_end,
+    }
+
+
+def unpack_recorder(data: dict) -> ExecutionRecorder:
+    """Rebuild an :class:`ExecutionRecorder` from :func:`pack_recorder`."""
+    if data.get("format") != TRACE_FORMAT_VERSION:
+        raise CheckpointError(
+            f"packed trace format {data.get('format')} not supported "
+            f"(expected {TRACE_FORMAT_VERSION})")
+    recorder = ExecutionRecorder(enabled=data["enabled"])
+    recorder.fn_names = list(data["fn_names"])
+    recorder._ids = {name: i for i, name in enumerate(recorder.fn_names)}
+    recorder.trace_fns = list(data["trace_fns"])
+    recorder.trace_daddrs = list(data["trace_daddrs"])
+    recorder.allocations = [HostAllocation(base, size, label)
+                            for base, size, label in data["allocations"]]
+    recorder._brk = data["brk"]
+    recorder.roi_begin = data["roi_begin"]
+    recorder.roi_end = data["roi_end"]
+    return recorder
+
+
+def pack_sim_result(result: "SimResult") -> dict:
+    """Flatten a :class:`~repro.g5.system.SimResult` into plain builtins."""
+    return {
+        "format": TRACE_FORMAT_VERSION,
+        "exit_cause": result.exit_cause,
+        "sim_ticks": result.sim_ticks,
+        "sim_insts": result.sim_insts,
+        "sim_cycles": result.sim_cycles,
+        "stats": dict(result.stats),
+        "recorder": pack_recorder(result.recorder),
+        "console": result.console,
+        "exit_code": result.exit_code,
+    }
+
+
+def unpack_sim_result(data: dict) -> "SimResult":
+    """Rebuild a :class:`~repro.g5.system.SimResult` from its packed form."""
+    from .system import SimResult
+
+    if data.get("format") != TRACE_FORMAT_VERSION:
+        raise CheckpointError(
+            f"packed SimResult format {data.get('format')} not supported "
+            f"(expected {TRACE_FORMAT_VERSION})")
+    return SimResult(
+        exit_cause=data["exit_cause"],
+        sim_ticks=data["sim_ticks"],
+        sim_insts=data["sim_insts"],
+        sim_cycles=data["sim_cycles"],
+        stats=dict(data["stats"]),
+        recorder=unpack_recorder(data["recorder"]),
+        console=data["console"],
+        exit_code=data["exit_code"],
+    )
 
 
 def _pipeline_in_flight(cpu) -> bool:

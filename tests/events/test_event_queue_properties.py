@@ -1,0 +1,128 @@
+"""Property-based tests for the discrete-event kernel.
+
+Hypothesis drives random schedule / deschedule / reschedule / run
+sequences against :class:`EventQueue` and asserts the invariants every
+model in the simulator leans on:
+
+- dispatch strictly follows ``(tick, priority, insertion order)`` —
+  insertion order meaning the order of each event's *final* schedule;
+- simulated time never moves backwards, during or between run calls;
+- a squashed schedule instance is never executed, and no instance
+  executes more than once.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.events.event import CallbackEvent
+from repro.events.queue import EventQueue
+
+# One operation per tuple; "pick" indices select among the events
+# created so far (modulo), so every generated sequence is valid.
+_op = st.one_of(
+    st.tuples(st.just("schedule"), st.integers(0, 50), st.integers(-5, 5)),
+    st.tuples(st.just("deschedule"), st.integers(0, 200)),
+    st.tuples(st.just("reschedule"), st.integers(0, 200),
+              st.integers(0, 50)),
+    st.tuples(st.just("run"), st.integers(1, 5)),
+)
+
+
+class _Tracker:
+    """Bookkeeping for one generated event.
+
+    Each (re)schedule of the event is a distinct *instance*, identified
+    by a globally increasing serial; the queue's contract is that the
+    instance alive when the tick arrives fires exactly once and every
+    squashed instance never fires.
+    """
+
+    def __init__(self, index: int, queue: EventQueue, log: list) -> None:
+        self.index = index
+        self.alive = False          # current instance still pending
+        self.serial = -1            # serial of the current instance
+        self.event = CallbackEvent(self._fire, name=f"ev{index}")
+        self._queue = queue
+        self._log = log
+
+    def _fire(self) -> None:
+        self.alive = False
+        self._log.append((self._queue.now, self.event.priority,
+                          self.serial, self.index))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=60))
+def test_event_queue_invariants(ops):
+    queue = EventQueue()
+    log: list[tuple[int, int, int, int]] = []
+    trackers: list[_Tracker] = []
+    squashed_instances: set[int] = set()
+    serial = 0
+    observed_now = [queue.now]
+
+    for op in ops:
+        if op[0] == "schedule":
+            _, delay, priority = op
+            tracker = _Tracker(len(trackers), queue, log)
+            tracker.event.priority = priority
+            queue.schedule_in(tracker.event, delay)
+            tracker.alive = True
+            tracker.serial = serial
+            serial += 1
+            trackers.append(tracker)
+        elif op[0] == "deschedule":
+            _, pick = op
+            live = [t for t in trackers if t.alive]
+            if not live:
+                continue
+            tracker = live[pick % len(live)]
+            queue.deschedule(tracker.event)
+            tracker.alive = False
+            squashed_instances.add(tracker.serial)
+        elif op[0] == "reschedule":
+            _, pick, delay = op
+            if not trackers:
+                continue
+            tracker = trackers[pick % len(trackers)]
+            if tracker.alive:
+                # The pending instance is superseded, never executed.
+                squashed_instances.add(tracker.serial)
+            queue.reschedule(tracker.event, queue.now + delay)
+            tracker.alive = True
+            tracker.serial = serial
+            serial += 1
+        else:  # run a bounded number of events
+            _, max_events = op
+            before = queue.now
+            queue.run(max_events=max_events)
+            assert queue.now >= before, "run() moved time backwards"
+            observed_now.append(queue.now)
+
+    # Drain everything still pending.
+    pending = {t.serial for t in trackers if t.alive}
+    drained_from = len(log)
+    before = queue.now
+    queue.run()
+    assert queue.now >= before
+    observed_now.append(queue.now)
+    assert queue.empty()
+
+    # Time is monotone across the whole life of the queue.
+    assert observed_now == sorted(observed_now)
+
+    # Dispatch followed (tick, priority, final insertion order) exactly.
+    dispatch_keys = [entry[:3] for entry in log]
+    assert dispatch_keys == sorted(dispatch_keys), (
+        "events fired out of (tick, priority, insertion-order)")
+
+    # No squashed instance ever executed; no instance executed twice.
+    fired_serials = [entry[2] for entry in log]
+    assert not (squashed_instances & set(fired_serials)), (
+        "a squashed event was executed")
+    assert len(fired_serials) == len(set(fired_serials)), (
+        "a schedule instance fired more than once")
+
+    # Every instance pending at drain time fired during the drain.
+    assert set(fired_serials[drained_from:]) == pending

@@ -1,0 +1,105 @@
+"""Unit tests for the on-disk result cache."""
+
+import pickle
+
+from repro.exec.cache import ENVELOPE_VERSION, ResultCache, default_cache_dir
+from repro.exec.keys import g5_key, spec_key
+from repro.host.platform import get_platform
+
+
+def _key(workload="sieve", cpu="atomic"):
+    return g5_key(workload, cpu, "se", "test")
+
+
+def test_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = _key()
+    assert cache.get(key) is None
+    assert key not in cache
+    cache.put(key, {"answer": 42})
+    assert key in cache
+    assert cache.get(key) == {"answer": 42}
+
+
+def test_corrupt_entry_is_a_miss_and_is_deleted(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = _key()
+    cache.put(key, {"answer": 42})
+    path = cache._path(key.digest)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(key) is None
+    assert not path.exists()          # self-healing: the entry is gone
+    assert cache.get(key) is None     # and stays a plain miss
+
+
+def test_wrong_envelope_version_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = _key()
+    cache.put(key, {"answer": 42})
+    path = cache._path(key.digest)
+    with open(path, "rb") as handle:
+        envelope = pickle.load(handle)
+    envelope["version"] = ENVELOPE_VERSION + 1
+    with open(path, "wb") as handle:
+        pickle.dump(envelope, handle)
+    assert cache.get(key) is None
+    assert not path.exists()
+
+
+def test_digest_mismatch_is_a_miss(tmp_path):
+    # An entry stored under the wrong filename must not be served.
+    cache = ResultCache(tmp_path)
+    key, other = _key(), _key(cpu="o3")
+    cache.put(key, {"answer": 42})
+    wrong = cache._path(other.digest)
+    wrong.parent.mkdir(parents=True, exist_ok=True)
+    wrong.write_bytes(cache._path(key.digest).read_bytes())
+    assert cache.get(other) is None
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    cache = ResultCache(tmp_path)
+    for cpu in ("atomic", "timing", "minor", "o3"):
+        cache.put(_key(cpu=cpu), {"cpu": cpu})
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_entries_stats_and_clear_by_kind(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(_key(), {"a": 1})
+    cache.put(_key(cpu="o3"), {"b": 2})
+    platform = get_platform("Intel_Xeon")
+    cache.put(spec_key("505.mcf_r", platform, 100), {"c": 3})
+
+    entries = list(cache.entries())
+    assert len(entries) == 3
+    assert {e.kind for e in entries} == {"g5", "spec"}
+    assert all(e.size_bytes > 0 for e in entries)
+    labels = {e.label for e in entries}
+    assert "g5 atomic/sieve (se, test)" in labels
+    assert "spec 505.mcf_r on Intel_Xeon" in labels
+
+    stats = cache.stats()
+    assert stats["entries"] == 3
+    assert stats["g5"] == 2 and stats["spec"] == 1
+    assert stats["total_bytes"] > 0
+
+    assert cache.clear(kind="g5") == 2
+    assert cache.stats()["entries"] == 1
+    assert cache.clear() == 1
+    assert cache.stats()["entries"] == 0
+
+
+def test_empty_cache_operations(tmp_path):
+    cache = ResultCache(tmp_path / "never-created")
+    assert list(cache.entries()) == []
+    assert cache.stats()["entries"] == 0
+    assert cache.clear() == 0
+
+
+def test_default_cache_dir_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro-g5"

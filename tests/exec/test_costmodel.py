@@ -1,0 +1,63 @@
+"""Unit tests for the cost model and LPT scheduling."""
+
+from repro.exec.costmodel import CostModel, job_class
+from repro.exec.pool import G5Job
+
+
+def _job(workload="sieve", cpu="atomic", mode="se", scale="test"):
+    return G5Job(workload, cpu, mode, scale)
+
+
+def test_static_priors_order_by_detail_and_scale():
+    model = CostModel()
+    atomic = model.predict(_job(cpu="atomic"))
+    o3 = model.predict(_job(cpu="o3"))
+    assert o3 > atomic
+    assert model.predict(_job(scale="simsmall")) > atomic
+    assert model.predict(_job(mode="fs")) > atomic
+
+
+def test_schedule_is_longest_first_and_deterministic():
+    model = CostModel()
+    jobs = [_job(cpu=cpu) for cpu in ("atomic", "o3", "timing", "minor")]
+    ordered = model.schedule(jobs)
+    assert [j.cpu_model for j in ordered] == ["o3", "minor", "timing",
+                                              "atomic"]
+    assert model.schedule(list(reversed(jobs))) == ordered
+
+
+def test_observed_durations_override_static_priors():
+    model = CostModel()
+    slow_atomic, fast_o3 = _job(cpu="atomic"), _job(cpu="o3")
+    model.observe(slow_atomic, 100.0)
+    model.observe(fast_o3, 1.0)
+    ordered = model.schedule([fast_o3, slow_atomic])
+    assert ordered[0] is slow_atomic
+
+
+def test_observation_uses_an_ema():
+    model = CostModel()
+    job = _job()
+    model.observe(job, 10.0)
+    assert model.predict(job) == 10.0
+    model.observe(job, 20.0)
+    assert model.predict(job) == 15.0   # alpha = 0.5
+
+
+def test_history_round_trips_through_disk(tmp_path):
+    path = tmp_path / "costs.json"
+    model = CostModel(path)
+    model.observe(_job(), 3.5)
+    model.flush()
+
+    reloaded = CostModel(path)
+    assert reloaded.predict(_job()) == 3.5
+    assert reloaded.known_classes() == {job_class(_job()): 3.5}
+
+
+def test_garbage_history_is_ignored(tmp_path):
+    path = tmp_path / "costs.json"
+    path.write_text("{not json")
+    model = CostModel(path)
+    assert model.known_classes() == {}
+    assert model.predict(_job()) > 0

@@ -1,0 +1,77 @@
+"""Integration tests for the execution engine's three resolution layers."""
+
+import pytest
+
+from repro.exec import ExecutionEngine, G5Job, ResultCache
+from repro.g5.serialize import pack_sim_result
+
+ATOMIC = G5Job("sieve", "atomic", "se", "test")
+TIMING = G5Job("sieve", "timing", "se", "test")
+
+
+def test_engine_rejects_zero_workers():
+    with pytest.raises(ValueError):
+        ExecutionEngine(jobs=0)
+
+
+def test_uncached_run_executes(tmp_path):
+    engine = ExecutionEngine()
+    result = engine.run(ATOMIC)
+    assert result.exit_cause == "target called exit()"
+    assert engine.stats.executed == 1
+    assert engine.stats.disk_hits == 0
+    assert engine.stats.executed_seconds > 0
+    assert ATOMIC.label in engine.stats.by_label
+
+
+def test_second_engine_hits_the_disk_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = ExecutionEngine(cache=cache)
+    cold = first.run(ATOMIC)
+    assert first.stats.executed == 1
+
+    second = ExecutionEngine(cache=cache)
+    warm = second.run(ATOMIC)
+    assert second.stats.executed == 0
+    assert second.stats.disk_hits == 1
+    assert pack_sim_result(warm) == pack_sim_result(cold)
+
+
+def test_run_batch_collapses_duplicates(tmp_path):
+    engine = ExecutionEngine(cache=ResultCache(tmp_path))
+    results = engine.run_batch([ATOMIC, ATOMIC, ATOMIC])
+    assert engine.stats.executed == 1
+    assert set(results) == {ATOMIC}
+
+
+def test_warm_batch_executes_nothing(tmp_path):
+    cache = ResultCache(tmp_path)
+    ExecutionEngine(cache=cache).run_batch([ATOMIC, TIMING])
+
+    warm = ExecutionEngine(cache=cache)
+    results = warm.run_batch([ATOMIC, TIMING])
+    assert warm.stats.executed == 0
+    assert warm.stats.disk_hits == 2
+    assert set(results) == {ATOMIC, TIMING}
+    assert warm.stats.as_dict()["g5_executed"] == 0
+
+
+def test_parallel_batch_matches_serial(tmp_path):
+    serial = ExecutionEngine(jobs=1)
+    parallel = ExecutionEngine(jobs=2, cache=ResultCache(tmp_path))
+    jobs = [ATOMIC, TIMING]
+    serial_results = serial.run_batch(jobs)
+    parallel_results = parallel.run_batch(jobs)
+    assert parallel.stats.executed == 2
+    for job in jobs:
+        assert (pack_sim_result(parallel_results[job])
+                == pack_sim_result(serial_results[job]))
+
+
+def test_batch_learns_costs_into_the_cache_dir(tmp_path):
+    cache = ResultCache(tmp_path)
+    engine = ExecutionEngine(cache=cache)
+    engine.run_batch([ATOMIC])
+    assert cache.costs_path.exists()
+    learned = engine.cost_model.known_classes()
+    assert "sieve|atomic|se|test" in learned

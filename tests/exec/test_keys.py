@@ -1,0 +1,104 @@
+"""Unit tests for content-addressed cache keys."""
+
+import enum
+from dataclasses import dataclass
+
+import pytest
+
+from repro.exec.keys import (CacheKey, canonical, g5_key, host_key,
+                             host_fingerprint, sim_fingerprint, spec_key)
+from repro.g5.system import SimConfig
+from repro.host.corun import Contention
+from repro.host.platform import get_platform
+
+
+def test_g5_key_is_deterministic():
+    a = g5_key("sieve", "o3", "se", "test")
+    b = g5_key("sieve", "o3", "se", "test")
+    assert a == b
+    assert a.kind == "g5"
+    assert len(a.digest) == 64
+    assert a.short == a.digest[:12]
+
+
+def test_g5_key_separates_every_axis():
+    base = g5_key("sieve", "o3", "se", "test")
+    assert g5_key("dedup", "o3", "se", "test").digest != base.digest
+    assert g5_key("sieve", "atomic", "se", "test").digest != base.digest
+    assert g5_key("sieve", "o3", "fs", "test").digest != base.digest
+    assert g5_key("sieve", "o3", "se", "simsmall").digest != base.digest
+
+
+def test_custom_sim_config_changes_the_key():
+    base = g5_key("sieve", "o3", "se", "test")
+    custom = g5_key("sieve", "o3", "se", "test",
+                    SimConfig(cpu_model="o3", cpu_clock_ghz=4.0))
+    assert custom.digest != base.digest
+    # ...and the config is readable in the key document.
+    assert custom.describe["sim_config"]["cpu_clock_ghz"] == 4.0
+
+
+def test_host_key_depends_on_replay_knobs():
+    g5 = g5_key("sieve", "o3", "se", "test")
+    platform = get_platform("Intel_Xeon")
+
+    def make(**overrides):
+        params = dict(platform=platform, opt_level=3, hugepages=None,
+                      contention=None, layout_quality=1.0, roi_only=False,
+                      max_records=None)
+        params.update(overrides)
+        return host_key(g5, **params)
+
+    base = make()
+    assert make() == base
+    assert make(opt_level=2).digest != base.digest
+    assert make(max_records=500).digest != base.digest
+    assert make(roi_only=True).digest != base.digest
+    assert make(platform=get_platform("M1_Pro")).digest != base.digest
+    assert make(contention=Contention(n_processes=2,
+                                      llc_evict_fraction=0.5)) != base
+    other_g5 = g5_key("dedup", "o3", "se", "test")
+    assert host_key(other_g5, platform=platform, opt_level=3,
+                    hugepages=None, contention=None, layout_quality=1.0,
+                    roi_only=False, max_records=None).digest != base.digest
+
+
+def test_spec_key_kind_and_axes():
+    platform = get_platform("Intel_Xeon")
+    key = spec_key("505.mcf_r", platform, 4000)
+    assert key.kind == "spec"
+    assert spec_key("505.mcf_r", platform, 4000) == key
+    assert spec_key("525.x264_r", platform, 4000).digest != key.digest
+    assert spec_key("505.mcf_r", platform, 8000).digest != key.digest
+
+
+def test_canonical_reduces_dataclasses_and_enums():
+    class Color(enum.Enum):
+        RED = "red"
+
+    @dataclass(frozen=True)
+    class Point:
+        x: int
+        y: int
+
+    doc = canonical({"p": Point(1, 2), "c": Color.RED,
+                     "seq": (1, 2), "none": None})
+    assert doc == {"p": {"__type__": "Point", "x": 1, "y": 2},
+                   "c": "red", "seq": [1, 2], "none": None}
+
+
+def test_canonical_rejects_opaque_objects():
+    with pytest.raises(TypeError):
+        canonical(object())
+
+
+def test_fingerprints_are_stable_and_distinct():
+    assert sim_fingerprint() == sim_fingerprint()
+    # The host fingerprint covers strictly more code.
+    assert host_fingerprint() != sim_fingerprint()
+
+
+def test_cache_key_short_digest():
+    key = g5_key("sieve", "atomic", "se", "test")
+    assert isinstance(key, CacheKey)
+    assert len(key.short) == 12 and key.digest.startswith(key.short)

@@ -1,0 +1,79 @@
+"""Golden-stats regression tests.
+
+One small, fully deterministic configuration per CPU model (sieve at
+test scale) has its complete gem5-style ``stats.txt`` dump checked in
+under ``tests/golden/``.  Any change to simulator behaviour — ticks,
+committed instructions, cache hit counts, anything that feeds a stat —
+shows up here as a readable unified diff against the golden file.
+
+To regenerate after an *intentional* behaviour change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/g5/test_golden_stats.py
+"""
+
+import difflib
+import io
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.g5 import SimConfig, System, simulate
+from repro.g5.statsfile import parse_stats, write_stats
+from repro.workloads.registry import get_workload
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+CPU_MODELS = ["atomic", "timing", "minor", "o3"]
+
+WORKLOAD = "sieve"
+SCALE = "test"
+
+
+def _stats_dump(cpu_model: str) -> str:
+    workload = get_workload(WORKLOAD)
+    system = System(SimConfig(cpu_model=cpu_model, record=False))
+    system.set_se_workload(workload.build(SCALE), process_name=WORKLOAD)
+    simulate(system)
+    stream = io.StringIO()
+    write_stats(system, stream)
+    return stream.getvalue()
+
+
+@pytest.mark.parametrize("cpu_model", CPU_MODELS)
+def test_stats_match_golden(cpu_model):
+    golden_path = GOLDEN_DIR / f"{WORKLOAD}_{SCALE}_{cpu_model}.stats.txt"
+    actual = _stats_dump(cpu_model)
+
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(actual, encoding="utf-8")
+        pytest.skip(f"regenerated {golden_path.name}")
+
+    assert golden_path.exists(), (
+        f"golden file {golden_path} missing; run with "
+        f"REPRO_UPDATE_GOLDEN=1 to create it")
+    expected = golden_path.read_text(encoding="utf-8")
+    if actual == expected:
+        return
+
+    diff = "\n".join(difflib.unified_diff(
+        expected.splitlines(), actual.splitlines(),
+        fromfile=f"golden/{golden_path.name}",
+        tofile=f"current ({cpu_model})", lineterm="", n=2))
+    # Name the drifted stats explicitly, then show the raw diff.
+    before, after = parse_stats(expected), parse_stats(actual)
+    drifted = sorted(name for name in before.keys() | after.keys()
+                     if before.get(name) != after.get(name))
+    pytest.fail(
+        f"{cpu_model} stats drifted from golden on {len(drifted)} "
+        f"stat(s): {drifted[:10]}{'...' if len(drifted) > 10 else ''}\n"
+        f"{diff}\n"
+        f"If this change is intentional, regenerate with "
+        f"REPRO_UPDATE_GOLDEN=1.")
+
+
+def test_golden_dumps_are_reproducible():
+    """The dump itself is deterministic run to run (prerequisite for
+    golden comparison being meaningful)."""
+    assert _stats_dump("timing") == _stats_dump("timing")

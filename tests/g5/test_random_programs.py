@@ -1,14 +1,41 @@
-"""Property-based test: random programs run identically on all models.
+"""Differential test suite: random programs run identically on all models.
 
 Hypothesis generates random (but well-formed, guaranteed-terminating)
 SimRISC programs; the architectural results must be identical across
 Atomic, Timing, Minor and O3 — the strongest statement that the four
-timing models share one functional machine.
+timing models share one functional machine.  "Identical" here is the
+full committed architectural state: every integer and floating-point
+register, the final PC, a digest of all touched guest memory pages, the
+process exit code, and the committed instruction count.
 """
+
+import hashlib
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.g5 import Assembler, SimConfig, System, simulate
+
+
+def _memory_digest(system) -> str:
+    """Digest of every touched guest page, in address order."""
+    digest = hashlib.sha256()
+    pages = system.memctrl.memory._pages
+    for page_num in sorted(pages):
+        digest.update(page_num.to_bytes(8, "little"))
+        digest.update(bytes(pages[page_num]))
+    return digest.hexdigest()
+
+
+def _architectural_state(system, process, result) -> dict:
+    """Everything the guest program committed, model-independently."""
+    return {
+        "int_regs": tuple(system.cpu.regs.ints),
+        "fp_regs": tuple(system.cpu.regs.floats),
+        "pc": system.cpu.regs.pc,
+        "memory": _memory_digest(system),
+        "exit_code": process.exit_code,
+        "sim_insts": result.sim_insts,
+    }
 
 #: Registers the generator uses for data (avoiding zero/ra/sp and the
 #: syscall argument registers until the end).
@@ -82,14 +109,21 @@ def random_program(draw):
           suppress_health_check=[HealthCheck.too_slow])
 @given(random_program())
 def test_all_models_agree_on_random_programs(program):
-    results = {}
+    states = {}
     for model in ("atomic", "timing", "minor", "o3"):
         system = System(SimConfig(cpu_model=model, record=False))
         process = system.set_se_workload(program)
         result = simulate(system, max_ticks=10**11)
         assert result.exit_cause == "target called exit()", model
-        results[model] = (process.exit_code, result.sim_insts)
-    assert len(set(results.values())) == 1, results
+        states[model] = _architectural_state(system, process, result)
+    reference = states["atomic"]
+    for model, state in states.items():
+        diverged = {name: (reference[name], value)
+                    for name, value in state.items()
+                    if value != reference[name]}
+        assert not diverged, (
+            f"{model} diverged from atomic on {sorted(diverged)}: "
+            f"{diverged}")
 
 
 @settings(max_examples=10, deadline=None,

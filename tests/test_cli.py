@@ -5,6 +5,13 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(monkeypatch, tmp_path):
+    """Keep every CLI invocation away from the user's real cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
 class TestCliCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
@@ -48,6 +55,56 @@ class TestCliCommands:
         out = capsys.readouterr().out
         assert "Fig.13" in out
         assert "TurboBoost" in out
+
+    def test_figs_smoke(self, capsys):
+        assert main(["figs", "fig13", "--scale", "test",
+                     "--max-records", "5000", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.13" in out
+        assert "executor summary" in out
+        assert "g5 simulations executed" in out
+
+    def test_figs_second_run_is_all_cache_hits(self, capsys):
+        argv = ["figs", "fig13", "--scale", "test",
+                "--max-records", "5000", "--quiet"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "g5 simulations executed : 0" in warm
+        # Warm figures render identically to cold ones.
+        assert (warm.split("== executor summary ==")[0]
+                == cold.split("== executor summary ==")[0])
+
+    def test_figs_rejects_unknown_id(self, capsys):
+        assert main(["figs", "fig99"]) == 2
+        assert "unknown figure id" in capsys.readouterr().err
+
+    def test_cache_info_list_clear(self, capsys):
+        assert main(["figs", "fig13", "--scale", "test",
+                     "--max-records", "5000", "--quiet"]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "info"]) == 0
+        info = capsys.readouterr().out
+        assert "entries" in info and "g5 1" in info
+
+        assert main(["cache", "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "g5 timing/water_nsquared" in listing
+
+        assert main(["cache", "clear", "--kind", "g5"]) == 0
+        assert "removed 1 g5 cache entry" in capsys.readouterr().out
+
+        assert main(["cache", "info"]) == 0
+        assert "g5 0" in capsys.readouterr().out
+
+    def test_figure_no_cache_leaves_cache_empty(self, capsys,
+                                                _isolated_cache):
+        assert main(["figure", "fig13", "--scale", "test",
+                     "--max-records", "5000", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert not (_isolated_cache / "objects").exists()
 
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
