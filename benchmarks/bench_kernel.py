@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Standalone runner for the simulation-kernel fast-path benchmark.
+
+Equivalent to ``repro-g5 bench``; kept here so the kernel benchmark
+lives next to the figure-reproduction benchmarks and can be run without
+installing the console script::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick
+
+Measures simulated-insts/sec per CPU model on the sieve workload with
+the fast-path kernel on vs off and writes ``BENCH_kernel.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import (
+    DEFAULT_MODELS,
+    bench_kernel,
+    check_min_speedup,
+    write_results,
+)
+from repro.workloads.registry import SCALES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--models", nargs="*", default=list(DEFAULT_MODELS),
+                        choices=list(DEFAULT_MODELS), metavar="MODEL",
+                        help="CPU models to benchmark (default: all four)")
+    parser.add_argument("--workload", default="sieve")
+    parser.add_argument("--scale", default="simsmall", choices=SCALES)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--quick", action="store_true",
+                        help="atomic model only, single repeat (for CI)")
+    parser.add_argument("--output", default="BENCH_kernel.json")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the atomic fast-path speedup "
+                             "reaches this factor")
+    args = parser.parse_args(argv)
+
+    models = ["atomic"] if args.quick else args.models
+    repeats = 1 if args.quick else args.repeats
+    results = bench_kernel(models=models, workload=args.workload,
+                           scale=args.scale, repeats=repeats)
+    write_results(results, args.output)
+    print(f"wrote {args.output}")
+    if args.min_speedup is not None:
+        error = check_min_speedup(results, args.min_speedup)
+        if error is not None:
+            print(f"FAIL: {error}", file=sys.stderr)
+            return 1
+        print(f"OK: atomic fast-path speedup "
+              f"{results['models']['atomic']['speedup']:.2f}x >= "
+              f"{args.min_speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Simulation-kernel microbenchmark: simulated instructions per host second.
+
+This is the measurement harness behind ``repro-g5 bench`` and
+``benchmarks/bench_kernel.py``.  For each CPU model it runs the same
+workload twice — once with the fast-path kernel enabled
+(``SimConfig(fast_path=True)``, the default) and once with it disabled —
+and reports wall-clock time, simulated-insts/sec, and the resulting
+speedup.  Both runs produce bit-identical architectural state and stats
+(that equivalence is enforced by the differential test suite in
+``tests/exec/``); this harness only measures host-side throughput.
+
+Results are written as JSON (``BENCH_kernel.json`` by default) so CI can
+archive them and gate on a minimum speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Optional
+
+from .g5.system import SimConfig, System, simulate
+from .workloads.registry import get_workload
+
+#: CPU models benchmarked by default, cheapest first.
+DEFAULT_MODELS = ("atomic", "timing", "minor", "o3")
+
+
+def _run_once(cpu_model: str, workload_name: str, scale: str,
+              fast_path: bool) -> tuple[float, int]:
+    """One simulation; returns (wall seconds, simulated instructions)."""
+    workload = get_workload(workload_name)
+    program = workload.build(scale)
+    system = System(SimConfig(cpu_model=cpu_model, mode=workload.mode,
+                              record=False, fast_path=fast_path))
+    if workload.mode == "se":
+        system.set_se_workload(program, process_name=workload_name)
+    else:
+        system.set_fs_workload(program)
+    start = time.perf_counter()
+    result = simulate(system)
+    elapsed = time.perf_counter() - start
+    return elapsed, result.sim_insts
+
+
+def _bench_variant(cpu_model: str, workload_name: str, scale: str,
+                   fast_path: bool, repeats: int) -> dict:
+    """Best-of-``repeats`` timing for one (model, fast_path) variant."""
+    best = float("inf")
+    insts = 0
+    for _ in range(repeats):
+        elapsed, insts = _run_once(cpu_model, workload_name, scale,
+                                   fast_path)
+        best = min(best, elapsed)
+    return {
+        "seconds": round(best, 6),
+        "sim_insts": insts,
+        "insts_per_sec": round(insts / best) if best > 0 else 0,
+    }
+
+
+def bench_kernel(models=DEFAULT_MODELS, workload: str = "sieve",
+                 scale: str = "simsmall", repeats: int = 3,
+                 verbose: bool = True) -> dict:
+    """Benchmark the simulation kernel fast path for each CPU model.
+
+    Returns a JSON-serialisable dict; see module docstring for shape.
+    """
+    results: dict = {
+        "benchmark": "kernel_fast_path",
+        "workload": workload,
+        "scale": scale,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "models": {},
+    }
+    for model in models:
+        fast = _bench_variant(model, workload, scale, True, repeats)
+        slow = _bench_variant(model, workload, scale, False, repeats)
+        speedup = (fast["insts_per_sec"] / slow["insts_per_sec"]
+                   if slow["insts_per_sec"] else 0.0)
+        results["models"][model] = {
+            "fast": fast,
+            "slow": slow,
+            "speedup": round(speedup, 3),
+        }
+        if verbose:
+            print(f"{model:8s} fast {fast['insts_per_sec']:>10,d} i/s "
+                  f"({fast['seconds']:.3f}s)  "
+                  f"slow {slow['insts_per_sec']:>10,d} i/s "
+                  f"({slow['seconds']:.3f}s)  "
+                  f"speedup {speedup:.2f}x")
+    return results
+
+
+def write_results(results: dict, output: str) -> None:
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def check_min_speedup(results: dict, min_speedup: float,
+                      model: str = "atomic") -> Optional[str]:
+    """Return an error message if ``model`` missed ``min_speedup``."""
+    entry = results["models"].get(model)
+    if entry is None:
+        return f"model {model!r} was not benchmarked"
+    if entry["speedup"] < min_speedup:
+        return (f"fast-path speedup on {model} is {entry['speedup']:.2f}x, "
+                f"below the required {min_speedup:.2f}x")
+    return None

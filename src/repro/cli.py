@@ -121,6 +121,25 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="EXPERIMENTS.md",
                         help="file to write (default: EXPERIMENTS.md)")
     _add_executor_args(report)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the simulation kernel fast path")
+    bench.add_argument("--models", nargs="*", metavar="MODEL",
+                       default=["atomic", "timing", "minor", "o3"],
+                       choices=["atomic", "timing", "minor", "o3"],
+                       help="CPU models to benchmark (default: all four)")
+    bench.add_argument("--workload", default="sieve",
+                       choices=sorted(WORKLOADS))
+    bench.add_argument("--scale", default="simsmall", choices=SCALES)
+    bench.add_argument("--repeats", type=_positive_int, default=3,
+                       help="timed runs per variant; best is kept")
+    bench.add_argument("--quick", action="store_true",
+                       help="atomic model only, single repeat (for CI)")
+    bench.add_argument("--output", default="BENCH_kernel.json",
+                       help="JSON results file (default: BENCH_kernel.json)")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       help="fail unless the atomic fast-path speedup "
+                            "reaches this factor")
     return parser
 
 
@@ -284,6 +303,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import bench_kernel, check_min_speedup, write_results
+
+    models = ["atomic"] if args.quick else args.models
+    repeats = 1 if args.quick else args.repeats
+    results = bench_kernel(models=models, workload=args.workload,
+                           scale=args.scale, repeats=repeats)
+    write_results(results, args.output)
+    print(f"wrote {args.output}")
+    if args.min_speedup is not None:
+        error = check_min_speedup(results, args.min_speedup)
+        if error is not None:
+            print(f"FAIL: {error}", file=sys.stderr)
+            return 1
+        print(f"OK: atomic fast-path speedup "
+              f"{results['models']['atomic']['speedup']:.2f}x >= "
+              f"{args.min_speedup:.2f}x")
+    return 0
+
+
 def _cmd_list() -> int:
     print("workloads:")
     for name, workload in sorted(WORKLOADS.items()):
@@ -320,6 +359,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_tables()
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_list()
 
 

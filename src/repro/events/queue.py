@@ -4,6 +4,24 @@
 of :class:`~repro.events.event.Event` ordered by ``(tick, priority,
 insertion order)``, plus a run loop with exit-event and max-tick support.
 This mirrors gem5's ``EventQueue`` + ``simulate()`` pair.
+
+Fast path: the common simulation pattern is a single self-rescheduling
+event (a CPU tick) with nothing else pending, which on a plain binary
+heap still pays a ``heappush``/``heappop`` pair per instruction.  Two
+mechanisms remove that cost while preserving the exact event ordering:
+
+- a one-element *next-event slot* in front of the heap.  An event that
+  sorts before everything in the heap is parked in the slot instead of
+  being pushed; the run loop consumes it without touching the heap.  The
+  invariant is that a live slot entry never sorts after the heap head, so
+  ordering is identical to a pure heap.
+- :meth:`advance_if_idle` lets a self-rescheduling component ask "if I
+  rescheduled myself at tick T, would I be the next event anyway?" — and
+  if so, simply advances ``now`` to T with no queue traffic at all.
+
+Both are disabled when the queue is built with ``fast_path=False`` so the
+differential test suite can run the two implementations against each
+other.
 """
 
 from __future__ import annotations
@@ -27,14 +45,23 @@ class EventQueue:
     approach to descheduling.
     """
 
-    def __init__(self, name: str = "MainEventQueue") -> None:
+    def __init__(self, name: str = "MainEventQueue",
+                 fast_path: bool = True) -> None:
         self.name = name
         self.now: int = 0
+        self.fast_path = fast_path
         # Heap entries carry the event's schedule generation (its _seq)
         # so stale entries left by deschedule/reschedule are skipped.
         self._heap: list[tuple[tuple[int, int, int], int, Event]] = []
+        # Next-event slot: holds the entry that sorts before the whole
+        # heap, or None.  Entries have the same shape as heap entries.
+        self._next: Optional[tuple[tuple[int, int, int], int, Event]] = None
         self._events_processed = 0
         self._exit_event: Optional[ExitEvent] = None
+        # Limits of the currently-active run(), consulted by
+        # advance_if_idle so the bypass never overruns them.
+        self._run_max_tick: Optional[int] = None
+        self._run_limited = False
 
     # ------------------------------------------------------------------
     # scheduling
@@ -50,7 +77,21 @@ class EventQueue:
                 f"event {event.name!r} is already scheduled for tick "
                 f"{event.when}; deschedule or squash it first")
         event._mark_scheduled(when)
-        heapq.heappush(self._heap, (event.sort_key(), event._seq, event))
+        entry = (event.sort_key(), event._seq, event)
+        if self.fast_path:
+            nxt = self._next
+            if nxt is None:
+                if not self._heap or entry < self._heap[0]:
+                    self._next = entry
+                    return event
+            elif entry < nxt:
+                # Demote the slot occupant (possibly stale) to the heap;
+                # it still sorts at or before every heap entry, so the
+                # slot invariant survives.
+                heapq.heappush(self._heap, nxt)
+                self._next = entry
+                return event
+        heapq.heappush(self._heap, entry)
         return event
 
     def schedule_in(self, event: Event, delay: int) -> Event:
@@ -89,18 +130,20 @@ class EventQueue:
     # inspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(1 for key, seq, ev in self._heap
-                   if not ev.squashed and ev._seq == seq)
+        count = sum(1 for key, seq, ev in self._heap
+                    if not ev.squashed and ev._seq == seq)
+        nxt = self._next
+        if nxt is not None and not nxt[2].squashed and nxt[2]._seq == nxt[1]:
+            count += 1
+        return count
 
     def empty(self) -> bool:
         return len(self) == 0
 
     def next_tick(self) -> Optional[int]:
         """Tick of the next live event, or ``None`` if the queue is empty."""
-        self._drop_squashed_head()
-        if not self._heap:
-            return None
-        return self._heap[0][2].when
+        entry = self._peek_live()
+        return None if entry is None else entry[2].when
 
     @property
     def events_processed(self) -> int:
@@ -116,6 +159,31 @@ class EventQueue:
         self.schedule(event, self.now if when is None else when)
         return event
 
+    def advance_if_idle(self, when: int, priority: int) -> bool:
+        """Fast-forward ``now`` to ``when`` if nothing would fire first.
+
+        This is the zero-heap tick loop: a self-rescheduling component
+        about to schedule its next firing at ``(when, priority)`` calls
+        this instead; ``True`` means time has been advanced and the
+        component should just keep running (no schedule/pop round-trip),
+        ``False`` means another event (or a run() limit) intervenes and
+        the caller must schedule normally.
+        """
+        if not self.fast_path:
+            return False
+        if self._run_limited:
+            # A max_events-limited run counts real pops; never bypass.
+            return False
+        if self._run_max_tick is not None and when > self._run_max_tick:
+            return False
+        entry = self._peek_live()
+        if entry is not None:
+            ewhen, epri, _ = entry[0]
+            if ewhen < when or (ewhen == when and epri <= priority):
+                return False
+        self.now = when
+        return True
+
     def run(self, max_tick: Optional[int] = None,
             max_events: Optional[int] = None) -> ExitEvent:
         """Run until an exit event fires, the queue drains, or a limit hits.
@@ -125,31 +193,52 @@ class EventQueue:
         ``simulate()`` reports "simulate() limit reached".
         """
         self._exit_event = None
+        self._run_max_tick = max_tick
+        self._run_limited = max_events is not None
         processed_this_run = 0
-        while True:
-            self._drop_squashed_head()
-            if not self._heap:
-                return ExitEvent("event queue empty", code=0)
-            key, seq, event = self._heap[0]
-            if max_tick is not None and event.when > max_tick:
-                self.now = max_tick
-                return ExitEvent("simulate() limit reached", code=0)
-            heapq.heappop(self._heap)
-            self.now = event.when
-            event._mark_done()
-            self._events_processed += 1
-            processed_this_run += 1
-            if isinstance(event, ExitEvent):
-                self._exit_event = event
-                return event
-            event.process()
-            if max_events is not None and processed_this_run >= max_events:
-                return ExitEvent("event count limit reached", code=0)
+        try:
+            while True:
+                entry = self._peek_live()
+                if entry is None:
+                    return ExitEvent("event queue empty", code=0)
+                key, seq, event = entry
+                if max_tick is not None and event.when > max_tick:
+                    self.now = max_tick
+                    return ExitEvent("simulate() limit reached", code=0)
+                if entry is self._next:
+                    self._next = None
+                else:
+                    heapq.heappop(self._heap)
+                self.now = event.when
+                event._mark_done()
+                self._events_processed += 1
+                processed_this_run += 1
+                if isinstance(event, ExitEvent):
+                    self._exit_event = event
+                    return event
+                event.process()
+                if max_events is not None and processed_this_run >= max_events:
+                    return ExitEvent("event count limit reached", code=0)
+        finally:
+            self._run_max_tick = None
+            self._run_limited = False
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _peek_live(self):
+        """The entry that fires next (slot first, then heap), or None."""
+        self._drop_squashed_head()
+        if self._next is not None:
+            return self._next
+        if self._heap:
+            return self._heap[0]
+        return None
+
     def _drop_squashed_head(self) -> None:
+        nxt = self._next
+        if nxt is not None and (nxt[2].squashed or nxt[2]._seq != nxt[1]):
+            self._next = None
         heap = self._heap
         while heap and (heap[0][2].squashed or heap[0][2]._seq != heap[0][1]):
             heapq.heappop(heap)

@@ -38,6 +38,10 @@ class SimObject:
             self.eventq = None
             self.clock = None
             self.recorder = None
+        # Cached "is anyone listening?" flag so host_record is a single
+        # attribute test when no profiler is attached (see host_record).
+        self._rec_live = (self.recorder is not None
+                          and self.recorder.enabled)
         self._stats: Optional["StatGroup"] = None
 
     # ------------------------------------------------------------------
@@ -125,9 +129,12 @@ class SimObject:
 
         ``daddr`` is the host address of the main data structure touched
         (0 for pure-control functions); the host model replays it against
-        the data-side cache hierarchy.
+        the data-side cache hierarchy.  When no profiler is attached
+        (no recorder, or a disabled one) this is an O(1) flag test —
+        hot loops may also read ``_rec_live`` directly and skip the
+        call entirely.
         """
-        if self.recorder is not None:
+        if self._rec_live:
             self.recorder.record(fn_id, daddr)
 
     def host_alloc(self, nbytes: int, label: str = "") -> int:
@@ -151,6 +158,7 @@ class Root(SimObject):
         self.eventq = eventq if eventq is not None else EventQueue()
         self.clock = clock if clock is not None else ClockDomain(1e9)
         self.recorder = recorder
+        self._rec_live = recorder is not None and recorder.enabled
 
     def reg_all_stats(self) -> None:
         """Invoke ``reg_stats`` across the whole tree (gem5's regStats)."""

@@ -50,16 +50,22 @@ class ClockDomain:
 
     freq_hz: float
 
+    def __post_init__(self) -> None:
+        # The domain is frozen, so the period never changes; computing it
+        # once here keeps cycles_to_ticks off the division path entirely
+        # (it is called once per simulated instruction on the hot loop).
+        object.__setattr__(self, "_period", freq_to_period(self.freq_hz))
+
     @property
     def period(self) -> int:
         """Clock period in ticks."""
-        return freq_to_period(self.freq_hz)
+        return self._period
 
     def cycles_to_ticks(self, cycles: int) -> int:
         """Ticks covered by ``cycles`` whole clock cycles."""
         if cycles < 0:
             raise ValueError(f"cycle count cannot be negative, got {cycles}")
-        return cycles * self.period
+        return cycles * self._period
 
     def ticks_to_cycles(self, ticks: int) -> int:
         """Whole cycles elapsed after ``ticks`` (rounded down)."""

@@ -309,6 +309,37 @@ def render_markdown(rows: list[ClaimRow], runner: ExperimentRunner) -> str:
         "  info|list|clear [--kind g5|host|spec]` inspects or prunes",
         "  the store.",
         "",
+        "## Simulation-kernel fast path",
+        "",
+        "Every run above executes on the fast-path kernel",
+        "(`SimConfig(fast_path=True)`, the default), three host-side",
+        "optimisations that leave simulated behaviour untouched:",
+        "",
+        "- **Zero-heap tick loop** — the event queue keeps a one-element",
+        "  next-event slot in front of its binary heap, and a",
+        "  self-rescheduling CPU tick calls `advance_if_idle` to skip",
+        "  the schedule/pop round-trip entirely when nothing else is",
+        "  pending.  Event ordering is bit-identical to the pure heap.",
+        "- **Threaded-code interpreter** — the decoder binds each",
+        "  `StaticInst` to a precompiled per-opcode executor at decode",
+        "  time, and CPU models dispatch through that bound callable",
+        "  instead of re-classifying the opcode per execution.",
+        "- **Atomic-mode memory bypass** — in atomic mode the",
+        "  cache/crossbar/DRAM chain services fetches, loads and stores",
+        "  through packet-free `recv_atomic_fast` calls that keep the",
+        "  exact latency, stats and host-record accounting of the",
+        "  packet path.",
+        "",
+        "Equivalence is enforced by the differential suite in",
+        "`tests/exec/test_fastpath_differential.py` (random programs and",
+        "sieve, fast vs. slow, all four CPU models: identical registers,",
+        "memory, stats.txt and execution traces), and the golden",
+        "stats.txt tests run with the fast path enabled.  Measure the",
+        "speedup on your host with `repro-g5 bench` (or",
+        "`python benchmarks/bench_kernel.py`), which writes",
+        "`BENCH_kernel.json`; CI runs `repro-g5 bench --quick",
+        "--min-speedup 2.0` to keep the atomic-mode win above 2x.",
+        "",
         "## Known gaps (and why)",
         "",
         "- **Fig. 4 overhead ratios / Fig. 8 L1 ratios**: our synthetic",

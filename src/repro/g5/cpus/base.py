@@ -38,12 +38,18 @@ class BaseCPU(SimObject):
     #: Human-readable model name, overridden by subclasses.
     cpu_type = "base"
 
+    #: Set by the System from ``SimConfig.fast_path``; models that have a
+    #: fast path (Atomic) consult it, the rest ignore it.
+    fast_path = False
+
     def __init__(self, name: str, parent, cpu_id: int = 0) -> None:
         super().__init__(name, parent)
         self.cpu_id = cpu_id
         self.icache_port = RequestPort("icache_port", self)
         self.dcache_port = RequestPort("dcache_port", self)
-        self.decoder = Decoder()
+        # All CPUs in a process share one decode cache (gem5 shares its
+        # decode cache per ISA); decoded StaticInsts are immutable.
+        self.decoder = Decoder(shared=True)
         self.regs = RegisterFile()
         self.process: Optional["Process"] = None
         self.system: Optional["System"] = None
@@ -51,6 +57,15 @@ class BaseCPU(SimObject):
         self._halt_pending = False
         self._halt_cause = ""
         self._npc: Optional[int] = None
+        # Fast-path state: bound once at bind() so the hot loop does not
+        # chase system.memctrl.memory / system.devices per access.
+        self._mem = None
+        self._devices: list = []
+        # Per-page caches of decoded instructions, used by the atomic
+        # fast path (invalidated by write_mem on self-modifying code).
+        self._decoded_pages: dict[int, list[Optional[StaticInst]]] = {}
+        self._ipage: Optional[list[Optional[StaticInst]]] = None
+        self._ipage_base = -1
         # Host identities of the core architectural structures.
         self._regs_host = self.host_alloc(8 * 64, "regfile")
         self._fn_fetch = self.host_fn(f"{self.host_cls}::fetch")
@@ -89,6 +104,8 @@ class BaseCPU(SimObject):
         """Attach this CPU to its system and (in SE mode) its process."""
         self.system = system
         self.process = process
+        self._mem = system.memctrl.memory
+        self._devices = system.devices
         if process is not None:
             self.regs.pc = process.entry
             self.regs.write_int(2, process.stack_top)  # sp
@@ -149,18 +166,46 @@ class BaseCPU(SimObject):
 
     def read_mem(self, addr: int, size: int) -> int:
         """Functional data read (correctness path)."""
-        device = self._device_at(addr)
-        if device is not None:
-            return device.read(addr, size)
-        return self._memory().read(addr, size)
+        mem = self._mem
+        if mem is None:
+            device = self._device_at(addr)
+            if device is not None:
+                return device.read(addr, size)
+            return self._memory().read(addr, size)
+        for device in self._devices:
+            if device.contains(addr):
+                return device.read(addr, size)
+        return mem.read(addr, size)
 
     def write_mem(self, addr: int, size: int, value: int) -> None:
         """Functional data write (correctness path)."""
-        device = self._device_at(addr)
-        if device is not None:
-            device.write(addr, size, value)
-            return
-        self._memory().write(addr, size, value)
+        mem = self._mem
+        if mem is None:
+            device = self._device_at(addr)
+            if device is not None:
+                device.write(addr, size, value)
+                return
+            self._memory().write(addr, size, value)
+        else:
+            for device in self._devices:
+                if device.contains(addr):
+                    device.write(addr, size, value)
+                    return
+            mem.write(addr, size, value)
+        if self._decoded_pages:
+            self._invalidate_decoded(addr, size)
+
+    def _invalidate_decoded(self, addr: int, size: int) -> None:
+        """Drop decoded-instruction pages a store just wrote into
+        (self-modifying code support for the fast fetch path)."""
+        first = addr & ~0xFFF
+        last = (addr + size - 1) & ~0xFFF
+        page = first
+        while page <= last:
+            if self._decoded_pages.pop(page, None) is not None:
+                self._ipage = None
+                self._ipage_base = -1
+            page += 0x1000
 
     def pseudo_op(self, op: int) -> None:
         """Service an m5-style pseudo instruction."""
@@ -182,11 +227,38 @@ class BaseCPU(SimObject):
     # ------------------------------------------------------------------
     def fetch_word(self, pc: int) -> int:
         """Functionally read the instruction word at ``pc``."""
-        return self._memory().read(pc, INST_BYTES)
+        mem = self._mem
+        if mem is None:
+            return self._memory().read(pc, INST_BYTES)
+        return mem.read(pc, INST_BYTES)
 
-    def decode_inst(self, word: int) -> StaticInst:
+    def decode_inst(self, word: int, pc: Optional[int] = None) -> StaticInst:
         self.host_record(self._fn_decode)
-        return self.decoder.decode(word)
+        return self.decoder.decode(word, pc)
+
+    def fetch_decode(self, pc: int) -> StaticInst:
+        """Fetch + decode through the per-page decoded-instruction cache.
+
+        Equivalent to ``decode_inst(fetch_word(pc), pc)`` (including the
+        host-trace record) but caches the decoded StaticInst per code
+        page so the hot path is two shifts and a list index.  write_mem
+        invalidates pages on stores (self-modifying code).
+        """
+        if self._rec_live:
+            self.recorder.record(self._fn_decode, 0)
+        base = pc & ~0xFFF
+        if base != self._ipage_base:
+            page = self._decoded_pages.get(base)
+            if page is None:
+                page = self._decoded_pages[base] = [None] * 1024
+            self._ipage = page
+            self._ipage_base = base
+        inst = self._ipage[(pc & 0xFFF) >> 2]
+        if inst is None:
+            word = self.fetch_word(pc)
+            inst = self.decoder.decode(word, pc)
+            self._ipage[(pc & 0xFFF) >> 2] = inst
+        return inst
 
     def execute_inst(self, inst: StaticInst) -> int:
         """Execute ``inst`` against architectural state; returns next PC.
@@ -194,13 +266,14 @@ class BaseCPU(SimObject):
         Records per-opcode host execute functions (gem5 generates one
         ``execute()`` per instruction class, a large slice of its code).
         """
-        fn = self._fn_exec_by_op.get(inst.opcode)
-        if fn is None:
-            fn = self.host_fn(f"{inst.mnemonic.capitalize()}::execute")
-            self._fn_exec_by_op[inst.opcode] = fn
-        self.host_record(fn, self._regs_host + inst.rd * 8)
+        if self._rec_live:
+            fn = self._fn_exec_by_op.get(inst.opcode)
+            if fn is None:
+                fn = self.host_fn(f"{inst.mnemonic.capitalize()}::execute")
+                self._fn_exec_by_op[inst.opcode] = fn
+            self.recorder.record(fn, self._regs_host + inst.rd * 8)
         self._npc = None
-        inst.execute(self)
+        inst._exec(inst, self)
         if inst.is_mem:
             self.stat_mem_refs.inc()
         if inst.is_control:

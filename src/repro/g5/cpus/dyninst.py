@@ -114,7 +114,7 @@ class InstStream:
             return None
         pc = cpu.regs.pc
         word = cpu.fetch_word(pc)
-        inst = cpu.decode_inst(word)
+        inst = cpu.decode_inst(word, pc)
         mem_addr = inst.ea(cpu) if inst.is_mem else None
         next_pc = cpu.execute_inst(inst)
         cpu.regs.pc = next_pc

@@ -26,14 +26,18 @@ class TimingSimpleCPU(BaseCPU):
         self._waiting_inst: Optional[StaticInst] = None
         self._fetch_outstanding = False
         self._last_advance_tick = 0
+        # One persistent, reusable fetch event: only a single fetch is
+        # ever in flight, so there is no need to allocate a CallbackEvent
+        # (plus closure) per instruction.
+        self._fetch_event = CallbackEvent(
+            self._send_fetch, name=f"{name}.fetch")
         self._fn_icache_resp = self.host_fn("TimingSimpleCPU::IcachePort::recvTimingResp")
         self._fn_dcache_resp = self.host_fn("TimingSimpleCPU::DcachePort::recvTimingResp")
         self._fn_complete = self.host_fn("TimingSimpleCPU::completeDataAccess")
 
     def activate(self) -> None:
         """Start execution by issuing the first instruction fetch."""
-        self.schedule_in(
-            CallbackEvent(self._send_fetch, name=f"{self.name}.first_fetch"), 0)
+        self.schedule_in(self._fetch_event, 0)
 
     # ------------------------------------------------------------------
     # fetch path
@@ -62,7 +66,7 @@ class TimingSimpleCPU(BaseCPU):
         if self._halted:
             return
         word = self.fetch_word(self.regs.pc)
-        inst = self.decode_inst(word)
+        inst = self.decode_inst(word, self.regs.pc)
         if inst.is_mem:
             addr = inst.ea(self)
             if self._device_at(addr) is None:
@@ -97,9 +101,7 @@ class TimingSimpleCPU(BaseCPU):
         self.regs.pc = next_pc
         self.stat_committed.inc()
         if not self._halted:
-            self.schedule_in(
-                CallbackEvent(self._send_fetch, name=f"{self.name}.fetch"),
-                self.cycles(1))
+            self.schedule_in(self._fetch_event, self.cycles(1))
 
     def _account_cycles(self) -> None:
         """Charge wall-clock cycles between fetch issues (stall-inclusive)."""

@@ -4,36 +4,65 @@ gem5 decodes each fetched machine word into a ``StaticInst`` and caches
 the result keyed by the word, so hot code decodes once.  We reproduce
 that structure; the decode cache is also what the host-profiling layer
 observes as ``Decoder::decode`` work.
+
+Decoded instructions are immutable, so the cache can safely be shared by
+every decoder in the process: CPU models construct their decoder with
+``shared=True`` and all hit one process-wide word→StaticInst map, the
+way gem5 shares its decode cache per ISA.  The default remains a private
+cache so standalone decoders keep isolated lookup/miss counters.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from .instructions import MNEMONICS, OP_SHIFT, StaticInst
 
 
 class DecodeError(ValueError):
-    """Raised on an undecodable machine word."""
+    """Raised on an undecodable machine word.
+
+    Carries the faulting PC (when the CPU threads it through) in
+    ``pc`` so bad-fetch reports say *where* execution went wrong, not
+    just which bit pattern was met.
+    """
+
+    def __init__(self, message: str, pc: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.pc = pc
+
+
+#: Process-wide decode cache used by all ``shared=True`` decoders.
+_SHARED_CACHE: dict[int, StaticInst] = {}
 
 
 class Decoder:
     """Decode 32-bit SimRISC words into (cached) StaticInsts."""
 
-    def __init__(self) -> None:
-        self._cache: dict[int, StaticInst] = {}
+    __slots__ = ("_cache", "lookups", "misses")
+
+    def __init__(self, shared: bool = False) -> None:
+        self._cache: dict[int, StaticInst] = _SHARED_CACHE if shared else {}
         self.lookups = 0
         self.misses = 0
 
-    def decode(self, machine_word: int) -> StaticInst:
-        """Decode ``machine_word``, reusing the decode cache when possible."""
+    def decode(self, machine_word: int,
+               pc: Optional[int] = None) -> StaticInst:
+        """Decode ``machine_word``, reusing the decode cache when possible.
+
+        ``pc`` is the fetch address, used only to annotate
+        :class:`DecodeError` on undecodable words.
+        """
         self.lookups += 1
         inst = self._cache.get(machine_word)
         if inst is None:
             self.misses += 1
             opcode = (machine_word >> OP_SHIFT) & 0x3F
             if opcode not in MNEMONICS:
+                where = f" at pc {pc:#x}" if pc is not None else ""
                 raise DecodeError(
                     f"undecodable machine word {machine_word:#010x} "
-                    f"(opcode {opcode})")
+                    f"(opcode {opcode}){where}", pc=pc)
             inst = StaticInst(machine_word)
             self._cache[machine_word] = inst
         return inst

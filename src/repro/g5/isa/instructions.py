@@ -120,18 +120,38 @@ class ExecContext(Protocol):
     def pseudo_op(self, op: int) -> None: ...
 
 
-class StaticInst:
-    """One decoded SimRISC instruction."""
+#: Functional-unit latency in cycles by opcode (detailed CPU models).
+_OP_LATENCY = {Opcode.MUL: 3, Opcode.DIV: 12, Opcode.REM: 12,
+               Opcode.FADD: 2, Opcode.FSUB: 2, Opcode.FMIN: 2,
+               Opcode.FMAX: 2, Opcode.FMV: 2, Opcode.FCVT_D_L: 2,
+               Opcode.FCVT_L_D: 2, Opcode.FLT: 2, Opcode.FLE: 2,
+               Opcode.FMUL: 4, Opcode.FMADD: 4, Opcode.FDIV: 12,
+               Opcode.FSQRT: 24}
 
-    __slots__ = ("machine_word", "opcode", "rd", "rs1", "rs2", "imm")
+
+class StaticInst:
+    """One decoded SimRISC instruction.
+
+    Decode-time precomputation (the threaded-code interpreter): all
+    classification flags, the micro-op latency, and the bound per-opcode
+    executor (``_exec``) are materialised as plain attributes when the
+    instruction is decoded, so CPU models pay attribute loads — not
+    property calls or dispatch chains — per executed instruction.  The
+    decode cache makes this a one-time cost per distinct machine word.
+    """
+
+    __slots__ = ("machine_word", "opcode", "rd", "rs1", "rs2", "imm",
+                 "_exec", "_msize", "op_latency",
+                 "is_load", "is_store", "is_mem", "is_branch", "is_jump",
+                 "is_control", "is_indirect", "is_call", "is_return",
+                 "is_fp", "is_syscall", "is_halt")
 
     def __init__(self, machine_word: int) -> None:
         self.machine_word = machine_word
-        self.opcode = (machine_word >> OP_SHIFT) & 0x3F
+        op = self.opcode = (machine_word >> OP_SHIFT) & 0x3F
         self.rd = (machine_word >> RD_SHIFT) & REG_MASK
         self.rs1 = (machine_word >> RS1_SHIFT) & REG_MASK
         self.rs2 = (machine_word >> RS2_SHIFT) & REG_MASK
-        op = self.opcode
         if op in _I_ALU or op in _LOADS or op in (Opcode.JALR, Opcode.M5OP):
             self.imm = _sext(machine_word, 16)
         elif op in _STORES or op in _BRANCHES:
@@ -140,6 +160,23 @@ class StaticInst:
             self.imm = _sext(machine_word, 21)
         else:
             self.imm = 0
+        # -- precomputed classification ---------------------------------
+        self.is_load = op in _LOADS
+        self.is_store = op in _STORES
+        self.is_mem = self.is_load or self.is_store
+        self.is_branch = op in _BRANCHES
+        self.is_jump = op in (Opcode.JAL, Opcode.JALR)
+        self.is_control = self.is_branch or self.is_jump
+        self.is_indirect = op == Opcode.JALR
+        self.is_call = self.is_jump and self.rd == 1  # link register ra
+        self.is_return = (op == Opcode.JALR and self.rd == 0
+                          and self.rs1 == 1)
+        self.is_fp = op in _FP_R or op in (Opcode.FLD, Opcode.FSD)
+        self.is_syscall = op == Opcode.ECALL
+        self.is_halt = op == Opcode.HALT
+        self._msize = _LOADS.get(op) or _STORES.get(op)
+        self.op_latency = _OP_LATENCY.get(op, 1)
+        self._exec = _EXECUTORS.get(op)
 
     # -- classification -------------------------------------------------
     @property
@@ -147,83 +184,11 @@ class StaticInst:
         return MNEMONICS.get(self.opcode, f"op{self.opcode}")
 
     @property
-    def is_load(self) -> bool:
-        return self.opcode in _LOADS
-
-    @property
-    def is_store(self) -> bool:
-        return self.opcode in _STORES
-
-    @property
-    def is_mem(self) -> bool:
-        return self.is_load or self.is_store
-
-    @property
-    def is_branch(self) -> bool:
-        """Conditional control flow."""
-        return self.opcode in _BRANCHES
-
-    @property
-    def is_jump(self) -> bool:
-        """Unconditional control flow."""
-        return self.opcode in (Opcode.JAL, Opcode.JALR)
-
-    @property
-    def is_control(self) -> bool:
-        return self.is_branch or self.is_jump
-
-    @property
-    def is_indirect(self) -> bool:
-        return self.opcode == Opcode.JALR
-
-    @property
-    def is_call(self) -> bool:
-        return self.is_jump and self.rd == 1  # link register ra
-
-    @property
-    def is_return(self) -> bool:
-        return self.opcode == Opcode.JALR and self.rd == 0 and self.rs1 == 1
-
-    @property
-    def is_fp(self) -> bool:
-        return self.opcode in _FP_R or self.opcode in (Opcode.FLD, Opcode.FSD)
-
-    @property
-    def is_syscall(self) -> bool:
-        return self.opcode == Opcode.ECALL
-
-    @property
-    def is_halt(self) -> bool:
-        return self.opcode == Opcode.HALT
-
-    @property
     def mem_size(self) -> int:
-        if self.is_load:
-            return _LOADS[self.opcode]
-        if self.is_store:
-            return _STORES[self.opcode]
-        raise TypeError(f"{self.mnemonic} is not a memory instruction")
-
-    # -- micro-op weight (used by detailed CPU models) -------------------
-    @property
-    def op_latency(self) -> int:
-        """Functional-unit latency in cycles for detailed models."""
-        op = self.opcode
-        if op in (Opcode.MUL,):
-            return 3
-        if op in (Opcode.DIV, Opcode.REM):
-            return 12
-        if op in (Opcode.FADD, Opcode.FSUB, Opcode.FMIN, Opcode.FMAX,
-                  Opcode.FMV, Opcode.FCVT_D_L, Opcode.FCVT_L_D,
-                  Opcode.FLT, Opcode.FLE):
-            return 2
-        if op in (Opcode.FMUL, Opcode.FMADD):
-            return 4
-        if op == Opcode.FDIV:
-            return 12
-        if op == Opcode.FSQRT:
-            return 24
-        return 1
+        size = self._msize
+        if size is None:
+            raise TypeError(f"{self.mnemonic} is not a memory instruction")
+        return size
 
     # -- control-flow helpers --------------------------------------------
     def branch_target(self, pc: int) -> Optional[int]:
@@ -258,156 +223,231 @@ class StaticInst:
     # -- full semantics ----------------------------------------------------
     def execute(self, xc: ExecContext) -> None:
         """Execute completely (atomic-mode semantics)."""
-        op = self.opcode
-        if op in _R_ALU:
-            self._exec_r_alu(xc)
-        elif op in _I_ALU:
-            self._exec_i_alu(xc)
-        elif op == Opcode.LUI:
-            xc.write_int(self.rd, self.imm << 11)
-        elif self.is_load:
-            raw = xc.read_mem(self.ea(xc), self.mem_size)
-            self.complete(xc, raw)
-        elif self.is_store:
-            xc.write_mem(self.ea(xc), self.mem_size, self.store_value(xc))
-        elif op in _BRANCHES:
-            if self._branch_taken(xc):
-                xc.set_npc(xc.pc + self.imm)
-        elif op == Opcode.JAL:
-            xc.write_int(self.rd, xc.pc + INST_BYTES)
-            xc.set_npc(xc.pc + self.imm)
-        elif op == Opcode.JALR:
-            target = to_unsigned64(xc.read_int(self.rs1) + self.imm) & ~1
-            xc.write_int(self.rd, xc.pc + INST_BYTES)
-            xc.set_npc(target)
-        elif op in _FP_R:
-            self._exec_fp(xc)
-        elif op == Opcode.ECALL:
-            xc.syscall()
-        elif op == Opcode.M5OP:
-            xc.pseudo_op(self.imm)
-        elif op == Opcode.NOP:
-            pass
-        elif op == Opcode.HALT:
-            pass  # the CPU model observes is_halt and exits
-        else:
-            raise ValueError(f"cannot execute unknown opcode {op}")
-
-    def _branch_taken(self, xc: ExecContext) -> bool:
-        a = xc.read_int(self.rs1)
-        b = xc.read_int(self.rs2)
-        sa, sb = to_signed64(a), to_signed64(b)
-        op = self.opcode
-        if op == Opcode.BEQ:
-            return a == b
-        if op == Opcode.BNE:
-            return a != b
-        if op == Opcode.BLT:
-            return sa < sb
-        if op == Opcode.BGE:
-            return sa >= sb
-        if op == Opcode.BLTU:
-            return a < b
-        return a >= b  # BGEU
-
-    def _exec_r_alu(self, xc: ExecContext) -> None:
-        a = xc.read_int(self.rs1)
-        b = xc.read_int(self.rs2)
-        sa, sb = to_signed64(a), to_signed64(b)
-        op = self.opcode
-        if op == Opcode.ADD:
-            result = a + b
-        elif op == Opcode.SUB:
-            result = a - b
-        elif op == Opcode.MUL:
-            result = sa * sb
-        elif op == Opcode.DIV:
-            result = -1 if sb == 0 else _truncdiv(sa, sb)
-        elif op == Opcode.REM:
-            result = sa if sb == 0 else sa - _truncdiv(sa, sb) * sb
-        elif op == Opcode.AND:
-            result = a & b
-        elif op == Opcode.OR:
-            result = a | b
-        elif op == Opcode.XOR:
-            result = a ^ b
-        elif op == Opcode.SLL:
-            result = a << (b & 63)
-        elif op == Opcode.SRL:
-            result = a >> (b & 63)
-        elif op == Opcode.SRA:
-            result = sa >> (b & 63)
-        elif op == Opcode.SLT:
-            result = int(sa < sb)
-        else:  # SLTU
-            result = int(a < b)
-        xc.write_int(self.rd, result)
-
-    def _exec_i_alu(self, xc: ExecContext) -> None:
-        a = xc.read_int(self.rs1)
-        imm = self.imm
-        op = self.opcode
-        if op == Opcode.ADDI:
-            result = a + imm
-        elif op == Opcode.ANDI:
-            result = a & (imm & ((1 << 64) - 1))
-        elif op == Opcode.ORI:
-            result = a | (imm & ((1 << 64) - 1))
-        elif op == Opcode.XORI:
-            result = a ^ (imm & ((1 << 64) - 1))
-        elif op == Opcode.SLLI:
-            result = a << (imm & 63)
-        elif op == Opcode.SRLI:
-            result = a >> (imm & 63)
-        else:  # SLTI
-            result = int(to_signed64(a) < imm)
-        xc.write_int(self.rd, result)
-
-    def _exec_fp(self, xc: ExecContext) -> None:
-        op = self.opcode
-        if op == Opcode.FCVT_D_L:
-            xc.write_fp(self.rd, float(to_signed64(xc.read_int(self.rs1))))
-            return
-        if op == Opcode.FCVT_L_D:
-            value = xc.read_fp(self.rs1)
-            if math.isnan(value) or math.isinf(value):
-                xc.write_int(self.rd, 0)
-            else:
-                xc.write_int(self.rd, int(value))
-            return
-        a = xc.read_fp(self.rs1)
-        if op == Opcode.FSQRT:
-            xc.write_fp(self.rd, math.sqrt(a) if a >= 0 else float("nan"))
-            return
-        if op == Opcode.FMV:
-            xc.write_fp(self.rd, a)
-            return
-        b = xc.read_fp(self.rs2)
-        if op == Opcode.FADD:
-            xc.write_fp(self.rd, a + b)
-        elif op == Opcode.FSUB:
-            xc.write_fp(self.rd, a - b)
-        elif op == Opcode.FMUL:
-            xc.write_fp(self.rd, a * b)
-        elif op == Opcode.FDIV:
-            xc.write_fp(self.rd, a / b if b != 0.0 else math.inf * (1 if a >= 0 else -1))
-        elif op == Opcode.FMIN:
-            xc.write_fp(self.rd, min(a, b))
-        elif op == Opcode.FMAX:
-            xc.write_fp(self.rd, max(a, b))
-        elif op == Opcode.FMADD:
-            # fd = fs1 * fs2 + fd (destructive accumulate keeps 3 fields)
-            xc.write_fp(self.rd, a * b + xc.read_fp(self.rd))
-        elif op == Opcode.FLT:
-            xc.write_int(self.rd, int(a < b))
-        elif op == Opcode.FLE:
-            xc.write_int(self.rd, int(a <= b))
-        else:  # pragma: no cover - exhaustive above
-            raise ValueError(f"unknown fp opcode {op}")
+        executor = self._exec
+        if executor is None:
+            raise ValueError(f"cannot execute unknown opcode {self.opcode}")
+        executor(self, xc)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<StaticInst {self.mnemonic} rd={self.rd} rs1={self.rs1} "
                 f"rs2={self.rs2} imm={self.imm}>")
+
+
+# ---------------------------------------------------------------------------
+# threaded-code executors
+#
+# One straight-line function per opcode, bound onto each StaticInst at
+# decode time (``inst._exec``).  This replaces the old if/elif dispatch
+# chains: executing an instruction is a single indirect call, the way
+# gem5's generated per-class ``execute()`` methods work.
+# ---------------------------------------------------------------------------
+
+def _x_add(i, xc): xc.write_int(i.rd, xc.read_int(i.rs1) + xc.read_int(i.rs2))
+def _x_sub(i, xc): xc.write_int(i.rd, xc.read_int(i.rs1) - xc.read_int(i.rs2))
+
+
+def _x_mul(i, xc):
+    xc.write_int(i.rd, to_signed64(xc.read_int(i.rs1))
+                 * to_signed64(xc.read_int(i.rs2)))
+
+
+def _x_div(i, xc):
+    sa = to_signed64(xc.read_int(i.rs1))
+    sb = to_signed64(xc.read_int(i.rs2))
+    xc.write_int(i.rd, -1 if sb == 0 else _truncdiv(sa, sb))
+
+
+def _x_rem(i, xc):
+    sa = to_signed64(xc.read_int(i.rs1))
+    sb = to_signed64(xc.read_int(i.rs2))
+    xc.write_int(i.rd, sa if sb == 0 else sa - _truncdiv(sa, sb) * sb)
+
+
+def _x_and(i, xc): xc.write_int(i.rd, xc.read_int(i.rs1) & xc.read_int(i.rs2))
+def _x_or(i, xc): xc.write_int(i.rd, xc.read_int(i.rs1) | xc.read_int(i.rs2))
+def _x_xor(i, xc): xc.write_int(i.rd, xc.read_int(i.rs1) ^ xc.read_int(i.rs2))
+
+
+def _x_sll(i, xc):
+    xc.write_int(i.rd, xc.read_int(i.rs1) << (xc.read_int(i.rs2) & 63))
+
+
+def _x_srl(i, xc):
+    xc.write_int(i.rd, xc.read_int(i.rs1) >> (xc.read_int(i.rs2) & 63))
+
+
+def _x_sra(i, xc):
+    xc.write_int(i.rd,
+                 to_signed64(xc.read_int(i.rs1)) >> (xc.read_int(i.rs2) & 63))
+
+
+def _x_slt(i, xc):
+    xc.write_int(i.rd, int(to_signed64(xc.read_int(i.rs1))
+                           < to_signed64(xc.read_int(i.rs2))))
+
+
+def _x_sltu(i, xc):
+    xc.write_int(i.rd, int(xc.read_int(i.rs1) < xc.read_int(i.rs2)))
+
+
+def _x_addi(i, xc): xc.write_int(i.rd, xc.read_int(i.rs1) + i.imm)
+
+
+def _x_andi(i, xc):
+    xc.write_int(i.rd, xc.read_int(i.rs1) & (i.imm & ((1 << 64) - 1)))
+
+
+def _x_ori(i, xc):
+    xc.write_int(i.rd, xc.read_int(i.rs1) | (i.imm & ((1 << 64) - 1)))
+
+
+def _x_xori(i, xc):
+    xc.write_int(i.rd, xc.read_int(i.rs1) ^ (i.imm & ((1 << 64) - 1)))
+
+
+def _x_slli(i, xc): xc.write_int(i.rd, xc.read_int(i.rs1) << (i.imm & 63))
+def _x_srli(i, xc): xc.write_int(i.rd, xc.read_int(i.rs1) >> (i.imm & 63))
+
+
+def _x_slti(i, xc):
+    xc.write_int(i.rd, int(to_signed64(xc.read_int(i.rs1)) < i.imm))
+
+
+def _x_lui(i, xc): xc.write_int(i.rd, i.imm << 11)
+
+
+def _x_load(i, xc):
+    i.complete(xc, xc.read_mem(i.ea(xc), i._msize))
+
+
+def _x_store(i, xc):
+    xc.write_mem(i.ea(xc), i._msize, i.store_value(xc))
+
+
+def _x_beq(i, xc):
+    if xc.read_int(i.rs1) == xc.read_int(i.rs2):
+        xc.set_npc(xc.pc + i.imm)
+
+
+def _x_bne(i, xc):
+    if xc.read_int(i.rs1) != xc.read_int(i.rs2):
+        xc.set_npc(xc.pc + i.imm)
+
+
+def _x_blt(i, xc):
+    if to_signed64(xc.read_int(i.rs1)) < to_signed64(xc.read_int(i.rs2)):
+        xc.set_npc(xc.pc + i.imm)
+
+
+def _x_bge(i, xc):
+    if to_signed64(xc.read_int(i.rs1)) >= to_signed64(xc.read_int(i.rs2)):
+        xc.set_npc(xc.pc + i.imm)
+
+
+def _x_bltu(i, xc):
+    if xc.read_int(i.rs1) < xc.read_int(i.rs2):
+        xc.set_npc(xc.pc + i.imm)
+
+
+def _x_bgeu(i, xc):
+    if xc.read_int(i.rs1) >= xc.read_int(i.rs2):
+        xc.set_npc(xc.pc + i.imm)
+
+
+def _x_jal(i, xc):
+    pc = xc.pc
+    xc.write_int(i.rd, pc + INST_BYTES)
+    xc.set_npc(pc + i.imm)
+
+
+def _x_jalr(i, xc):
+    target = to_unsigned64(xc.read_int(i.rs1) + i.imm) & ~1
+    xc.write_int(i.rd, xc.pc + INST_BYTES)
+    xc.set_npc(target)
+
+
+def _x_fadd(i, xc): xc.write_fp(i.rd, xc.read_fp(i.rs1) + xc.read_fp(i.rs2))
+def _x_fsub(i, xc): xc.write_fp(i.rd, xc.read_fp(i.rs1) - xc.read_fp(i.rs2))
+def _x_fmul(i, xc): xc.write_fp(i.rd, xc.read_fp(i.rs1) * xc.read_fp(i.rs2))
+
+
+def _x_fdiv(i, xc):
+    a, b = xc.read_fp(i.rs1), xc.read_fp(i.rs2)
+    xc.write_fp(i.rd, a / b if b != 0.0 else math.inf * (1 if a >= 0 else -1))
+
+
+def _x_fsqrt(i, xc):
+    a = xc.read_fp(i.rs1)
+    xc.write_fp(i.rd, math.sqrt(a) if a >= 0 else float("nan"))
+
+
+def _x_fmin(i, xc):
+    xc.write_fp(i.rd, min(xc.read_fp(i.rs1), xc.read_fp(i.rs2)))
+
+
+def _x_fmax(i, xc):
+    xc.write_fp(i.rd, max(xc.read_fp(i.rs1), xc.read_fp(i.rs2)))
+
+
+def _x_fmadd(i, xc):
+    # fd = fs1 * fs2 + fd (destructive accumulate keeps 3 fields)
+    xc.write_fp(i.rd, xc.read_fp(i.rs1) * xc.read_fp(i.rs2)
+                + xc.read_fp(i.rd))
+
+
+def _x_fcvt_d_l(i, xc):
+    xc.write_fp(i.rd, float(to_signed64(xc.read_int(i.rs1))))
+
+
+def _x_fcvt_l_d(i, xc):
+    value = xc.read_fp(i.rs1)
+    if math.isnan(value) or math.isinf(value):
+        xc.write_int(i.rd, 0)
+    else:
+        xc.write_int(i.rd, int(value))
+
+
+def _x_flt(i, xc):
+    xc.write_int(i.rd, int(xc.read_fp(i.rs1) < xc.read_fp(i.rs2)))
+
+
+def _x_fle(i, xc):
+    xc.write_int(i.rd, int(xc.read_fp(i.rs1) <= xc.read_fp(i.rs2)))
+
+
+def _x_fmv(i, xc): xc.write_fp(i.rd, xc.read_fp(i.rs1))
+def _x_ecall(i, xc): xc.syscall()
+def _x_m5op(i, xc): xc.pseudo_op(i.imm)
+
+
+def _x_nop(i, xc):
+    pass  # HALT too: the CPU model observes is_halt and exits
+
+
+_EXECUTORS = {
+    Opcode.ADD: _x_add, Opcode.SUB: _x_sub, Opcode.MUL: _x_mul,
+    Opcode.DIV: _x_div, Opcode.REM: _x_rem, Opcode.AND: _x_and,
+    Opcode.OR: _x_or, Opcode.XOR: _x_xor, Opcode.SLL: _x_sll,
+    Opcode.SRL: _x_srl, Opcode.SRA: _x_sra, Opcode.SLT: _x_slt,
+    Opcode.SLTU: _x_sltu,
+    Opcode.ADDI: _x_addi, Opcode.ANDI: _x_andi, Opcode.ORI: _x_ori,
+    Opcode.XORI: _x_xori, Opcode.SLLI: _x_slli, Opcode.SRLI: _x_srli,
+    Opcode.SLTI: _x_slti, Opcode.LUI: _x_lui,
+    Opcode.LB: _x_load, Opcode.LW: _x_load, Opcode.LD: _x_load,
+    Opcode.FLD: _x_load,
+    Opcode.SB: _x_store, Opcode.SW: _x_store, Opcode.SD: _x_store,
+    Opcode.FSD: _x_store,
+    Opcode.BEQ: _x_beq, Opcode.BNE: _x_bne, Opcode.BLT: _x_blt,
+    Opcode.BGE: _x_bge, Opcode.BLTU: _x_bltu, Opcode.BGEU: _x_bgeu,
+    Opcode.JAL: _x_jal, Opcode.JALR: _x_jalr,
+    Opcode.FADD: _x_fadd, Opcode.FSUB: _x_fsub, Opcode.FMUL: _x_fmul,
+    Opcode.FDIV: _x_fdiv, Opcode.FSQRT: _x_fsqrt, Opcode.FMIN: _x_fmin,
+    Opcode.FMAX: _x_fmax, Opcode.FMADD: _x_fmadd,
+    Opcode.FCVT_D_L: _x_fcvt_d_l, Opcode.FCVT_L_D: _x_fcvt_l_d,
+    Opcode.FLT: _x_flt, Opcode.FLE: _x_fle, Opcode.FMV: _x_fmv,
+    Opcode.ECALL: _x_ecall, Opcode.M5OP: _x_m5op,
+    Opcode.NOP: _x_nop, Opcode.HALT: _x_nop,
+}
 
 
 def encode(opcode: int, rd: int = 0, rs1: int = 0, rs2: int = 0,

@@ -90,6 +90,10 @@ class Cache(SimObject):
                       for _ in range(params.n_sets)]
         self._lru_clock = 0
         self._mshrs: dict[int, _MSHR] = {}
+        # Latencies in ticks, precomputed for the packet-free fast path.
+        self._tag_ticks = self.cycles(params.tag_latency)
+        self._data_ticks = self.cycles(params.data_latency)
+        self._resp_ticks = self.cycles(params.response_latency)
         # Host-side identity of this instance's tag store: ~10 bytes/line of
         # metadata, mirroring gem5's tag arrays.
         self._tags_host_base = self.host_alloc(
@@ -164,11 +168,15 @@ class Cache(SimObject):
             if victim.dirty and self.params.write_back:
                 self.stat_writebacks.inc()
                 self.host_record(self._fn_wb)
-                wb_pkt = writeback(victim.tag, self.params.line_size)
-                if self._timing_mode:
-                    self.mem_side.send_timing_req(wb_pkt)
+                if self._fast_mode:
+                    self.mem_side.send_atomic_wb_fast(
+                        victim.tag, self.params.line_size)
+                elif self._timing_mode:
+                    self.mem_side.send_timing_req(
+                        writeback(victim.tag, self.params.line_size))
                 else:
-                    self.mem_side.send_atomic(wb_pkt)
+                    self.mem_side.send_atomic(
+                        writeback(victim.tag, self.params.line_size))
         self._lru_clock += 1
         victim.tag = line_addr
         victim.valid = True
@@ -219,8 +227,9 @@ class Cache(SimObject):
         return sum(1 for cache_set in self._sets
                    for line in cache_set if line.valid)
 
-    # mode flag used to route writebacks correctly
+    # mode flags used to route writebacks correctly
     _timing_mode = False
+    _fast_mode = False
 
     # ------------------------------------------------------------------
     # atomic protocol
@@ -228,6 +237,7 @@ class Cache(SimObject):
     def recv_atomic(self, pkt: Packet) -> int:
         """Atomic access: returns the full latency in ticks."""
         self._timing_mode = False
+        self._fast_mode = False
         self.host_record(self._fn_atomic)
         if pkt.cmd is MemCmd.WRITEBACK:
             return self._atomic_writeback(pkt)
@@ -264,10 +274,56 @@ class Cache(SimObject):
         return self.mem_side.send_atomic(pkt)
 
     # ------------------------------------------------------------------
+    # atomic fast path (packet-free)
+    # ------------------------------------------------------------------
+    def recv_atomic_fast(self, addr: int, size: int, is_write: bool) -> int:
+        """Atomic access without a Packet: same latency, stats, LRU
+        traffic, and host-trace records as :meth:`recv_atomic` on a
+        read/write request — only the Packet allocation is gone."""
+        self._timing_mode = False
+        self._fast_mode = True
+        if self._rec_live:
+            self.recorder.record(self._fn_atomic, 0)
+        params = self.params
+        line_addr = addr & ~(params.line_size - 1)
+        latency = self._tag_ticks
+        line = self._lookup(line_addr)
+        if line is not None:
+            self.stat_hits.inc()
+            if is_write:
+                line.dirty = True
+            return latency + self._data_ticks
+        self.stat_misses.inc()
+        latency += self.mem_side.send_atomic_fast(
+            line_addr, params.line_size, False)
+        self._fill(line_addr)
+        self._maybe_prefetch_atomic(line_addr)
+        line = self._lookup(line_addr)
+        assert line is not None
+        if is_write:
+            line.dirty = True
+        return latency + self._resp_ticks
+
+    def recv_atomic_wb_fast(self, addr: int, size: int) -> int:
+        """Packet-free equivalent of an atomic WRITEBACK request."""
+        self._timing_mode = False
+        self._fast_mode = True
+        if self._rec_live:
+            self.recorder.record(self._fn_atomic, 0)
+        line_addr = addr & ~(self.params.line_size - 1)
+        line = self._lookup(line_addr)
+        if line is not None:
+            line.dirty = True
+            return self._tag_ticks
+        # Not resident here: pass down (no allocation on writeback).
+        return self.mem_side.send_atomic_wb_fast(addr, size)
+
+    # ------------------------------------------------------------------
     # timing protocol
     # ------------------------------------------------------------------
     def recv_timing_req(self, pkt: Packet) -> bool:
         self._timing_mode = True
+        self._fast_mode = False
         self.host_record(self._fn_recv_timing)
         if pkt.cmd is MemCmd.WRITEBACK:
             # Absorb or forward writebacks without a response.

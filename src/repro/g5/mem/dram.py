@@ -48,6 +48,22 @@ class MemCtrl(SimObject):
             pkt.make_response()
         return self.access_latency
 
+    def recv_atomic_fast(self, addr: int, size: int, is_write: bool) -> int:
+        """Packet-free atomic access: accounting identical to
+        :meth:`recv_atomic` (reads/writes/bytes), same fixed latency."""
+        if is_write:
+            self.stat_writes.inc()
+        else:
+            self.stat_reads.inc()
+        self.stat_bytes.inc(size)
+        return self.access_latency
+
+    def recv_atomic_wb_fast(self, addr: int, size: int) -> int:
+        # A writeback is a write burst with no response.
+        self.stat_writes.inc()
+        self.stat_bytes.inc(size)
+        return self.access_latency
+
     def recv_timing_req(self, pkt: Packet) -> bool:
         self.host_record(self._fn_access)
         self._account(pkt)

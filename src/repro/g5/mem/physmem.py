@@ -72,6 +72,14 @@ class PhysicalMemory(SimObject):
     # ------------------------------------------------------------------
     def read(self, addr: int, size: int) -> int:
         """Read ``size`` bytes little-endian; returns an unsigned integer."""
+        # Hot path: in-bounds access to an already-touched page.  This is
+        # the per-instruction fetch/load route, so it avoids the helper
+        # calls; all edge cases fall through to the checked path below.
+        if 0 < size and 0 <= addr and addr + size <= self.size:
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            offset = addr & (PAGE_SIZE - 1)
+            if page is not None and offset + size <= PAGE_SIZE:
+                return int.from_bytes(page[offset:offset + size], "little")
         self._check_span(addr, size)
         page, offset = self._page(addr)
         if offset + size <= PAGE_SIZE:
@@ -80,6 +88,13 @@ class PhysicalMemory(SimObject):
 
     def write(self, addr: int, size: int, value: int) -> None:
         """Write the low ``size`` bytes of ``value`` little-endian."""
+        if 0 < size and 0 <= addr and addr + size <= self.size:
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            offset = addr & (PAGE_SIZE - 1)
+            if page is not None and offset + size <= PAGE_SIZE:
+                page[offset:offset + size] = \
+                    (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little")
+                return
         self._check_span(addr, size)
         raw = (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little")
         page, offset = self._page(addr)

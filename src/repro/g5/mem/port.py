@@ -37,6 +37,8 @@ class TimingSource(Protocol):
 class Port:
     """Common port plumbing: naming and peer binding."""
 
+    __slots__ = ("name", "owner", "peer")
+
     def __init__(self, name: str, owner) -> None:
         self.name = name
         self.owner = owner
@@ -71,11 +73,22 @@ class Port:
 class RequestPort(Port):
     """Initiates transactions (CPU side of a cache, cache's memory side)."""
 
+    __slots__ = ()
+
     def send_atomic(self, pkt: Packet) -> int:
         """Perform an atomic access; returns latency in ticks."""
         peer = self._require_peer()
         assert isinstance(peer, ResponsePort)
         return peer.owner.recv_atomic(pkt)
+
+    def send_atomic_fast(self, addr: int, size: int, is_write: bool) -> int:
+        """Packet-free atomic access (fast path); latency in ticks."""
+        return self._require_peer().owner.recv_atomic_fast(
+            addr, size, is_write)
+
+    def send_atomic_wb_fast(self, addr: int, size: int) -> int:
+        """Packet-free atomic writeback (fast path); latency in ticks."""
+        return self._require_peer().owner.recv_atomic_wb_fast(addr, size)
 
     def send_timing_req(self, pkt: Packet) -> bool:
         """Send a timing request; False means the target is busy (retry)."""
@@ -98,6 +111,8 @@ class RequestPort(Port):
 
 class ResponsePort(Port):
     """Receives transactions (memory side of a CPU, CPU side of a cache)."""
+
+    __slots__ = ()
 
     def send_timing_resp(self, pkt: Packet) -> None:
         """Deliver a response back to the requesting port."""

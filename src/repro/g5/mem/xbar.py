@@ -15,6 +15,8 @@ from .port import RequestPort, ResponsePort
 class _XBarSlavePort(ResponsePort):
     """CPU-side port; delegates protocol callbacks to the crossbar."""
 
+    __slots__ = ("xbar",)
+
     def __init__(self, name: str, xbar: "CoherentXBar") -> None:
         super().__init__(name, xbar)
         self.xbar = xbar
@@ -53,6 +55,18 @@ class CoherentXBar(SimObject):
         self.stat_packets.inc()
         latency = self.cycles(self.forward_latency)
         return latency + self.mem_side.send_atomic(pkt)
+
+    def recv_atomic_fast(self, addr: int, size: int, is_write: bool) -> int:
+        """Packet-free atomic routing: same pktCount and latency as
+        :meth:`recv_atomic`, no Packet in flight."""
+        self.stat_packets.inc()
+        return (self.cycles(self.forward_latency)
+                + self.mem_side.send_atomic_fast(addr, size, is_write))
+
+    def recv_atomic_wb_fast(self, addr: int, size: int) -> int:
+        self.stat_packets.inc()
+        return (self.cycles(self.forward_latency)
+                + self.mem_side.send_atomic_wb_fast(addr, size))
 
     def recv_timing_req(self, pkt: Packet) -> bool:
         self.stat_packets.inc()

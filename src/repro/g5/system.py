@@ -42,6 +42,11 @@ class SimConfig:
     l2: CacheParams = field(default_factory=lambda: CacheParams(
         size=1024 * 1024, assoc=8, tag_latency=4, data_latency=8))
     record: bool = True
+    #: Enable the fast-path simulation kernel (zero-heap tick loop,
+    #: packet-free atomic memory, decoded-page fetch).  Architectural
+    #: state, stats, and host traces are bit-identical either way; the
+    #: differential suite runs both settings against each other.
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.cpu_model not in CPU_MODELS:
@@ -68,7 +73,7 @@ class System(Root):
                         else NullRecorder())
         super().__init__(
             name="system",
-            eventq=EventQueue(),
+            eventq=EventQueue(fast_path=config.fast_path),
             clock=ClockDomain(config.cpu_clock_ghz * 1e9),
             recorder=recorder,
         )
@@ -76,6 +81,7 @@ class System(Root):
         self.memctrl = MemCtrl("mem_ctrl", self, size=config.mem_size)
         cpu_cls = CPU_MODELS[config.cpu_model]
         self.cpu: BaseCPU = cpu_cls("cpu", self)
+        self.cpu.fast_path = config.fast_path
         self.icache = Cache("icache", self, config.l1i)
         self.dcache = Cache("dcache", self, config.l1d)
         self.l2bus = CoherentXBar("l2bus", self)

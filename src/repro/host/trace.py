@@ -53,8 +53,16 @@ class ExecutionRecorder:
         data address it touched (0 when none).
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, sample_period: int = 1) -> None:
+        if sample_period < 1:
+            raise ValueError(
+                f"sample_period must be >= 1, got {sample_period}")
         self.enabled = enabled
+        #: Keep every Nth record (1 = keep all).  Sampling keeps long
+        #: profiled runs tractable; daddr/fn distributions survive because
+        #: the trace is locally repetitive (tick loops).
+        self.sample_period = sample_period
+        self._sample_phase = 0
         self.fn_names: list[str] = ["<reserved>"]
         self._ids: dict[str, int] = {"<reserved>": 0}
         self.trace_fns: list[int] = []
@@ -87,12 +95,21 @@ class ExecutionRecorder:
         """Append one function invocation to the trace."""
         if not self.enabled or fn_id == 0:
             return
+        if self.sample_period > 1:
+            self._sample_phase += 1
+            if self._sample_phase < self.sample_period:
+                return
+            self._sample_phase = 0
         self.trace_fns.append(fn_id)
         self.trace_daddrs.append(daddr)
 
     def record_many(self, fn_id: int, daddrs: Iterable[int]) -> None:
         """Append one invocation per data address (batch helper)."""
         if not self.enabled or fn_id == 0:
+            return
+        if self.sample_period > 1:
+            for daddr in daddrs:
+                self.record(fn_id, daddr)
             return
         for daddr in daddrs:
             self.trace_fns.append(fn_id)

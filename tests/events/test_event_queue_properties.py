@@ -4,8 +4,12 @@ Hypothesis drives random schedule / deschedule / reschedule / run
 sequences against :class:`EventQueue` and asserts the invariants every
 model in the simulator leans on:
 
-- dispatch strictly follows ``(tick, priority, insertion order)`` —
-  insertion order meaning the order of each event's *final* schedule;
+- dispatch follows ``(tick, priority, insertion order)`` — insertion
+  order meaning the order of each event's *final* schedule — for any
+  two events that were ever pending at the same time.  (An event
+  scheduled at the current tick *after* that tick's dispatch has
+  already passed its priority slot legitimately fires out of key
+  order; it was never co-pending with the earlier events.);
 - simulated time never moves backwards, during or between run calls;
 - a squashed schedule instance is never executed, and no instance
   executes more than once.
@@ -61,6 +65,9 @@ def test_event_queue_invariants(ops):
     squashed_instances: set[int] = set()
     serial = 0
     observed_now = [queue.now]
+    # For each schedule instance, how many events had already fired when
+    # it was scheduled — used to decide which pairs were ever co-pending.
+    sched_epoch: dict[int, int] = {}
 
     for op in ops:
         if op[0] == "schedule":
@@ -70,6 +77,7 @@ def test_event_queue_invariants(ops):
             queue.schedule_in(tracker.event, delay)
             tracker.alive = True
             tracker.serial = serial
+            sched_epoch[serial] = len(log)
             serial += 1
             trackers.append(tracker)
         elif op[0] == "deschedule":
@@ -92,6 +100,7 @@ def test_event_queue_invariants(ops):
             queue.reschedule(tracker.event, queue.now + delay)
             tracker.alive = True
             tracker.serial = serial
+            sched_epoch[serial] = len(log)
             serial += 1
         else:  # run a bounded number of events
             _, max_events = op
@@ -112,10 +121,17 @@ def test_event_queue_invariants(ops):
     # Time is monotone across the whole life of the queue.
     assert observed_now == sorted(observed_now)
 
-    # Dispatch followed (tick, priority, final insertion order) exactly.
-    dispatch_keys = [entry[:3] for entry in log]
-    assert dispatch_keys == sorted(dispatch_keys), (
-        "events fired out of (tick, priority, insertion-order)")
+    # Dispatch follows (tick, priority, final insertion order) for every
+    # pair of instances that were ever pending simultaneously.  A pair
+    # where the later-fired event was only scheduled after the earlier
+    # one had already fired carries no ordering obligation (same-tick
+    # schedules may then land "behind" an already-passed priority slot).
+    for i, earlier in enumerate(log):
+        for later in log[i + 1:]:
+            if later[:3] < earlier[:3]:
+                assert sched_epoch[later[2]] > i, (
+                    f"co-pending events fired out of (tick, priority, "
+                    f"insertion-order): {earlier} before {later}")
 
     # No squashed instance ever executed; no instance executed twice.
     fired_serials = [entry[2] for entry in log]

@@ -1,0 +1,157 @@
+"""Differential suite: the fast-path kernel is architecturally invisible.
+
+The fast path (next-event slot + ``advance_if_idle`` in the event queue,
+threaded-code instruction dispatch, and the packet-free atomic memory
+chain) is a pure host-side optimisation: with ``fast_path=True`` and
+``fast_path=False`` the simulator must commit the same architectural
+state, touch the same memory, count the same stats, and — when tracing —
+emit the same execution records.  Hypothesis random programs check the
+state equivalence across all four CPU models; a deterministic sieve run
+checks full stats.txt and trace equality byte for byte.
+"""
+
+import hashlib
+import io
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.g5 import Assembler, SimConfig, System, simulate
+from repro.g5.statsfile import write_stats
+from repro.workloads.registry import get_workload
+
+CPU_MODELS = ("atomic", "timing", "minor", "o3")
+
+#: Registers the generator uses for data (matching the cross-model
+#: differential suite in tests/g5/test_random_programs.py).
+DATA_REGS = ["t0", "t1", "t2", "s2", "s3", "s4", "s5"]
+
+_alu_ops = st.sampled_from(["add", "sub", "mul", "and_", "or_", "xor",
+                            "slt", "sltu"])
+_imm_ops = st.sampled_from(["addi", "andi", "ori", "xori", "slti"])
+
+
+@st.composite
+def random_instruction(draw):
+    kind = draw(st.sampled_from(["alu", "imm", "load", "store", "fp"]))
+    rd = draw(st.sampled_from(DATA_REGS))
+    rs1 = draw(st.sampled_from(DATA_REGS))
+    rs2 = draw(st.sampled_from(DATA_REGS))
+    if kind == "alu":
+        return ("alu", draw(_alu_ops), rd, rs1, rs2)
+    if kind == "imm":
+        return ("imm", draw(_imm_ops), rd, rs1,
+                draw(st.integers(-2048, 2047)))
+    if kind == "load":
+        return ("load", rd, draw(st.integers(0, 127)))
+    if kind == "store":
+        return ("store", rs2, draw(st.integers(0, 127)))
+    return ("fp", rd, rs1, rs2)
+
+
+@st.composite
+def random_program(draw):
+    """Seeded init, random loop body, checksum exit — always terminates."""
+    body = draw(st.lists(random_instruction(), min_size=3, max_size=20))
+    iterations = draw(st.integers(1, 6))
+    seeds = draw(st.lists(st.integers(-1000, 1000), min_size=len(DATA_REGS),
+                          max_size=len(DATA_REGS)))
+    asm = Assembler(base=0x1000)
+    for reg, seed in zip(DATA_REGS, seeds):
+        asm.li(reg, seed)
+    asm.li("s0", 0x20000)            # scratch buffer
+    asm.li("s1", iterations)
+    asm.label("loop")
+    for inst in body:
+        if inst[0] == "alu":
+            getattr(asm, inst[1])(inst[2], inst[3], inst[4])
+        elif inst[0] == "imm":
+            getattr(asm, inst[1])(inst[2], inst[3], inst[4])
+        elif inst[0] == "load":
+            asm.ld(inst[1], "s0", inst[2] * 8)
+        elif inst[0] == "store":
+            asm.sd(inst[1], "s0", inst[2] * 8)
+        else:  # fp: convert, add, convert back
+            asm.fcvt_d_l("f1", inst[2])
+            asm.fcvt_d_l("f2", inst[3])
+            asm.fadd("f3", "f1", "f2")
+            asm.fcvt_l_d(inst[1], "f3")
+    asm.addi("s1", "s1", -1)
+    asm.bne("s1", "zero", "loop")
+    asm.mv("a0", DATA_REGS[0])
+    for reg in DATA_REGS[1:]:
+        asm.xor("a0", "a0", reg)
+    asm.li("a7", 93)
+    asm.ecall()
+    asm.halt()
+    return asm.assemble()
+
+
+def _memory_digest(system) -> str:
+    digest = hashlib.sha256()
+    pages = system.memctrl.memory._pages
+    for page_num in sorted(pages):
+        digest.update(page_num.to_bytes(8, "little"))
+        digest.update(bytes(pages[page_num]))
+    return digest.hexdigest()
+
+
+def _stats_text(system) -> str:
+    stream = io.StringIO()
+    write_stats(system, stream)
+    return stream.getvalue()
+
+
+def _run(program, model: str, fast_path: bool, record: bool = False):
+    """One run; returns (architectural state + stats.txt, system)."""
+    system = System(SimConfig(cpu_model=model, record=record,
+                              fast_path=fast_path))
+    process = system.set_se_workload(program)
+    result = simulate(system, max_ticks=10**11)
+    assert result.exit_cause == "target called exit()", (model, fast_path)
+    state = {
+        "int_regs": tuple(system.cpu.regs.ints),
+        "fp_regs": tuple(system.cpu.regs.floats),
+        "pc": system.cpu.regs.pc,
+        "memory": _memory_digest(system),
+        "exit_code": process.exit_code,
+        "sim_insts": result.sim_insts,
+        "sim_ticks": result.sim_ticks,
+        "stats_txt": _stats_text(system),
+    }
+    return state, result
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_program())
+def test_fast_path_matches_slow_path_on_random_programs(program):
+    for model in CPU_MODELS:
+        fast, _ = _run(program, model, fast_path=True)
+        slow, _ = _run(program, model, fast_path=False)
+        diverged = {name: (slow[name], value)
+                    for name, value in fast.items()
+                    if value != slow[name]}
+        assert not diverged, (
+            f"{model} fast path diverged from slow path on "
+            f"{sorted(diverged)}")
+
+
+def test_fast_path_matches_slow_path_on_sieve_with_tracing():
+    """Deterministic end-to-end check including the execution trace."""
+    program = get_workload("sieve").build("test")
+    for model in CPU_MODELS:
+        fast, fast_result = _run(program, model, fast_path=True,
+                                 record=True)
+        slow, slow_result = _run(program, model, fast_path=False,
+                                 record=True)
+        assert fast["stats_txt"] == slow["stats_txt"], model
+        assert fast == slow, model
+        fast_rec, slow_rec = fast_result.recorder, slow_result.recorder
+        assert fast_rec.trace_fns == slow_rec.trace_fns, model
+        assert fast_rec.trace_daddrs == slow_rec.trace_daddrs, model
+
+
+def test_fast_path_flag_defaults_on():
+    assert SimConfig().fast_path is True
+    assert System(SimConfig()).eventq.fast_path is True
+    assert System(SimConfig(fast_path=False)).eventq.fast_path is False
