@@ -1,0 +1,73 @@
+"""Static analysis of the simulator and its guest binaries.
+
+Two halves, wired into the ``repro-g5 lint`` CLI subcommand:
+
+- a host-side **lint framework** (:mod:`.engine`, :mod:`.passes`):
+  visitor-based AST passes enforcing simulator invariants —
+  determinism, event-scheduling safety, fast/slow-path parity,
+  ``__slots__`` coverage on the tick loop, stats conformance, and the
+  shared figure-requirement vocabulary — with pragma suppression, a
+  fingerprint baseline, and text/JSON/SARIF output;
+- a **guest-binary analyzer** (:mod:`.guestcfg`): basic blocks, CFG,
+  dominators, and liveness over SimRISC programs via the simulator's
+  own decoder, producing static footprint/branch-density reports that
+  cross-check the dynamic traces behind the paper's Figs. 3–6.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineError, find_default_baseline
+from .engine import (
+    Engine,
+    LintPass,
+    ProjectIndex,
+    SourceFile,
+    all_passes,
+    default_lint_root,
+    register_pass,
+    run_lint,
+)
+from .findings import Finding, RuleInfo, finalize_findings
+from .guestcfg import (
+    BasicBlock,
+    CrossCheckReport,
+    DynamicTrace,
+    GuestCFG,
+    analyze_workload,
+    build_cfg,
+    cross_check,
+    decoder_totality_failures,
+    render_guest_report,
+    run_dynamic_trace,
+)
+from .output import render_json, render_sarif, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "BasicBlock",
+    "CrossCheckReport",
+    "DynamicTrace",
+    "Engine",
+    "Finding",
+    "GuestCFG",
+    "LintPass",
+    "ProjectIndex",
+    "RuleInfo",
+    "SourceFile",
+    "all_passes",
+    "analyze_workload",
+    "build_cfg",
+    "cross_check",
+    "decoder_totality_failures",
+    "default_lint_root",
+    "finalize_findings",
+    "find_default_baseline",
+    "register_pass",
+    "render_guest_report",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "run_dynamic_trace",
+    "run_lint",
+]

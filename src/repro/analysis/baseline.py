@@ -1,0 +1,109 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a checked-in JSON list of finding fingerprints (plus
+enough human-readable context to review them).  ``repro-g5 lint``
+subtracts baselined findings before deciding its exit code, so the CI
+gate fails only on *new* findings.  The intended steady state is an
+empty baseline: entries are debt, and each one must carry a
+``justification`` string saying why it is allowed to stay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files."""
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(
+                f"baseline {path} is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise BaselineError(
+                f"baseline {path} must be an object with a 'findings' list")
+        if payload.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has version {payload.get('version')!r}; "
+                f"this tool reads version {BASELINE_VERSION}")
+        entries: dict[str, dict] = {}
+        for item in payload["findings"]:
+            if not isinstance(item, dict) or "fingerprint" not in item:
+                raise BaselineError(
+                    f"baseline {path}: every entry needs a 'fingerprint'")
+            entries[item["fingerprint"]] = item
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      justification: str = "grandfathered") -> "Baseline":
+        entries = {}
+        for finding in findings:
+            entries[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "justification": justification,
+            }
+        return cls(entries)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding],
+                                                      list[Finding]]:
+        """Partition into (new, baselined) findings."""
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in findings:
+            (old if finding in self else new).append(finding)
+        return new, old
+
+    def stale_fingerprints(self, findings: list[Finding]) -> list[str]:
+        """Baseline entries no longer matched by any current finding —
+        fixed debt that should be deleted from the file."""
+        live = {finding.fingerprint for finding in findings}
+        return sorted(fp for fp in self.entries if fp not in live)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [self.entries[fp] for fp in sorted(self.entries)],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+
+
+def find_default_baseline(start: Path) -> Path | None:
+    """Nearest ``lint-baseline.json`` from ``start`` up to filesystem
+    root (the repo checks one in at its top level)."""
+    current = start.resolve()
+    for directory in (current, *current.parents):
+        candidate = directory / DEFAULT_BASELINE_NAME
+        if candidate.is_file():
+            return candidate
+    return None

@@ -1,0 +1,54 @@
+"""Fast/slow-path parity pass.
+
+Since the fast-path kernel landed, the memory system is dual-path:
+every responder implements both the packet protocol (``recv_atomic``)
+and the packet-free bypass (``recv_atomic_fast``), and the two must
+stay bit-identical.  The differential test suite catches behavioural
+divergence at runtime; this pass catches the structural half of the
+invariant at lint time — a class that grows one entry point without
+the other silently falls back to (or crashes on) the missing path.
+
+A class may opt out with ``# lint: no-fast-path`` on (or directly
+above) its ``class`` line, e.g. a pure-protocol declaration or a
+test-only stub that deliberately models a single path.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import LintPass, register_pass
+
+_SLOW = "recv_atomic"
+_FAST = "recv_atomic_fast"
+
+
+@register_pass
+class FastSlowParityPass(LintPass):
+    rule = "fast-slow-parity"
+    title = "recv_atomic and recv_atomic_fast must come in pairs"
+    description = ("Any class defining recv_atomic must define "
+                   "recv_atomic_fast (and vice versa) or carry an "
+                   "explicit `# lint: no-fast-path` pragma.")
+    pragma = "no-fast-path"
+
+    @classmethod
+    def applies_to(cls, relpath: str) -> bool:
+        return relpath.startswith("g5/")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods = {stmt.name for stmt in node.body
+                   if isinstance(stmt, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))}
+        if _SLOW in methods and _FAST not in methods:
+            self.report(node, f"class {node.name} defines {_SLOW} but not "
+                        f"{_FAST}; implement the packet-free bypass or "
+                        "mark the class `# lint: no-fast-path`",
+                        suffix="missing-fast")
+        elif _FAST in methods and _SLOW not in methods:
+            self.report(node, f"class {node.name} defines {_FAST} but not "
+                        f"{_SLOW}; the packet protocol is the reference "
+                        "path and must exist, or mark the class "
+                        "`# lint: no-fast-path`",
+                        suffix="missing-slow")
+        self.generic_visit(node)

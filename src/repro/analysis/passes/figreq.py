@@ -1,0 +1,89 @@
+"""Figure-requirement pass: fig modules share one requirement vocabulary.
+
+Every figure module exposes ``required_g5()`` so the executor can
+prefetch (workload, cpu_model, mode) simulation tuples before the
+figure renders.  Fifteen hand-rolled copies of the same list
+comprehension drifted once already; the shared helpers in
+``experiments/common.py`` (``topdown_required_g5``,
+``model_sweep_required_g5``) are now the only sanctioned way to build
+requirement tuples.
+
+For each ``experiments/fig*.py`` module this pass requires:
+
+- a module-level ``required_g5`` function;
+- its body to call at least one of the common helpers;
+- no inline requirement construction (list comprehensions or literal
+  lists yielding tuples) inside ``required_g5``.
+
+Suppress with ``# lint: no-figreq`` for a figure whose requirements
+genuinely fit no shared helper.
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+
+from ..engine import LintPass, register_pass
+
+#: Names exported by experiments/common.py for building requirements.
+COMMON_HELPERS = frozenset({"topdown_required_g5",
+                            "model_sweep_required_g5"})
+
+
+def _is_fig_module(relpath: str) -> bool:
+    name = posixpath.basename(relpath)
+    return relpath.startswith("experiments/") and \
+        name.startswith("fig") and name.endswith(".py")
+
+
+@register_pass
+class FigRequirementPass(LintPass):
+    rule = "figreq"
+    title = "Figure modules must build requirements via common helpers"
+    description = ("experiments/fig*.py must define required_g5() and "
+                   "delegate tuple construction to the shared helpers in "
+                   "experiments/common.py instead of inlining "
+                   "comprehensions that drift.")
+    pragma = "no-figreq"
+
+    @classmethod
+    def applies_to(cls, relpath: str) -> bool:
+        return _is_fig_module(relpath)
+
+    def visit_Module(self, node: ast.Module) -> None:
+        required = None
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef) and \
+                    stmt.name == "required_g5":
+                required = stmt
+                break
+        if required is None:
+            self.report(node, "figure module defines no required_g5(); "
+                        "the executor cannot prefetch its simulations",
+                        suffix="missing")
+            return
+        self._check_body(required)
+
+    def _check_body(self, fn: ast.FunctionDef) -> None:
+        uses_helper = False
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Call) and \
+                    isinstance(sub.func, ast.Name) and \
+                    sub.func.id in COMMON_HELPERS:
+                uses_helper = True
+            elif isinstance(sub, (ast.ListComp, ast.GeneratorExp)) and \
+                    self._yields_tuples(sub):
+                self.report(sub, "required_g5 builds requirement tuples "
+                            "inline; use model_sweep_required_g5 / "
+                            "topdown_required_g5 from experiments.common",
+                            suffix="inline-tuples")
+        if not uses_helper:
+            self.report(fn, "required_g5 does not call a shared "
+                        "requirement helper (topdown_required_g5 / "
+                        "model_sweep_required_g5 from "
+                        "experiments.common)", suffix="no-helper")
+
+    @staticmethod
+    def _yields_tuples(comp) -> bool:
+        return isinstance(comp.elt, ast.Tuple)

@@ -140,6 +140,35 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-speedup", type=float, default=None,
                        help="fail unless the atomic fast-path speedup "
                             "reaches this factor")
+
+    lint = sub.add_parser(
+        "lint", help="simulator-invariant linter / guest-binary analyzer")
+    lint.add_argument("--path", default=None,
+                      help="directory to lint (default: the repro package)")
+    lint.add_argument("--format", default="text", dest="fmt",
+                      choices=["text", "json", "sarif"],
+                      help="report format (default: text)")
+    lint.add_argument("--output", default=None,
+                      help="write the report to this file instead of stdout")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file (default: lint-baseline.json "
+                           "found from the working directory upward)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file (report everything)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline to the current findings "
+                           "and exit 0")
+    lint.add_argument("--list-passes", action="store_true",
+                      help="list the registered lint passes and exit")
+    lint.add_argument("--guest", default=None, metavar="WORKLOAD",
+                      choices=sorted(WORKLOADS),
+                      help="analyze this guest workload's binary instead "
+                           "of linting host sources")
+    lint.add_argument("--scale", default="test", choices=SCALES,
+                      help="guest build scale for --guest (default: test)")
+    lint.add_argument("--dynamic", action="store_true",
+                      help="with --guest: also execute the workload and "
+                           "cross-check the static CFG against the trace")
     return parser
 
 
@@ -323,6 +352,93 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_guest(args: argparse.Namespace) -> int:
+    from .analysis import analyze_workload, render_guest_report
+
+    report = analyze_workload(args.guest, scale=args.scale,
+                              dynamic=args.dynamic)
+    if args.fmt == "text":
+        text = render_guest_report(report)
+    else:
+        import json
+
+        text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    if report["totality_failures"]:
+        print(f"FAIL: decoder totality: "
+              f"{len(report['totality_failures'])} opcode(s) unhandled",
+              file=sys.stderr)
+        return 1
+    dynamic = report.get("dynamic")
+    if dynamic is not None and not dynamic["agrees"]:
+        print("FAIL: static CFG disagrees with the dynamic trace",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import (Baseline, all_passes, default_lint_root,
+                           find_default_baseline, render_json, render_sarif,
+                           render_text, run_lint)
+    from .analysis.baseline import DEFAULT_BASELINE_NAME, BaselineError
+
+    if args.list_passes:
+        for pass_cls in sorted(all_passes(), key=lambda cls: cls.rule):
+            print(f"{pass_cls.rule:24s} {pass_cls.title}")
+        return 0
+    if args.guest is not None:
+        return _lint_guest(args)
+
+    root = Path(args.path) if args.path else default_lint_root()
+    findings = run_lint(root)
+
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else find_default_baseline(Path.cwd()))
+    if args.update_baseline:
+        target = baseline_path or Path.cwd() / DEFAULT_BASELINE_NAME
+        Baseline.from_findings(findings).save(target)
+        print(f"wrote {target} ({len(findings)} finding"
+              f"{'s' if len(findings) != 1 else ''})")
+        return 0
+
+    baseline = Baseline()
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    new, baselined = baseline.split(findings)
+
+    if args.fmt == "json":
+        text = render_json(new, baselined=len(baselined))
+    elif args.fmt == "sarif":
+        text = render_sarif(new, passes=all_passes())
+    else:
+        text = render_text(new, baselined=len(baselined))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+
+    stale = baseline.stale_fingerprints(findings)
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (fixed debt); run "
+              "--update-baseline to drop them", file=sys.stderr)
+    return 1 if new else 0
+
+
 def _cmd_list() -> int:
     print("workloads:")
     for name, workload in sorted(WORKLOADS.items()):
@@ -361,6 +477,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_report(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_list()
 
 

@@ -42,6 +42,22 @@ def topdown_required_g5() -> list[tuple[str, str, str]]:
             for config in GEM5_CONFIGS]
 
 
+def model_sweep_required_g5(workloads, cpu_models,
+                            mode=None) -> list[tuple]:
+    """Requirement tuples for a workload × CPU-model sweep.
+
+    The shared vocabulary for every figure module's ``required_g5()``
+    (the ``figreq`` lint pass rejects inline tuple construction so the
+    fifteen fig modules cannot drift).  ``workloads`` may be a single
+    name or a list; ``mode`` is passed through unchanged (``None`` lets
+    the runner infer it from the workload registry).
+    """
+    if isinstance(workloads, str):
+        workloads = [workloads]
+    return [(workload, cpu_model, mode)
+            for cpu_model in cpu_models for workload in workloads]
+
+
 #: SPEC reference rows (run on bare metal in the paper, never on gem5).
 SPEC_CONFIGS = ["525.x264_r", "531.deepsjeng_r", "505.mcf_r"]
 

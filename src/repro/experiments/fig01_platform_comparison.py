@@ -20,7 +20,8 @@ from ..core.report import Figure, geomean
 from ..host.corun import corun_contention, no_contention
 from ..host.platform import get_platform
 from ..workloads.registry import PARSEC_SPLASH_NAMES
-from .common import FIG1_CPU_MODELS, PLATFORM_NAMES
+from .common import (FIG1_CPU_MODELS, PLATFORM_NAMES,
+                     model_sweep_required_g5)
 from .runner import ExperimentRunner
 
 #: Co-running scenarios (sub-graphs of Fig. 1).
@@ -134,6 +135,5 @@ def required_g5(workloads: Optional[list[str]] = None,
     """g5 runs to prefetch before regenerating this figure."""
     workloads = workloads if workloads is not None else PARSEC_SPLASH_NAMES
     cpu_models = cpu_models if cpu_models is not None else FIG1_CPU_MODELS
-    needed = [(w, m, None) for m in cpu_models for w in workloads]
-    needed += [("boot_exit", m, "fs") for m in cpu_models]
-    return needed
+    return (model_sweep_required_g5(workloads, cpu_models)
+            + model_sweep_required_g5("boot_exit", cpu_models, "fs"))

@@ -9,7 +9,8 @@ the proximate cause of the Fig. 1 simulation-time gap.
 from __future__ import annotations
 
 from ..core.report import Figure
-from .common import FIG1_CPU_MODELS, PARSEC_REPRESENTATIVE, PLATFORM_NAMES
+from .common import (FIG1_CPU_MODELS, PARSEC_REPRESENTATIVE,
+                     PLATFORM_NAMES, model_sweep_required_g5)
 from .runner import ExperimentRunner
 
 PAPER_REFERENCE = {
@@ -45,4 +46,4 @@ def ipc_ratio(figure: Figure, platform_name: str) -> float:
 
 def required_g5(workload: str = PARSEC_REPRESENTATIVE) -> list[tuple]:
     """g5 runs to prefetch before regenerating this figure."""
-    return [(workload, cpu_model, None) for cpu_model in FIG1_CPU_MODELS]
+    return model_sweep_required_g5(workload, FIG1_CPU_MODELS)

@@ -10,7 +10,8 @@ the M1s' ~0.14% — all traced to the M1's larger L1s, 128B lines, and
 from __future__ import annotations
 
 from ..core.report import Figure
-from .common import FIG1_CPU_MODELS, PARSEC_REPRESENTATIVE, PLATFORM_NAMES
+from .common import (FIG1_CPU_MODELS, PARSEC_REPRESENTATIVE,
+                     PLATFORM_NAMES, model_sweep_required_g5)
 from .runner import ExperimentRunner
 
 METRICS = ["itlb_miss_rate", "dtlb_miss_rate", "l1i_miss_rate",
@@ -49,4 +50,4 @@ def platform_ratio(figure: Figure, metric: str, platform_a: str,
 
 def required_g5(workload: str = PARSEC_REPRESENTATIVE) -> list[tuple]:
     """g5 runs to prefetch before regenerating this figure."""
-    return [(workload, cpu_model, None) for cpu_model in FIG1_CPU_MODELS]
+    return model_sweep_required_g5(workload, FIG1_CPU_MODELS)

@@ -8,7 +8,7 @@ both FS and SE modes: gem5's data set fits in the last-level cache.
 from __future__ import annotations
 
 from ..core.report import Figure
-from .common import PARSEC_REPRESENTATIVE
+from .common import PARSEC_REPRESENTATIVE, model_sweep_required_g5
 from .runner import ExperimentRunner
 
 CPU_MODELS = ["atomic", "timing", "minor", "o3"]
@@ -42,6 +42,6 @@ def run(runner: ExperimentRunner) -> Figure:
 
 def required_g5() -> list[tuple]:
     """g5 runs to prefetch before regenerating this figure."""
-    return ([("boot_exit", cpu_model, "fs") for cpu_model in CPU_MODELS]
-            + [(PARSEC_REPRESENTATIVE, cpu_model, "se")
-               for cpu_model in CPU_MODELS])
+    return (model_sweep_required_g5("boot_exit", CPU_MODELS, "fs")
+            + model_sweep_required_g5(PARSEC_REPRESENTATIVE, CPU_MODELS,
+                                      "se"))

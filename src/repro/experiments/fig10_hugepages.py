@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..core.report import Figure
 from ..host.hugepages import HugePagePolicy
-from .common import PARSEC_REPRESENTATIVE
+from .common import PARSEC_REPRESENTATIVE, model_sweep_required_g5
 from .runner import ExperimentRunner
 
 CPU_MODELS = ["atomic", "timing", "minor", "o3"]
@@ -45,4 +45,4 @@ def speedup(figure: Figure, policy: str, cpu_model: str) -> float:
 
 def required_g5(workload: str = PARSEC_REPRESENTATIVE) -> list[tuple]:
     """g5 runs to prefetch before regenerating this figure."""
-    return [(workload, cpu_model, None) for cpu_model in CPU_MODELS]
+    return model_sweep_required_g5(workload, CPU_MODELS)

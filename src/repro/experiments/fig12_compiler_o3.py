@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.report import Figure
-from .common import PARSEC_REPRESENTATIVE, PLATFORM_NAMES
+from .common import (PARSEC_REPRESENTATIVE, PLATFORM_NAMES,
+                     model_sweep_required_g5)
 from .runner import ExperimentRunner
 
 CPU_MODELS = ["atomic", "timing", "o3"]
@@ -49,4 +50,4 @@ def mean_speedup(figure: Figure, platform_name: str) -> float:
 
 def required_g5(workload: str = PARSEC_REPRESENTATIVE) -> list[tuple]:
     """g5 runs to prefetch before regenerating this figure."""
-    return [(workload, cpu_model, None) for cpu_model in CPU_MODELS]
+    return model_sweep_required_g5(workload, CPU_MODELS)

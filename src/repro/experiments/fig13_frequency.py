@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..core.report import Figure
 from ..host.platform import intel_xeon
-from .common import PARSEC_REPRESENTATIVE
+from .common import PARSEC_REPRESENTATIVE, model_sweep_required_g5
 from .runner import ExperimentRunner
 
 #: Frequency ladder (GHz), matching the paper's governor steps.
@@ -53,4 +53,4 @@ def slowdown_at(figure: Figure, freq_ghz: float) -> float:
 def required_g5(workload: str = PARSEC_REPRESENTATIVE,
                 cpu_model: str = "timing") -> list[tuple]:
     """g5 runs to prefetch before regenerating this figure."""
-    return [(workload, cpu_model, None)]
+    return model_sweep_required_g5(workload, [cpu_model])

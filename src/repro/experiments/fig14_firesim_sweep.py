@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..core.report import Figure
 from ..host.firesim import FIG14_CONFIGS, config_label, sweep_cache_configs
+from .common import model_sweep_required_g5
 from .runner import ExperimentRunner
 
 CPU_MODELS = ["atomic", "timing", "o3"]
@@ -46,4 +47,4 @@ def speedup_for(figure: Figure, cpu_model: str, label: str) -> float:
 
 def required_g5(workload: str = "sieve") -> list[tuple]:
     """g5 runs to prefetch before regenerating this figure."""
-    return [(workload, cpu_model, None) for cpu_model in CPU_MODELS]
+    return model_sweep_required_g5(workload, CPU_MODELS)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..core.profiler import analyze_profile
 from ..core.report import Figure
-from .common import PARSEC_REPRESENTATIVE
+from .common import PARSEC_REPRESENTATIVE, model_sweep_required_g5
 from .runner import ExperimentRunner
 
 CPU_MODELS = ["atomic", "timing", "minor", "o3"]
@@ -52,4 +52,4 @@ def functions_executed(figure: Figure, cpu_model: str) -> int:
 
 def required_g5(workload: str = PARSEC_REPRESENTATIVE) -> list[tuple]:
     """g5 runs to prefetch before regenerating this figure."""
-    return [(workload, cpu_model, None) for cpu_model in CPU_MODELS]
+    return model_sweep_required_g5(workload, CPU_MODELS)

@@ -20,9 +20,19 @@ class PortError(RuntimeError):
 
 
 class TimingTarget(Protocol):
-    """What a ResponsePort owner must implement."""
+    """What a ResponsePort owner must implement.
+
+    Since the fast-path kernel, the atomic protocol is dual-path: the
+    packet form (``recv_atomic``) is the reference, and the packet-free
+    form (``recv_atomic_fast``/``recv_atomic_wb_fast``) must produce
+    identical latency and stats (enforced by the ``fast-slow-parity``
+    lint pass and the differential test suite).
+    """
 
     def recv_atomic(self, pkt: Packet) -> int: ...
+    def recv_atomic_fast(self, addr: int, size: int,
+                         is_write: bool) -> int: ...
+    def recv_atomic_wb_fast(self, addr: int, size: int) -> int: ...
     def recv_timing_req(self, pkt: Packet) -> bool: ...
     def recv_functional(self, pkt: Packet) -> None: ...
 

@@ -1,0 +1,7 @@
+"""Fixture: required_g5 builds its tuples inline (figreq fires)."""
+
+CPU_MODELS = ["atomic"]
+
+
+def required_g5(workload="sieve"):
+    return [(workload, cpu_model, None) for cpu_model in CPU_MODELS]

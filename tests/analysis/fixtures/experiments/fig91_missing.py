@@ -1,0 +1,5 @@
+"""Fixture: figure module without required_g5 (figreq fires)."""
+
+
+def run(runner):
+    return None

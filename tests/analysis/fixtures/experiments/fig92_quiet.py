@@ -1,0 +1,5 @@
+"""Fixture: required_g5 delegates to the shared helper (figreq quiet)."""
+
+
+def required_g5(workload="sieve"):
+    return model_sweep_required_g5(workload, ["atomic"])

@@ -1,0 +1,28 @@
+"""Fixture: every function here violates the determinism pass."""
+import os
+import random
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()
+    today = datetime.now()
+    return started, today
+
+
+def entropy():
+    return os.urandom(8)
+
+
+def rng():
+    draw = random.random()
+    generator = random.Random()
+    return draw, generator
+
+
+def unordered(items):
+    total = 0
+    for item in {1, 2, 3}:
+        total += item
+    return [entry for entry in set(items)], total

@@ -1,0 +1,12 @@
+"""Fixture: every statement here violates the event-safety pass."""
+
+
+def bad_scheduling(queue, event, handler):
+    queue.schedule_in(event, -5)
+    queue.call_in(queue.now - 10, handler)
+    queue.schedule(event, queue.now - 4)
+
+
+def bad_mutation(event):
+    event.when = 0
+    event.priority += 1

@@ -1,0 +1,14 @@
+"""Fixture: scheduling idioms the event-safety pass accepts."""
+
+
+def good_scheduling(queue, event, delay, handler):
+    queue.schedule_in(event, max(0, delay))
+    queue.call_in(delay, handler)
+    queue.schedule(event, queue.now + 4)
+
+
+class Timer:
+    def __init__(self, when):
+        # Pre-enqueue setup in __init__ is legitimate.
+        self.when = when
+        self.priority = 0

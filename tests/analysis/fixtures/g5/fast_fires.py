@@ -1,0 +1,11 @@
+"""Fixture: classes that break fast/slow-path parity."""
+
+
+class SlowOnly:
+    def recv_atomic(self, pkt):
+        return 1
+
+
+class FastOnly:
+    def recv_atomic_fast(self, addr, size, is_write):
+        return 1

@@ -1,0 +1,14 @@
+"""Fixture: parity-respecting responders; the parity pass stays quiet."""
+
+
+class Paired:
+    def recv_atomic(self, pkt):
+        return 1
+
+    def recv_atomic_fast(self, addr, size, is_write):
+        return 1
+
+
+class SlowProtocolStub:  # lint: no-fast-path
+    def recv_atomic(self, pkt):
+        return 1

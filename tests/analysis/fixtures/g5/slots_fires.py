@@ -1,0 +1,11 @@
+"""Fixture: hot-path instantiation of a __dict__-carrying class."""
+
+
+class Churn:
+    def __init__(self, value):
+        self.value = value
+
+
+class Pump:
+    def tick(self):
+        return Churn(1)

@@ -1,0 +1,7 @@
+"""Fixture: stat declarations the conformance pass rejects."""
+
+
+def make_stats(stats):
+    orphan = Scalar("cycles", "never reaches dump_stats")
+    stats.scalar("ipc", "dumped but frozen at zero")
+    return orphan

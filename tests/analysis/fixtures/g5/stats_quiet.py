@@ -1,0 +1,10 @@
+"""Fixture: conforming stat declarations; the pass stays quiet."""
+
+
+class Core:
+    def __init__(self, stats):
+        self.insts = stats.scalar("insts", "committed instructions")
+        stats.formula("ipc", "IPC", lambda: 0.0)
+
+    def bump(self):
+        self.insts.inc()

@@ -1,0 +1,11 @@
+"""Fixture: violations outside every pass's scope (nothing may fire)."""
+import time
+
+
+def stamp():
+    return time.time()
+
+
+class SlowOnlyTool:
+    def recv_atomic(self, pkt):
+        return 1

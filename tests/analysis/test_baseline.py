@@ -1,0 +1,74 @@
+"""Baseline round-trip, split, staleness, and error handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineError, find_default_baseline
+from repro.analysis.findings import Finding
+
+
+def _finding(message="m", snippet="x = bad()", rule="determinism"):
+    return Finding(rule=rule, path="g5/mod.py", line=3, col=0,
+                   message=message, snippet=snippet)
+
+
+def test_round_trip(tmp_path):
+    finding = _finding()
+    path = tmp_path / "lint-baseline.json"
+    Baseline.from_findings([finding], justification="pending fix").save(path)
+    loaded = Baseline.load(path)
+    assert finding in loaded
+    assert loaded.entries[finding.fingerprint]["justification"] == \
+        "pending fix"
+
+
+def test_split_partitions_new_and_baselined():
+    old = _finding(snippet="x = old()")
+    new = _finding(snippet="x = new()")
+    baseline = Baseline.from_findings([old])
+    fresh, grandfathered = baseline.split([old, new])
+    assert fresh == [new]
+    assert grandfathered == [old]
+
+
+def test_stale_fingerprints_flag_fixed_debt():
+    fixed = _finding(snippet="x = fixed()")
+    live = _finding(snippet="x = live()")
+    baseline = Baseline.from_findings([fixed, live])
+    assert baseline.stale_fingerprints([live]) == [fixed.fingerprint]
+
+
+def test_load_rejects_bad_json(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    path.write_text("{nope", encoding="utf-8")
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}),
+                    encoding="utf-8")
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+
+
+def test_find_default_baseline_walks_up(tmp_path):
+    (tmp_path / "lint-baseline.json").write_text(
+        json.dumps({"version": 1, "findings": []}), encoding="utf-8")
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    assert find_default_baseline(nested) == tmp_path / "lint-baseline.json"
+    assert find_default_baseline(tmp_path) == \
+        tmp_path / "lint-baseline.json"
+
+
+def test_repo_baseline_is_checked_in_and_empty():
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    baseline = Baseline.load(root / "lint-baseline.json")
+    assert len(baseline) == 0

@@ -1,0 +1,116 @@
+"""Per-pass positive ("fires") and negative ("stays quiet") tests.
+
+Every pass is exercised against a dedicated fixture pair under
+``fixtures/``; the fires-test pins the exact rule suffixes so a pass
+that silently stops detecting one defect shape fails here.
+"""
+
+from __future__ import annotations
+
+from .conftest import rule_findings
+
+
+def _suffixes(findings):
+    return sorted(f.rule.split("/", 1)[1] for f in findings)
+
+
+# -- determinism --------------------------------------------------------
+def test_determinism_fires(fixture_findings):
+    hits = rule_findings(fixture_findings, "determinism",
+                         path="g5/det_fires.py")
+    assert _suffixes(hits) == ["entropy", "set-iteration", "set-iteration",
+                               "unseeded-random", "unseeded-random",
+                               "wall-clock", "wall-clock"]
+
+
+def test_determinism_quiet(fixture_findings):
+    assert rule_findings(fixture_findings, "determinism",
+                         path="g5/det_quiet.py") == []
+
+
+# -- event safety -------------------------------------------------------
+def test_event_safety_fires(fixture_findings):
+    hits = rule_findings(fixture_findings, "event-safety",
+                         path="g5/event_fires.py")
+    assert _suffixes(hits) == ["mutation-after-enqueue",
+                               "mutation-after-enqueue",
+                               "negative-delay", "past-tick",
+                               "possibly-negative-delay"]
+
+
+def test_event_safety_quiet(fixture_findings):
+    assert rule_findings(fixture_findings, "event-safety",
+                         path="g5/event_quiet.py") == []
+
+
+# -- fast/slow parity ---------------------------------------------------
+def test_fast_slow_parity_fires(fixture_findings):
+    hits = rule_findings(fixture_findings, "fast-slow-parity",
+                         path="g5/fast_fires.py")
+    assert _suffixes(hits) == ["missing-fast", "missing-slow"]
+
+
+def test_fast_slow_parity_quiet(fixture_findings):
+    assert rule_findings(fixture_findings, "fast-slow-parity",
+                         path="g5/fast_quiet.py") == []
+
+
+# -- slots coverage -----------------------------------------------------
+def test_slots_coverage_fires(fixture_findings):
+    hits = rule_findings(fixture_findings, "slots-coverage",
+                         path="g5/slots_fires.py")
+    assert len(hits) == 1
+    assert "Churn" in hits[0].message
+
+
+def test_slots_coverage_quiet(fixture_findings):
+    # Slotted bases, raise sites, cold functions, and pragma'd calls
+    # must all stay quiet.
+    assert rule_findings(fixture_findings, "slots-coverage",
+                         path="g5/slots_quiet.py") == []
+
+
+# -- stats conformance --------------------------------------------------
+def test_stats_conformance_fires(fixture_findings):
+    hits = rule_findings(fixture_findings, "stats-conformance",
+                         path="g5/stats_fires.py")
+    assert _suffixes(hits) == ["orphan-stat", "write-only-stat"]
+
+
+def test_stats_conformance_quiet(fixture_findings):
+    assert rule_findings(fixture_findings, "stats-conformance",
+                         path="g5/stats_quiet.py") == []
+
+
+# -- figure requirements ------------------------------------------------
+def test_figreq_fires_on_inline_tuples(fixture_findings):
+    hits = rule_findings(fixture_findings, "figreq",
+                         path="experiments/fig90_inline.py")
+    assert _suffixes(hits) == ["inline-tuples", "no-helper"]
+
+
+def test_figreq_fires_on_missing_required_g5(fixture_findings):
+    hits = rule_findings(fixture_findings, "figreq",
+                         path="experiments/fig91_missing.py")
+    assert _suffixes(hits) == ["missing"]
+
+
+def test_figreq_quiet(fixture_findings):
+    assert rule_findings(fixture_findings, "figreq",
+                         path="experiments/fig92_quiet.py") == []
+
+
+# -- scoping ------------------------------------------------------------
+def test_out_of_scope_files_produce_nothing(fixture_findings):
+    assert [f for f in fixture_findings
+            if f.path.startswith("tools/")] == []
+
+
+def test_fixture_tree_total():
+    # The per-pass expectations above are exhaustive: no pass may emit
+    # findings beyond the ones pinned there.
+    from .conftest import FIXTURES
+    from repro.analysis import Engine
+
+    findings = Engine(FIXTURES).run()
+    assert len(findings) == 7 + 5 + 2 + 1 + 2 + 3
