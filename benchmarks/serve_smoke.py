@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""CI smoke test for the ``repro-g5 serve`` daemon.
+
+Starts the real daemon as a subprocess on an ephemeral port, then
+exercises the serving contract end to end:
+
+1. submit a slow job and wait until it occupies the single worker;
+2. submit a second, distinct job (queued) and a duplicate of it —
+   the duplicate must coalesce onto the queued primary;
+3. wait for all three, check the coalesce counter on ``/metrics``;
+4. ``POST /api/v1/drain`` and require a clean exit (code 0 with the
+   drain report on stdout).
+
+Exits non-zero with a diagnostic on any violation; CI runs it as::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.serve import ServeClient  # noqa: E402
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main() -> int:
+    cache_dir = tempfile.mkdtemp(prefix="serve-smoke-")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--jobs", "1", "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONPATH": str(SRC),
+             "PYTHONUNBUFFERED": "1"})
+    watchdog = threading.Timer(120.0, proc.kill)
+    watchdog.start()
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"listening on (http://\S+)", banner)
+        if not match:
+            fail(f"no listening banner: {banner!r}")
+        client = ServeClient(match.group(1), timeout=15.0)
+        print(f"daemon up at {match.group(1)}")
+
+        # 1. a slow job pins the single worker.
+        slow = client.submit(workload="canneal", cpu="o3",
+                             scale="simsmall")
+        deadline = time.monotonic() + 60.0
+        while client.status(slow["id"])["state"] == "queued":
+            if time.monotonic() > deadline:
+                fail("slow job never started")
+            time.sleep(0.02)
+
+        # 2. a distinct queued job plus an identical duplicate.
+        primary = client.submit(workload="canneal", cpu="timing",
+                                scale="simsmall")
+        duplicate = client.submit(workload="canneal", cpu="timing",
+                                  scale="simsmall")
+        if duplicate["coalesced_into"] != primary["id"]:
+            fail(f"duplicate did not coalesce: {duplicate}")
+        print(f"duplicate {duplicate['id']} coalesced into "
+              f"{primary['id']}")
+
+        # 3. everything completes; one execution for the pair.
+        for ack in (slow, primary, duplicate):
+            state = client.wait(ack["id"], timeout=120.0)["state"]
+            if state != "done":
+                fail(f"job {ack['id']} ended {state}")
+        metrics = client.metrics()
+        if metrics.get("repro_serve_jobs_coalesced_total") != 1.0:
+            fail(f"coalesce counter: {metrics.get('repro_serve_jobs_coalesced_total')}")
+        if metrics.get("repro_engine_g5_executed") != 2.0:
+            fail(f"executed counter: {metrics.get('repro_engine_g5_executed')}")
+        dup_result = client.result(duplicate["id"])
+        if dup_result["source"] != f"coalesced:{primary['id']}":
+            fail(f"duplicate source: {dup_result['source']}")
+        print("3 jobs done via 2 executions; coalesce counter == 1")
+
+        # 4. clean drain over HTTP.
+        client.drain()
+        returncode = proc.wait(timeout=60.0)
+        output = banner + proc.stdout.read()
+        if returncode != 0:
+            fail(f"daemon exited {returncode}:\n{output}")
+        if "drained: 3 done, 0 cancelled, 0 failed" not in output:
+            fail(f"unexpected drain report:\n{output}")
+        print("daemon drained cleanly (exit 0)")
+    finally:
+        watchdog.cancel()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

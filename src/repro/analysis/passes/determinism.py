@@ -22,6 +22,13 @@ Flags, inside simulation-core modules:
 Wall-clock measurement is legitimate in the benchmarking/executor
 layers, so those (``exec/``, ``bench.py``, ``cli.py``) are out of
 scope; suppress a justified in-scope use with ``# lint: no-determinism``.
+
+The serving daemon (``serve/``) is in scope too — a server that stamps
+results with host time would break the coalescer's identical-result
+guarantee — but its timing/metrics modules legitimately measure
+request latency, so wall-clock reads (only) are exempt in the modules
+listed in ``_SERVE_WALL_CLOCK_OK``; every other serve module must take
+time through ``serve/clock.py``.
 """
 
 from __future__ import annotations
@@ -32,7 +39,12 @@ from ..engine import LintPass, register_pass
 
 #: Packages whose behaviour feeds stats, schedules, or cache keys.
 _SCOPED_PREFIXES = ("g5/", "events/", "workloads/", "host/", "core/",
-                    "experiments/")
+                    "experiments/", "serve/")
+
+#: Serve-side timing/metrics modules where wall-clock reads are the
+#: point (request latency, job lifecycle stamps).  Entropy, unseeded
+#: RNGs, and set iteration stay banned even here.
+_SERVE_WALL_CLOCK_OK = ("serve/clock.py", "serve/metrics.py")
 
 _WALL_CLOCK = {
     ("time", "time"), ("time", "time_ns"), ("time", "perf_counter"),
@@ -80,9 +92,11 @@ class DeterminismPass(LintPass):
     def visit_Call(self, node: ast.Call) -> None:
         pair = _dotted(node.func)
         if pair in _WALL_CLOCK:
-            self.report(node, f"wall-clock read {pair[0]}.{pair[1]}() in "
-                        "simulation-core code; results must not depend "
-                        "on host time", suffix="wall-clock")
+            if self.source.relpath not in _SERVE_WALL_CLOCK_OK:
+                self.report(node, f"wall-clock read {pair[0]}."
+                            f"{pair[1]}() in simulation-core code; "
+                            "results must not depend on host time",
+                            suffix="wall-clock")
         elif pair in _ENTROPY:
             self.report(node, f"OS entropy {pair[0]}.{pair[1]}() in "
                         "simulation-core code; use a seeded generator",

@@ -40,6 +40,28 @@ def _positive_int(text: str) -> int:
     return value
 
 
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def _byte_size(text: str) -> int:
+    """Parse ``512``, ``64K``, ``100M``, ``2G`` into bytes."""
+    raw = text.strip().lower().removesuffix("b")
+    factor = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a size like 512, 64K, 100M or 2G, "
+            f"got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"size must be >= 0, got {text!r}")
+    return value
+
+
 def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     """Flags shared by every command that goes through the executor."""
     parser.add_argument("--jobs", type=_positive_int, default=1,
@@ -102,11 +124,16 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_executor_args(figs)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the on-disk result cache")
-    cache.add_argument("action", choices=["info", "list", "clear"])
+        "cache", help="inspect, clear, or prune the on-disk result cache")
+    cache.add_argument("action", choices=["info", "list", "clear",
+                                          "prune"])
     cache.add_argument("--kind", default=None,
                        choices=["g5", "host", "spec"],
                        help="restrict clear to one entry kind")
+    cache.add_argument("--max-bytes", type=_byte_size, default=None,
+                       help="prune: evict oldest entries until the "
+                            "store fits in this many bytes "
+                            "(accepts K/M/G suffixes)")
     cache.add_argument("--cache-dir", default=None,
                        help="cache location (default: $REPRO_CACHE_DIR "
                             "or ~/.cache/repro-g5)")
@@ -140,6 +167,33 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-speedup", type=float, default=None,
                        help="fail unless the atomic fast-path speedup "
                             "reaches this factor")
+
+    srv = sub.add_parser(
+        "serve", help="run the simulation-as-a-service daemon")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8091,
+                     help="listen port (default: 8091; 0 = ephemeral)")
+    srv.add_argument("--jobs", type=_positive_int, default=2,
+                     help="concurrent simulation workers (default: 2)")
+    srv.add_argument("--max-queue", type=_positive_int, default=64,
+                     help="admission-control queue depth; beyond this "
+                          "submissions get 429 (default: 64)")
+    srv.add_argument("--timeout", type=float, default=None,
+                     help="per-job wall-clock budget in seconds "
+                          "(default: unlimited)")
+    srv.add_argument("--retries", type=int, default=2,
+                     help="retries after worker crashes (default: 2)")
+    srv.add_argument("--cache-max-bytes", type=_byte_size, default=None,
+                     help="prune the disk cache back under this size "
+                          "as the daemon runs (accepts K/M/G suffixes)")
+    srv.add_argument("--no-cache", action="store_true",
+                     help="skip the on-disk result cache entirely")
+    srv.add_argument("--cache-dir", default=None,
+                     help="cache location (default: $REPRO_CACHE_DIR "
+                          "or ~/.cache/repro-g5)")
+    srv.add_argument("--verbose", action="store_true",
+                     help="log every HTTP request to stderr")
 
     lint = sub.add_parser(
         "lint", help="simulator-invariant linter / guest-binary analyzer")
@@ -284,6 +338,16 @@ def _cmd_figs(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
+    if args.action == "prune":
+        if args.max_bytes is None:
+            print("cache prune requires --max-bytes", file=sys.stderr)
+            return 2
+        removed, freed = cache.prune(args.max_bytes)
+        remaining = cache.stats()["total_bytes"]
+        print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"({freed / 1024:.1f} KB) from {cache.root}; "
+              f"{remaining / 1024:.1f} KB remain")
+        return 0
     if args.action == "clear":
         removed = cache.clear(kind=args.kind)
         what = f"{args.kind} " if args.kind else ""
@@ -439,6 +503,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if new else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, serve
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.jobs,
+        max_queue=args.max_queue,
+        cache=_cache_from_args(args),
+        job_timeout=args.timeout,
+        max_retries=args.retries,
+        cache_max_bytes=args.cache_max_bytes,
+        quiet=not args.verbose,
+    )
+    config.log = sys.stderr
+    return serve(config)
+
+
 def _cmd_list() -> int:
     print("workloads:")
     for name, workload in sorted(WORKLOADS.items()):
@@ -477,6 +559,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_report(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_list()

@@ -166,6 +166,44 @@ class ResultCache:
             counts["total_bytes"] += entry.size_bytes
         return counts
 
+    def prune(self, max_bytes: int) -> tuple[int, int]:
+        """Evict oldest entries until the store fits in ``max_bytes``.
+
+        Age is the entry file's mtime — a disk hit does not refresh it,
+        so this is FIFO-by-write rather than LRU, which is the right
+        policy for a content-addressed store: old entries are the ones
+        most likely keyed by superseded code fingerprints.  Ties break
+        on the path so concurrent pruners pick the same victims.
+        Returns ``(entries_removed, bytes_freed)``.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if not self._objects.is_dir():
+            return (0, 0)
+        entries: list[tuple[float, str, int, Path]] = []
+        total = 0
+        for path in self._objects.rglob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # deleted underneath us (concurrent prune)
+            entries.append((stat.st_mtime, str(path), stat.st_size, path))
+            total += stat.st_size
+        entries.sort()
+        removed = 0
+        freed = 0
+        for _, _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            freed += size
+        return (removed, freed)
+
     def clear(self, kind: Optional[str] = None) -> int:
         """Delete entries (all, or one kind); returns the count removed."""
         removed = 0

@@ -21,6 +21,7 @@ can never produce two different cache values.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -82,17 +83,46 @@ def _pool_worker(job: G5Job) -> tuple[dict, float]:
 
 @dataclass
 class EngineStats:
-    """What the engine actually did, for summaries and the smoke test."""
+    """What the engine actually did, for summaries and the smoke test.
+
+    Counters mutate through the ``note_*`` methods, which take an
+    internal lock — the serve daemon's worker threads record into one
+    shared instance concurrently, and ``/metrics`` scrapes it from yet
+    another thread.  Direct field reads stay cheap for the single-
+    threaded CLI paths.
+    """
 
     executed: int = 0        # simulations actually run (pool or inline)
     disk_hits: int = 0       # results served from the on-disk cache
     executed_seconds: float = 0.0
     by_label: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def note_execution(self, label: str, seconds: float) -> None:
+        """Record one completed simulation (thread-safe)."""
+        with self._lock:
+            self.executed += 1
+            self.executed_seconds += seconds
+            self.by_label[label] = round(seconds, 3)
+
+    def note_executed_batch(self, count: int,
+                            seconds: float = 0.0) -> None:
+        """Fold in executions counted elsewhere (e.g. a nested runner)."""
+        with self._lock:
+            self.executed += count
+            self.executed_seconds += seconds
+
+    def note_disk_hit(self, count: int = 1) -> None:
+        """Record results served from the on-disk cache (thread-safe)."""
+        with self._lock:
+            self.disk_hits += count
 
     def as_dict(self) -> dict[str, float]:
-        return {"g5_executed": self.executed,
-                "g5_disk_hits": self.disk_hits,
-                "g5_executed_seconds": round(self.executed_seconds, 3)}
+        with self._lock:
+            return {"g5_executed": self.executed,
+                    "g5_disk_hits": self.disk_hits,
+                    "g5_executed_seconds": round(self.executed_seconds, 3)}
 
 
 class ExecutionEngine:
@@ -170,7 +200,7 @@ class ExecutionEngine:
             result = unpack_sim_result(payload)
         except Exception:
             return None
-        self.stats.disk_hits += 1
+        self.stats.note_disk_hit()
         return result
 
     def _store(self, key: CacheKey, packed: dict) -> None:
@@ -178,9 +208,7 @@ class ExecutionEngine:
             self.cache.put(key, packed)
 
     def _record(self, job: G5Job, seconds: float) -> None:
-        self.stats.executed += 1
-        self.stats.executed_seconds += seconds
-        self.stats.by_label[job.label] = round(seconds, 3)
+        self.stats.note_execution(job.label, seconds)
         self.cost_model.observe(job, seconds)
 
     def _execute_inline(self, job: G5Job, key: CacheKey) -> SimResult:

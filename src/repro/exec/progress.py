@@ -4,11 +4,17 @@ The executor runs minutes-long batches; this gives the user a line per
 event on stderr (so stdout stays clean for figure output) plus an
 end-of-batch summary.  ``NullReporter`` silences everything and is the
 library default — only the CLI turns reporting on.
+
+Reporters are thread-safe: the serve daemon's worker threads may call
+``job_done`` concurrently, so the done-counter increment and the line
+emission happen under one lock (which also keeps interleaved output
+whole).
 """
 
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from typing import Optional, TextIO
 
@@ -21,32 +27,38 @@ class ProgressReporter:
         self._total = 0
         self._done = 0
         self._started_at: Optional[float] = None
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # batch lifecycle
     # ------------------------------------------------------------------
     def batch_start(self, total: int, hits: int, workers: int) -> None:
-        self._total = total
-        self._done = 0
-        self._started_at = time.perf_counter()
-        if total == 0:
-            self._line(f"all {hits} g5 result(s) cached; nothing to run")
-        else:
-            self._line(f"running {total} g5 simulation(s) on {workers} "
-                       f"worker(s) ({hits} cache hit(s))")
+        with self._lock:
+            self._total = total
+            self._done = 0
+            self._started_at = time.perf_counter()
+            if total == 0:
+                self._line(f"all {hits} g5 result(s) cached; "
+                           f"nothing to run")
+            else:
+                self._line(f"running {total} g5 simulation(s) on "
+                           f"{workers} worker(s) ({hits} cache hit(s))")
 
     def job_done(self, label: str, seconds: float,
                  source: str = "run") -> None:
-        self._done += 1
-        self._line(f"[{self._done}/{self._total}] {label} "
-                   f"({source}, {seconds:.2f}s)")
+        with self._lock:
+            self._done += 1
+            self._line(f"[{self._done}/{self._total}] {label} "
+                       f"({source}, {seconds:.2f}s)")
 
     def batch_end(self) -> None:
-        if self._started_at is None or self._total == 0:
-            return
-        elapsed = time.perf_counter() - self._started_at
-        self._line(f"batch complete: {self._total} run(s) in {elapsed:.2f}s")
-        self._started_at = None
+        with self._lock:
+            if self._started_at is None or self._total == 0:
+                return
+            elapsed = time.perf_counter() - self._started_at
+            self._line(f"batch complete: {self._total} run(s) in "
+                       f"{elapsed:.2f}s")
+            self._started_at = None
 
     # ------------------------------------------------------------------
     def _line(self, text: str) -> None:

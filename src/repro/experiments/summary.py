@@ -306,8 +306,17 @@ def render_markdown(rows: list[ClaimRow], runner: ExperimentRunner) -> str:
         "- A warm rerun executes zero simulations and renders",
         "  bit-identical output (property-tested in `tests/exec/`).",
         "  `--no-cache` forces a cold run; `repro-g5 cache",
-        "  info|list|clear [--kind g5|host|spec]` inspects or prunes",
-        "  the store.",
+        "  info|list|clear [--kind g5|host|spec]` inspects the store",
+        "  and `repro-g5 cache prune --max-bytes SIZE` bounds it",
+        "  (oldest entries evicted first).",
+        "- Figures can also be generated against a **warm shared",
+        "  daemon**: `repro-g5 serve` keeps one process holding the",
+        "  open cache, the learned cost model, and an in-memory result",
+        "  memo, and submissions whose cache key matches an in-flight",
+        "  job coalesce onto a single execution. Served payloads are",
+        "  bit-for-bit the direct-run payloads (under test), so",
+        "  daemon-backed and local regeneration are interchangeable —",
+        "  see the README's \"Serving\" section.",
         "",
         "## Simulation-kernel fast path",
         "",

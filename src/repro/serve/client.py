@@ -1,0 +1,175 @@
+"""A small blocking client for the simulation service.
+
+Stdlib-only (``urllib``); used by the test suite, the serve benchmark,
+and anything that wants a warm shared daemon instead of running
+simulations in-process::
+
+    client = ServeClient("http://127.0.0.1:8091")
+    job = client.submit(workload="sieve", cpu="atomic", scale="test")
+    status = client.wait(job["id"])
+    result = client.sim_result(job["id"])   # a real SimResult
+
+Server-side errors surface as :class:`ServeError` carrying the HTTP
+status and the decoded error document, so callers can distinguish
+backpressure (429) from drain (503) from bad requests (400).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from ..g5.serialize import unpack_sim_result
+from ..g5.system import SimResult
+from . import clock
+from .jobs import TERMINAL_STATES
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level failure from the daemon."""
+
+    def __init__(self, status: int, doc: dict) -> None:
+        message = doc.get("error") if isinstance(doc, dict) else None
+        super().__init__(f"HTTP {status}: {message or doc}")
+        self.status = status
+        self.doc = doc if isinstance(doc, dict) else {}
+
+
+class ServeClient:
+    """Blocking JSON client over ``urllib`` (no extra dependencies)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 doc: Optional[dict] = None) -> tuple[int, object]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if doc is not None:
+            body = json.dumps(doc).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as reply:
+                return reply.status, self._decode(reply)
+        except urllib.error.HTTPError as exc:
+            return exc.code, self._decode(exc)
+
+    @staticmethod
+    def _decode(reply) -> object:
+        raw = reply.read().decode()
+        content_type = reply.headers.get("Content-Type", "")
+        if "json" in content_type:
+            return json.loads(raw)
+        return raw
+
+    def _json(self, method: str, path: str,
+              doc: Optional[dict] = None,
+              ok: tuple[int, ...] = (200,)) -> dict:
+        status, payload = self._request(method, path, doc)
+        if status not in ok:
+            raise ServeError(status, payload
+                             if isinstance(payload, dict) else {})
+        return payload
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def submit_doc(self, doc: dict) -> dict:
+        """Submit a raw job document; returns the 202 acknowledgement."""
+        return self._json("POST", "/api/v1/jobs", doc, ok=(202,))
+
+    def submit(self, workload: Optional[str] = None, cpu: str = "atomic",
+               scale: str = "test", mode: Optional[str] = None,
+               figure: Optional[str] = None,
+               max_records: Optional[int] = None) -> dict:
+        """Submit a g5 job (default) or a figure job (``figure=...``)."""
+        if figure is not None:
+            doc: dict = {"kind": "figure", "figure": figure,
+                         "scale": scale}
+            if max_records is not None:
+                doc["max_records"] = max_records
+        else:
+            doc = {"kind": "g5", "workload": workload, "cpu": cpu,
+                   "scale": scale}
+            if mode is not None:
+                doc["mode"] = mode
+        return self.submit_doc(doc)
+
+    def status(self, job_id: str) -> dict:
+        return self._json("GET", f"/api/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The raw result document (``result`` key holds the payload)."""
+        return self._json("GET", f"/api/v1/jobs/{job_id}/result")
+
+    def sim_result(self, job_id: str) -> SimResult:
+        """The job's payload unpacked into a real :class:`SimResult`."""
+        return unpack_sim_result(self.result(job_id)["result"])
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state; returns status."""
+        deadline = clock.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if clock.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout:.1f}s")
+            clock.sleep(poll)
+
+    def run(self, doc: dict, timeout: float = 120.0) -> dict:
+        """Submit, wait, and fetch the result document in one call."""
+        ack = self.submit_doc(doc)
+        status = self.wait(ack["id"], timeout=timeout)
+        if status["state"] != "done":
+            raise ServeError(500, {"error": f"job {ack['id']} ended "
+                                            f"{status['state']}: "
+                                            f"{status.get('error')}"})
+        return self.result(ack["id"])
+
+    # ------------------------------------------------------------------
+    # server-level endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def server_stats(self) -> dict:
+        return self._json("GET", "/api/v1/stats")
+
+    def drain(self) -> dict:
+        """Ask the daemon to drain and shut down."""
+        return self._json("POST", "/api/v1/drain", ok=(202,))
+
+    def metrics_text(self) -> str:
+        status, payload = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, {})
+        return payload
+
+    def metrics(self) -> dict[str, float]:
+        """The scrape parsed into ``{series-with-labels: value}``."""
+        parsed: dict[str, float] = {}
+        for line in self.metrics_text().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            try:
+                parsed[name] = float(value)
+            except ValueError:
+                continue
+        return parsed

@@ -1,0 +1,281 @@
+"""`repro.serve` daemon: queue + scheduler + HTTP server + signals.
+
+:class:`SimServer` owns the moving parts and implements the
+application-level responses the HTTP handler delegates to.  The
+lifecycle is::
+
+    server = SimServer(ServeConfig(port=8091, workers=4, cache=cache))
+    server.start()          # scheduler threads + HTTP thread
+    ...
+    server.request_shutdown()   # or SIGTERM via serve()
+    server.wait()           # drains, then returns the exit report
+
+**Graceful drain.**  A shutdown request (SIGTERM, SIGINT, or
+``POST /api/v1/drain``) flips the queue into draining mode: new
+submissions get 503, everything still queued is reported ``cancelled``,
+and the workers finish the jobs they are already running before the
+HTTP listener stops.  :func:`serve` — the ``repro-g5 serve`` entry
+point — returns exit code 0 on any clean drain, which is what the
+SIGTERM acceptance test pins.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..exec.cache import ResultCache
+from . import clock
+from .jobs import JobRecord, JobRequestError, parse_job_request
+from .metrics import ServeMetrics
+from .queue import JobQueue, QueueFull, ServerDraining
+from .scheduler import Scheduler
+from .http import ServeHTTPServer
+
+__all__ = ["ServeConfig", "SimServer", "serve"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything `repro-g5 serve` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8091
+    workers: int = 2
+    max_queue: int = 64
+    cache: Optional[ResultCache] = None
+    job_timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff_base: float = 0.25
+    cache_max_bytes: Optional[int] = None
+    quiet: bool = True
+    log = None  # injected stream for http/lifecycle lines
+
+    extra: dict = field(default_factory=dict)
+
+
+class SimServer:
+    """The simulation service: one instance per daemon process."""
+
+    def __init__(self, config: ServeConfig,
+                 execute_fn=None) -> None:
+        self.config = config
+        self.metrics = ServeMetrics()
+        self.queue = JobQueue(max_depth=config.max_queue)
+        self.scheduler = Scheduler(
+            self.queue,
+            cache=config.cache,
+            workers=config.workers,
+            job_timeout=config.job_timeout,
+            max_retries=config.max_retries,
+            backoff_base=config.backoff_base,
+            cache_max_bytes=config.cache_max_bytes,
+            metrics=self.metrics,
+            execute_fn=execute_fn)
+        self.metrics.attach_queue(self.queue)
+        self.metrics.attach_engine(self.scheduler.stats)
+        self.httpd = ServeHTTPServer((config.host, config.port), self)
+        self._http_thread: Optional[threading.Thread] = None
+        self._shutdown_requested = threading.Event()
+        self._stopped = threading.Event()
+        self._started_at = clock.wall()
+        self._drain_report: Optional[dict] = None
+        self._drain_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` in tests)."""
+        return self.httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self, run_scheduler: bool = True) -> None:
+        """Start serving.  ``run_scheduler=False`` accepts submissions
+        without executing them (tests use this to stage a queue state
+        deterministically, then call ``self.scheduler.start()``)."""
+        if run_scheduler:
+            self.scheduler.start()
+        self._http_thread = threading.Thread(
+            target=self.httpd.serve_forever, name="serve-http",
+            daemon=True)
+        self._http_thread.start()
+
+    def request_shutdown(self) -> None:
+        """Ask for a graceful drain (signal-handler safe)."""
+        self._shutdown_requested.set()
+
+    def wait(self, poll: float = 0.2) -> dict:
+        """Block until a shutdown is requested, then drain and stop.
+
+        Polls so signal handlers run promptly on every platform.
+        """
+        while not self._shutdown_requested.wait(timeout=poll):
+            pass
+        return self.drain_and_stop()
+
+    def drain_and_stop(self, timeout: Optional[float] = None) -> dict:
+        """Drain the queue, wait for in-flight jobs, stop everything.
+
+        Idempotent; returns the drain report (finished/cancelled
+        counts) from the first invocation.
+        """
+        with self._drain_lock:
+            if self._drain_report is not None:
+                return self._drain_report
+            cancelled = self.queue.start_drain()
+            for record in cancelled:
+                self.metrics.completed["cancelled"].inc()
+            deadline = (clock.monotonic() + timeout
+                        if timeout is not None else None)
+            for record in self.queue.running_records():
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - clock.monotonic())
+                record.finished.wait(timeout=remaining)
+            self.scheduler.stop(timeout=2.0)
+            # Give in-flight handler threads a beat to flush responses
+            # (e.g. the 202 acknowledging the drain request itself).
+            clock.sleep(0.1)
+            self.httpd.shutdown()
+            self.httpd.server_close()
+            counts = self.queue.counts()
+            self._drain_report = {
+                "cancelled": len(cancelled),
+                "done": counts["done"],
+                "failed": counts["failed"],
+                "uptime_seconds": round(
+                    clock.wall() - self._started_at, 3),
+            }
+            self._stopped.set()
+            return self._drain_report
+
+    # ------------------------------------------------------------------
+    # application responses (called by the HTTP handler)
+    # ------------------------------------------------------------------
+    def submit_response(self, doc: object) -> tuple[int, dict]:
+        try:
+            request = parse_job_request(doc)
+        except JobRequestError as exc:
+            return 400, {"error": str(exc)}
+        record = JobRecord(
+            id=self.queue.next_id(),
+            request=request,
+            digest=request.digest(),
+            predicted_seconds=self.scheduler.predict(request))
+        try:
+            self.queue.submit(record)
+        except ServerDraining as exc:
+            self.metrics.rejected.inc()
+            return 503, {"error": str(exc), "state": "rejected"}
+        except QueueFull as exc:
+            self.metrics.rejected.inc()
+            return 429, {"error": str(exc), "state": "rejected",
+                         "queue_depth": self.queue.depth(),
+                         "max_queue": self.queue.max_depth}
+        self.metrics.submitted.inc()
+        if record.coalesced_into is not None:
+            self.metrics.coalesced.inc()
+        return 202, {
+            "id": record.id,
+            "state": record.state,
+            "digest": record.digest,
+            "coalesced_into": record.coalesced_into,
+            "eta_seconds": round(record.predicted_seconds, 4),
+            "queue_depth": self.queue.depth(),
+        }
+
+    def status_response(self, job_id: str) -> tuple[int, dict]:
+        record = self.queue.get(job_id)
+        if record is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        return 200, record.status_doc()
+
+    def result_response(self, job_id: str) -> tuple[int, dict]:
+        record = self.queue.get(job_id)
+        if record is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        if record.state == "done":
+            return 200, {"id": record.id, "state": record.state,
+                         "source": record.source,
+                         "result": record.result}
+        if record.state == "failed":
+            return 500, {"id": record.id, "state": record.state,
+                         "error": record.error}
+        return 409, {"id": record.id, "state": record.state,
+                     "error": f"job is {record.state}, not done"}
+
+    def stats_doc(self) -> dict:
+        counts = self.queue.counts()
+        return {
+            "uptime_seconds": round(clock.wall() - self._started_at, 3),
+            "queue": counts,
+            "engine": self.scheduler.stats.as_dict(),
+            "draining": self.queue.draining,
+            "workers": self.config.workers,
+            "max_queue": self.config.max_queue,
+            "cache_dir": (str(self.config.cache.root)
+                          if self.config.cache is not None else None),
+        }
+
+    def health_doc(self) -> dict:
+        return {"status": "draining" if self.queue.draining else "ok",
+                "draining": self.queue.draining}
+
+    def drain_response(self) -> dict:
+        """Initiate a full graceful shutdown over HTTP."""
+        counts_before = self.queue.counts()
+        self.request_shutdown()
+        return {"draining": True,
+                "queued_at_drain": counts_before["depth"],
+                "running_at_drain": counts_before["running"]}
+
+    def metrics_text(self) -> str:
+        return self.metrics.render()
+
+    def observe_request(self, endpoint: str, seconds: float) -> None:
+        self.metrics.observe_request(endpoint, seconds)
+
+    def log_http(self, line: str) -> None:
+        if not self.config.quiet and self.config.log is not None:
+            print(f"[serve] {line}", file=self.config.log, flush=True)
+
+
+def serve(config: ServeConfig) -> int:
+    """Run the daemon until SIGTERM/SIGINT; returns the exit code.
+
+    This is the ``repro-g5 serve`` body: it installs signal handlers
+    (main thread only — signal delivery wakes the wait below), prints
+    one line when listening and a drain report on the way out, and
+    exits 0 on any clean drain.
+    """
+    server = SimServer(config)
+
+    def _request_shutdown(signum, frame):  # noqa: ARG001
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+    server.start()
+    cache_note = (str(config.cache.root) if config.cache is not None
+                  else "disabled")
+    print(f"[serve] listening on {server.address} "
+          f"({config.workers} worker(s), queue depth {config.max_queue}, "
+          f"cache {cache_note})", flush=True)
+    report = server.wait()
+    print(f"[serve] drained: {report['done']} done, "
+          f"{report['cancelled']} cancelled, {report['failed']} failed "
+          f"in {report['uptime_seconds']:.1f}s", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(serve(ServeConfig()))

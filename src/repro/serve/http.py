@@ -1,0 +1,148 @@
+"""The daemon's HTTP/JSON surface (stdlib ``http.server``, threaded).
+
+Routes (all JSON except ``/metrics``)::
+
+    POST /api/v1/jobs            submit a job        -> 202 / 400 / 429 / 503
+    GET  /api/v1/jobs/<id>       job status          -> 200 / 404
+    GET  /api/v1/jobs/<id>/result  packed result     -> 200 / 404 / 409 / 500
+    GET  /api/v1/stats           server counters     -> 200
+    GET  /healthz                liveness + drain    -> 200
+    GET  /metrics                Prometheus text     -> 200
+    POST /api/v1/drain           drain + shut down   -> 202
+
+The handler is deliberately thin: it parses the path, times the
+request into the per-endpoint latency histogram, and delegates every
+decision to the application object (:class:`~repro.serve.daemon.
+SimServer`) attached to the server as ``app``.  ``ThreadingHTTPServer``
+gives each connection its own handler thread; all shared state lives
+behind the queue's and the metrics' locks.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from . import clock
+
+__all__ = ["ServeHTTPServer", "ServeHandler", "API_PREFIX"]
+
+API_PREFIX = "/api/v1"
+
+#: Largest request body the server will read (a job document is tiny).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server carrying a reference to the application."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, app) -> None:
+        super().__init__(address, ServeHandler)
+        self.app = app
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    @property
+    def app(self):
+        return self.server.app
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        self.app.log_http(f"{self.address_string()} {format % args}")
+
+    def _send_json(self, code: int, doc: dict,
+                   headers: dict | None = None) -> None:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body too large ({length} bytes)")
+        return self.rfile.read(length)
+
+    # -- routing --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        started = clock.monotonic()
+        endpoint = "other"
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/metrics":
+                endpoint = "metrics"
+                self._send_text(200, self.app.metrics_text())
+            elif path == "/healthz":
+                endpoint = "health"
+                self._send_json(200, self.app.health_doc())
+            elif path == f"{API_PREFIX}/stats":
+                endpoint = "stats"
+                self._send_json(200, self.app.stats_doc())
+            elif path.startswith(f"{API_PREFIX}/jobs/"):
+                tail = path[len(f"{API_PREFIX}/jobs/"):]
+                if tail.endswith("/result"):
+                    endpoint = "result"
+                    code, doc = self.app.result_response(
+                        tail[:-len("/result")])
+                else:
+                    endpoint = "status"
+                    code, doc = self.app.status_response(tail)
+                self._send_json(code, doc)
+            else:
+                self._send_json(404, {"error": f"no route for {path}"})
+        except BrokenPipeError:
+            pass  # client went away mid-response
+        finally:
+            self.app.observe_request(endpoint,
+                                     clock.monotonic() - started)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        started = clock.monotonic()
+        endpoint = "other"
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path == f"{API_PREFIX}/jobs":
+                endpoint = "submit"
+                self._handle_submit()
+            elif path == f"{API_PREFIX}/drain":
+                endpoint = "drain"
+                self._send_json(202, self.app.drain_response())
+            else:
+                self._send_json(404, {"error": f"no route for {path}"})
+        except BrokenPipeError:
+            pass
+        finally:
+            self.app.observe_request(endpoint,
+                                     clock.monotonic() - started)
+
+    def _handle_submit(self) -> None:
+        try:
+            raw = self._read_body()
+            doc = json.loads(raw.decode() or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_json(400, {"error": f"bad request body: {exc}"})
+            return
+        code, response = self.app.submit_response(doc)
+        headers = {}
+        if code == 429:
+            headers["Retry-After"] = "1"
+        self._send_json(code, response, headers=headers)

@@ -1,0 +1,195 @@
+"""Job model for the simulation service.
+
+A client submits a JSON document describing either one g5 simulation
+(``kind: "g5"``) or one paper-figure regeneration (``kind: "figure"``).
+:func:`parse_job_request` validates it against the workload/figure
+registries and produces a :class:`JobRequest`; the daemon then tracks
+its lifecycle in a :class:`JobRecord`.
+
+Every request carries a **coalescing digest**: for g5 jobs it is the
+``repro.exec.keys`` cache-key digest itself (so the in-flight dedupe
+and the disk cache agree about what "identical" means), and for figure
+jobs a content hash over the figure id, replay knobs, and the host-side
+code fingerprint.  Two submissions with equal digests can never produce
+different results, which is what makes fanning one execution out to all
+waiters sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..exec.keys import KEY_SCHEMA_VERSION, host_fingerprint
+from ..exec.pool import G5Job
+from ..workloads.registry import SCALES, WORKLOADS, get_workload
+from . import clock
+
+#: CPU models a job may request (the registry's four).
+CPU_MODELS = ("atomic", "timing", "minor", "o3")
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States from which a job can never move again.
+TERMINAL_STATES = frozenset((DONE, FAILED, CANCELLED))
+
+
+class JobRequestError(ValueError):
+    """A submission document that cannot become a job."""
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated submission: a g5 simulation or a figure."""
+
+    kind: str                          # "g5" | "figure"
+    g5: Optional[G5Job] = None
+    figure_id: Optional[str] = None
+    scale: str = "test"
+    max_records: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        if self.kind == "g5":
+            return self.g5.label
+        return f"figure {self.figure_id} ({self.scale})"
+
+    def digest(self) -> str:
+        """The coalescing digest (shared with the disk cache for g5)."""
+        if self.kind == "g5":
+            return self.g5.cache_key().digest
+        doc = {"schema": KEY_SCHEMA_VERSION, "kind": "figure",
+               "code": host_fingerprint(), "figure": self.figure_id,
+               "scale": self.scale, "max_records": self.max_records}
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def describe(self) -> dict:
+        if self.kind == "g5":
+            return {"kind": "g5", "workload": self.g5.workload,
+                    "cpu_model": self.g5.cpu_model, "mode": self.g5.mode,
+                    "scale": self.g5.scale}
+        return {"kind": "figure", "figure": self.figure_id,
+                "scale": self.scale, "max_records": self.max_records}
+
+
+def parse_job_request(doc: object) -> JobRequest:
+    """Validate a submission document into a :class:`JobRequest`."""
+    if not isinstance(doc, dict):
+        raise JobRequestError("job document must be a JSON object")
+    kind = doc.get("kind", "g5")
+    if kind == "g5":
+        return _parse_g5(doc)
+    if kind == "figure":
+        return _parse_figure(doc)
+    raise JobRequestError(
+        f"unknown job kind {kind!r}; expected 'g5' or 'figure'")
+
+
+def _parse_scale(doc: dict) -> str:
+    scale = doc.get("scale", "test")
+    if scale not in SCALES:
+        raise JobRequestError(
+            f"unknown scale {scale!r}; choose from {', '.join(SCALES)}")
+    return scale
+
+
+def _parse_g5(doc: dict) -> JobRequest:
+    workload = doc.get("workload")
+    if workload not in WORKLOADS:
+        raise JobRequestError(
+            f"unknown workload {workload!r}; choose from "
+            f"{', '.join(sorted(WORKLOADS))}")
+    cpu_model = doc.get("cpu", "atomic")
+    if cpu_model not in CPU_MODELS:
+        raise JobRequestError(
+            f"unknown cpu model {cpu_model!r}; choose from "
+            f"{', '.join(CPU_MODELS)}")
+    scale = _parse_scale(doc)
+    mode = doc.get("mode") or get_workload(workload).mode
+    if mode not in ("se", "fs"):
+        raise JobRequestError(f"unknown mode {mode!r}; expected 'se' "
+                              "or 'fs'")
+    job = G5Job(workload=workload, cpu_model=cpu_model, mode=mode,
+                scale=scale)
+    return JobRequest(kind="g5", g5=job, scale=scale)
+
+
+def _parse_figure(doc: dict) -> JobRequest:
+    from ..experiments import FIGURES
+
+    figure_id = doc.get("figure")
+    if figure_id not in FIGURES:
+        raise JobRequestError(
+            f"unknown figure {figure_id!r}; choose from "
+            f"{', '.join(sorted(FIGURES))}")
+    scale = _parse_scale(doc)
+    max_records = doc.get("max_records")
+    if max_records is not None:
+        if not isinstance(max_records, int) or max_records < 1:
+            raise JobRequestError("max_records must be a positive integer")
+    return JobRequest(kind="figure", figure_id=figure_id, scale=scale,
+                      max_records=max_records)
+
+
+@dataclass
+class JobRecord:
+    """One tracked job: the request plus its lifecycle state.
+
+    State transitions are guarded by the owning queue's lock; the
+    ``finished`` event lets in-process callers (drain, tests) block on
+    completion without polling.
+    """
+
+    id: str
+    request: JobRequest
+    digest: str
+    predicted_seconds: float = 0.0
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=clock.wall)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    error: Optional[str] = None
+    #: how the result was obtained: "executed" | "disk-cache" | "memo"
+    #: | "coalesced:<primary job id>"
+    source: Optional[str] = None
+    #: packed, JSON-safe payload (see repro.g5.serialize for g5 jobs)
+    result: Optional[dict] = None
+    #: primary job this submission was coalesced into, if any
+    coalesced_into: Optional[str] = None
+    #: job ids coalesced into this primary
+    waiters: list = field(default_factory=list)
+    finished: threading.Event = field(default_factory=threading.Event,
+                                      repr=False, compare=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def status_doc(self) -> dict:
+        """The JSON document ``GET /api/v1/jobs/<id>`` returns."""
+        doc = {
+            "id": self.id,
+            "state": self.state,
+            "request": self.request.describe(),
+            "digest": self.digest,
+            "predicted_seconds": round(self.predicted_seconds, 4),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "source": self.source,
+            "error": self.error,
+            "coalesced_into": self.coalesced_into,
+            "waiters": list(self.waiters),
+        }
+        return doc

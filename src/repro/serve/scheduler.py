@@ -1,0 +1,311 @@
+"""The daemon's execution core: workers resolving jobs through layers.
+
+``workers`` scheduler threads claim jobs off the :class:`JobQueue`
+(cheapest-predicted-first) and resolve each through the same layers the
+batch CLI uses, in the same order:
+
+1. **memo** — a bounded in-process map of recently produced packed
+   results, so a burst of identical requests after the first completes
+   never touches the disk;
+2. **disk cache** — the content-addressed :class:`ResultCache`
+   (`repro.exec.cache`), shared with every CLI run on the machine;
+3. **execution** — g5 jobs run in a ``ProcessPoolExecutor`` via the
+   exec engine's own ``_pool_worker`` (so a served result is packed by
+   exactly the code a direct run uses); figure jobs run in-thread
+   through an :class:`ExperimentRunner` backed by the same disk cache.
+
+Failure handling: a worker-process crash (``BrokenProcessPool``)
+rebuilds the pool and retries with exponential backoff up to
+``max_retries`` times; a per-job ``timeout`` fails the job without
+retry (a deterministic simulation that ran long once will run long
+again).  Durations feed the shared :class:`CostModel`, so every served
+job improves the queue's priority estimates and ETAs.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Callable, Optional
+
+from ..exec.cache import ResultCache
+from ..exec.costmodel import CostModel
+from ..exec.pool import EngineStats, G5Job, _pool_worker
+from . import clock
+from .jobs import DONE, FAILED, JobRecord, JobRequest
+from .queue import JobQueue
+
+__all__ = ["Scheduler", "WorkerCrashed", "JobTimeout"]
+
+#: How many result payloads the in-process memo retains.
+MEMO_CAPACITY = 256
+
+#: Disk-cache stores between prune sweeps (when a byte cap is set).
+PRUNE_EVERY = 16
+
+
+class WorkerCrashed(RuntimeError):
+    """An execution attempt died underneath the scheduler (retryable)."""
+
+
+class JobTimeout(RuntimeError):
+    """A job exceeded the per-job wall-clock budget (not retryable)."""
+
+
+class Scheduler:
+    """Worker threads resolving queued jobs: memo -> disk -> execute."""
+
+    def __init__(self, queue: JobQueue,
+                 cache: Optional[ResultCache] = None,
+                 workers: int = 2,
+                 job_timeout: Optional[float] = None,
+                 max_retries: int = 2,
+                 backoff_base: float = 0.25,
+                 cache_max_bytes: Optional[int] = None,
+                 cost_model: Optional[CostModel] = None,
+                 metrics=None,
+                 execute_fn: Optional[Callable] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.queue = queue
+        self.cache = cache
+        self.workers = workers
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.cache_max_bytes = cache_max_bytes
+        if cost_model is None:
+            history = cache.costs_path if cache is not None else None
+            cost_model = CostModel(history)
+        self.cost_model = cost_model
+        self.metrics = metrics
+        self.stats = EngineStats()
+        #: test seam: replaces pool execution for g5 jobs; signature
+        #: ``fn(g5job) -> (packed_result, seconds)``.
+        self._execute_fn = execute_fn
+        self._memo: dict[str, dict] = {}
+        self._memo_lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        # execute_fn runs through a thread pool so timeouts still apply.
+        self._thread_pool = None
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._stores_since_prune = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"serve-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Stop the worker loops (after the queue has drained)."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=False, cancel_futures=True)
+            self._thread_pool = None
+        self.cost_model.flush()
+
+    def predict(self, request: JobRequest) -> float:
+        """Predicted duration for admission/ETA (seconds-ish)."""
+        if request.kind == "g5":
+            return self.cost_model.predict(request.g5)
+        from ..experiments import FIGURES
+
+        module = FIGURES[request.figure_id]
+        jobs = [G5Job(workload=w, cpu_model=c, mode=m or "se",
+                      scale=request.scale)
+                for w, c, m in module.required_g5()]
+        return sum(self.cost_model.predict(job) for job in jobs)
+
+    # ------------------------------------------------------------------
+    # worker loop
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            record = self.queue.claim_next(timeout=0.2)
+            if record is None:
+                if self.queue.draining:
+                    return
+                continue
+            self._resolve(record)
+
+    def _resolve(self, record: JobRecord) -> None:
+        record.started_at = clock.wall()
+        try:
+            payload, source = self._obtain(record)
+        except JobTimeout as exc:
+            self._count("timeouts")
+            self._finish(record, state=FAILED, error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
+            self._finish(record, state=FAILED,
+                         error=f"{type(exc).__name__}: {exc}")
+        else:
+            self._finish(record, state=DONE, result=payload,
+                         source=source)
+
+    def _finish(self, record: JobRecord, *, state: str,
+                result: Optional[dict] = None,
+                error: Optional[str] = None,
+                source: Optional[str] = None) -> None:
+        settled = self.queue.finish(record, state=state, result=result,
+                                    error=error, source=source,
+                                    finished_at=clock.wall())
+        if self.metrics is not None:
+            for job in settled:
+                counter = self.metrics.completed.get(job.state)
+                if counter is not None:
+                    counter.inc()
+
+    # ------------------------------------------------------------------
+    # resolution layers
+    # ------------------------------------------------------------------
+    def _obtain(self, record: JobRecord) -> tuple[dict, str]:
+        """The packed payload for a job plus where it came from."""
+        memo = self._memo_get(record.digest)
+        if memo is not None:
+            self._count("memo_hits")
+            return memo, "memo"
+        if record.request.kind == "g5":
+            payload, source = self._obtain_g5(record)
+        else:
+            payload, source = self._run_figure(record.request), "executed"
+        self._memo_put(record.digest, payload)
+        return payload, source
+
+    def _obtain_g5(self, record: JobRecord) -> tuple[dict, str]:
+        job = record.request.g5
+        key = job.cache_key()
+        if self.cache is not None:
+            stored = self.cache.get(key)
+            if isinstance(stored, dict):
+                self.stats.note_disk_hit()
+                self._count("disk_hits")
+                return stored, "disk-cache"
+        self._count("cache_misses")
+        packed, seconds = self._execute(record, job)
+        self.stats.note_execution(job.label, seconds)
+        self.cost_model.observe(job, seconds)
+        self.cost_model.flush()
+        if self.cache is not None:
+            self.cache.put(key, packed)
+            self._maybe_prune()
+        return packed, "executed"
+
+    def _run_figure(self, request: JobRequest) -> dict:
+        from ..experiments import FIGURES
+        from ..experiments.runner import ExperimentRunner
+
+        module = FIGURES[request.figure_id]
+        runner = ExperimentRunner(scale=request.scale,
+                                  max_records=request.max_records,
+                                  jobs=1, cache=self.cache)
+        runner.prefetch(module.required_g5())
+        figure = module.run(runner)
+        stats = runner.cache_stats()
+        self.stats.note_executed_batch(stats["g5_executed"])
+        self.stats.note_disk_hit(stats["g5_disk_hits"])
+        return {"kind": "figure", "figure": request.figure_id,
+                "scale": request.scale,
+                "max_records": request.max_records,
+                "rendered": figure.render(),
+                "g5_executed": stats["g5_executed"],
+                "g5_disk_hits": stats["g5_disk_hits"]}
+
+    # ------------------------------------------------------------------
+    # execution with timeout + crash retry
+    # ------------------------------------------------------------------
+    def _execute(self, record: JobRecord,
+                 job: G5Job) -> tuple[dict, float]:
+        last_crash: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            record.attempts = attempt + 1
+            if attempt:
+                self._count("retries")
+                clock.sleep(self.backoff_base * (2 ** (attempt - 1)))
+            try:
+                return self._execute_once(job)
+            except (BrokenExecutor, WorkerCrashed) as exc:
+                last_crash = exc
+                self._reset_pool()
+        raise WorkerCrashed(
+            f"execution crashed {self.max_retries + 1} time(s); "
+            f"last error: {last_crash}")
+
+    def _execute_once(self, job: G5Job) -> tuple[dict, float]:
+        if self._execute_fn is not None:
+            future = self._injected_pool().submit(self._execute_fn, job)
+        else:
+            future = self._process_pool().submit(_pool_worker, job)
+        try:
+            return future.result(timeout=self.job_timeout)
+        except FutureTimeout:
+            future.cancel()
+            raise JobTimeout(
+                f"job exceeded the {self.job_timeout:.1f}s budget"
+                ) from None
+
+    def _process_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    def _injected_pool(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with self._pool_lock:
+            if self._thread_pool is None:
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="serve-exec")
+            return self._thread_pool
+
+    def _reset_pool(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    # ------------------------------------------------------------------
+    # memo + prune
+    # ------------------------------------------------------------------
+    def _memo_get(self, digest: str) -> Optional[dict]:
+        with self._memo_lock:
+            return self._memo.get(digest)
+
+    def _memo_put(self, digest: str, payload: dict) -> None:
+        with self._memo_lock:
+            self._memo[digest] = payload
+            while len(self._memo) > MEMO_CAPACITY:
+                self._memo.pop(next(iter(self._memo)))
+
+    def _maybe_prune(self) -> None:
+        if self.cache is None or self.cache_max_bytes is None:
+            return
+        with self._memo_lock:
+            self._stores_since_prune += 1
+            if self._stores_since_prune < PRUNE_EVERY:
+                return
+            self._stores_since_prune = 0
+        removed, _ = self.cache.prune(self.cache_max_bytes)
+        if removed:
+            self._count("pruned", removed)
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            getattr(self.metrics, name).inc(amount)

@@ -1,0 +1,11 @@
+"""Fixture: the serve timing module may read the wall clock."""
+
+import time
+
+
+def wall():
+    return time.time()
+
+
+def monotonic():
+    return time.monotonic()

@@ -1,0 +1,19 @@
+"""Fixture: serve-layer modules are inside the determinism scope."""
+
+import time
+import uuid
+
+
+def stamp_job():
+    # Wall-clock outside the sanctioned clock module: flagged.
+    return time.time()
+
+
+def job_id():
+    # Entropy is banned everywhere in serve/, even the clock module.
+    return uuid.uuid4()
+
+
+def waiter_order(waiters):
+    # Unordered iteration can leak into response documents.
+    return [w for w in set(waiters)]

@@ -28,6 +28,18 @@ def test_determinism_quiet(fixture_findings):
                          path="g5/det_quiet.py") == []
 
 
+def test_determinism_covers_serve(fixture_findings):
+    hits = rule_findings(fixture_findings, "determinism",
+                         path="serve/srv_fires.py")
+    assert _suffixes(hits) == ["entropy", "set-iteration", "wall-clock"]
+
+
+def test_determinism_serve_clock_exemption(fixture_findings):
+    # The timing module may read the wall clock (and nothing else).
+    assert rule_findings(fixture_findings, "determinism",
+                         path="serve/clock.py") == []
+
+
 # -- event safety -------------------------------------------------------
 def test_event_safety_fires(fixture_findings):
     hits = rule_findings(fixture_findings, "event-safety",
@@ -113,4 +125,6 @@ def test_fixture_tree_total():
     from repro.analysis import Engine
 
     findings = Engine(FIXTURES).run()
-    assert len(findings) == 7 + 5 + 2 + 1 + 2 + 3
+    # determinism(g5) + event + fastslow + slots + stats + figreq
+    # + determinism(serve)
+    assert len(findings) == 7 + 5 + 2 + 1 + 2 + 3 + 3

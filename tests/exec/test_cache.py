@@ -103,3 +103,53 @@ def test_default_cache_dir_honours_env(monkeypatch, tmp_path):
     monkeypatch.delenv("REPRO_CACHE_DIR")
     monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
     assert default_cache_dir() == tmp_path / "xdg" / "repro-g5"
+
+
+def test_prune_evicts_oldest_first(tmp_path):
+    import os
+
+    cache = ResultCache(tmp_path)
+    keys = [_key(cpu=cpu) for cpu in ("atomic", "timing", "minor", "o3")]
+    for index, key in enumerate(keys):
+        cache.put(key, {"payload": "x" * 64, "i": index})
+        # Pin mtimes so "oldest" is unambiguous regardless of fs
+        # timestamp granularity.
+        os.utime(cache._path(key.digest), (1000 + index, 1000 + index))
+
+    sizes = [cache._path(k.digest).stat().st_size for k in keys]
+    keep_two = sizes[2] + sizes[3]
+    removed, freed = cache.prune(keep_two)
+    assert removed == 2
+    assert freed == sizes[0] + sizes[1]
+    assert cache.get(keys[0]) is None
+    assert cache.get(keys[1]) is None
+    assert cache.get(keys[2]) is not None
+    assert cache.get(keys[3]) is not None
+
+
+def test_prune_is_a_noop_under_the_cap(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(_key(), {"a": 1})
+    assert cache.prune(10 * 1024 * 1024) == (0, 0)
+    assert cache.get(_key()) is not None
+
+
+def test_prune_to_zero_clears_everything(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(_key(), {"a": 1})
+    cache.put(_key(cpu="o3"), {"b": 2})
+    removed, freed = cache.prune(0)
+    assert removed == 2
+    assert freed > 0
+    assert cache.stats()["entries"] == 0
+
+
+def test_prune_rejects_negative_and_tolerates_missing_dir(tmp_path):
+    cache = ResultCache(tmp_path / "never-created")
+    assert cache.prune(0) == (0, 0)
+    try:
+        cache.prune(-1)
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("negative max_bytes must raise")

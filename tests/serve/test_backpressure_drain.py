@@ -1,0 +1,92 @@
+"""Admission control (429), drain (503), and graceful shutdown."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import ServeError
+
+from .test_coalescing import wait_until
+
+#: Distinct cheap jobs for filling the queue (gated fixture: depth 4).
+FILLERS = [("sieve", "timing"), ("fmm", "timing"),
+           ("canneal", "timing"), ("ocean_cp", "timing")]
+
+
+def test_full_queue_yields_429_but_coalesce_still_lands(gated):
+    server, client, executor = gated
+
+    client.submit(workload="sieve", cpu="atomic")      # occupies worker
+    wait_until(lambda: server.queue.running() == 1)
+    for workload, cpu in FILLERS:
+        client.submit(workload=workload, cpu=cpu)
+    assert server.queue.depth() == 4
+
+    with pytest.raises(ServeError) as excinfo:
+        client.submit(workload="water_spatial", cpu="timing")
+    assert excinfo.value.status == 429
+    assert excinfo.value.doc["queue_depth"] == 4
+    assert excinfo.value.doc["max_queue"] == 4
+    assert server.metrics.rejected.value == 1
+
+    # Identical to a queued job: coalesces despite the full queue.
+    ack = client.submit(workload="sieve", cpu="timing")
+    assert ack["coalesced_into"] is not None
+
+    executor.release()
+
+
+def test_drain_cancels_queued_finishes_running(gated):
+    server, client, executor = gated
+
+    running = client.submit(workload="sieve", cpu="atomic")
+    wait_until(lambda: server.queue.running() == 1)
+    queued = client.submit(workload="fmm", cpu="timing")
+    waiter = client.submit(workload="fmm", cpu="timing")
+    assert waiter["coalesced_into"] == queued["id"]
+
+    ack = client.drain()
+    assert ack["draining"] is True
+    assert ack["running_at_drain"] == 1
+
+    report_box: list = []
+    drainer = threading.Thread(
+        target=lambda: report_box.append(server.drain_and_stop()))
+    drainer.start()
+
+    # Queued work is cancelled immediately, while the running job is
+    # still blocked on the executor gate...
+    wait_until(lambda: client.status(queued["id"])["state"] == "cancelled")
+    cancelled = client.status(queued["id"])
+    assert cancelled["error"] == "server drained before execution"
+    assert client.status(waiter["id"])["state"] == "cancelled"
+    assert client.status(running["id"])["state"] == "running"
+
+    # ...and new submissions are refused with 503 while draining.
+    with pytest.raises(ServeError) as excinfo:
+        client.submit(workload="sieve", cpu="o3")
+    assert excinfo.value.status == 503
+
+    # Release the gate: the in-flight job finishes, the server stops.
+    executor.release()
+    drainer.join(timeout=10.0)
+    assert not drainer.is_alive()
+    report = report_box[0]
+    assert report["cancelled"] == 2     # queued primary + its waiter
+    assert report["done"] == 1
+    assert report["failed"] == 0
+    assert server.queue.get(running["id"]).state == "done"
+    assert server.metrics.completed["cancelled"].value == 2
+
+
+def test_drain_report_is_idempotent(gated):
+    server, client, executor = gated
+    executor.release()
+    ack = client.submit(workload="sieve", cpu="atomic")
+    client.wait(ack["id"])
+    first = server.drain_and_stop()
+    assert server.drain_and_stop() is first
+    assert first["done"] == 1
+    assert first["cancelled"] == 0

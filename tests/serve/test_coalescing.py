@@ -1,0 +1,66 @@
+"""Request coalescing over the real HTTP API.
+
+The gated executor pins the single worker on a blocker job, so the
+identical submissions that follow are deterministically in flight
+together — no reliance on real simulation timing.
+"""
+
+from __future__ import annotations
+
+from repro.serve import clock
+
+
+def wait_until(predicate, timeout: float = 5.0, poll: float = 0.01):
+    deadline = clock.monotonic() + timeout
+    while not predicate():
+        assert clock.monotonic() < deadline, "condition never held"
+        clock.sleep(poll)
+
+
+def test_identical_inflight_requests_run_once(gated):
+    server, client, executor = gated
+
+    blocker = client.submit(workload="fmm", cpu="atomic")
+    wait_until(lambda: server.queue.running() == 1)
+
+    # Three identical submissions while the worker is busy: the first
+    # queues as primary, the other two coalesce onto it.
+    acks = [client.submit(workload="sieve", cpu="timing")
+            for _ in range(3)]
+    primary_acks = [a for a in acks if a["coalesced_into"] is None]
+    waiter_acks = [a for a in acks if a["coalesced_into"] is not None]
+    assert len(primary_acks) == 1
+    primary_id = primary_acks[0]["id"]
+    assert [a["coalesced_into"] for a in waiter_acks] == [primary_id] * 2
+    assert server.metrics.coalesced.value == 2          # N - 1
+    assert server.metrics.submitted.value == 4
+
+    executor.release()
+    for ack in [blocker] + acks:
+        status = client.wait(ack["id"], timeout=10.0)
+        assert status["state"] == "done"
+
+    # Exactly one execution for the three identical requests (plus the
+    # blocker): the fan-out delivered one result to every waiter.
+    assert len(executor.calls) == 2
+    results = [client.result(ack["id"]) for ack in acks]
+    payloads = [doc["result"] for doc in results]
+    assert payloads[0] == payloads[1] == payloads[2]
+    sources = sorted(doc["source"] for doc in results)
+    assert sources == [f"coalesced:{primary_id}",
+                       f"coalesced:{primary_id}", "executed"]
+
+
+def test_duplicate_after_completion_hits_the_memo(gated):
+    server, client, executor = gated
+    executor.release()
+
+    first = client.submit(workload="sieve", cpu="atomic")
+    assert client.wait(first["id"])["state"] == "done"
+
+    second = client.submit(workload="sieve", cpu="atomic")
+    status = client.wait(second["id"])
+    assert status["state"] == "done"
+    assert status["source"] == "memo"
+    assert len(executor.calls) == 1
+    assert server.metrics.memo_hits.value == 1

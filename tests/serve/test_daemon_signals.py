@@ -1,0 +1,109 @@
+"""The real daemon process: SIGTERM mid-load must drain cleanly.
+
+Spawns ``repro-g5 serve`` as a subprocess on an ephemeral port, loads
+it with a long simulation plus a queued one, sends SIGTERM, and pins
+the contract: the in-flight job finishes, queued work is reported
+cancelled, the process exits 0.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.serve import ServeClient
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _spawn_daemon(tmp_path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env["PYTHONUNBUFFERED"] = "1"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--jobs", "1", "--cache-dir", str(tmp_path / "cache")],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+
+
+def test_sigterm_mid_load_drains_and_exits_zero(tmp_path):
+    proc = _spawn_daemon(tmp_path)
+    watchdog = threading.Timer(90.0, proc.kill)
+    watchdog.start()
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"listening on (http://\S+)", banner)
+        assert match, f"no listening banner, got: {banner!r}"
+        client = ServeClient(match.group(1), timeout=10.0)
+        assert client.health()["status"] == "ok"
+
+        # A multi-second job (cold worker pool + o3 simsmall) plus one
+        # queued behind it on the single worker.
+        slow = client.submit(workload="canneal", cpu="o3",
+                             scale="simsmall")
+        queued = client.submit(workload="canneal", cpu="timing",
+                               scale="simsmall")
+
+        # Wait for the slow job to actually occupy the worker so the
+        # SIGTERM lands mid-load.
+        deadline = time.monotonic() + 30.0
+        while client.status(slow["id"])["state"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        queued_state = client.status(queued["id"])["state"]
+
+        proc.send_signal(signal.SIGTERM)
+        returncode = proc.wait(timeout=60.0)
+        output = banner + proc.stdout.read()
+    finally:
+        watchdog.cancel()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    assert returncode == 0, f"daemon exited {returncode}:\n{output}"
+    match = re.search(r"drained: (\d+) done, (\d+) cancelled, "
+                      r"(\d+) failed", output)
+    assert match, f"no drain report in output:\n{output}"
+    done, cancelled, failed = map(int, match.groups())
+    assert failed == 0
+    # Whatever was running when the signal arrived finished...
+    assert done >= 1
+    # ...and if the second job was still queued at that moment, the
+    # drain must have reported it cancelled rather than dropping it.
+    if queued_state == "queued":
+        assert cancelled >= 1
+    assert done + cancelled == 2
+
+
+def test_http_drain_shuts_the_daemon_down(tmp_path):
+    proc = _spawn_daemon(tmp_path)
+    watchdog = threading.Timer(90.0, proc.kill)
+    watchdog.start()
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"listening on (http://\S+)", banner)
+        assert match, f"no listening banner, got: {banner!r}"
+        client = ServeClient(match.group(1), timeout=10.0)
+
+        ack = client.submit(workload="sieve", cpu="atomic",
+                            scale="test")
+        assert client.wait(ack["id"], timeout=60.0)["state"] == "done"
+        assert client.drain()["draining"] is True
+        returncode = proc.wait(timeout=60.0)
+        output = banner + proc.stdout.read()
+    finally:
+        watchdog.cancel()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    assert returncode == 0, f"daemon exited {returncode}:\n{output}"
+    assert "drained: 1 done, 0 cancelled, 0 failed" in output

@@ -1,0 +1,82 @@
+"""Job request parsing, digests, and record documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.pool import G5Job
+from repro.serve.jobs import (JobRecord, JobRequestError,
+                              parse_job_request)
+
+
+def _g5_doc(**overrides) -> dict:
+    doc = {"kind": "g5", "workload": "sieve", "cpu": "atomic",
+           "scale": "test"}
+    doc.update(overrides)
+    return doc
+
+
+def test_parse_g5_defaults_mode_from_registry():
+    request = parse_job_request(_g5_doc())
+    assert request.kind == "g5"
+    assert request.g5.mode == "se"
+    assert request.label == request.g5.label
+
+    fs = parse_job_request(_g5_doc(workload="boot_exit"))
+    assert fs.g5.mode == "fs"
+
+
+def test_g5_digest_is_the_exec_cache_key():
+    # Coalescing and the disk cache must agree about "identical".
+    request = parse_job_request(_g5_doc())
+    job = G5Job(workload="sieve", cpu_model="atomic", mode="se",
+                scale="test")
+    assert request.digest() == job.cache_key().digest
+
+
+def test_digest_distinguishes_every_knob():
+    base = parse_job_request(_g5_doc()).digest()
+    assert parse_job_request(_g5_doc(cpu="o3")).digest() != base
+    assert parse_job_request(_g5_doc(scale="simsmall")).digest() != base
+    assert parse_job_request(_g5_doc(workload="fmm")).digest() != base
+
+
+def test_figure_digest_stable_and_scale_sensitive():
+    doc = {"kind": "figure", "figure": "fig3", "scale": "test"}
+    first = parse_job_request(doc).digest()
+    assert parse_job_request(doc).digest() == first
+    other = parse_job_request({**doc, "scale": "simsmall"}).digest()
+    assert other != first
+    capped = parse_job_request({**doc, "max_records": 5000}).digest()
+    assert capped != first
+
+
+@pytest.mark.parametrize("doc", [
+    "not a dict",
+    {"kind": "teapot"},
+    _g5_doc(workload="nonesuch"),
+    _g5_doc(cpu="pentium"),
+    _g5_doc(scale="simlarge"),
+    _g5_doc(mode="afterburner"),
+    {"kind": "figure", "figure": "fig99"},
+    {"kind": "figure", "figure": "fig3", "max_records": 0},
+    {"kind": "figure", "figure": "fig3", "max_records": "many"},
+])
+def test_invalid_documents_rejected(doc):
+    with pytest.raises(JobRequestError):
+        parse_job_request(doc)
+
+
+def test_status_doc_shape():
+    request = parse_job_request(_g5_doc())
+    record = JobRecord(id="j00000001", request=request,
+                       digest=request.digest(), predicted_seconds=1.25)
+    doc = record.status_doc()
+    assert doc["id"] == "j00000001"
+    assert doc["state"] == "queued"
+    assert doc["request"] == {"kind": "g5", "workload": "sieve",
+                              "cpu_model": "atomic", "mode": "se",
+                              "scale": "test"}
+    assert doc["predicted_seconds"] == 1.25
+    assert doc["waiters"] == []
+    assert not record.terminal

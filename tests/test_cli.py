@@ -99,6 +99,26 @@ class TestCliCommands:
         assert main(["cache", "info"]) == 0
         assert "g5 0" in capsys.readouterr().out
 
+    def test_cache_prune(self, capsys):
+        assert main(["figs", "fig13", "--scale", "test",
+                     "--max-records", "5000", "--quiet"]) == 0
+        capsys.readouterr()
+
+        # --max-bytes is mandatory for prune.
+        assert main(["cache", "prune"]) == 2
+        assert "requires --max-bytes" in capsys.readouterr().err
+
+        # Generous cap: nothing evicted.
+        assert main(["cache", "prune", "--max-bytes", "1G"]) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+
+        # Zero cap: everything goes.
+        assert main(["cache", "prune", "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out and "pruned 0 entries" not in out
+        assert main(["cache", "info"]) == 0
+        assert "g5 0" in capsys.readouterr().out
+
     def test_figure_no_cache_leaves_cache_empty(self, capsys,
                                                 _isolated_cache):
         assert main(["figure", "fig13", "--scale", "test",
