@@ -326,6 +326,21 @@ def build_cfg(program: Program) -> GuestCFG:
     return GuestCFG(program)
 
 
+def pc_to_block_map(cfg: GuestCFG) -> dict[int, int]:
+    """pc -> start address of the basic block containing it.
+
+    Covers every decoded instruction (reachable or not): the sampling
+    profiler attributes each *executed* pc to its static block, and a
+    dynamically reached pc is by construction part of some block even
+    when static reachability analysis could not prove it.
+    """
+    mapping: dict[int, int] = {}
+    for start, block in cfg.blocks.items():
+        for pc, _ in block.insts:
+            mapping[pc] = start
+    return mapping
+
+
 # ---------------------------------------------------------------------------
 # dynamic cross-check
 # ---------------------------------------------------------------------------

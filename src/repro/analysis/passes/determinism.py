@@ -38,8 +38,11 @@ import ast
 from ..engine import LintPass, register_pass
 
 #: Packages whose behaviour feeds stats, schedules, or cache keys.
+#: ``sample/`` is fully in scope with no exemptions: sampled payloads
+#: live in the content-addressed cache, so every clustering and
+#: measurement decision must replay bit-identically from the seed.
 _SCOPED_PREFIXES = ("g5/", "events/", "workloads/", "host/", "core/",
-                    "experiments/", "serve/")
+                    "experiments/", "serve/", "sample/")
 
 #: Serve-side timing/metrics modules where wall-clock reads are the
 #: point (request latency, job lifecycle stamps).  Entropy, unseeded

@@ -195,6 +195,48 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--verbose", action="store_true",
                      help="log every HTTP request to stderr")
 
+    sample = sub.add_parser(
+        "sample", help="SimPoint-style sampled simulation")
+    sample.add_argument("action",
+                        choices=["profile", "pick", "run", "report"])
+    sample.add_argument("--workload", required=True,
+                        choices=sorted(WORKLOADS))
+    sample.add_argument("--cpu", default="o3",
+                        choices=["atomic", "timing", "minor", "o3"])
+    sample.add_argument("--scale", default="simsmall", choices=SCALES)
+    sample.add_argument("--interval", type=_positive_int, default=None,
+                        help="instructions per interval (default: 250)")
+    sample.add_argument("--warmup", type=int, default=None,
+                        help="warmup instructions before each measured "
+                             "window (default: 1000)")
+    sample.add_argument("--k", type=int, default=0,
+                        help="cluster count (0 = BIC-select, default)")
+    sample.add_argument("--max-k", type=_positive_int, default=None,
+                        help="largest k the BIC selection may pick "
+                             "(default: 8)")
+    sample.add_argument("--seed", type=int, default=None,
+                        help="clustering/projection seed (default: 1234)")
+    sample.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit machine-readable JSON")
+    _add_executor_args(sample)
+
+    ckpt = sub.add_parser(
+        "ckpt", help="take, inspect, or restore SE-mode checkpoints")
+    ckpt.add_argument("action", choices=["take", "info", "restore"])
+    ckpt.add_argument("file", help="checkpoint file path")
+    ckpt.add_argument("--workload", default=None,
+                      choices=sorted(WORKLOADS),
+                      help="guest workload (take/restore)")
+    ckpt.add_argument("--scale", default="simsmall", choices=SCALES)
+    ckpt.add_argument("--at", type=_positive_int, default=None,
+                      help="take: checkpoint after this many committed "
+                           "instructions")
+    ckpt.add_argument("--cpu", default="o3",
+                      choices=["atomic", "timing", "minor", "o3"],
+                      help="restore: CPU model to continue with")
+    ckpt.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit machine-readable JSON")
+
     lint = sub.add_parser(
         "lint", help="simulator-invariant linter / guest-binary analyzer")
     lint.add_argument("--path", default=None,
@@ -503,6 +545,149 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if new else 0
 
 
+def _sample_job_from_args(args: argparse.Namespace):
+    from .sample import SampledJob
+
+    kwargs = {"workload": args.workload, "cpu_model": args.cpu,
+              "scale": args.scale, "k": args.k}
+    if args.interval is not None:
+        kwargs["interval_insts"] = args.interval
+    if args.warmup is not None:
+        kwargs["warmup_insts"] = args.warmup
+    if args.max_k is not None:
+        kwargs["max_k"] = args.max_k
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return SampledJob(**kwargs)
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .exec.pool import ExecutionEngine
+    from .sample import (SampleError, choose_k, kmeans, profile_intervals,
+                         project_bbvs, render_sample_report,
+                         select_representatives)
+
+    job = _sample_job_from_args(args)
+    try:
+        if args.action in ("profile", "pick"):
+            program = get_workload(job.workload).build(job.scale)
+            profile = profile_intervals(program, job.workload, job.scale,
+                                        job.interval_insts)
+            if args.action == "profile":
+                doc = {"workload": job.workload, "scale": job.scale,
+                       "interval_insts": profile.interval_insts,
+                       "total_insts": profile.total_insts,
+                       "roi_anchor": profile.roi_anchor,
+                       "roi_insts": profile.roi_insts,
+                       "n_intervals": profile.n_intervals,
+                       "block_universe": len(profile.block_universe()),
+                       "exit_cause": profile.exit_cause}
+                if args.as_json:
+                    print(json_mod.dumps(doc, indent=2, sort_keys=True))
+                    return 0
+                for name, value in doc.items():
+                    print(f"{name:<16}: {value}")
+                return 0
+            points = project_bbvs(profile.intervals, seed=job.seed)
+            if job.k:
+                clustering = kmeans(points, min(job.k, len(points)),
+                                    seed=job.seed + job.k)
+            else:
+                clustering = choose_k(points, max_k=job.max_k,
+                                      seed=job.seed)
+            reps = select_representatives(points, clustering)
+            doc = {"workload": job.workload, "scale": job.scale,
+                   "n_intervals": profile.n_intervals,
+                   "k": clustering.k, "bic": clustering.bic,
+                   "sse": clustering.sse,
+                   "representatives": [
+                       {"interval": i, "weight": w,
+                        "start_inst": profile.interval_start(i)}
+                       for i, w in reps]}
+            if args.as_json:
+                print(json_mod.dumps(doc, indent=2, sort_keys=True))
+                return 0
+            print(f"{profile.n_intervals} intervals -> k={clustering.k} "
+                  f"(bic {clustering.bic:.1f}, sse {clustering.sse:.4f})")
+            for rep in doc["representatives"]:
+                print(f"  interval {rep['interval']:>4}  "
+                      f"weight {rep['weight']:.4f}  "
+                      f"start {rep['start_inst']}")
+            return 0
+
+        engine = ExecutionEngine(cache=_cache_from_args(args))
+        payload = engine.run_sampled(job)
+        if args.as_json:
+            print(json_mod.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        sys.stdout.write(render_sample_report(payload))
+        if args.action == "run":
+            hit = engine.stats.disk_hits > 0
+            print(f"  source: {'disk-cache' if hit else 'executed'}")
+        return 0
+    except SampleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_ckpt(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .g5.serialize import (Checkpoint, CheckpointError,
+                               restore_checkpoint)
+
+    def show(doc: dict) -> None:
+        if args.as_json:
+            print(json_mod.dumps(doc, indent=2, sort_keys=True))
+        else:
+            for name, value in doc.items():
+                print(f"{name:<16}: {value}")
+
+    try:
+        if args.action == "take":
+            if args.workload is None or args.at is None:
+                print("error: ckpt take needs --workload and --at",
+                      file=sys.stderr)
+                return 2
+            from .sample import take_checkpoints_at
+
+            program = get_workload(args.workload).build(args.scale)
+            checkpoint = take_checkpoints_at(
+                program, args.workload, [args.at])[args.at]
+            checkpoint.save(args.file)
+            show({"file": args.file, **checkpoint.describe()})
+            return 0
+        if args.action == "info":
+            show(Checkpoint.load(args.file).describe())
+            return 0
+        # restore: continue the checkpointed guest on a detailed model.
+        checkpoint = Checkpoint.load(args.file)
+        workload = get_workload(args.workload or checkpoint.process_name)
+        program = workload.build(args.scale)
+        system = System(SimConfig(cpu_model=args.cpu, mode="se"))
+        system.set_se_workload(program, process_name=workload.name)
+        restore_checkpoint(system, checkpoint)
+        result = simulate(system)
+        show({"file": args.file, "cpu_model": args.cpu,
+              "restored_at": checkpoint.committed_insts,
+              "exit_cause": result.exit_cause,
+              "exit_code": result.exit_code,
+              "sim_insts": result.sim_insts,
+              "sim_cycles": result.sim_cycles,
+              "ipc": round(result.ipc, 4)})
+        return 0
+    except BrokenPipeError:
+        raise                       # handled centrally in main()
+    except (CheckpointError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:  # SampleError from take, KeyError from scale
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ServeConfig, serve
 
@@ -559,6 +744,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_report(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "sample":
+        return _cmd_sample(args)
+    if args.command == "ckpt":
+        return _cmd_ckpt(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "lint":

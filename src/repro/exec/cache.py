@@ -6,7 +6,8 @@ Layout (under the cache root, default ``~/.cache/repro-g5`` or
     objects/<digest[:2]>/<digest>.pkl    # one pickled envelope per entry
     costs.json                           # cost-model history (see costmodel)
 
-Each envelope records the entry kind (``g5`` / ``host`` / ``spec``), the
+Each envelope records the entry kind (``g5`` / ``host`` / ``spec`` /
+``sample``), the
 human-readable key document, and the payload.  Writes are atomic
 (temp file + ``os.replace``) so a crashed run can never leave a partial
 entry behind; unreadable or wrong-format entries are treated as misses
@@ -66,6 +67,10 @@ class CacheEntry:
             platform = d.get("platform") or {}
             name = platform.get("name") if isinstance(platform, dict) else "?"
             return f"spec {d.get('spec')} on {name}"
+        if self.kind == "sample":
+            return (f"sample {d.get('cpu_model')}/{d.get('workload')} "
+                    f"({d.get('scale')}, int {d.get('interval_insts')}, "
+                    f"seed {d.get('seed')})")
         return self.kind
 
 

@@ -9,37 +9,60 @@ idles behind it.  Longest-processing-time-first scheduling needs only a
 with the CPU model's per-instruction work, the workload's scale, and the
 mode's device overhead.
 
-The model starts from static weights and then learns: every completed
-run feeds an exponential moving average per (workload, cpu, mode, scale)
-class, persisted as ``costs.json`` in the cache directory, so the second
-experiment campaign schedules from measured durations.
+The model learns at two granularities.  Every completed run feeds an
+exponential moving average for its exact (workload, cpu, mode, scale)
+class — the sharpest predictor once a class has been seen.  The same
+observation also calibrates a global *seconds-per-weight-unit* factor,
+so classes never run before still benefit: their static prior is scaled
+by how fast this machine actually turned out to be.  Both layers
+persist as ``costs.json`` (schema v2) in the cache directory; v1 files
+(a flat class -> seconds map) load transparently.
+
+Jobs can shape their own treatment through two optional attributes:
+``cost_class`` overrides the history bucket (sampled jobs form their
+own class per workload/model/scale) and ``cost_weight_factor`` scales
+the static prior (a sampled run costs a fraction of the full detailed
+run it replaces).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Sequence, Union
-
-if TYPE_CHECKING:  # pragma: no cover
-    from .pool import G5Job
+from typing import Any, Optional, Sequence, Union
 
 #: Relative per-instruction simulation work by CPU model (the paper's
 #: Table/Fig. ordering: detail costs time).
 CPU_MODEL_WEIGHT = {"atomic": 1.0, "timing": 2.2, "minor": 4.5, "o3": 7.5}
 
 #: Relative guest work by workload scale.
-SCALE_WEIGHT = {"test": 1.0, "simsmall": 6.0, "simmedium": 20.0}
+SCALE_WEIGHT = {"test": 1.0, "simsmall": 6.0, "simmedium": 20.0,
+                "simlarge": 60.0}
 
 #: FS mode adds device and kernel events on top of the CPU work.
 MODE_WEIGHT = {"se": 1.0, "fs": 1.6}
 
-#: EMA smoothing for observed durations.
+#: EMA smoothing for observed durations and the calibration factor.
 EMA_ALPHA = 0.5
 
+#: Seconds one static weight unit costs before any run has calibrated
+#: the machine (chosen so priors land in the right order of magnitude).
+DEFAULT_SEC_PER_WEIGHT = 0.01
 
-def job_class(job: "G5Job") -> str:
-    """The history bucket a job's duration is learned under."""
+#: On-disk schema version of ``costs.json``.
+COSTS_SCHEMA_VERSION = 2
+
+
+def job_class(job: Any) -> str:
+    """The history bucket a job's duration is learned under.
+
+    Jobs may claim a bucket explicitly via a ``cost_class`` attribute
+    (sampled jobs do, so their partial runs never contaminate the
+    full-run history of the same workload).
+    """
+    explicit = getattr(job, "cost_class", None)
+    if explicit is not None:
+        return str(explicit)
     return f"{job.workload}|{job.cpu_model}|{job.mode}|{job.scale}"
 
 
@@ -51,6 +74,8 @@ class CostModel:
         self.history_path = (Path(history_path)
                              if history_path is not None else None)
         self._history: dict[str, float] = {}
+        self._sec_per_weight: Optional[float] = None
+        self._calibration_samples = 0
         self._load()
 
     # ------------------------------------------------------------------
@@ -61,40 +86,86 @@ class CostModel:
             return
         try:
             data = json.loads(self.history_path.read_text())
-            if isinstance(data, dict):
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict):
+            return
+        if data.get("version") == COSTS_SCHEMA_VERSION:
+            classes = data.get("classes")
+            if isinstance(classes, dict):
+                self._history = {str(k): float(v)
+                                 for k, v in classes.items()}
+            spw = data.get("sec_per_weight")
+            if isinstance(spw, (int, float)) and spw > 0:
+                self._sec_per_weight = float(spw)
+            samples = data.get("calibration_samples")
+            if isinstance(samples, int) and samples >= 0:
+                self._calibration_samples = samples
+        elif "version" not in data:
+            # Legacy v1 layout: a flat class -> seconds map.
+            try:
                 self._history = {str(k): float(v)
                                  for k, v in data.items()}
-        except (OSError, ValueError):
-            self._history = {}
+            except (TypeError, ValueError):
+                self._history = {}
 
     def _save(self) -> None:
         if self.history_path is None:
             return
+        doc = {
+            "version": COSTS_SCHEMA_VERSION,
+            "classes": self._history,
+            "sec_per_weight": self._sec_per_weight,
+            "calibration_samples": self._calibration_samples,
+        }
         try:
             self.history_path.parent.mkdir(parents=True, exist_ok=True)
             self.history_path.write_text(
-                json.dumps(self._history, sort_keys=True, indent=1))
+                json.dumps(doc, sort_keys=True, indent=1))
         except OSError:
             pass  # history is an optimisation; never fail a run over it
 
     # ------------------------------------------------------------------
     # prediction
     # ------------------------------------------------------------------
-    def static_weight(self, job: "G5Job") -> float:
-        """Prior relative cost from model/scale/mode weights alone."""
-        return (CPU_MODEL_WEIGHT.get(job.cpu_model, 4.0)
-                * SCALE_WEIGHT.get(job.scale, 6.0)
-                * MODE_WEIGHT.get(job.mode, 1.0))
+    def static_weight(self, job: Any) -> float:
+        """Prior relative cost from model/scale/mode weights alone.
 
-    def predict(self, job: "G5Job") -> float:
-        """Predicted duration (seconds-ish; only the ordering matters)."""
+        A job's ``cost_weight_factor`` (when present) scales the prior —
+        sampled jobs advertise the fraction of a full detailed run they
+        expect to cost.
+        """
+        weight = (CPU_MODEL_WEIGHT.get(job.cpu_model, 4.0)
+                  * SCALE_WEIGHT.get(job.scale, 6.0)
+                  * MODE_WEIGHT.get(getattr(job, "mode", "se"), 1.0))
+        return weight * float(getattr(job, "cost_weight_factor", 1.0))
+
+    @property
+    def sec_per_weight(self) -> float:
+        """Calibrated seconds per static weight unit (default prior)."""
+        if self._sec_per_weight is not None:
+            return self._sec_per_weight
+        return DEFAULT_SEC_PER_WEIGHT
+
+    @property
+    def calibration_samples(self) -> int:
+        """How many observed runs have fed the calibration factor."""
+        return self._calibration_samples
+
+    def predict(self, job: Any) -> float:
+        """Predicted duration (seconds-ish; only the ordering matters).
+
+        A class that has run before answers from its own EMA; an unseen
+        class answers from its static weight scaled by the machine-wide
+        calibration every observed run has contributed to.
+        """
         learned = self._history.get(job_class(job))
         if learned is not None:
             return learned
-        return self.static_weight(job) * 0.01
+        return self.static_weight(job) * self.sec_per_weight
 
-    def observe(self, job: "G5Job", seconds: float) -> None:
-        """Fold one measured duration into the per-class EMA."""
+    def observe(self, job: Any, seconds: float) -> None:
+        """Fold one measured duration into both learning layers."""
         key = job_class(job)
         previous = self._history.get(key)
         if previous is None:
@@ -102,6 +173,14 @@ class CostModel:
         else:
             self._history[key] = (EMA_ALPHA * seconds
                                   + (1.0 - EMA_ALPHA) * previous)
+        ratio = seconds / max(1e-9, self.static_weight(job))
+        if self._sec_per_weight is None:
+            self._sec_per_weight = ratio
+        else:
+            self._sec_per_weight = (EMA_ALPHA * ratio
+                                    + (1.0 - EMA_ALPHA)
+                                    * self._sec_per_weight)
+        self._calibration_samples += 1
 
     def flush(self) -> None:
         """Persist the learned durations (best effort)."""
@@ -110,7 +189,7 @@ class CostModel:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def schedule(self, jobs: Sequence["G5Job"]) -> list["G5Job"]:
+    def schedule(self, jobs: Sequence[Any]) -> list[Any]:
         """Jobs ordered predicted-longest-first (LPT minimises makespan).
 
         Ties break on the job's stable sort key so the order — and hence

@@ -14,6 +14,9 @@ Two fingerprints are used:
   ``repro.workloads``: everything that determines a g5 simulation.
 - ``host_fingerprint`` — the above plus ``repro.host`` + ``repro.core``:
   everything that additionally determines a host replay.
+- ``sample_fingerprint`` — the simulation packages plus
+  ``repro.analysis`` + ``repro.sample``: a sampled result additionally
+  depends on the CFG block identification and the sampling pipeline.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ KEY_SCHEMA_VERSION = 1
 #: the simulation-side and host-side code fingerprints.
 SIM_CODE_PACKAGES = ("events", "g5", "workloads")
 HOST_CODE_PACKAGES = SIM_CODE_PACKAGES + ("host", "core")
+SAMPLE_CODE_PACKAGES = SIM_CODE_PACKAGES + ("analysis", "sample")
 
 
 def _package_root() -> Path:
@@ -65,6 +69,11 @@ def host_fingerprint() -> str:
     return _fingerprint(HOST_CODE_PACKAGES)
 
 
+def sample_fingerprint() -> str:
+    """Code version of everything that determines a sampled simulation."""
+    return _fingerprint(SAMPLE_CODE_PACKAGES)
+
+
 def canonical(value: Any) -> Any:
     """Reduce a key component to JSON-encodable builtins, recursively.
 
@@ -94,7 +103,7 @@ def canonical(value: Any) -> Any:
 class CacheKey:
     """A content hash plus the human-readable document it hashes."""
 
-    kind: str                 # "g5" | "host" | "spec"
+    kind: str                 # "g5" | "host" | "spec" | "sample"
     digest: str
     describe: dict
 
@@ -139,6 +148,24 @@ def host_key(g5: CacheKey, platform: Any, opt_level: int, hugepages: Any,
         "layout_quality": layout_quality,
         "roi_only": roi_only,
         "max_records": max_records,
+    })
+
+
+def sample_key(workload: str, cpu_model: str, scale: str,
+               interval_insts: int, warmup_insts: int, k: int,
+               max_k: int, seed: int, mode: str = "se") -> CacheKey:
+    """Key of one sampled-simulation payload (repro.sample)."""
+    return _make_key("sample", {
+        "code": sample_fingerprint(),
+        "workload": workload,
+        "cpu_model": cpu_model,
+        "mode": mode,
+        "scale": scale,
+        "interval_insts": interval_insts,
+        "warmup_insts": warmup_insts,
+        "k": k,
+        "max_k": max_k,
+        "seed": seed,
     })
 
 

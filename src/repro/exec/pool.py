@@ -154,6 +154,32 @@ class ExecutionEngine:
             return cached
         return self._execute_inline(job, key)
 
+    def run_sampled(self, job) -> dict:
+        """Resolve one :class:`~repro.sample.SampledJob` payload.
+
+        Same cache discipline as :meth:`run` — the content-addressed key
+        covers the sampling configuration and the sampling code, so a
+        repeat run is a pure disk hit.  Observed wall time feeds the
+        cost model under the job's own ``cost_class``, keeping sampled
+        timings out of the full-run history.
+        """
+        from ..sample.orchestrate import execute_sampled_job
+
+        key = job.cache_key()
+        if self.cache is not None:
+            payload = self.cache.get(key)
+            if isinstance(payload, dict) and payload.get("kind") == "sample":
+                self.stats.note_disk_hit()
+                return payload
+        start = time.perf_counter()
+        payload = execute_sampled_job(job)
+        seconds = time.perf_counter() - start
+        self._store(key, payload)
+        self._record(job, seconds)
+        self.progress.job_done(job.label, seconds)
+        self.cost_model.flush()
+        return payload
+
     # ------------------------------------------------------------------
     # batches
     # ------------------------------------------------------------------

@@ -41,6 +41,11 @@ class PseudoOpHandler:
         self.stat_dumps: list[dict[str, float]] = []
         self.work_begin_count = 0
         self.work_end_count = 0
+        #: Times the guest zeroed the statistics (M5_RESET_STATS or
+        #: M5_WORK_BEGIN).  The sampling profiler anchors its interval
+        #: accounting to the *last* reset so reconstructed stats share
+        #: the ROI-relative semantics of an uninterrupted run.
+        self.reset_count = 0
 
     def handle(self, op: int) -> None:
         """Dispatch one m5 pseudo-op by its immediate number."""
@@ -63,6 +68,7 @@ class PseudoOpHandler:
             raise PseudoOpError(f"unknown m5 pseudo-op {op:#x}")
 
     def _reset_stats(self) -> None:
+        self.reset_count += 1
         for obj in [self.system, *self.system.descendants()]:
             if obj._stats is not None:
                 obj._stats.reset()

@@ -116,6 +116,22 @@ class Checkpoint:
     def touched_bytes(self) -> int:
         return sum(len(raw) for raw in self.pages.values())
 
+    def describe(self) -> dict:
+        """JSON-safe summary (``repro-g5 ckpt info``) — no page bytes."""
+        return {
+            "version": self.version,
+            "process": self.process_name,
+            "tick": self.tick,
+            "committed_insts": self.committed_insts,
+            "pc": f"{self.pc:#x}",
+            "pages": len(self.pages),
+            "touched_bytes": self.touched_bytes,
+            "mem_size": self.mem_size,
+            "brk": f"{self.brk:#x}",
+            "console_bytes": len(self.console),
+            "syscalls": sum(self.syscall_counts.values()),
+        }
+
 
 def take_checkpoint(system: "System") -> Checkpoint:
     """Capture the current state of an SE-mode system."""

@@ -1,0 +1,161 @@
+"""Basic-block-vector (BBV) profiling over fixed instruction intervals.
+
+One functional pass over the guest — the same in-order stepping the
+Atomic CPU performs, without the event queue — splits execution into
+fixed-size instruction intervals and counts, per interval, how often
+each *static basic block* executes.  Blocks come from
+:mod:`repro.analysis.guestcfg`'s leader algorithm, so the profile and
+the static analyses agree about code structure.  The resulting vectors
+are the SimPoint fingerprint: intervals with similar BBVs exercise the
+same code and behave alike on a detailed CPU.
+
+ROI anchoring: m5 pseudo-ops (``M5_WORK_BEGIN``/``M5_RESET_STATS``)
+zero the statistics mid-run, so a full run's final ``stats.txt`` covers
+only the instructions *after the last reset*.  The profiler watches
+:attr:`PseudoOpHandler.reset_count` and restarts its interval
+accounting whenever the guest resets, so intervals live in exactly the
+stats-visible instruction space and reconstructed stats share the
+full run's ROI-relative semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.guestcfg import build_cfg, pc_to_block_map
+from ..g5.isa import Program
+from ..g5.system import SimConfig, System
+
+#: Default interval size in committed instructions.  Real SimPoint uses
+#: 10-100M; the repro's workloads commit thousands, so intervals scale
+#: down with them.
+DEFAULT_INTERVAL_INSTS = 250
+
+#: Safety valve for the functional pass.
+MAX_PROFILE_INSTS = 50_000_000
+
+
+class SampleError(RuntimeError):
+    """Raised when a workload cannot be sampled as requested."""
+
+
+@dataclass
+class IntervalProfile:
+    """Per-interval BBVs of one workload execution, ROI-anchored.
+
+    ``intervals[i]`` maps block start address -> times any instruction
+    of that block committed during ROI instructions
+    ``[i * interval_insts, (i+1) * interval_insts)``.  The last interval
+    may be partial.
+    """
+
+    workload: str
+    scale: str
+    interval_insts: int
+    total_insts: int            # absolute instructions executed
+    roi_anchor: int             # absolute inst count where the ROI begins
+    exit_cause: str
+    intervals: list[dict[int, int]] = field(default_factory=list)
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def roi_insts(self) -> int:
+        """Instructions the full run's final stats actually cover."""
+        return self.total_insts - self.roi_anchor
+
+    def interval_start(self, index: int) -> int:
+        """Absolute instruction count at which interval ``index`` begins."""
+        if not 0 <= index < self.n_intervals:
+            raise IndexError(f"interval {index} out of range "
+                             f"(have {self.n_intervals})")
+        return self.roi_anchor + index * self.interval_insts
+
+    def interval_length(self, index: int) -> int:
+        """Committed instructions inside interval ``index``."""
+        return sum(self.intervals[index].values())
+
+    def block_universe(self) -> list[int]:
+        """Sorted start addresses of every block any interval touched."""
+        blocks: dict[int, None] = {}
+        for bbv in self.intervals:
+            for block in bbv:
+                blocks[block] = None
+        return sorted(blocks)
+
+
+def build_profile_system(program: Program, process_name: str) -> System:
+    """A fresh Atomic SE system bound to ``program``, tracing disabled."""
+    system = System(SimConfig(cpu_model="atomic", mode="se", record=False))
+    system.set_se_workload(program, process_name=process_name)
+    return system
+
+
+def profile_intervals(program: Program, workload: str, scale: str,
+                      interval_insts: int = DEFAULT_INTERVAL_INSTS,
+                      max_insts: int = MAX_PROFILE_INSTS) -> IntervalProfile:
+    """Execute ``program`` functionally and collect per-interval BBVs.
+
+    Runs the workload to completion with direct in-order stepping (the
+    architectural semantics every CPU model shares), attributing each
+    committed instruction to its static basic block.  Pseudo-op stat
+    resets restart the interval accounting (see module docstring).
+    """
+    if interval_insts < 1:
+        raise SampleError(
+            f"interval size must be >= 1 instruction, got {interval_insts}")
+    system = build_profile_system(program, workload)
+    pc2block = pc_to_block_map(build_cfg(program))
+    cpu = system.cpu
+    regs = cpu.regs
+    fetch_decode = cpu.fetch_decode
+    execute_inst = cpu.execute_inst
+    committed = cpu.stat_committed
+    pseudo = system.pseudo_ops
+
+    intervals: list[dict[int, int]] = []
+    current: dict[int, int] = {}
+    filled = 0
+    n = 0
+    roi_anchor = 0
+    resets_seen = pseudo.reset_count
+    while not cpu.stop_fetch:
+        pc = regs.pc
+        inst = fetch_decode(pc)
+        regs.pc = execute_inst(inst)
+        committed.inc()
+        n += 1
+        if pseudo.reset_count != resets_seen:
+            # The guest zeroed the stats during *this* instruction; the
+            # stats-visible run restarts here and this instruction is
+            # its first (the atomic model commits it post-reset too).
+            resets_seen = pseudo.reset_count
+            roi_anchor = n - 1
+            intervals = []
+            current = {}
+            filled = 0
+        block = pc2block.get(pc, pc)
+        current[block] = current.get(block, 0) + 1
+        filled += 1
+        if filled == interval_insts:
+            intervals.append(current)
+            current = {}
+            filled = 0
+        if n >= max_insts:
+            raise SampleError(
+                f"profiling {workload!r} exceeded {max_insts} "
+                "instructions; raise max_insts or use a smaller scale")
+    if current:
+        intervals.append(current)
+    exit_cause = system.eventq.run().cause
+    return IntervalProfile(
+        workload=workload,
+        scale=scale,
+        interval_insts=interval_insts,
+        total_insts=n,
+        roi_anchor=roi_anchor,
+        exit_cause=exit_cause,
+        intervals=intervals,
+    )

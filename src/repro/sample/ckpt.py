@@ -1,0 +1,66 @@
+"""Checkpoint orchestration: functional fast-forward to inst boundaries.
+
+The classic gem5 sampling flow fast-forwards with the cheapest model and
+takes a checkpoint wherever detailed measurement should begin.  Here the
+fast-forward is direct functional stepping (no event queue at all —
+architectural state at instruction N is model-independent, since every
+CPU model in this repro is functional-first), and the checkpoints are
+ordinary :mod:`repro.g5.serialize` documents, restorable into any CPU
+model.
+"""
+
+from __future__ import annotations
+
+from ..g5.isa import Program
+from ..g5.serialize import Checkpoint, take_checkpoint
+from ..g5.system import System
+from .bbv import SampleError, build_profile_system
+
+
+def fast_forward(system: System, n_insts: int) -> int:
+    """Execute up to ``n_insts`` instructions functionally.
+
+    Steps the bound CPU in order without touching the event queue;
+    returns the number actually executed (less than ``n_insts`` only if
+    the guest halted first).
+    """
+    if n_insts < 0:
+        raise SampleError(f"cannot fast-forward {n_insts} instructions")
+    cpu = system.cpu
+    regs = cpu.regs
+    fetch_decode = cpu.fetch_decode
+    execute_inst = cpu.execute_inst
+    committed = cpu.stat_committed
+    executed = 0
+    while executed < n_insts and not cpu.stop_fetch:
+        inst = fetch_decode(regs.pc)
+        regs.pc = execute_inst(inst)
+        committed.inc()
+        executed += 1
+    return executed
+
+
+def take_checkpoints_at(program: Program, process_name: str,
+                        positions: list[int]) -> dict[int, Checkpoint]:
+    """Checkpoints at each absolute instruction count, in one pass.
+
+    ``positions`` are absolute committed-instruction boundaries (0 means
+    "before the first instruction").  Duplicates collapse; the returned
+    map is keyed by position.  Raises :class:`SampleError` if the guest
+    halts before reaching a requested boundary.
+    """
+    targets = sorted(dict.fromkeys(positions))
+    if targets and targets[0] < 0:
+        raise SampleError(
+            f"checkpoint positions must be >= 0, got {targets[0]}")
+    system = build_profile_system(program, process_name)
+    checkpoints: dict[int, Checkpoint] = {}
+    n = 0
+    for target in targets:
+        n += fast_forward(system, target - n)
+        if n < target:
+            raise SampleError(
+                f"guest halted after {n} instructions; cannot take a "
+                f"checkpoint at instruction {target}")
+        checkpoints[target] = take_checkpoint(system)
+    return checkpoints

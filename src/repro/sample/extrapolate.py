@@ -1,0 +1,110 @@
+"""Weighted reconstruction of full-run statistics with error bounds.
+
+SimPoint's estimate of a whole-program statistic is the cluster-weighted
+mean of the per-interval *rates* (stat per committed instruction),
+scaled back up by the ROI instruction count.  The spread of the rates
+across representatives also yields a confidence interval: treating each
+representative as a weighted sample of the program's phase behaviour,
+
+    r_bar  = sum_c w_c * r_c
+    var    = sum_c w_c * (r_c - r_bar)^2
+    ci95   = 1.96 * sqrt(var * sum_c w_c^2)
+
+which collapses to zero when every phase behaves identically (or when
+k = 1, where no spread is observable).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .measure import COMMITTED_KEY, CYCLES_KEY, IntervalMeasurement
+
+#: Derived ratios reported alongside the raw scalar estimates:
+#: name -> (numerator key, denominator key).
+DERIVED_RATIOS = {
+    "ipc": (COMMITTED_KEY, CYCLES_KEY),
+    "cpi": (CYCLES_KEY, COMMITTED_KEY),
+    "branch_rate": ("system.cpu.numBranches", COMMITTED_KEY),
+    "mem_ref_rate": ("system.cpu.numMemRefs", COMMITTED_KEY),
+    "dcache_miss_rate": ("system.dcache.overallMisses",
+                         "system.dcache.overallAccesses"),
+    "icache_miss_rate": ("system.icache.overallMisses",
+                         "system.icache.overallAccesses"),
+    "l2_miss_rate": ("system.l2.overallMisses",
+                     "system.l2.overallAccesses"),
+}
+
+
+@dataclass
+class StatEstimate:
+    """One reconstructed full-run statistic."""
+
+    value: float                    # estimated full-run total
+    ci95: float                     # 95% confidence half-width on value
+    per_inst: float                 # weighted mean rate per ROI inst
+
+    def to_doc(self) -> dict:
+        return {"value": self.value, "ci95": self.ci95,
+                "per_inst": self.per_inst}
+
+
+def reconstruct(measurements: list[IntervalMeasurement],
+                weights: list[float],
+                roi_insts: int) -> dict[str, StatEstimate]:
+    """Weighted full-run estimates for every measured scalar stat.
+
+    ``weights`` align with ``measurements`` and sum to (approximately)
+    one; ``roi_insts`` is the stats-visible instruction count of the
+    uninterrupted run, which scales per-instruction rates back to
+    totals.
+    """
+    if len(measurements) != len(weights):
+        raise ValueError(
+            f"{len(measurements)} measurements vs {len(weights)} weights")
+    if not measurements:
+        raise ValueError("cannot reconstruct from zero measurements")
+    keys: dict[str, None] = {}
+    for m in measurements:
+        for key in m.deltas:
+            keys[key] = None
+
+    estimates: dict[str, StatEstimate] = {}
+    wsq = sum(w * w for w in weights)
+    for key in sorted(keys):
+        rates = []
+        for m in measurements:
+            insts = max(1, m.insts)
+            rates.append(m.deltas.get(key, 0.0) / insts)
+        mean = sum(w * r for w, r in zip(weights, rates))
+        var = sum(w * (r - mean) ** 2 for w, r in zip(weights, rates))
+        ci95 = 1.96 * math.sqrt(max(0.0, var * wsq))
+        estimates[key] = StatEstimate(
+            value=mean * roi_insts,
+            ci95=ci95 * roi_insts,
+            per_inst=mean,
+        )
+    return estimates
+
+
+def derived_ratios(estimates: dict[str, StatEstimate]) -> dict[str, dict]:
+    """IPC/CPI/miss-rate style ratios of reconstructed totals.
+
+    The ratio of two estimates carries a propagated relative error:
+    ``ci(a/b) ~= |a/b| * sqrt((ci_a/a)^2 + (ci_b/b)^2)``.
+    """
+    out: dict[str, dict] = {}
+    for name, (num_key, den_key) in DERIVED_RATIOS.items():
+        num = estimates.get(num_key)
+        den = estimates.get(den_key)
+        if num is None or den is None or den.value == 0.0:
+            continue
+        ratio = num.value / den.value
+        rel_sq = 0.0
+        if num.value:
+            rel_sq += (num.ci95 / num.value) ** 2
+        rel_sq += (den.ci95 / den.value) ** 2
+        out[name] = {"value": ratio,
+                     "ci95": abs(ratio) * math.sqrt(rel_sq)}
+    return out

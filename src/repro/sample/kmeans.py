@@ -1,0 +1,215 @@
+"""Seeded, pure-python k-means with BIC-style k selection.
+
+SimPoint clusters interval BBVs to find phases: intervals in the same
+cluster execute the same code mix and behave alike on a detailed CPU,
+so one representative per cluster stands in for all of them.  The
+pipeline here mirrors the original tool —
+
+1. :func:`project_bbvs` — random projection of the sparse BBVs down to
+   a few dense dimensions (frequency-normalised first, so interval
+   length doesn't dominate);
+2. :func:`kmeans` — Lloyd's algorithm with k-means++ seeding;
+3. :func:`choose_k` — run k = 1..max_k, score each clustering with the
+   X-means BIC approximation, and keep the smallest k whose score
+   reaches 90% of the observed BIC range;
+4. :func:`select_representatives` — per cluster, the member interval
+   closest to the centroid, weighted by cluster population.
+
+Everything is deterministic given the seed: block dimensions are
+iterated in sorted order, ties in assignment break to the lowest
+centroid index, and all randomness flows from one ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+#: Dense dimensionality after random projection (SimPoint uses 15).
+PROJECTED_DIMS = 15
+
+#: Fraction of the [min, max] BIC range a clustering must reach for
+#: :func:`choose_k` to accept it (SimPoint's published heuristic).
+BIC_THRESHOLD = 0.9
+
+
+@dataclass
+class Clustering:
+    """Result of one k-means run over projected interval vectors."""
+
+    k: int
+    assignments: list[int]          # interval index -> cluster id
+    centroids: list[list[float]]
+    sse: float                      # sum of squared distances to centroids
+    bic: float = 0.0
+
+    @property
+    def cluster_sizes(self) -> list[int]:
+        sizes = [0] * self.k
+        for cluster in self.assignments:
+            sizes[cluster] += 1
+        return sizes
+
+
+def project_bbvs(bbvs: list[dict[int, int]], seed: int,
+                 dims: int = PROJECTED_DIMS) -> list[list[float]]:
+    """Frequency-normalise and randomly project sparse BBVs.
+
+    Each block dimension gets a fixed random unit-range row; a vector's
+    projection is the count-weighted sum of its blocks' rows.  The
+    projection matrix depends only on ``seed`` and the sorted block
+    universe, so identical profiles always project identically.
+    """
+    if dims < 1:
+        raise ValueError(f"projection dims must be >= 1, got {dims}")
+    blocks = sorted({block for bbv in bbvs for block in bbv})
+    rng = random.Random(seed)
+    rows = {block: [rng.uniform(-1.0, 1.0) for _ in range(dims)]
+            for block in blocks}
+    projected: list[list[float]] = []
+    for bbv in bbvs:
+        total = sum(bbv.values())
+        vec = [0.0] * dims
+        if total:
+            for block in sorted(bbv):
+                weight = bbv[block] / total
+                row = rows[block]
+                for d in range(dims):
+                    vec[d] += weight * row[d]
+        projected.append(vec)
+    return projected
+
+
+def _sq_dist(a: list[float], b: list[float]) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+def _nearest(point: list[float], centroids: list[list[float]]) -> tuple[int, float]:
+    """Index and squared distance of the closest centroid (lowest index wins ties)."""
+    best, best_d = 0, _sq_dist(point, centroids[0])
+    for i in range(1, len(centroids)):
+        d = _sq_dist(point, centroids[i])
+        if d < best_d:
+            best, best_d = i, d
+    return best, best_d
+
+
+def kmeans(points: list[list[float]], k: int, seed: int,
+           max_iters: int = 100) -> Clustering:
+    """Lloyd's algorithm with k-means++ initialisation, fully seeded."""
+    n = len(points)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = random.Random(seed)
+
+    # k-means++ seeding: first centroid uniform, then proportional to
+    # squared distance from the nearest chosen centroid.
+    centroids = [list(points[rng.randrange(n)])]
+    while len(centroids) < k:
+        dists = [_nearest(p, centroids)[1] for p in points]
+        total = sum(dists)
+        if total <= 0.0:
+            # All points coincide with existing centroids; any pick works.
+            centroids.append(list(points[rng.randrange(n)]))
+            continue
+        pick = rng.uniform(0.0, total)
+        acc = 0.0
+        chosen = n - 1
+        for i, d in enumerate(dists):
+            acc += d
+            if acc >= pick:
+                chosen = i
+                break
+        centroids.append(list(points[chosen]))
+
+    assignments = [0] * n
+    for _ in range(max_iters):
+        changed = False
+        for i, p in enumerate(points):
+            cluster, _ = _nearest(p, centroids)
+            if cluster != assignments[i]:
+                assignments[i] = cluster
+                changed = True
+        for c in range(k):
+            members = [points[i] for i in range(n) if assignments[i] == c]
+            if not members:
+                continue            # empty cluster keeps its centroid
+            dims = len(centroids[c])
+            centroids[c] = [sum(m[d] for m in members) / len(members)
+                            for d in range(dims)]
+        if not changed:
+            break
+
+    sse = sum(_nearest(p, centroids)[1] for p in points)
+    clustering = Clustering(k=k, assignments=assignments,
+                            centroids=centroids, sse=sse)
+    clustering.bic = bic_score(points, clustering)
+    return clustering
+
+
+def bic_score(points: list[list[float]], clustering: Clustering) -> float:
+    """X-means BIC approximation (Pelleg & Moore), higher is better.
+
+    Models each cluster as a spherical Gaussian with shared variance
+    ``sse / ((n - k) * dims)`` and penalises the ``k * (dims + 1)``
+    free parameters by ``log(n) / 2`` each.
+    """
+    n = len(points)
+    k = clustering.k
+    dims = len(points[0]) if points else 1
+    variance = clustering.sse / max(1e-12, (n - k) * dims) if n > k else 1e-12
+    variance = max(variance, 1e-12)
+    ll = 0.0
+    for size in clustering.cluster_sizes:
+        if size <= 0:
+            continue
+        ll += (size * math.log(size)
+               - size * math.log(n)
+               - size * dims / 2.0 * math.log(2.0 * math.pi * variance)
+               - (size - 1) * dims / 2.0)
+    return ll - k * (dims + 1) / 2.0 * math.log(n)
+
+
+def choose_k(points: list[list[float]], max_k: int, seed: int) -> Clustering:
+    """Cluster for k = 1..max_k and pick by SimPoint's BIC heuristic.
+
+    Returns the clustering with the smallest k whose BIC reaches
+    ``BIC_THRESHOLD`` of the way from the worst to the best observed
+    score.  With one candidate (or a flat score range) that is simply
+    the best clustering.
+    """
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot cluster zero intervals")
+    candidates = [kmeans(points, k, seed=seed + k)
+                  for k in range(1, min(max_k, n) + 1)]
+    scores = [c.bic for c in candidates]
+    lo, hi = min(scores), max(scores)
+    if hi - lo <= 0.0:
+        return candidates[0]
+    cutoff = lo + BIC_THRESHOLD * (hi - lo)
+    for candidate in candidates:
+        if candidate.bic >= cutoff:
+            return candidate
+    return candidates[-1]           # pragma: no cover — cutoff <= hi
+
+
+def select_representatives(points: list[list[float]],
+                           clustering: Clustering) -> list[tuple[int, float]]:
+    """Per cluster: (member interval closest to centroid, weight).
+
+    Weights are cluster populations normalised to 1.0 — the fraction of
+    ROI execution each representative stands in for.  Sorted by interval
+    index for stable downstream ordering.
+    """
+    n = len(points)
+    reps: list[tuple[int, float]] = []
+    for c in range(clustering.k):
+        members = [i for i in range(n) if clustering.assignments[i] == c]
+        if not members:
+            continue
+        best = min(members,
+                   key=lambda i: (_sq_dist(points[i], clustering.centroids[c]), i))
+        reps.append((best, len(members) / n))
+    return sorted(reps)

@@ -1,0 +1,261 @@
+"""End-to-end sampled simulation: profile, cluster, measure, report.
+
+:class:`SampledJob` is the sampling counterpart of the exec engine's
+``G5Job``: a frozen description of one sampled run whose
+:meth:`~SampledJob.cache_key` covers every input (workload, CPU model,
+interval geometry, clustering seed, and the sampling code itself).
+:func:`execute_sampled_job` turns it into a JSON-safe payload that the
+exec disk cache, the serve daemon, and the CLI all share.
+
+The degenerate configuration — ``k`` at least the number of intervals —
+skips sampling entirely and runs one uninterrupted detailed simulation,
+so the payload's estimates are *exact* (confidence intervals of zero).
+That path is what the differential tests pin the machinery against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exec.keys import CacheKey, sample_key
+from ..g5.system import SimConfig, System, simulate
+from ..workloads import get_workload
+from .bbv import (DEFAULT_INTERVAL_INSTS, IntervalProfile, SampleError,
+                  profile_intervals)
+from .ckpt import take_checkpoints_at
+from .extrapolate import StatEstimate, derived_ratios, reconstruct
+from .kmeans import Clustering, choose_k, kmeans, project_bbvs, \
+    select_representatives
+from .measure import measure_from_checkpoint, scalar_snapshot
+
+#: Version stamped into every sampled payload.
+SAMPLE_FORMAT_VERSION = 1
+
+#: Stats surfaced by name in the rendered report (beyond the ratios).
+_REPORT_KEYS = (
+    "system.cpu.committedInsts",
+    "system.cpu.numCycles",
+    "system.cpu.numBranches",
+    "system.cpu.numMemRefs",
+    "system.dcache.overallMisses",
+    "system.icache.overallMisses",
+    "system.l2.overallMisses",
+)
+
+
+@dataclass(frozen=True)
+class SampledJob:
+    """One sampled simulation of a workload on a detailed CPU model."""
+
+    workload: str
+    cpu_model: str = "o3"
+    scale: str = "simsmall"
+    interval_insts: int = DEFAULT_INTERVAL_INSTS
+    warmup_insts: int = 1000
+    k: int = 0                     # 0 = BIC-select k automatically
+    max_k: int = 8
+    seed: int = 1234
+    mode: str = "se"               # sampling requires SE checkpoints
+
+    @property
+    def label(self) -> str:
+        return (f"sample:{self.workload}/{self.cpu_model}/{self.scale}"
+                f"@{self.interval_insts}")
+
+    #: Cost-model hooks: sampled jobs form their own prediction class
+    #: and cost a fraction of the full detailed run they replace.
+    @property
+    def cost_class(self) -> str:
+        return f"{self.workload}|{self.cpu_model}|sample|{self.scale}"
+
+    cost_weight_factor = 0.4
+
+    def cache_key(self) -> CacheKey:
+        return sample_key(
+            workload=self.workload,
+            cpu_model=self.cpu_model,
+            scale=self.scale,
+            interval_insts=self.interval_insts,
+            warmup_insts=self.warmup_insts,
+            k=self.k,
+            max_k=self.max_k,
+            seed=self.seed,
+            mode=self.mode,
+        )
+
+    def describe(self) -> dict:
+        return {
+            "workload": self.workload,
+            "cpu_model": self.cpu_model,
+            "scale": self.scale,
+            "interval_insts": self.interval_insts,
+            "warmup_insts": self.warmup_insts,
+            "k": self.k,
+            "max_k": self.max_k,
+            "seed": self.seed,
+            "mode": self.mode,
+        }
+
+
+def _cluster(profile: IntervalProfile, job: SampledJob) -> Clustering:
+    points = project_bbvs(profile.intervals, seed=job.seed)
+    if job.k:
+        return kmeans(points, min(job.k, len(points)), seed=job.seed + job.k)
+    return choose_k(points, max_k=job.max_k, seed=job.seed)
+
+
+def _exact_payload(job: SampledJob, profile: IntervalProfile) -> dict:
+    """Full detailed run — the degenerate (k >= n_intervals) case."""
+    program = get_workload(job.workload).build(job.scale)
+    system = System(SimConfig(cpu_model=job.cpu_model, mode="se",
+                              record=False))
+    system.set_se_workload(program, process_name=job.workload)
+    simulate(system)
+    finals = scalar_snapshot(system)
+    roi = max(1, profile.roi_insts)
+    estimates = {key: StatEstimate(value=value, ci95=0.0,
+                                   per_inst=value / roi)
+                 for key, value in finals.items()}
+    n = profile.n_intervals
+    reps = [{"interval": i, "weight": 1.0 / n,
+             "start_inst": profile.interval_start(i),
+             "length": profile.interval_length(i), "warmup": 0}
+            for i in range(n)]
+    return _payload(job, profile, exact=True, k=n, bic=0.0, sse=0.0,
+                    representatives=reps, detailed_insts=profile.roi_insts,
+                    estimates=estimates)
+
+
+def _payload(job: SampledJob, profile: IntervalProfile, *, exact: bool,
+             k: int, bic: float, sse: float, representatives: list[dict],
+             detailed_insts: int,
+             estimates: dict[str, StatEstimate]) -> dict:
+    roi = max(1, profile.roi_insts)
+    return {
+        "format": SAMPLE_FORMAT_VERSION,
+        "kind": "sample",
+        "workload": job.workload,
+        "cpu_model": job.cpu_model,
+        "scale": job.scale,
+        "config": {
+            "interval_insts": job.interval_insts,
+            "warmup_insts": job.warmup_insts,
+            "k": job.k,
+            "max_k": job.max_k,
+            "seed": job.seed,
+        },
+        "profile": {
+            "total_insts": profile.total_insts,
+            "roi_anchor": profile.roi_anchor,
+            "roi_insts": profile.roi_insts,
+            "n_intervals": profile.n_intervals,
+            "exit_cause": profile.exit_cause,
+        },
+        "clusters": {
+            "k": k,
+            "bic": bic,
+            "sse": sse,
+            "representatives": representatives,
+        },
+        "exact": exact,
+        "detailed_insts": detailed_insts,
+        "sampled_fraction": detailed_insts / roi,
+        "estimates": {key: est.to_doc()
+                      for key, est in sorted(estimates.items())},
+        "derived": derived_ratios(estimates),
+    }
+
+
+def execute_sampled_job(job: SampledJob) -> dict:
+    """Run the full sampling pipeline and return the JSON-safe payload."""
+    workload = get_workload(job.workload)
+    if workload.mode != "se":
+        raise SampleError(
+            f"workload {job.workload!r} runs in {workload.mode!r} mode; "
+            "sampling requires SE-mode checkpoints")
+    if job.mode != "se":
+        raise SampleError(f"sampled jobs are SE-mode only, got {job.mode!r}")
+    program = workload.build(job.scale)
+    profile = profile_intervals(program, job.workload, job.scale,
+                                job.interval_insts)
+    n = profile.n_intervals
+    if n == 0:
+        raise SampleError(
+            f"workload {job.workload!r} at scale {job.scale!r} committed "
+            "no ROI instructions; nothing to sample")
+    if job.k and job.k >= n:
+        return _exact_payload(job, profile)
+
+    clustering = _cluster(profile, job)
+    reps = select_representatives(
+        project_bbvs(profile.intervals, seed=job.seed), clustering)
+    if len(reps) >= n:
+        return _exact_payload(job, profile)
+
+    # Checkpoint `warmup_insts` before each interval (clamped to the ROI
+    # anchor) so the detailed run can warm caches before the window.
+    anchor = profile.roi_anchor
+    starts = [profile.interval_start(i) for i, _ in reps]
+    warm_starts = [max(anchor, start - job.warmup_insts)
+                   for start in starts]
+    checkpoints = take_checkpoints_at(program, job.workload, warm_starts)
+    measurements = []
+    weights = []
+    rep_docs = []
+    detailed = 0
+    for (interval, weight), start, warm_start in zip(reps, starts,
+                                                     warm_starts):
+        length = profile.interval_length(interval)
+        measurement = measure_from_checkpoint(
+            checkpoints[warm_start], program, job.workload, job.cpu_model,
+            interval=interval, length=length,
+            pre_insts=start - warm_start)
+        measurements.append(measurement)
+        weights.append(weight)
+        detailed += (start - warm_start) + length
+        rep_docs.append({"interval": interval, "weight": weight,
+                         "start_inst": start, "length": length,
+                         "warmup": start - warm_start})
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    estimates = reconstruct(measurements, weights, profile.roi_insts)
+    return _payload(job, profile, exact=False, k=clustering.k,
+                    bic=clustering.bic, sse=clustering.sse,
+                    representatives=rep_docs, detailed_insts=detailed,
+                    estimates=estimates)
+
+
+def render_sample_report(payload: dict) -> str:
+    """Human-readable summary of a sampled payload (deterministic)."""
+    profile = payload["profile"]
+    clusters = payload["clusters"]
+    config = payload["config"]
+    lines = [
+        f"sampled simulation: {payload['workload']}/{payload['cpu_model']}"
+        f"/{payload['scale']}",
+        f"  intervals: {profile['n_intervals']} x "
+        f"{config['interval_insts']} insts "
+        f"(roi {profile['roi_insts']} of {profile['total_insts']})",
+        f"  clusters: k={clusters['k']} (seed {config['seed']}), "
+        f"detailed {payload['detailed_insts']}/{profile['roi_insts']} insts "
+        f"({payload['sampled_fraction'] * 100.0:.1f}%)"
+        + ("  [exact]" if payload["exact"] else ""),
+        "  representatives:",
+    ]
+    for rep in clusters["representatives"]:
+        lines.append(f"    interval {rep['interval']:>4}  "
+                     f"weight {rep['weight']:.4f}  "
+                     f"start {rep['start_inst']}  len {rep['length']}  "
+                     f"warm {rep.get('warmup', 0)}")
+    lines.append("  derived:")
+    for name, doc in sorted(payload["derived"].items()):
+        lines.append(f"    {name:<18} {doc['value']:.6g} "
+                     f"± {doc['ci95']:.3g}")
+    lines.append("  key stats:")
+    estimates = payload["estimates"]
+    for key in _REPORT_KEYS:
+        if key in estimates:
+            doc = estimates[key]
+            lines.append(f"    {key:<32} {doc['value']:.6g} "
+                         f"± {doc['ci95']:.3g}")
+    return "\n".join(lines) + "\n"

@@ -93,8 +93,10 @@ class ServeClient:
     def submit(self, workload: Optional[str] = None, cpu: str = "atomic",
                scale: str = "test", mode: Optional[str] = None,
                figure: Optional[str] = None,
-               max_records: Optional[int] = None) -> dict:
-        """Submit a g5 job (default) or a figure job (``figure=...``)."""
+               max_records: Optional[int] = None,
+               sampled: bool = False) -> dict:
+        """Submit a g5 job (default), a figure job (``figure=...``), or
+        a sampled simulation (``sampled=True``)."""
         if figure is not None:
             doc: dict = {"kind": "figure", "figure": figure,
                          "scale": scale}
@@ -105,6 +107,8 @@ class ServeClient:
                    "scale": scale}
             if mode is not None:
                 doc["mode"] = mode
+            if sampled:
+                doc["sampled"] = True
         return self.submit_doc(doc)
 
     def status(self, job_id: str) -> dict:

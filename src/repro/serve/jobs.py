@@ -1,7 +1,9 @@
 """Job model for the simulation service.
 
-A client submits a JSON document describing either one g5 simulation
-(``kind: "g5"``) or one paper-figure regeneration (``kind: "figure"``).
+A client submits a JSON document describing one g5 simulation
+(``kind: "g5"``), one paper-figure regeneration (``kind: "figure"``),
+or — with ``"sampled": true`` on a g5 document — one SimPoint-style
+sampled simulation resolved through :mod:`repro.sample`.
 :func:`parse_job_request` validates it against the workload/figure
 registries and produces a :class:`JobRequest`; the daemon then tracks
 its lifecycle in a :class:`JobRecord`.
@@ -25,6 +27,7 @@ from typing import Optional
 
 from ..exec.keys import KEY_SCHEMA_VERSION, host_fingerprint
 from ..exec.pool import G5Job
+from ..sample.orchestrate import SampledJob
 from ..workloads.registry import SCALES, WORKLOADS, get_workload
 from . import clock
 
@@ -48,24 +51,29 @@ class JobRequestError(ValueError):
 
 @dataclass(frozen=True)
 class JobRequest:
-    """One validated submission: a g5 simulation or a figure."""
+    """One validated submission: a g5 simulation, figure, or sample."""
 
-    kind: str                          # "g5" | "figure"
+    kind: str                          # "g5" | "figure" | "sample"
     g5: Optional[G5Job] = None
     figure_id: Optional[str] = None
     scale: str = "test"
     max_records: Optional[int] = None
+    sampled: Optional["SampledJob"] = None
 
     @property
     def label(self) -> str:
         if self.kind == "g5":
             return self.g5.label
+        if self.kind == "sample":
+            return self.sampled.label
         return f"figure {self.figure_id} ({self.scale})"
 
     def digest(self) -> str:
         """The coalescing digest (shared with the disk cache for g5)."""
         if self.kind == "g5":
             return self.g5.cache_key().digest
+        if self.kind == "sample":
+            return self.sampled.cache_key().digest
         doc = {"schema": KEY_SCHEMA_VERSION, "kind": "figure",
                "code": host_fingerprint(), "figure": self.figure_id,
                "scale": self.scale, "max_records": self.max_records}
@@ -77,6 +85,8 @@ class JobRequest:
             return {"kind": "g5", "workload": self.g5.workload,
                     "cpu_model": self.g5.cpu_model, "mode": self.g5.mode,
                     "scale": self.g5.scale}
+        if self.kind == "sample":
+            return {"kind": "sample", **self.sampled.describe()}
         return {"kind": "figure", "figure": self.figure_id,
                 "scale": self.scale, "max_records": self.max_records}
 
@@ -87,11 +97,16 @@ def parse_job_request(doc: object) -> JobRequest:
         raise JobRequestError("job document must be a JSON object")
     kind = doc.get("kind", "g5")
     if kind == "g5":
+        if doc.get("sampled"):
+            return _parse_sampled(doc)
         return _parse_g5(doc)
+    if kind == "sample":
+        return _parse_sampled(doc)
     if kind == "figure":
         return _parse_figure(doc)
     raise JobRequestError(
-        f"unknown job kind {kind!r}; expected 'g5' or 'figure'")
+        f"unknown job kind {kind!r}; expected 'g5', 'sample', or "
+        "'figure'")
 
 
 def _parse_scale(doc: dict) -> str:
@@ -121,6 +136,48 @@ def _parse_g5(doc: dict) -> JobRequest:
     job = G5Job(workload=workload, cpu_model=cpu_model, mode=mode,
                 scale=scale)
     return JobRequest(kind="g5", g5=job, scale=scale)
+
+
+def _parse_int(doc: dict, name: str, default: int, minimum: int) -> int:
+    value = doc.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < minimum:
+        raise JobRequestError(
+            f"{name} must be an integer >= {minimum}, got {value!r}")
+    return value
+
+
+def _parse_sampled(doc: dict) -> JobRequest:
+    """A g5 document with ``sampled: true`` (or ``kind: "sample"``)."""
+    workload = doc.get("workload")
+    if workload not in WORKLOADS:
+        raise JobRequestError(
+            f"unknown workload {workload!r}; choose from "
+            f"{', '.join(sorted(WORKLOADS))}")
+    if get_workload(workload).mode != "se":
+        raise JobRequestError(
+            f"workload {workload!r} runs in FS mode; sampled jobs need "
+            "SE-mode checkpoints")
+    cpu_model = doc.get("cpu", "o3")
+    if cpu_model not in CPU_MODELS:
+        raise JobRequestError(
+            f"unknown cpu model {cpu_model!r}; choose from "
+            f"{', '.join(CPU_MODELS)}")
+    scale = _parse_scale(doc)
+    defaults = SampledJob(workload=workload)
+    job = SampledJob(
+        workload=workload,
+        cpu_model=cpu_model,
+        scale=scale,
+        interval_insts=_parse_int(doc, "interval_insts",
+                                  defaults.interval_insts, 1),
+        warmup_insts=_parse_int(doc, "warmup_insts",
+                                defaults.warmup_insts, 0),
+        k=_parse_int(doc, "k", defaults.k, 0),
+        max_k=_parse_int(doc, "max_k", defaults.max_k, 1),
+        seed=_parse_int(doc, "seed", defaults.seed, 0),
+    )
+    return JobRequest(kind="sample", sampled=job, scale=scale)
 
 
 def _parse_figure(doc: dict) -> JobRequest:

@@ -124,6 +124,8 @@ class Scheduler:
         """Predicted duration for admission/ETA (seconds-ish)."""
         if request.kind == "g5":
             return self.cost_model.predict(request.g5)
+        if request.kind == "sample":
+            return self.cost_model.predict(request.sampled)
         from ..experiments import FIGURES
 
         module = FIGURES[request.figure_id]
@@ -182,6 +184,8 @@ class Scheduler:
             return memo, "memo"
         if record.request.kind == "g5":
             payload, source = self._obtain_g5(record)
+        elif record.request.kind == "sample":
+            payload, source = self._obtain_sample(record)
         else:
             payload, source = self._run_figure(record.request), "executed"
         self._memo_put(record.digest, payload)
@@ -205,6 +209,35 @@ class Scheduler:
             self.cache.put(key, packed)
             self._maybe_prune()
         return packed, "executed"
+
+    def _obtain_sample(self, record: JobRecord) -> tuple[dict, str]:
+        """Resolve a sampled job: disk cache, then inline execution.
+
+        Sampled jobs run in the worker thread itself — the pipeline is
+        a sequence of short simulations, so the crash-isolation process
+        pool used for monolithic g5 runs buys nothing here.
+        """
+        from ..sample.orchestrate import execute_sampled_job
+
+        job = record.request.sampled
+        key = job.cache_key()
+        if self.cache is not None:
+            stored = self.cache.get(key)
+            if isinstance(stored, dict) and stored.get("kind") == "sample":
+                self.stats.note_disk_hit()
+                self._count("disk_hits")
+                return stored, "disk-cache"
+        self._count("cache_misses")
+        start = clock.wall()
+        payload = execute_sampled_job(job)
+        seconds = clock.wall() - start
+        self.stats.note_execution(job.label, seconds)
+        self.cost_model.observe(job, seconds)
+        self.cost_model.flush()
+        if self.cache is not None:
+            self.cache.put(key, payload)
+            self._maybe_prune()
+        return payload, "executed"
 
     def _run_figure(self, request: JobRequest) -> dict:
         from ..experiments import FIGURES

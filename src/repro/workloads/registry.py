@@ -2,8 +2,10 @@
 
 Mirrors the paper's workload set: nine PARSEC/SPLASH-2x applications,
 the Boot-Exit FS workload, and the sieve program used on FireSim.  Each
-workload builds at one of three scales (``test`` < ``simsmall`` <
-``simmedium``); the paper's runs correspond to ``simmedium``.
+workload builds at one of four scales (``test`` < ``simsmall`` <
+``simmedium`` < ``simlarge``); the paper's runs correspond to
+``simmedium``, while ``simlarge`` gives sampled simulation a run long
+enough to amortise its profiling and warmup overheads.
 """
 
 from __future__ import annotations
@@ -28,7 +30,7 @@ from .splash2x import (
     build_water_spatial,
 )
 
-SCALES = ("test", "simsmall", "simmedium")
+SCALES = ("test", "simsmall", "simmedium", "simlarge")
 
 
 @dataclass(frozen=True)
@@ -51,9 +53,10 @@ class Workload:
 
 def _w(name: str, suite: str, mode: str, builder: Callable[..., Program],
        test: dict[str, int], simsmall: dict[str, int],
-       simmedium: dict[str, int]) -> Workload:
+       simmedium: dict[str, int], simlarge: dict[str, int]) -> Workload:
     return Workload(name, suite, mode, builder, {
-        "test": test, "simsmall": simsmall, "simmedium": simmedium})
+        "test": test, "simsmall": simsmall, "simmedium": simmedium,
+        "simlarge": simlarge})
 
 
 #: The paper's nine PARSEC/SPLASH-2x workloads plus Boot-Exit and sieve.
@@ -61,47 +64,58 @@ WORKLOADS: dict[str, Workload] = {w.name: w for w in [
     _w("blackscholes", "parsec", "se", build_blackscholes,
        test={"n_options": 16, "rounds": 1},
        simsmall={"n_options": 96, "rounds": 2},
-       simmedium={"n_options": 160, "rounds": 3}),
+       simmedium={"n_options": 160, "rounds": 3},
+       simlarge={"n_options": 320, "rounds": 5}),
     _w("canneal", "parsec", "se", build_canneal,
        test={"n_elements": 32, "n_swaps": 40},
        simsmall={"n_elements": 256, "n_swaps": 350},
-       simmedium={"n_elements": 512, "n_swaps": 700}),
+       simmedium={"n_elements": 512, "n_swaps": 700},
+       simlarge={"n_elements": 1024, "n_swaps": 1400}),
     _w("dedup", "parsec", "se", build_dedup,
        test={"n_bytes": 256},
        simsmall={"n_bytes": 2048},
-       simmedium={"n_bytes": 5120}),
+       simmedium={"n_bytes": 5120},
+       simlarge={"n_bytes": 12288}),
     _w("streamcluster", "parsec", "se", build_streamcluster,
        test={"n_points": 12, "n_centers": 3, "n_dims": 2},
        simsmall={"n_points": 64, "n_centers": 6, "n_dims": 3},
-       simmedium={"n_points": 96, "n_centers": 8, "n_dims": 4}),
+       simmedium={"n_points": 96, "n_centers": 8, "n_dims": 4},
+       simlarge={"n_points": 160, "n_centers": 10, "n_dims": 5}),
     _w("water_nsquared", "splash2x", "se", build_water_nsquared,
        test={"n_molecules": 8, "steps": 1},
        simsmall={"n_molecules": 28, "steps": 2},
-       simmedium={"n_molecules": 40, "steps": 3}),
+       simmedium={"n_molecules": 40, "steps": 3},
+       simlarge={"n_molecules": 64, "steps": 4}),
     _w("water_spatial", "splash2x", "se", build_water_spatial,
        test={"n_molecules": 16, "n_cells": 4, "steps": 1},
        simsmall={"n_molecules": 48, "n_cells": 6, "steps": 2},
-       simmedium={"n_molecules": 64, "n_cells": 8, "steps": 3}),
+       simmedium={"n_molecules": 64, "n_cells": 8, "steps": 3},
+       simlarge={"n_molecules": 96, "n_cells": 10, "steps": 4}),
     _w("ocean_cp", "splash2x", "se", build_ocean_cp,
        test={"grid": 6, "sweeps": 1},
        simsmall={"grid": 14, "sweeps": 2},
-       simmedium={"grid": 18, "sweeps": 4}),
+       simmedium={"grid": 18, "sweeps": 4},
+       simlarge={"grid": 26, "sweeps": 6}),
     _w("ocean_ncp", "splash2x", "se", build_ocean_ncp,
        test={"grid": 6, "sweeps": 1},
        simsmall={"grid": 14, "sweeps": 2},
-       simmedium={"grid": 18, "sweeps": 4}),
+       simmedium={"grid": 18, "sweeps": 4},
+       simlarge={"grid": 26, "sweeps": 6}),
     _w("fmm", "splash2x", "se", build_fmm,
        test={"levels": 4, "rounds": 1},
        simsmall={"levels": 6, "rounds": 2},
-       simmedium={"levels": 7, "rounds": 3}),
+       simmedium={"levels": 7, "rounds": 3},
+       simlarge={"levels": 8, "rounds": 4}),
     _w("boot_exit", "os", "fs", build_boot_exit,
        test={"mem_pages": 4, "probe_loops": 8},
        simsmall={"mem_pages": 16, "probe_loops": 30},
-       simmedium={"mem_pages": 28, "probe_loops": 50}),
+       simmedium={"mem_pages": 28, "probe_loops": 50},
+       simlarge={"mem_pages": 48, "probe_loops": 80}),
     _w("sieve", "micro", "se", build_sieve,
        test={"limit": 50},
        simsmall={"limit": 300},
-       simmedium={"limit": 600}),
+       simmedium={"limit": 600},
+       simlarge={"limit": 3000}),
 ]}
 
 #: The nine benchmark workloads Fig. 1 averages over.

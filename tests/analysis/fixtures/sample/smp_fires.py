@@ -1,0 +1,19 @@
+"""Fixture: sampling code is inside the determinism scope, no exemptions."""
+
+import random
+import time
+
+
+def stamp_payload():
+    # Sampled payloads are cache values; host time must never leak in.
+    return time.time()
+
+
+def jitter_centroid():
+    # The module-level RNG would make clustering irreproducible.
+    return random.uniform(-1.0, 1.0)
+
+
+def block_order(bbv):
+    # Unordered iteration over the block universe changes projections.
+    return [b for b in set(bbv)]

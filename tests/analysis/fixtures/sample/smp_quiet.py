@@ -1,0 +1,16 @@
+"""Fixture: deterministic sampling idioms that must not be flagged."""
+
+import random
+
+
+def projection_rows(blocks, seed):
+    # Seeded generators are fine; iteration order is pinned by sorted().
+    rng = random.Random(seed)
+    return {block: rng.uniform(-1.0, 1.0) for block in sorted(set(blocks))}
+
+
+def representative_weights(assignments):
+    weights = {}
+    for cluster in sorted(set(assignments)):
+        weights[cluster] = assignments.count(cluster) / len(assignments)
+    return weights

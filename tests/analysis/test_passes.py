@@ -40,6 +40,19 @@ def test_determinism_serve_clock_exemption(fixture_findings):
                          path="serve/clock.py") == []
 
 
+def test_determinism_covers_sample(fixture_findings):
+    hits = rule_findings(fixture_findings, "determinism",
+                         path="sample/smp_fires.py")
+    assert _suffixes(hits) == ["set-iteration", "unseeded-random",
+                               "wall-clock"]
+
+
+def test_determinism_sample_quiet(fixture_findings):
+    # Seeded RNGs and sorted() iteration are the sanctioned idioms.
+    assert rule_findings(fixture_findings, "determinism",
+                         path="sample/smp_quiet.py") == []
+
+
 # -- event safety -------------------------------------------------------
 def test_event_safety_fires(fixture_findings):
     hits = rule_findings(fixture_findings, "event-safety",
@@ -126,5 +139,5 @@ def test_fixture_tree_total():
 
     findings = Engine(FIXTURES).run()
     # determinism(g5) + event + fastslow + slots + stats + figreq
-    # + determinism(serve)
-    assert len(findings) == 7 + 5 + 2 + 1 + 2 + 3 + 3
+    # + determinism(serve) + determinism(sample)
+    assert len(findings) == 7 + 5 + 2 + 1 + 2 + 3 + 3 + 3

@@ -1,7 +1,12 @@
 """Unit tests for the cost model and LPT scheduling."""
 
-from repro.exec.costmodel import CostModel, job_class
+import json
+
+import pytest
+
+from repro.exec.costmodel import DEFAULT_SEC_PER_WEIGHT, CostModel, job_class
 from repro.exec.pool import G5Job
+from repro.sample import SampledJob
 
 
 def _job(workload="sieve", cpu="atomic", mode="se", scale="test"):
@@ -61,3 +66,65 @@ def test_garbage_history_is_ignored(tmp_path):
     model = CostModel(path)
     assert model.known_classes() == {}
     assert model.predict(_job()) > 0
+
+
+def test_calibration_tightens_predictions_for_unseen_classes():
+    """Observing one class recalibrates predictions for every other.
+
+    On a machine 10x slower than the default prior assumes, a single
+    observed run should pull an *unseen* class's prediction most of the
+    way toward its true duration.
+    """
+    model = CostModel()
+    seen, unseen = _job(cpu="atomic"), _job(cpu="o3")
+    slowdown = 10.0
+    true_unseen = model.predict(unseen) * slowdown
+
+    before_error = abs(model.predict(unseen) - true_unseen)
+    model.observe(seen, model.static_weight(seen)
+                  * DEFAULT_SEC_PER_WEIGHT * slowdown)
+    after_error = abs(model.predict(unseen) - true_unseen)
+
+    assert model.calibration_samples == 1
+    assert after_error < before_error
+    assert model.predict(unseen) == pytest.approx(true_unseen)
+
+
+def test_calibration_round_trips_through_disk(tmp_path):
+    path = tmp_path / "costs.json"
+    model = CostModel(path)
+    model.observe(_job(), 50.0)
+    model.flush()
+
+    reloaded = CostModel(path)
+    assert reloaded.calibration_samples == 1
+    assert reloaded.sec_per_weight == pytest.approx(model.sec_per_weight)
+    assert reloaded.sec_per_weight != DEFAULT_SEC_PER_WEIGHT
+
+
+def test_legacy_v1_history_loads(tmp_path):
+    path = tmp_path / "costs.json"
+    path.write_text(json.dumps({job_class(_job()): 7.0}))
+    model = CostModel(path)
+    assert model.predict(_job()) == 7.0
+    assert model.calibration_samples == 0
+    model.flush()
+    # Flushing upgrades the file to the v2 schema.
+    doc = json.loads(path.read_text())
+    assert doc["version"] == 2
+    assert doc["classes"] == {job_class(_job()): 7.0}
+
+
+def test_sampled_jobs_form_their_own_cost_class():
+    sample = SampledJob(workload="sieve", cpu_model="o3", scale="test")
+    full = _job(cpu="o3")
+    assert job_class(sample) != job_class(full)
+    assert job_class(sample) == "sieve|o3|sample|test"
+
+    model = CostModel()
+    # The weight factor discounts the sampled prior below the full run.
+    assert model.predict(sample) < model.predict(full)
+    # Observations land in the sampled bucket only.
+    model.observe(sample, 2.0)
+    assert model.predict(sample) == 2.0
+    assert job_class(full) not in model.known_classes()

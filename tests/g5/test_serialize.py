@@ -1,0 +1,100 @@
+"""Take -> restore -> continue must be invisible to the guest.
+
+The sampling pipeline (``repro.sample``) rests on one property: a
+checkpoint taken at instruction N and restored into *any* CPU model
+continues bit-identically to the run that never stopped.  These tests
+pin that property for all four models by comparing final architectural
+state — registers, memory pages, brk, console, syscall counts — taken
+through the checkpoint serializer itself, so the comparison is as
+strict as the format (timing state such as ticks and cycle counts is
+legitimately model-dependent and excluded).
+"""
+
+import json
+
+import pytest
+
+from repro.g5 import SimConfig, System, simulate
+from repro.g5.serialize import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    restore_checkpoint,
+    take_checkpoint,
+)
+from repro.sample import take_checkpoints_at
+from repro.workloads import build_sieve, prime_count_reference
+
+ALL_MODELS = ["atomic", "timing", "minor", "o3"]
+
+LIMIT = 120
+TAKE_AT = 400          # mid-run, past the ROI reset
+
+
+def _arch_state(system) -> dict:
+    """Model-independent architectural state, via the serializer."""
+    checkpoint = take_checkpoint(system)
+    doc = json.loads(checkpoint.to_json())
+    # Ticks and committed-instruction counters are timing artifacts: a
+    # restored system starts both at zero, the uninterrupted one does
+    # not.  Everything else must match bit-for-bit.
+    del doc["tick"]
+    del doc["committed_insts"]
+    return doc
+
+
+@pytest.mark.parametrize("model", ALL_MODELS)
+def test_take_restore_continue_bit_identical(model):
+    program = build_sieve(limit=LIMIT)
+
+    straight = System(SimConfig(cpu_model=model, record=False))
+    straight.set_se_workload(program, process_name="sieve")
+    straight_result = simulate(straight)
+    assert straight.process.exit_code == prime_count_reference(LIMIT)
+
+    checkpoint = take_checkpoints_at(program, "sieve", [TAKE_AT])[TAKE_AT]
+    resumed = System(SimConfig(cpu_model=model, record=False))
+    resumed.set_se_workload(program, process_name="sieve")
+    restore_checkpoint(resumed, checkpoint)
+    resumed_result = simulate(resumed)
+
+    assert resumed_result.exit_cause == straight_result.exit_cause
+    assert resumed.process.exit_code == straight.process.exit_code
+    assert _arch_state(resumed) == _arch_state(straight)
+
+
+def test_one_functional_pass_takes_many_checkpoints():
+    program = build_sieve(limit=LIMIT)
+    positions = [200, 400, 800]
+    checkpoints = take_checkpoints_at(program, "sieve", positions)
+    assert sorted(checkpoints) == positions
+    pcs = {at: checkpoints[at].pc for at in positions}
+    assert len(set(pcs.values())) >= 1   # all valid instruction addresses
+    for at in positions:
+        assert checkpoints[at].version == CHECKPOINT_VERSION
+        assert checkpoints[at].touched_bytes > 0
+
+
+def test_checkpoints_restore_across_models():
+    """One functional checkpoint serves every detailed model."""
+    program = build_sieve(limit=LIMIT)
+    checkpoint = take_checkpoints_at(program, "sieve", [TAKE_AT])[TAKE_AT]
+    exit_codes = set()
+    for model in ALL_MODELS:
+        system = System(SimConfig(cpu_model=model, record=False))
+        system.set_se_workload(program, process_name="sieve")
+        restore_checkpoint(system, checkpoint)
+        simulate(system)
+        exit_codes.add(system.process.exit_code)
+    assert exit_codes == {prime_count_reference(LIMIT)}
+
+
+def test_version_mismatch_rejected_cleanly(tmp_path):
+    program = build_sieve(limit=LIMIT)
+    checkpoint = take_checkpoints_at(program, "sieve", [TAKE_AT])[TAKE_AT]
+    doc = json.loads(checkpoint.to_json())
+    doc["version"] = CHECKPOINT_VERSION + 1
+    path = tmp_path / "future.cpt"
+    path.write_text(json.dumps(doc), encoding="ascii")
+    with pytest.raises(CheckpointError, match="version"):
+        Checkpoint.load(path)

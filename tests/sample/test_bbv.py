@@ -1,0 +1,73 @@
+"""Tests for BBV interval profiling."""
+
+import pytest
+
+from repro.sample import SampleError, profile_intervals
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def sieve_profile():
+    program = get_workload("sieve").build("test")
+    return profile_intervals(program, "sieve", "test", 100)
+
+
+def test_intervals_cover_roi_exactly(sieve_profile):
+    profile = sieve_profile
+    assert profile.roi_insts == profile.total_insts - profile.roi_anchor
+    assert sum(profile.interval_length(i)
+               for i in range(profile.n_intervals)) == profile.roi_insts
+
+
+def test_full_intervals_have_exact_size(sieve_profile):
+    profile = sieve_profile
+    for i in range(profile.n_intervals - 1):
+        assert profile.interval_length(i) == profile.interval_insts
+    assert 0 < profile.interval_length(profile.n_intervals - 1) \
+        <= profile.interval_insts
+
+
+def test_interval_starts_are_roi_anchored(sieve_profile):
+    profile = sieve_profile
+    assert profile.interval_start(0) == profile.roi_anchor
+    assert (profile.interval_start(1) - profile.interval_start(0)
+            == profile.interval_insts)
+    with pytest.raises(IndexError):
+        profile.interval_start(profile.n_intervals)
+
+
+def test_profile_is_deterministic(sieve_profile):
+    program = get_workload("sieve").build("test")
+    again = profile_intervals(program, "sieve", "test", 100)
+    assert again.intervals == sieve_profile.intervals
+    assert again.roi_anchor == sieve_profile.roi_anchor
+    assert again.total_insts == sieve_profile.total_insts
+
+
+def test_blocks_come_from_the_static_cfg(sieve_profile):
+    universe = sieve_profile.block_universe()
+    assert universe == sorted(universe)
+    assert len(universe) > 1
+    # Block keys are instruction addresses inside the program image.
+    program = get_workload("sieve").build("test")
+    for block in universe:
+        assert program.base <= block < program.base + program.size_bytes
+
+
+def test_bad_interval_size_rejected():
+    program = get_workload("sieve").build("test")
+    with pytest.raises(SampleError):
+        profile_intervals(program, "sieve", "test", 0)
+
+
+def test_reset_anchor_matches_detailed_roi():
+    """The profiler's ROI instruction count must equal what a full
+    detailed run's final (post-reset) stats report."""
+    from repro.g5 import SimConfig, System, simulate
+
+    program = get_workload("sieve").build("test")
+    profile = profile_intervals(program, "sieve", "test", 100)
+    system = System(SimConfig(cpu_model="atomic", record=False))
+    system.set_se_workload(program, process_name="sieve")
+    result = simulate(system)
+    assert profile.roi_insts == result.sim_insts

@@ -1,0 +1,64 @@
+"""Tests for weighted stat reconstruction and error bounds."""
+
+import pytest
+
+from repro.sample import derived_ratios, reconstruct
+from repro.sample.measure import COMMITTED_KEY, CYCLES_KEY, \
+    IntervalMeasurement
+
+
+def _measurement(interval, insts, cycles, **extra):
+    deltas = {COMMITTED_KEY: float(insts), CYCLES_KEY: float(cycles)}
+    deltas.update({k: float(v) for k, v in extra.items()})
+    return IntervalMeasurement(interval=interval, warm_insts=0,
+                               insts=insts, cycles=cycles, deltas=deltas,
+                               exit_cause="simulate() limit reached")
+
+
+def test_identical_phases_reconstruct_exactly_with_zero_ci():
+    ms = [_measurement(0, 100, 200), _measurement(1, 100, 200)]
+    estimates = reconstruct(ms, [0.5, 0.5], roi_insts=1000)
+    cycles = estimates[CYCLES_KEY]
+    assert cycles.value == pytest.approx(2000.0)
+    assert cycles.ci95 == pytest.approx(0.0)
+    assert estimates[COMMITTED_KEY].value == pytest.approx(1000.0)
+
+
+def test_weights_shift_the_estimate():
+    fast = _measurement(0, 100, 100)
+    slow = _measurement(1, 100, 400)
+    even = reconstruct([fast, slow], [0.5, 0.5], 1000)[CYCLES_KEY]
+    slow_heavy = reconstruct([fast, slow], [0.1, 0.9], 1000)[CYCLES_KEY]
+    assert slow_heavy.value > even.value
+    assert even.value == pytest.approx(2500.0)
+
+
+def test_spread_widens_the_confidence_interval():
+    tight = reconstruct([_measurement(0, 100, 200),
+                         _measurement(1, 100, 210)], [0.5, 0.5], 1000)
+    wide = reconstruct([_measurement(0, 100, 100),
+                        _measurement(1, 100, 500)], [0.5, 0.5], 1000)
+    assert wide[CYCLES_KEY].ci95 > tight[CYCLES_KEY].ci95 > 0.0
+
+
+def test_missing_keys_count_as_zero():
+    ms = [_measurement(0, 100, 200, **{"system.l2.overallMisses": 8}),
+          _measurement(1, 100, 200)]
+    est = reconstruct(ms, [0.5, 0.5], 1000)["system.l2.overallMisses"]
+    assert est.value == pytest.approx(40.0)   # mean rate 0.04 * 1000
+
+
+def test_derived_ipc_and_propagated_error():
+    ms = [_measurement(0, 100, 200), _measurement(1, 100, 400)]
+    estimates = reconstruct(ms, [0.5, 0.5], 1000)
+    derived = derived_ratios(estimates)
+    assert derived["ipc"]["value"] == pytest.approx(1000.0 / 3000.0)
+    assert derived["cpi"]["value"] == pytest.approx(3.0)
+    assert derived["ipc"]["ci95"] > 0.0
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        reconstruct([], [], 100)
+    with pytest.raises(ValueError):
+        reconstruct([_measurement(0, 10, 10)], [0.5, 0.5], 100)

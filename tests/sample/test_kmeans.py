@@ -1,0 +1,88 @@
+"""Tests for the seeded k-means pipeline and BIC k-selection."""
+
+import pytest
+
+from repro.sample import (
+    choose_k,
+    kmeans,
+    project_bbvs,
+    select_representatives,
+)
+
+
+def _two_phase_bbvs(n=12):
+    """Synthetic BBVs with two obvious phases (disjoint block sets)."""
+    phase_a = {0x1000: 90, 0x1010: 10}
+    phase_b = {0x2000: 50, 0x2020: 50}
+    return [dict(phase_a if i < n // 2 else phase_b) for i in range(n)]
+
+
+def test_projection_is_deterministic_and_length_invariant():
+    bbvs = _two_phase_bbvs()
+    first = project_bbvs(bbvs, seed=7)
+    second = project_bbvs(bbvs, seed=7)
+    assert first == second
+    # Frequency normalisation: scaling every count leaves the
+    # projection unchanged.
+    scaled = [{b: c * 10 for b, c in bbv.items()} for bbv in bbvs]
+    for scaled_point, point in zip(project_bbvs(scaled, seed=7), first):
+        assert scaled_point == pytest.approx(point)
+
+
+def test_projection_seed_changes_embedding():
+    bbvs = _two_phase_bbvs()
+    assert project_bbvs(bbvs, seed=7) != project_bbvs(bbvs, seed=8)
+
+
+def test_kmeans_separates_obvious_phases():
+    points = project_bbvs(_two_phase_bbvs(), seed=7)
+    clustering = kmeans(points, 2, seed=7)
+    first_half = set(clustering.assignments[:6])
+    second_half = set(clustering.assignments[6:])
+    assert len(first_half) == 1
+    assert len(second_half) == 1
+    assert first_half != second_half
+    assert clustering.sse == pytest.approx(0.0)
+
+
+def test_kmeans_is_seed_deterministic():
+    points = project_bbvs(_two_phase_bbvs(), seed=7)
+    a = kmeans(points, 3, seed=42)
+    b = kmeans(points, 3, seed=42)
+    assert a.assignments == b.assignments
+    assert a.centroids == b.centroids
+    assert a.sse == b.sse
+
+
+def test_kmeans_k_bounds():
+    points = project_bbvs(_two_phase_bbvs(), seed=7)
+    with pytest.raises(ValueError):
+        kmeans(points, 0, seed=1)
+    with pytest.raises(ValueError):
+        kmeans(points, len(points) + 1, seed=1)
+
+
+def test_choose_k_finds_two_phases():
+    points = project_bbvs(_two_phase_bbvs(), seed=7)
+    clustering = choose_k(points, max_k=6, seed=7)
+    assert clustering.k == 2
+
+
+def test_representatives_weights_sum_to_one():
+    points = project_bbvs(_two_phase_bbvs(), seed=7)
+    clustering = choose_k(points, max_k=6, seed=7)
+    reps = select_representatives(points, clustering)
+    assert len(reps) == clustering.k
+    assert sum(w for _, w in reps) == pytest.approx(1.0)
+    assert reps == sorted(reps)
+    # One representative from each phase.
+    intervals = [i for i, _ in reps]
+    assert any(i < 6 for i in intervals)
+    assert any(i >= 6 for i in intervals)
+
+
+def test_single_point_degenerates_to_one_cluster():
+    points = project_bbvs([{0x1000: 10}], seed=3)
+    clustering = choose_k(points, max_k=8, seed=3)
+    assert clustering.k == 1
+    assert select_representatives(points, clustering) == [(0, 1.0)]

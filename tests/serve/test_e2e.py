@@ -103,6 +103,34 @@ def test_staged_coalescing_with_real_execution(tmp_path):
         server.drain_and_stop()
 
 
+def test_sampled_job_end_to_end(live_server):
+    """A sampled job served over HTTP matches the direct pipeline."""
+    from repro.sample import SampledJob, execute_sampled_job
+
+    server, client = live_server
+    doc = {"kind": "sample", "workload": "sieve", "cpu": "timing",
+           "scale": "test", "interval_insts": 100, "warmup_insts": 200,
+           "max_k": 4}
+    ack = client.submit_doc(doc)
+    status = client.wait(ack["id"], timeout=120.0)
+    assert status["state"] == "done"
+
+    served = client.result(ack["id"])["result"]
+    assert served["kind"] == "sample"
+    direct = execute_sampled_job(SampledJob(
+        workload="sieve", cpu_model="timing", scale="test",
+        interval_insts=100, warmup_insts=200, max_k=4))
+    assert canonical(served) == canonical(direct)
+
+    # Resubmission is served without re-executing (memo or coalesced).
+    again = client.submit_doc(doc)
+    status2 = client.wait(again["id"], timeout=120.0)
+    assert status2["source"] in ("memo", f"coalesced:{ack['id']}",
+                                 "disk-cache")
+    assert canonical(client.result(again["id"])["result"]) == \
+        canonical(served)
+
+
 def test_http_error_paths(live_server):
     server, client = live_server
     with pytest.raises(ServeError) as bad:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exec.pool import G5Job
+from repro.sample import SampledJob
 from repro.serve.jobs import (JobRecord, JobRequestError,
                               parse_job_request)
 
@@ -56,13 +57,64 @@ def test_figure_digest_stable_and_scale_sensitive():
     {"kind": "teapot"},
     _g5_doc(workload="nonesuch"),
     _g5_doc(cpu="pentium"),
-    _g5_doc(scale="simlarge"),
+    _g5_doc(scale="simhuge"),
     _g5_doc(mode="afterburner"),
     {"kind": "figure", "figure": "fig99"},
     {"kind": "figure", "figure": "fig3", "max_records": 0},
     {"kind": "figure", "figure": "fig3", "max_records": "many"},
 ])
 def test_invalid_documents_rejected(doc):
+    with pytest.raises(JobRequestError):
+        parse_job_request(doc)
+
+
+def _sample_doc(**overrides) -> dict:
+    doc = {"kind": "sample", "workload": "sieve", "scale": "test"}
+    doc.update(overrides)
+    return doc
+
+
+def test_parse_sampled_via_kind_and_via_flag():
+    by_kind = parse_job_request(_sample_doc())
+    by_flag = parse_job_request(_g5_doc(sampled=True))
+    assert by_kind.kind == by_flag.kind == "sample"
+    # The flag path defaults cpu to the g5 doc's cpu; the kind path
+    # defaults to o3 (sampling exists to make detailed models cheap).
+    assert by_kind.sampled.cpu_model == "o3"
+    assert by_flag.sampled.cpu_model == "atomic"
+    assert by_kind.label == by_kind.sampled.label
+
+
+def test_sampled_digest_is_the_sample_cache_key():
+    request = parse_job_request(_sample_doc(cpu="o3", seed=99))
+    job = SampledJob(workload="sieve", cpu_model="o3", scale="test",
+                     seed=99)
+    assert request.digest() == job.cache_key().digest
+    assert request.digest() != parse_job_request(_sample_doc()).digest()
+
+
+def test_sampled_describe_shape():
+    request = parse_job_request(_sample_doc())
+    doc = request.describe()
+    assert doc["kind"] == "sample"
+    defaults = SampledJob(workload="sieve")
+    assert doc["interval_insts"] == defaults.interval_insts
+    assert doc["warmup_insts"] == defaults.warmup_insts
+    assert doc["seed"] == defaults.seed
+
+
+@pytest.mark.parametrize("doc", [
+    _sample_doc(workload="boot_exit"),          # FS mode
+    _sample_doc(workload="nonesuch"),
+    _sample_doc(cpu="pentium"),
+    _sample_doc(scale="simhuge"),
+    _sample_doc(interval_insts=0),
+    _sample_doc(warmup_insts=-1),
+    _sample_doc(max_k=0),
+    _sample_doc(seed="lucky"),
+    _sample_doc(seed=True),
+])
+def test_invalid_sampled_documents_rejected(doc):
     with pytest.raises(JobRequestError):
         parse_job_request(doc)
 

@@ -50,7 +50,7 @@ class TestRegistry:
 
     def test_unknown_scale_raises(self):
         with pytest.raises(KeyError):
-            get_workload("dedup").build("simlarge")
+            get_workload("dedup").build("simhuge")
 
     def test_scales_grow_dynamic_size(self):
         workload = get_workload("dedup")
