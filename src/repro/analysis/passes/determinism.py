@@ -41,6 +41,10 @@ from ..engine import LintPass, register_pass
 #: ``sample/`` is fully in scope with no exemptions: sampled payloads
 #: live in the content-addressed cache, so every clustering and
 #: measurement decision must replay bit-identically from the seed.
+#: That includes ``sample/parallel.py`` — window planning and merging
+#: must be pure so the parallel fan-out stays byte-identical to the
+#: sequential path; all wall-clock timing for windows lives in
+#: ``exec/windows.py``, outside the simulation core.
 _SCOPED_PREFIXES = ("g5/", "events/", "workloads/", "host/", "core/",
                     "experiments/", "serve/", "sample/")
 

@@ -617,7 +617,8 @@ def _cmd_sample(args: argparse.Namespace) -> int:
                       f"start {rep['start_inst']}")
             return 0
 
-        engine = ExecutionEngine(cache=_cache_from_args(args))
+        engine = ExecutionEngine(jobs=args.jobs,
+                                 cache=_cache_from_args(args))
         payload = engine.run_sampled(job)
         if args.as_json:
             print(json_mod.dumps(payload, indent=2, sort_keys=True))
@@ -626,6 +627,11 @@ def _cmd_sample(args: argparse.Namespace) -> int:
         if args.action == "run":
             hit = engine.stats.disk_hits > 0
             print(f"  source: {'disk-cache' if hit else 'executed'}")
+            stats = engine.stats
+            if stats.windows_executed or stats.window_hits:
+                print(f"  windows: {stats.windows_executed} executed "
+                      f"({args.jobs} workers), "
+                      f"{stats.window_hits} from cache")
         return 0
     except SampleError as exc:
         print(f"error: {exc}", file=sys.stderr)

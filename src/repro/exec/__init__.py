@@ -15,11 +15,14 @@ from .keys import (
     g5_key,
     host_fingerprint,
     host_key,
+    sample_fingerprint,
     sim_fingerprint,
     spec_key,
+    window_key,
 )
 from .pool import EngineStats, ExecutionEngine, G5Job, execute_g5_job
 from .progress import NullReporter, ProgressReporter
+from .windows import WindowsCancelled, resolve_windows
 
 __all__ = [
     "CacheEntry",
@@ -31,11 +34,15 @@ __all__ = [
     "NullReporter",
     "ProgressReporter",
     "ResultCache",
+    "WindowsCancelled",
     "default_cache_dir",
     "execute_g5_job",
     "g5_key",
     "host_fingerprint",
     "host_key",
+    "resolve_windows",
+    "sample_fingerprint",
     "sim_fingerprint",
     "spec_key",
+    "window_key",
 ]

@@ -7,7 +7,7 @@ Layout (under the cache root, default ``~/.cache/repro-g5`` or
     costs.json                           # cost-model history (see costmodel)
 
 Each envelope records the entry kind (``g5`` / ``host`` / ``spec`` /
-``sample``), the
+``sample`` / ``window``), the
 human-readable key document, and the payload.  Writes are atomic
 (temp file + ``os.replace``) so a crashed run can never leave a partial
 entry behind; unreadable or wrong-format entries are treated as misses
@@ -71,6 +71,10 @@ class CacheEntry:
             return (f"sample {d.get('cpu_model')}/{d.get('workload')} "
                     f"({d.get('scale')}, int {d.get('interval_insts')}, "
                     f"seed {d.get('seed')})")
+        if self.kind == "window":
+            return (f"window {d.get('cpu_model')}/{d.get('workload')} "
+                    f"({d.get('scale')}, interval {d.get('interval')}, "
+                    f"ckpt {str(d.get('ckpt_digest'))[:12]})")
         return self.kind
 
 

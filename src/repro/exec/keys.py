@@ -103,7 +103,7 @@ def canonical(value: Any) -> Any:
 class CacheKey:
     """A content hash plus the human-readable document it hashes."""
 
-    kind: str                 # "g5" | "host" | "spec" | "sample"
+    kind: str                 # "g5" | "host" | "spec" | "sample" | "window"
     digest: str
     describe: dict
 
@@ -166,6 +166,31 @@ def sample_key(workload: str, cpu_model: str, scale: str,
         "k": k,
         "max_k": max_k,
         "seed": seed,
+    })
+
+
+def window_key(workload: str, cpu_model: str, scale: str, interval: int,
+               start_inst: int, length: int, pre_insts: int,
+               ckpt_digest: str, mode: str = "se") -> CacheKey:
+    """Key of one measured SimPoint window (repro.sample.parallel).
+
+    The checkpoint *content* digest is part of the key — two windows at
+    the same index whose restore points differ (different profile, an
+    edited checkpoint, a changed functional model) must never share an
+    entry, while two sampled jobs that plan the same window from the
+    same state always do.
+    """
+    return _make_key("window", {
+        "code": sample_fingerprint(),
+        "workload": workload,
+        "cpu_model": cpu_model,
+        "mode": mode,
+        "scale": scale,
+        "interval": interval,
+        "start_inst": start_inst,
+        "length": length,
+        "pre_insts": pre_insts,
+        "ckpt_digest": ckpt_digest,
     })
 
 

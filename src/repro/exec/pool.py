@@ -95,6 +95,9 @@ class EngineStats:
     executed: int = 0        # simulations actually run (pool or inline)
     disk_hits: int = 0       # results served from the on-disk cache
     executed_seconds: float = 0.0
+    windows_executed: int = 0  # sampled windows measured (pool or inline)
+    window_hits: int = 0       # windows served from the on-disk cache
+    window_seconds: float = 0.0
     by_label: dict = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
@@ -105,6 +108,22 @@ class EngineStats:
             self.executed += 1
             self.executed_seconds += seconds
             self.by_label[label] = round(seconds, 3)
+
+    def note_window_execution(self, label: str, seconds: float) -> None:
+        """Record one measured sampled window (thread-safe).
+
+        Windows are sub-jobs of a sampled run, so they get their own
+        counters — ``executed`` keeps meaning whole jobs.
+        """
+        with self._lock:
+            self.windows_executed += 1
+            self.window_seconds += seconds
+            self.by_label[label] = round(seconds, 3)
+
+    def note_window_hit(self, count: int = 1) -> None:
+        """Record windows served from the on-disk cache (thread-safe)."""
+        with self._lock:
+            self.window_hits += count
 
     def note_executed_batch(self, count: int,
                             seconds: float = 0.0) -> None:
@@ -122,7 +141,10 @@ class EngineStats:
         with self._lock:
             return {"g5_executed": self.executed,
                     "g5_disk_hits": self.disk_hits,
-                    "g5_executed_seconds": round(self.executed_seconds, 3)}
+                    "g5_executed_seconds": round(self.executed_seconds, 3),
+                    "windows_executed": self.windows_executed,
+                    "window_hits": self.window_hits,
+                    "window_seconds": round(self.window_seconds, 3)}
 
 
 class ExecutionEngine:
@@ -162,8 +184,16 @@ class ExecutionEngine:
         repeat run is a pure disk hit.  Observed wall time feeds the
         cost model under the job's own ``cost_class``, keeping sampled
         timings out of the full-run history.
+
+        With more than one worker the measurement windows fan out
+        through the process pool (:mod:`repro.exec.windows`), each as
+        its own content-addressed cache entry; the merged payload is
+        byte-identical to the sequential path's.
         """
         from ..sample.orchestrate import execute_sampled_job
+        from ..sample.parallel import (exact_payload, merge_measurements,
+                                       plan_sampled_job)
+        from .windows import resolve_windows
 
         key = job.cache_key()
         if self.cache is not None:
@@ -172,7 +202,17 @@ class ExecutionEngine:
                 self.stats.note_disk_hit()
                 return payload
         start = time.perf_counter()
-        payload = execute_sampled_job(job)
+        if self.jobs > 1:
+            plan = plan_sampled_job(job)
+            if plan.exact:
+                payload = exact_payload(job, plan.profile)
+            else:
+                measurements = resolve_windows(
+                    job, plan, jobs=self.jobs, cache=self.cache,
+                    cost_model=self.cost_model, stats=self.stats)
+                payload = merge_measurements(job, plan, measurements)
+        else:
+            payload = execute_sampled_job(job)
         seconds = time.perf_counter() - start
         self._store(key, payload)
         self._record(job, seconds)

@@ -1,0 +1,162 @@
+"""Pool fan-out for SimPoint window measurements.
+
+:func:`resolve_windows` is the parallel counterpart of the sequential
+measurement loop in :func:`repro.sample.orchestrate.execute_sampled_job`:
+given a :class:`~repro.sample.parallel.SamplePlan` it resolves every
+planned window through the same three layers the g5 engine uses —
+content-addressed disk cache, cost-model-scheduled
+``ProcessPoolExecutor``, inline execution when the pool would not help —
+and returns the measurements **in plan order**, never completion order.
+Merging stays bit-exact because ordering is decided by the plan, not by
+which worker finished first.
+
+Each window ships to its worker as plain picklable state (the
+checkpoint, the window geometry, the workload name); the worker rebuilds
+the guest program from the registry and measures exactly as the inline
+path does.  Simulation is deterministic, so a window's packed
+measurement is bit-identical whether it came from a worker, the disk
+cache, or an inline run.
+
+Cancellation: ``should_abort`` is polled between completions.  When it
+fires, unstarted windows are cancelled, in-flight ones are abandoned to
+the pool shutdown, and :class:`WindowsCancelled` reports how far the
+fan-out got — the serve scheduler uses this to drain mid-fan-out without
+publishing a partial payload.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Optional
+
+from .cache import ResultCache
+from .costmodel import CostModel
+
+#: Poll interval for the abort check while windows are in flight.
+_ABORT_POLL_SECONDS = 0.05
+
+
+class WindowsCancelled(RuntimeError):
+    """A window fan-out was aborted before every window resolved."""
+
+    def __init__(self, label: str, completed: int, cancelled: int) -> None:
+        super().__init__(
+            f"sampled run {label} cancelled mid-fan-out: "
+            f"{completed} windows resolved, {cancelled} abandoned")
+        self.label = label
+        self.completed = completed
+        self.cancelled = cancelled
+
+
+def _window_worker(doc: dict) -> tuple[dict, float]:
+    """Process-pool entry point: measure one window from its checkpoint.
+
+    Receives only picklable state and rebuilds the guest program from
+    the workload registry — the same deterministic build the planning
+    process ran, so the measurement matches the inline path bit for bit.
+    """
+    from ..sample.measure import measure_from_checkpoint
+    from ..sample.parallel import pack_measurement
+    from ..workloads import get_workload
+
+    start = time.perf_counter()
+    program = get_workload(doc["workload"]).build(doc["scale"])
+    measurement = measure_from_checkpoint(
+        doc["checkpoint"], program, doc["workload"], doc["cpu_model"],
+        interval=doc["interval"], length=doc["length"],
+        pre_insts=doc["pre_insts"])
+    return pack_measurement(measurement), time.perf_counter() - start
+
+
+def resolve_windows(job, plan, *, jobs: int = 1,
+                    cache: Optional[ResultCache] = None,
+                    cost_model: Optional[CostModel] = None,
+                    stats=None,
+                    should_abort: Optional[Callable[[], bool]] = None
+                    ) -> list:
+    """Resolve every planned window; return measurements in plan order.
+
+    ``stats`` is an :class:`~repro.exec.pool.EngineStats` (or None);
+    window work lands in its dedicated ``windows_executed`` /
+    ``window_hits`` counters so job-level accounting stays untouched.
+    """
+    from ..sample.parallel import unpack_measurement
+
+    window_jobs = plan.window_jobs()
+    total = len(window_jobs)
+    results: dict[int, object] = {}     # plan index -> IntervalMeasurement
+    misses: list = []
+    indices: dict = {}                  # WindowJob -> plan index
+    for index, wjob in enumerate(window_jobs):
+        indices[wjob] = index
+        cached = unpack_measurement(cache.get(wjob.cache_key())) \
+            if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            if stats is not None:
+                stats.note_window_hit()
+        else:
+            misses.append(wjob)
+
+    if cost_model is not None:
+        ordered = cost_model.schedule(misses)
+    else:
+        ordered = sorted(misses, key=lambda w: (-w.total_insts,
+                                                w.sort_key()))
+
+    def abort_requested() -> bool:
+        return should_abort is not None and should_abort()
+
+    def worker_doc(wjob) -> dict:
+        window = plan.windows[indices[wjob]]
+        return {
+            "workload": wjob.workload,
+            "cpu_model": wjob.cpu_model,
+            "scale": wjob.scale,
+            "interval": wjob.interval,
+            "length": wjob.length,
+            "pre_insts": wjob.pre_insts,
+            "checkpoint": plan.checkpoints[window.warm_start],
+        }
+
+    def record(wjob, packed: dict, seconds: float) -> None:
+        if cache is not None:
+            cache.put(wjob.cache_key(), packed)
+        if cost_model is not None:
+            cost_model.observe(wjob, seconds)
+        if stats is not None:
+            stats.note_window_execution(wjob.label, seconds)
+        results[indices[wjob]] = unpack_measurement(packed)
+
+    def abort() -> None:
+        raise WindowsCancelled(job.label, len(results),
+                               total - len(results))
+
+    workers = min(jobs, len(ordered))
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(_window_worker, worker_doc(wjob)): wjob
+                       for wjob in ordered}
+            while pending:
+                if abort_requested():
+                    for future in pending:
+                        future.cancel()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    abort()
+                done, _ = wait(pending, timeout=_ABORT_POLL_SECONDS,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    wjob = pending.pop(future)
+                    packed, seconds = future.result()
+                    record(wjob, packed, seconds)
+    else:
+        for wjob in ordered:
+            if abort_requested():
+                abort()
+            packed, seconds = _window_worker(worker_doc(wjob))
+            record(wjob, packed, seconds)
+
+    if cost_model is not None:
+        cost_model.flush()
+    return [results[index] for index in range(total)]

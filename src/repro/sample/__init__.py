@@ -22,7 +22,11 @@ windows.  This package implements the full flow:
   full-run statistics with per-stat confidence intervals;
 - :mod:`repro.sample.orchestrate` — :class:`SampledJob` tying it all
   together, producing a JSON-safe payload the exec cache and the serve
-  daemon share.
+  daemon share;
+- :mod:`repro.sample.parallel` — the plan/measure/merge split behind
+  the sequential path, plus per-window content-addressed cache entries
+  (:class:`WindowJob`) so :mod:`repro.exec.windows` can fan the
+  measurements across the process pool with byte-identical results.
 
 Everything in this package is deterministic: two runs with the same
 seed produce byte-identical reports, which is what lets sampled results
@@ -40,6 +44,10 @@ from .measure import (IntervalMeasurement, bulk_warm_caches,
                       run_to_commit, scalar_snapshot)
 from .orchestrate import (SAMPLE_FORMAT_VERSION, SampledJob,
                           execute_sampled_job, render_sample_report)
+from .parallel import (SamplePlan, WindowJob, WindowPlan,
+                       checkpoint_digest, merge_measurements,
+                       pack_measurement, plan_sampled_job, plan_windows,
+                       unpack_measurement)
 
 __all__ = [
     "Clustering",
@@ -49,8 +57,12 @@ __all__ = [
     "SAMPLE_FORMAT_VERSION",
     "SampleError",
     "SampledJob",
+    "SamplePlan",
     "StatEstimate",
+    "WindowJob",
+    "WindowPlan",
     "bulk_warm_caches",
+    "checkpoint_digest",
     "choose_k",
     "derived_ratios",
     "execute_sampled_job",
@@ -58,6 +70,10 @@ __all__ = [
     "functional_warmup",
     "kmeans",
     "measure_from_checkpoint",
+    "merge_measurements",
+    "pack_measurement",
+    "plan_sampled_job",
+    "plan_windows",
     "profile_intervals",
     "project_bbvs",
     "reconstruct",
@@ -66,4 +82,5 @@ __all__ = [
     "scalar_snapshot",
     "select_representatives",
     "take_checkpoints_at",
+    "unpack_measurement",
 ]

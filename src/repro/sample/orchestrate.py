@@ -18,18 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..exec.keys import CacheKey, sample_key
-from ..g5.system import SimConfig, System, simulate
-from ..workloads import get_workload
-from .bbv import (DEFAULT_INTERVAL_INSTS, IntervalProfile, SampleError,
-                  profile_intervals)
-from .ckpt import take_checkpoints_at
-from .extrapolate import StatEstimate, derived_ratios, reconstruct
-from .kmeans import Clustering, choose_k, kmeans, project_bbvs, \
-    select_representatives
-from .measure import measure_from_checkpoint, scalar_snapshot
-
-#: Version stamped into every sampled payload.
-SAMPLE_FORMAT_VERSION = 1
+from .bbv import DEFAULT_INTERVAL_INSTS
+from .parallel import (SAMPLE_FORMAT_VERSION, exact_payload,
+                       measure_plan_window, merge_measurements,
+                       plan_sampled_job)
 
 #: Stats surfaced by name in the rendered report (beyond the ratios).
 _REPORT_KEYS = (
@@ -97,132 +89,22 @@ class SampledJob:
         }
 
 
-def _cluster(profile: IntervalProfile, job: SampledJob) -> Clustering:
-    points = project_bbvs(profile.intervals, seed=job.seed)
-    if job.k:
-        return kmeans(points, min(job.k, len(points)), seed=job.seed + job.k)
-    return choose_k(points, max_k=job.max_k, seed=job.seed)
-
-
-def _exact_payload(job: SampledJob, profile: IntervalProfile) -> dict:
-    """Full detailed run — the degenerate (k >= n_intervals) case."""
-    program = get_workload(job.workload).build(job.scale)
-    system = System(SimConfig(cpu_model=job.cpu_model, mode="se",
-                              record=False))
-    system.set_se_workload(program, process_name=job.workload)
-    simulate(system)
-    finals = scalar_snapshot(system)
-    roi = max(1, profile.roi_insts)
-    estimates = {key: StatEstimate(value=value, ci95=0.0,
-                                   per_inst=value / roi)
-                 for key, value in finals.items()}
-    n = profile.n_intervals
-    reps = [{"interval": i, "weight": 1.0 / n,
-             "start_inst": profile.interval_start(i),
-             "length": profile.interval_length(i), "warmup": 0}
-            for i in range(n)]
-    return _payload(job, profile, exact=True, k=n, bic=0.0, sse=0.0,
-                    representatives=reps, detailed_insts=profile.roi_insts,
-                    estimates=estimates)
-
-
-def _payload(job: SampledJob, profile: IntervalProfile, *, exact: bool,
-             k: int, bic: float, sse: float, representatives: list[dict],
-             detailed_insts: int,
-             estimates: dict[str, StatEstimate]) -> dict:
-    roi = max(1, profile.roi_insts)
-    return {
-        "format": SAMPLE_FORMAT_VERSION,
-        "kind": "sample",
-        "workload": job.workload,
-        "cpu_model": job.cpu_model,
-        "scale": job.scale,
-        "config": {
-            "interval_insts": job.interval_insts,
-            "warmup_insts": job.warmup_insts,
-            "k": job.k,
-            "max_k": job.max_k,
-            "seed": job.seed,
-        },
-        "profile": {
-            "total_insts": profile.total_insts,
-            "roi_anchor": profile.roi_anchor,
-            "roi_insts": profile.roi_insts,
-            "n_intervals": profile.n_intervals,
-            "exit_cause": profile.exit_cause,
-        },
-        "clusters": {
-            "k": k,
-            "bic": bic,
-            "sse": sse,
-            "representatives": representatives,
-        },
-        "exact": exact,
-        "detailed_insts": detailed_insts,
-        "sampled_fraction": detailed_insts / roi,
-        "estimates": {key: est.to_doc()
-                      for key, est in sorted(estimates.items())},
-        "derived": derived_ratios(estimates),
-    }
-
-
 def execute_sampled_job(job: SampledJob) -> dict:
-    """Run the full sampling pipeline and return the JSON-safe payload."""
-    workload = get_workload(job.workload)
-    if workload.mode != "se":
-        raise SampleError(
-            f"workload {job.workload!r} runs in {workload.mode!r} mode; "
-            "sampling requires SE-mode checkpoints")
-    if job.mode != "se":
-        raise SampleError(f"sampled jobs are SE-mode only, got {job.mode!r}")
-    program = workload.build(job.scale)
-    profile = profile_intervals(program, job.workload, job.scale,
-                                job.interval_insts)
-    n = profile.n_intervals
-    if n == 0:
-        raise SampleError(
-            f"workload {job.workload!r} at scale {job.scale!r} committed "
-            "no ROI instructions; nothing to sample")
-    if job.k and job.k >= n:
-        return _exact_payload(job, profile)
+    """Run the full sampling pipeline and return the JSON-safe payload.
 
-    clustering = _cluster(profile, job)
-    reps = select_representatives(
-        project_bbvs(profile.intervals, seed=job.seed), clustering)
-    if len(reps) >= n:
-        return _exact_payload(job, profile)
-
-    # Checkpoint `warmup_insts` before each interval (clamped to the ROI
-    # anchor) so the detailed run can warm caches before the window.
-    anchor = profile.roi_anchor
-    starts = [profile.interval_start(i) for i, _ in reps]
-    warm_starts = [max(anchor, start - job.warmup_insts)
-                   for start in starts]
-    checkpoints = take_checkpoints_at(program, job.workload, warm_starts)
-    measurements = []
-    weights = []
-    rep_docs = []
-    detailed = 0
-    for (interval, weight), start, warm_start in zip(reps, starts,
-                                                     warm_starts):
-        length = profile.interval_length(interval)
-        measurement = measure_from_checkpoint(
-            checkpoints[warm_start], program, job.workload, job.cpu_model,
-            interval=interval, length=length,
-            pre_insts=start - warm_start)
-        measurements.append(measurement)
-        weights.append(weight)
-        detailed += (start - warm_start) + length
-        rep_docs.append({"interval": interval, "weight": weight,
-                         "start_inst": start, "length": length,
-                         "warmup": start - warm_start})
-    total = sum(weights)
-    weights = [w / total for w in weights]
-    estimates = reconstruct(measurements, weights, profile.roi_insts)
-    return _payload(job, profile, exact=False, k=clustering.k,
-                    bic=clustering.bic, sse=clustering.sse,
-                    representatives=rep_docs, detailed_insts=detailed,
-                    estimates=estimates)
+    This is the sequential path: :func:`~repro.sample.parallel
+    .plan_sampled_job` decides the windows, each is measured inline in
+    plan order, and :func:`~repro.sample.parallel.merge_measurements`
+    reconstructs the payload.  The parallel path in
+    :mod:`repro.exec.windows` walks the same plan through the process
+    pool; both produce byte-identical payloads per seed.
+    """
+    plan = plan_sampled_job(job)
+    if plan.exact:
+        return exact_payload(job, plan.profile)
+    measurements = [measure_plan_window(plan, window)
+                    for window in plan.windows]
+    return merge_measurements(job, plan, measurements)
 
 
 def render_sample_report(payload: dict) -> str:

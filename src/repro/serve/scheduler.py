@@ -32,8 +32,9 @@ from typing import Callable, Optional
 from ..exec.cache import ResultCache
 from ..exec.costmodel import CostModel
 from ..exec.pool import EngineStats, G5Job, _pool_worker
+from ..exec.windows import WindowsCancelled, resolve_windows
 from . import clock
-from .jobs import DONE, FAILED, JobRecord, JobRequest
+from .jobs import CANCELLED, DONE, FAILED, JobRecord, JobRequest
 from .queue import JobQueue
 
 __all__ = ["Scheduler", "WorkerCrashed", "JobTimeout"]
@@ -153,6 +154,11 @@ class Scheduler:
         except JobTimeout as exc:
             self._count("timeouts")
             self._finish(record, state=FAILED, error=str(exc))
+        except WindowsCancelled as exc:
+            # Drain or shutdown interrupted a sampled fan-out: no partial
+            # payload is published; completed windows stay in the cache
+            # for the next submission to reuse.
+            self._finish(record, state=CANCELLED, error=str(exc))
         except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
             self._finish(record, state=FAILED,
                          error=f"{type(exc).__name__}: {exc}")
@@ -211,13 +217,17 @@ class Scheduler:
         return packed, "executed"
 
     def _obtain_sample(self, record: JobRecord) -> tuple[dict, str]:
-        """Resolve a sampled job: disk cache, then inline execution.
+        """Resolve a sampled job: disk cache, then window fan-out.
 
-        Sampled jobs run in the worker thread itself — the pipeline is
-        a sequence of short simulations, so the crash-isolation process
-        pool used for monolithic g5 runs buys nothing here.
+        Planning (profile + cluster + checkpoints) runs in the worker
+        thread; the detailed measurement windows fan out through
+        :func:`repro.exec.windows.resolve_windows` as per-window
+        cache entries, sized to the daemon's worker count.  A drain or
+        shutdown mid-fan-out aborts cleanly with
+        :class:`~repro.exec.windows.WindowsCancelled`.
         """
-        from ..sample.orchestrate import execute_sampled_job
+        from ..sample.parallel import (exact_payload, merge_measurements,
+                                       plan_sampled_job)
 
         job = record.request.sampled
         key = job.cache_key()
@@ -228,8 +238,22 @@ class Scheduler:
                 self._count("disk_hits")
                 return stored, "disk-cache"
         self._count("cache_misses")
+
+        def should_abort() -> bool:
+            return self._stop.is_set() or self.queue.draining
+
+        if should_abort():
+            raise WindowsCancelled(job.label, 0, 0)
         start = clock.wall()
-        payload = execute_sampled_job(job)
+        plan = plan_sampled_job(job)
+        if plan.exact:
+            payload = exact_payload(job, plan.profile)
+        else:
+            measurements = resolve_windows(
+                job, plan, jobs=self.workers, cache=self.cache,
+                cost_model=self.cost_model, stats=self.stats,
+                should_abort=should_abort)
+            payload = merge_measurements(job, plan, measurements)
         seconds = clock.wall() - start
         self.stats.note_execution(job.label, seconds)
         self.cost_model.observe(job, seconds)

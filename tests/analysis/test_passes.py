@@ -53,6 +53,25 @@ def test_determinism_sample_quiet(fixture_findings):
                          path="sample/smp_quiet.py") == []
 
 
+def test_determinism_scope_includes_sample_parallel():
+    """The window planner/merger is in scope with no exemptions.
+
+    Its purity is what makes the parallel fan-out byte-identical to the
+    sequential path; the wall-clock timing for window execution lives in
+    ``exec/windows.py``, which stays out of simulation-core scope.
+    """
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.passes.determinism import DeterminismPass
+
+    assert DeterminismPass.applies_to("sample/parallel.py")
+    assert not DeterminismPass.applies_to("exec/windows.py")
+    source = (Path(repro.__file__).parent / "sample"
+              / "parallel.py").read_text()
+    assert "no-determinism" not in source
+
+
 # -- event safety -------------------------------------------------------
 def test_event_safety_fires(fixture_findings):
     hits = rule_findings(fixture_findings, "event-safety",

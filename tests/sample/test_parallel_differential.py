@@ -1,0 +1,97 @@
+"""Differential harness: parallel sampled runs vs the sequential path.
+
+The correctness bar for the window fan-out is absolute — a parallel
+sampled run must serialize to the *byte-identical* JSON payload the
+sequential path produces for the same seed, for every CPU model and
+workload.  These tests pin that, plus the cache behaviour that makes
+the fan-out cheap to repeat: each measured window lands as its own
+content-addressed entry, so a rerun (even after the whole-payload entry
+is evicted) resolves every window from disk.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import ExecutionEngine, ResultCache
+from repro.sample import SampledJob, execute_sampled_job
+
+CPU_MODELS = ("atomic", "timing", "minor", "o3")
+WORKLOADS = ("sieve", "fmm")
+
+
+def quick_job(workload: str, cpu_model: str, **overrides) -> SampledJob:
+    kwargs = dict(workload=workload, cpu_model=cpu_model, scale="test",
+                  interval_insts=100, warmup_insts=200, max_k=4)
+    kwargs.update(overrides)
+    return SampledJob(**kwargs)
+
+
+def payload_bytes(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+@pytest.mark.parametrize("cpu_model", CPU_MODELS)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_parallel_matches_sequential_byte_for_byte(tmp_path, workload,
+                                                   cpu_model):
+    job = quick_job(workload, cpu_model)
+    sequential = execute_sampled_job(job)
+
+    engine = ExecutionEngine(jobs=4, cache=ResultCache(tmp_path / "cache"))
+    parallel = engine.run_sampled(job)
+
+    assert payload_bytes(parallel) == payload_bytes(sequential)
+    # The run really went through the fan-out, not the payload cache.
+    assert engine.stats.disk_hits == 0
+    assert engine.stats.windows_executed > 0 or parallel["exact"]
+
+
+def test_per_window_entries_hit_on_rerun(tmp_path):
+    job = quick_job("sieve", "o3")
+    cache_dir = tmp_path / "cache"
+
+    first = ExecutionEngine(jobs=4, cache=ResultCache(cache_dir))
+    payload = first.run_sampled(job)
+    assert payload["exact"] is False
+    n_windows = len(payload["clusters"]["representatives"])
+    assert first.stats.windows_executed == n_windows
+    assert first.stats.window_hits == 0
+
+    # Evict the whole-payload entry but keep the per-window entries: the
+    # rerun re-plans (cheap) and resolves every window from disk.
+    cache = ResultCache(cache_dir)
+    assert cache.clear(kind="sample") == 1
+    second = ExecutionEngine(jobs=4, cache=cache)
+    again = second.run_sampled(job)
+    assert payload_bytes(again) == payload_bytes(payload)
+    assert second.stats.windows_executed == 0
+    assert second.stats.window_hits == n_windows
+
+
+def test_window_entries_are_listed_by_kind(tmp_path):
+    job = quick_job("sieve", "timing")
+    cache = ResultCache(tmp_path / "cache")
+    engine = ExecutionEngine(jobs=4, cache=cache)
+    payload = engine.run_sampled(job)
+
+    kinds = [entry.kind for entry in cache.entries()]
+    assert kinds.count("sample") == 1
+    assert kinds.count("window") \
+        == len(payload["clusters"]["representatives"])
+    window_labels = [entry.label for entry in cache.entries()
+                     if entry.kind == "window"]
+    assert all(label.startswith("window timing/sieve")
+               for label in window_labels)
+
+
+def test_single_worker_engine_still_sequential(tmp_path):
+    """jobs=1 keeps the historical one-execution accounting."""
+    job = quick_job("sieve", "timing")
+    engine = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path / "cache"))
+    payload = engine.run_sampled(job)
+    assert payload_bytes(payload) == payload_bytes(execute_sampled_job(job))
+    assert engine.stats.executed == 1
+    assert engine.stats.windows_executed == 0

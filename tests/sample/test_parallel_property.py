@@ -1,0 +1,149 @@
+"""Property tests for the window planner and order-independent merge.
+
+The parallel fan-out's bit-exactness rests on two pure functions:
+``plan_windows`` (where each representative's checkpoint and window go)
+and ``merge_measurements`` (weighted reconstruction in plan order).
+Hypothesis drives both across arbitrary window counts, weights, and —
+crucially — *completion orderings*: measurements arriving in any
+shuffled order must merge to the same extrapolated stats and confidence
+intervals, because the merge consumes them re-assembled in plan order.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sample import SampledJob
+from repro.sample.bbv import IntervalProfile
+from repro.sample.measure import IntervalMeasurement
+from repro.sample.parallel import (SamplePlan, merge_measurements,
+                                   pack_measurement, plan_windows,
+                                   unpack_measurement)
+
+finite = st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def profiles(draw):
+    """Synthetic ROI-anchored interval profiles."""
+    interval_insts = draw(st.integers(min_value=10, max_value=1000))
+    n = draw(st.integers(min_value=1, max_value=32))
+    anchor = draw(st.integers(min_value=0, max_value=5000))
+    intervals = [{0: draw(st.integers(min_value=1,
+                                      max_value=interval_insts))}
+                 for _ in range(n)]
+    total = anchor + sum(sum(bbv.values()) for bbv in intervals)
+    return IntervalProfile(workload="w", scale="s",
+                           interval_insts=interval_insts,
+                           total_insts=total, roi_anchor=anchor,
+                           exit_cause="exit", intervals=intervals)
+
+
+@st.composite
+def profile_and_reps(draw):
+    profile = draw(profiles())
+    n = profile.n_intervals
+    count = draw(st.integers(min_value=1, max_value=n))
+    chosen = sorted(draw(st.permutations(range(n)))[:count])
+    weights = [draw(st.floats(min_value=1e-3, max_value=1.0,
+                              allow_nan=False)) for _ in chosen]
+    return profile, list(zip(chosen, weights))
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=profile_and_reps(),
+       warmup=st.integers(min_value=0, max_value=5000))
+def test_plan_windows_invariants(data, warmup):
+    profile, reps = data
+    windows = plan_windows(profile, reps, warmup)
+    assert len(windows) == len(reps)
+    for index, (window, (interval, weight)) in enumerate(zip(windows,
+                                                             reps)):
+        assert window.index == index
+        assert window.interval == interval
+        assert window.weight == weight
+        assert window.start_inst == profile.interval_start(interval)
+        assert window.length == profile.interval_length(interval)
+        # The checkpoint never precedes the ROI anchor and never trails
+        # the window it warms.
+        assert profile.roi_anchor <= window.warm_start <= window.start_inst
+        assert 0 <= window.pre_insts <= warmup
+        assert window.total_insts == window.pre_insts + window.length
+
+
+def fake_measurement(rng: random.Random, interval: int,
+                     length: int, stat_keys: list[str],
+                     pre_insts: int) -> IntervalMeasurement:
+    return IntervalMeasurement(
+        interval=interval, warm_insts=pre_insts, insts=length,
+        cycles=rng.randint(length, 20 * length),
+        deltas={key: round(rng.uniform(0.0, 1e6), 3)
+                for key in stat_keys},
+        exit_cause="window")
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=profile_and_reps(),
+       warmup=st.integers(min_value=0, max_value=2000),
+       shuffle_seed=st.integers(min_value=0, max_value=2**31),
+       stat_seed=st.integers(min_value=0, max_value=2**31))
+def test_merge_is_independent_of_completion_order(data, warmup,
+                                                  shuffle_seed,
+                                                  stat_seed):
+    profile, reps = data
+    windows = plan_windows(profile, reps, warmup)
+    job = SampledJob(workload="w", cpu_model="o3", scale="s",
+                     interval_insts=profile.interval_insts,
+                     warmup_insts=warmup, k=len(windows))
+    plan = SamplePlan(job=job, profile=profile, exact=False,
+                      k=len(windows), bic=1.5, sse=0.25, windows=windows)
+
+    rng = random.Random(stat_seed)
+    stat_keys = ["system.cpu.committedInsts", "system.cpu.numCycles",
+                 "system.dcache.overallMisses"]
+    measurements = [fake_measurement(rng, w.interval, w.length,
+                                     stat_keys, w.pre_insts)
+                    for w in windows]
+
+    baseline = merge_measurements(job, plan, measurements)
+    json.dumps(baseline)  # payload must stay JSON-safe
+
+    # Simulate the fan-out: futures complete in an arbitrary order, the
+    # resolver re-assembles plan order by window index before merging.
+    completion = list(range(len(windows)))
+    random.Random(shuffle_seed).shuffle(completion)
+    arrived = {}
+    for slot in completion:
+        arrived[slot] = measurements[slot]
+    reassembled = [arrived[index] for index in range(len(windows))]
+
+    again = merge_measurements(job, plan, reassembled)
+    assert json.dumps(again, sort_keys=True) \
+        == json.dumps(baseline, sort_keys=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(interval=st.integers(min_value=0, max_value=10_000),
+       warm=st.integers(min_value=0, max_value=10_000),
+       insts=st.integers(min_value=1, max_value=10_000),
+       cycles=st.integers(min_value=1, max_value=10_000_000),
+       deltas=st.dictionaries(st.text(min_size=1, max_size=30), finite,
+                              max_size=8),
+       cause=st.sampled_from(["window", "exit", "max_insts"]))
+def test_pack_unpack_roundtrip(interval, warm, insts, cycles, deltas,
+                               cause):
+    measurement = IntervalMeasurement(interval=interval, warm_insts=warm,
+                                      insts=insts, cycles=cycles,
+                                      deltas=deltas, exit_cause=cause)
+    packed = pack_measurement(measurement)
+    json.dumps(packed)  # cache value is JSON-safe builtins
+    restored = unpack_measurement(packed)
+    assert restored == measurement
+    # Unrecognisable documents are misses, never crashes.
+    assert unpack_measurement(None) is None
+    assert unpack_measurement({"kind": "g5"}) is None
+    assert unpack_measurement({"kind": "window", "format": 999}) is None
