@@ -13,6 +13,14 @@ fact:
   ``priority`` feed its heap sort key; assigning them outside the
   event framework silently corrupts heap order (the slot invariant in
   particular).  Only ``events/`` itself may touch them.
+- **No cross-domain scheduling.**  Sharded simulation
+  (:mod:`repro.g5.sharded`) gives each domain its own queue; model code
+  that schedules directly into *another* object's ``eventq`` bypasses
+  the boundary link, so the sender's window is never clamped and the
+  merged event order silently diverges from the single-queue order.
+  Cross-domain traffic must go through a port (and thus the installed
+  ``BoundaryLink``); only ``self.eventq`` may be scheduled into
+  directly.
 
 Suppress a justified site with ``# lint: no-event-safety``.
 """
@@ -56,8 +64,10 @@ class EventSafetyPass(LintPass):
     rule = "event-safety"
     title = "Event scheduling discipline"
     description = ("No negative or now-relative-subtraction scheduling "
-                   "deltas, and no mutation of when/priority on events "
-                   "outside the event framework.")
+                   "deltas, no mutation of when/priority on events "
+                   "outside the event framework, and no scheduling into "
+                   "another object's event queue (bypasses the sharded "
+                   "boundary link).")
     pragma = "no-event-safety"
 
     @classmethod
@@ -75,9 +85,34 @@ class EventSafetyPass(LintPass):
             name = func.attr
             if name in _DELAY_METHODS:
                 self._check_delay(node, _DELAY_METHODS[name], name)
+                self._check_cross_domain(node, func, name)
             elif name in _ABSOLUTE_METHODS:
                 self._check_absolute(node, _ABSOLUTE_METHODS[name], name)
+                self._check_cross_domain(node, func, name)
         self.generic_visit(node)
+
+    def _check_cross_domain(self, node: ast.Call, func: ast.Attribute,
+                            name: str) -> None:
+        """Flag ``<other>.eventq.schedule...()`` — bypasses the boundary.
+
+        In a sharded run another object's ``eventq`` may be a different
+        domain's queue; enqueueing there directly skips the boundary
+        link's delivery event and window clamp, so the merged event
+        order (and bit-identity with the single-queue path) is lost.
+        ``self.eventq`` stays legitimate: that is the intra-domain hot
+        path.
+        """
+        owner = func.value
+        if not (isinstance(owner, ast.Attribute) and owner.attr == "eventq"):
+            return
+        base = owner.value
+        if isinstance(base, ast.Name) and base.id == "self":
+            return
+        self.report(node, f"{name}() on another object's .eventq "
+                    "bypasses the sharded boundary link; send through "
+                    "a port (or schedule on self.eventq) so cross-domain "
+                    "delivery stays ordered",
+                    suffix="cross-domain-schedule")
 
     def _argument(self, node: ast.Call, index: int):
         if index < len(node.args):

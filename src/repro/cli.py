@@ -94,6 +94,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--scale", default="simsmall", choices=SCALES)
     sim.add_argument("--stats-file", default=None,
                      help="write gem5-style stats.txt to this path")
+    sim.add_argument("--domains", type=_positive_int, default=1,
+                     help="event-queue domains (2 = CPU + memory shard; "
+                          "default: 1, single queue)")
+    sim.add_argument("--link-latency", type=int, default=0,
+                     help="cross-domain boundary-link latency in cycles "
+                          "(default: 0; >0 changes guest timing)")
 
     prof = sub.add_parser("profile", help="profile one g5 run on a host")
     prof.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
@@ -167,6 +173,12 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-speedup", type=float, default=None,
                        help="fail unless the atomic fast-path speedup "
                             "reaches this factor")
+    bench.add_argument("--sharded", action="store_true",
+                       help="benchmark sharded (multi-queue) Timing "
+                            "simulation instead of the fast path")
+    bench.add_argument("--domains", type=_positive_int, default=2,
+                       help="with --sharded: event-queue domains "
+                            "(default: 2)")
 
     srv = sub.add_parser(
         "serve", help="run the simulation-as-a-service daemon")
@@ -216,6 +228,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: 8)")
     sample.add_argument("--seed", type=int, default=None,
                         help="clustering/projection seed (default: 1234)")
+    sample.add_argument("--domains", type=_positive_int, default=None,
+                        help="event-queue domains for the detailed "
+                             "measurement systems (default: 1)")
     sample.add_argument("--json", action="store_true", dest="as_json",
                         help="emit machine-readable JSON")
     _add_executor_args(sample)
@@ -270,7 +285,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
-    system = System(SimConfig(cpu_model=args.cpu, mode=workload.mode))
+    system = System(SimConfig(cpu_model=args.cpu, mode=workload.mode,
+                              domains=args.domains,
+                              link_latency_cycles=args.link_latency))
     program = workload.build(args.scale)
     if workload.mode == "se":
         system.set_se_workload(program, process_name=args.workload)
@@ -286,6 +303,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"guest IPC      : {result.ipc:.3f}")
     print(f"sim seconds    : {result.sim_seconds:.6f}")
     print(f"trace records  : {len(result.recorder)}")
+    if result.sharding is not None:
+        shard = result.sharding
+        per_domain = ", ".join(
+            f"{name} {count}" for name, count in zip(
+                shard["domain_names"], shard["events_per_domain"]))
+        print(f"domains        : {shard['domains']} ({per_domain})")
+        print(f"sync windows   : {shard['windows']} "
+              f"({shard['deliveries']} boundary deliveries, "
+              f"quantum {shard['quantum_ticks']} ticks)")
     if result.console:
         print(f"console        : {result.console!r}")
     if args.stats_file:
@@ -441,6 +467,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import bench_kernel, check_min_speedup, write_results
 
+    if args.sharded:
+        return _cmd_bench_sharded(args)
     models = ["atomic"] if args.quick else args.models
     repeats = 1 if args.quick else args.repeats
     results = bench_kernel(models=models, workload=args.workload,
@@ -455,6 +483,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"OK: atomic fast-path speedup "
               f"{results['models']['atomic']['speedup']:.2f}x >= "
               f"{args.min_speedup:.2f}x")
+    return 0
+
+
+def _cmd_bench_sharded(args: argparse.Namespace) -> int:
+    from .bench import bench_sharded, check_sharded_gate, write_results
+
+    # Unlike the kernel bench (4 models x 2 variants), the sharded bench
+    # is one Timing workload; best-of-repeats stays cheap enough for CI,
+    # and a single noisy run must not flip the gate.
+    repeats = args.repeats
+    output = args.output
+    if output == "BENCH_kernel.json":       # the non-sharded default
+        output = "BENCH_sharded.json"
+    results = bench_sharded(domains=args.domains, workload=args.workload,
+                            scale=args.scale, repeats=repeats)
+    min_speedup = args.min_speedup if args.min_speedup is not None else 1.2
+    error = check_sharded_gate(results, min_speedup)
+    write_results(results, output)
+    print(f"wrote {output}")
+    if error is not None:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(f"OK: sharded {results['gate_basis']} speedup "
+          f"{results['speedup']:.2f}x >= {min_speedup:.2f}x, "
+          f"byte-identical to single queue")
     return 0
 
 
@@ -558,6 +611,8 @@ def _sample_job_from_args(args: argparse.Namespace):
         kwargs["max_k"] = args.max_k
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if args.domains is not None:
+        kwargs["domains"] = args.domains
     return SampledJob(**kwargs)
 
 

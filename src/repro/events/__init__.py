@@ -11,6 +11,7 @@ Public surface:
 from .event import (
     CPU_TICK_PRI,
     DEFAULT_PRI,
+    LINK_PRI,
     SIM_EXIT_PRI,
     STAT_EVENT_PRI,
     CallbackEvent,
@@ -42,6 +43,7 @@ __all__ = [
     "EventQueue",
     "EventQueueError",
     "ExitEvent",
+    "LINK_PRI",
     "PeriodicEvent",
     "Root",
     "SimObject",

@@ -29,7 +29,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional
 
-from .event import CallbackEvent, Event, ExitEvent
+from .event import CallbackEvent, Event, ExitEvent, _sequence
 
 
 class EventQueueError(RuntimeError):
@@ -62,6 +62,11 @@ class EventQueue:
         # advance_if_idle so the bypass never overruns them.
         self._run_max_tick: Optional[int] = None
         self._run_limited = False
+        # Upper bound (exclusive, a (tick, priority, seq) key) of the
+        # currently-active run_window(); None outside a window.  The
+        # sharded engine clamps it mid-window when a cross-queue send
+        # must interleave before this queue's remaining events.
+        self._window_bound: Optional[tuple[int, int, int]] = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -99,6 +104,32 @@ class EventQueue:
         if delay < 0:
             raise EventQueueError(f"delay cannot be negative, got {delay}")
         return self.schedule(event, self.now + delay)
+
+    def schedule_fresh(self, event: Event, when: int) -> None:
+        """Minimal-overhead schedule for a freshly built event.
+
+        Boundary links fire one delivery event per cross-domain packet,
+        so scheduling cost is on the sharded hot path.  The event is
+        constructed at its send site and scheduled exactly once, and the
+        sharded engine only ever runs the domain holding the globally
+        smallest key, so the past-tick and double-schedule guards of
+        :meth:`schedule` cannot trip; this skips them.
+        """
+        event.when = when
+        event._seq = seq = next(_sequence)
+        event._scheduled = True
+        entry = ((when, event.priority, seq), seq, event)
+        if self.fast_path:
+            nxt = self._next
+            if nxt is None:
+                if not self._heap or entry < self._heap[0]:
+                    self._next = entry
+                    return
+            elif entry < nxt:
+                heapq.heappush(self._heap, nxt)
+                self._next = entry
+                return
+        heapq.heappush(self._heap, entry)
 
     def call_at(self, when: int, callback: Callable[[], None],
                 name: str = "", priority: int = 0) -> CallbackEvent:
@@ -145,6 +176,17 @@ class EventQueue:
         entry = self._peek_live()
         return None if entry is None else entry[2].when
 
+    def peek_key(self) -> Optional[tuple[int, int, int]]:
+        """Sort key ``(tick, priority, seq)`` of the next live event.
+
+        ``None`` if the queue is empty.  Because every queue draws event
+        sequence numbers from the same global counter, keys from
+        different queues are directly comparable: the smaller key is the
+        event that a single merged queue would fire first.
+        """
+        entry = self._peek_live()
+        return None if entry is None else entry[0]
+
     @property
     def events_processed(self) -> int:
         return self._events_processed
@@ -175,6 +217,12 @@ class EventQueue:
             # A max_events-limited run counts real pops; never bypass.
             return False
         if self._run_max_tick is not None and when > self._run_max_tick:
+            return False
+        bound = self._window_bound
+        if bound is not None and (when, priority) >= bound[:2]:
+            # A fresh schedule would draw a newer (larger) sequence
+            # number than the event at the bound, so a (when, priority)
+            # tie also sorts at-or-after the bound: never bypass it.
             return False
         entry = self._peek_live()
         if entry is not None:
@@ -222,6 +270,73 @@ class EventQueue:
         finally:
             self._run_max_tick = None
             self._run_limited = False
+
+    # ------------------------------------------------------------------
+    # windowed execution (sharded simulation)
+    # ------------------------------------------------------------------
+    @property
+    def window_bound(self) -> Optional[tuple[int, int, int]]:
+        """The active window's exclusive bound, or None outside one."""
+        return self._window_bound
+
+    def clamp_window(self, key: tuple[int, int, int]) -> None:
+        """Shrink the active window so no event at/after ``key`` fires.
+
+        Called by boundary links when a cross-queue delivery is
+        scheduled mid-window: the sender must stop before the delivery's
+        global position so the merged order stays exact.  A no-op
+        outside a window (single-queue runs pop in global order anyway).
+        """
+        if self._window_bound is not None and key < self._window_bound:
+            self._window_bound = key
+
+    def run_window(self, bound: tuple[int, int, int]) -> Optional[ExitEvent]:
+        """Run every live event whose sort key is below ``bound``.
+
+        The sharded engine's inner loop: the engine picks the queue
+        holding the globally-smallest head key and lets it run up to
+        (exclusive) the smallest head key of any *other* queue, so only
+        events that would fire next on a single merged queue execute.
+        The bound may shrink mid-window via :meth:`clamp_window`.
+
+        Returns the :class:`ExitEvent` if one fired inside the window,
+        else ``None`` (bound reached or queue drained).
+        """
+        self._window_bound = bound
+        heap = self._heap
+        heappop = heapq.heappop
+        try:
+            # Inlined _peek_live/_mark_done: this loop runs once per
+            # event of the whole sharded simulation, and the method-call
+            # and property overhead is what the speedup gate measures.
+            while True:
+                entry = self._next
+                if entry is not None and (entry[2]._squashed
+                                          or entry[2]._seq != entry[1]):
+                    self._next = entry = None
+                if entry is None:
+                    while heap and (heap[0][2]._squashed
+                                    or heap[0][2]._seq != heap[0][1]):
+                        heappop(heap)
+                    if not heap:
+                        return None
+                    entry = heap[0]
+                key, seq, event = entry
+                if key >= self._window_bound:
+                    return None
+                if entry is self._next:
+                    self._next = None
+                else:
+                    heappop(heap)
+                self.now = event.when
+                event._scheduled = False
+                self._events_processed += 1
+                if isinstance(event, ExitEvent):
+                    self._exit_event = event
+                    return event
+                event.process()
+        finally:
+            self._window_bound = None
 
     # ------------------------------------------------------------------
     # internals

@@ -98,6 +98,9 @@ class EngineStats:
     windows_executed: int = 0  # sampled windows measured (pool or inline)
     window_hits: int = 0       # windows served from the on-disk cache
     window_seconds: float = 0.0
+    sharded_runs: int = 0          # simulations executed with domains > 1
+    domain_windows: int = 0        # quantum windows across sharded runs
+    boundary_deliveries: int = 0   # cross-domain packet deliveries
     by_label: dict = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
@@ -137,6 +140,20 @@ class EngineStats:
         with self._lock:
             self.disk_hits += count
 
+    def note_sharded_run(self, sharding: Optional[dict]) -> None:
+        """Fold in one executed simulation's sharding counters.
+
+        ``sharding`` is :attr:`~repro.g5.system.SimResult.sharding`
+        (``None`` for single-queue runs, which keeps this a no-op on
+        the default path).
+        """
+        if not sharding:
+            return
+        with self._lock:
+            self.sharded_runs += 1
+            self.domain_windows += int(sharding.get("windows", 0))
+            self.boundary_deliveries += int(sharding.get("deliveries", 0))
+
     def as_dict(self) -> dict[str, float]:
         with self._lock:
             return {"g5_executed": self.executed,
@@ -144,7 +161,10 @@ class EngineStats:
                     "g5_executed_seconds": round(self.executed_seconds, 3),
                     "windows_executed": self.windows_executed,
                     "window_hits": self.window_hits,
-                    "window_seconds": round(self.window_seconds, 3)}
+                    "window_seconds": round(self.window_seconds, 3),
+                    "sharded_runs": self.sharded_runs,
+                    "domain_windows": self.domain_windows,
+                    "boundary_deliveries": self.boundary_deliveries}
 
 
 class ExecutionEngine:
@@ -283,6 +303,7 @@ class ExecutionEngine:
         seconds = time.perf_counter() - start
         self._store(key, pack_sim_result(result))
         self._record(job, seconds)
+        self.stats.note_sharded_run(result.sharding)
         self.progress.job_done(job.label, seconds)
         return result
 
@@ -301,4 +322,5 @@ class ExecutionEngine:
                     self._store(keys[job], packed)
                     self._record(job, seconds)
                     results[job] = unpack_sim_result(packed)
+                    self.stats.note_sharded_run(results[job].sharding)
                     self.progress.job_done(job.label, seconds)

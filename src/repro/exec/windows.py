@@ -65,7 +65,7 @@ def _window_worker(doc: dict) -> tuple[dict, float]:
     measurement = measure_from_checkpoint(
         doc["checkpoint"], program, doc["workload"], doc["cpu_model"],
         interval=doc["interval"], length=doc["length"],
-        pre_insts=doc["pre_insts"])
+        pre_insts=doc["pre_insts"], domains=doc.get("domains", 1))
     return pack_measurement(measurement), time.perf_counter() - start
 
 
@@ -117,6 +117,7 @@ def resolve_windows(job, plan, *, jobs: int = 1,
             "interval": wjob.interval,
             "length": wjob.length,
             "pre_insts": wjob.pre_insts,
+            "domains": wjob.domains,
             "checkpoint": plan.checkpoints[window.warm_start],
         }
 

@@ -45,14 +45,23 @@ class TimingSource(Protocol):
 
 
 class Port:
-    """Common port plumbing: naming and peer binding."""
+    """Common port plumbing: naming and peer binding.
 
-    __slots__ = ("name", "owner", "peer")
+    ``link`` is normally ``None`` (peer calls are direct).  Sharded
+    simulation installs a :class:`~repro.g5.sharded.BoundaryLink` on
+    both ports of a pair whose owners live on different event queues;
+    the timing protocol then routes through the link's boundary buffer
+    instead of calling the peer synchronously (atomic and functional
+    accesses stay direct — they carry no event-queue state).
+    """
+
+    __slots__ = ("name", "owner", "peer", "link")
 
     def __init__(self, name: str, owner) -> None:
         self.name = name
         self.owner = owner
         self.peer: Optional[Port] = None
+        self.link = None
 
     @property
     def connected(self) -> bool:
@@ -104,6 +113,8 @@ class RequestPort(Port):
         """Send a timing request; False means the target is busy (retry)."""
         peer = self._require_peer()
         assert isinstance(peer, ResponsePort)
+        if self.link is not None:
+            return self.link.send_req(peer, pkt)
         return peer.owner.recv_timing_req(pkt)
 
     def send_functional(self, pkt: Packet) -> None:
@@ -128,10 +139,16 @@ class ResponsePort(Port):
         """Deliver a response back to the requesting port."""
         peer = self._require_peer()
         assert isinstance(peer, RequestPort)
+        if self.link is not None:
+            self.link.send_resp(peer, pkt)
+            return
         peer.recv_timing_resp(pkt)
 
     def send_retry(self) -> None:
         """Tell the requester a previously-rejected request may retry."""
         peer = self._require_peer()
         assert isinstance(peer, RequestPort)
+        if self.link is not None:
+            self.link.send_retry(peer)
+            return
         peer.recv_req_retry()

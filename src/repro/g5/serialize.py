@@ -249,6 +249,7 @@ def pack_sim_result(result: "SimResult") -> dict:
         "recorder": pack_recorder(result.recorder),
         "console": result.console,
         "exit_code": result.exit_code,
+        "sharding": result.sharding,
     }
 
 
@@ -269,6 +270,7 @@ def unpack_sim_result(data: dict) -> "SimResult":
         recorder=unpack_recorder(data["recorder"]),
         console=data["console"],
         exit_code=data["exit_code"],
+        sharding=data.get("sharding"),
     )
 
 

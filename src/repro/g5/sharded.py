@@ -1,0 +1,396 @@
+"""Sharded simulation: domain-partitioned event queues with exact merge.
+
+The paper attributes most of gem5's host time to the single global event
+loop; parti-gem5 (PAPERS.md) breaks that bottleneck by partitioning the
+SimObject graph into *domains* — one per CPU plus one memory domain
+holding the crossbar, caches, and DRAM — each with its own event queue,
+synchronized conservatively at domain boundaries.  This module is that
+architecture for the repro simulator, wired so sharded runs stay
+**bit-identical** to single-queue runs.
+
+Design
+------
+- Every :class:`~repro.events.queue.EventQueue` draws event sequence
+  numbers from one global counter, so head keys ``(tick, priority,
+  seq)`` from different queues are directly comparable and never tie.
+- The engine repeatedly picks the queue holding the globally-smallest
+  head key and runs it as a *window* bounded (exclusively) by the
+  smallest head key of any other queue — only events a single merged
+  queue would fire next ever execute, so the total event order is
+  exactly the single-queue order.
+- Cross-domain timing traffic goes through a :class:`BoundaryLink`
+  installed on the port pair: the packet is buffered as a delivery
+  event (reserved ``LINK_PRI``) in the *receiver's* queue, and the
+  sender's window is clamped to the delivery's key so no later local
+  event can overtake the packet.  Pending deliveries drain when the
+  receiving domain's window opens — the boundary-buffer flush.
+- The synchronization quantum is the minimum cross-domain link latency.
+  At the default (zero-latency links) the quantum degenerates to exact
+  per-event synchronization and guest timing is untouched; a positive
+  ``SimConfig.link_latency_cycles`` buys real lookahead (bigger windows,
+  fewer flushes) at the cost of added guest-visible latency — see
+  EXPERIMENTS.md for the sensitivity study.
+
+Intra-domain scheduling is completely untouched: each domain queue keeps
+the zero-heap fast-path tick loop, and the atomic protocol bypasses the
+links entirely (it carries no event-queue state), so Atomic-mode runs
+shard with no boundary traffic at all.
+
+Host-time instrumentation (per-domain busy seconds, synchronization
+overhead) only activates when a timer callable is injected by benchmark
+code; the simulation core itself never reads the wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..events import EventQueue, ExitEvent, LINK_PRI
+from ..events.event import Event
+from ..events.queue import EventQueueError
+from .mem.port import Port, RequestPort
+
+#: Window bound meaning "unbounded": sorts after every real event key.
+_NO_BOUND = (2 ** 63, 2 ** 31, 0)
+
+#: Sorts before any real priority at a given tick (gem5's span is small).
+_MIN_PRI = -(2 ** 31)
+
+
+class DeliveryEvent(Event):
+    """One buffered cross-domain packet (or retry) delivery.
+
+    A dedicated slotted event instead of ``CallbackEvent`` + lambda:
+    links fire one of these per boundary crossing, so construction cost
+    is on the sharded hot path the benchmark gate measures.  ``target``
+    is the receiver-side bound method; ``pkt`` is ``None`` for retries.
+    """
+
+    __slots__ = ("target", "pkt")
+
+    def __init__(self, name: str, target, pkt) -> None:
+        super().__init__(name=name, priority=LINK_PRI)
+        self.target = target
+        self.pkt = pkt
+
+    def process(self) -> None:
+        pkt = self.pkt
+        if pkt is None:
+            self.target()
+        else:
+            self.target(pkt)
+
+
+class BoundaryLink:
+    """Cross-domain connection between a request/response port pair.
+
+    Timing-protocol sends are converted into delivery events scheduled
+    into the receiving domain's queue at ``sender.now + latency_ticks``
+    with the reserved ``LINK_PRI``.  Scheduling happens at *send* time,
+    so the delivery consumes the same global sequence number it would on
+    a single queue — which is what keeps the merged event order (and
+    therefore registers, memory, stats, and traces) bit-identical.
+    """
+
+    __slots__ = ("name", "req_queue", "resp_queue", "latency_ticks",
+                 "deliveries", "_req_name", "_resp_name", "_retry_name")
+
+    def __init__(self, name: str, req_queue: EventQueue,
+                 resp_queue: EventQueue, latency_ticks: int = 0) -> None:
+        self.name = name
+        self.req_queue = req_queue      # queue of the request-port owner
+        self.resp_queue = resp_queue    # queue of the response-port owner
+        self.latency_ticks = latency_ticks
+        self.deliveries = 0
+        self._req_name = f"{name}.req"
+        self._resp_name = f"{name}.resp"
+        self._retry_name = f"{name}.retry"
+
+    def install(self, req_port: Port, resp_port: Port) -> None:
+        req_port.link = self
+        resp_port.link = self
+
+    # -- timing protocol (called from repro.g5.mem.port) ----------------
+    def send_req(self, resp_port: Port, pkt) -> bool:
+        self._deliver(self.req_queue, self.resp_queue,
+                      resp_port.owner.recv_timing_req, pkt,
+                      self._req_name)
+        # Boundary targets are never busy: the receiver accepts at
+        # delivery time (no model in this tree rejects requests).
+        return True
+
+    def send_resp(self, req_port: Port, pkt) -> None:
+        self._deliver(self.resp_queue, self.req_queue,
+                      req_port.recv_timing_resp, pkt, self._resp_name)
+
+    def send_retry(self, req_port: Port) -> None:
+        self._deliver(self.resp_queue, self.req_queue,
+                      req_port.recv_req_retry, None, self._retry_name)
+
+    # -- internals ------------------------------------------------------
+    def _deliver(self, sender: EventQueue, receiver: EventQueue,
+                 target: Callable, pkt, name: str) -> None:
+        event = DeliveryEvent(name, target, pkt)
+        when = sender.now + self.latency_ticks
+        receiver.schedule_fresh(event, when)
+        # The delivery may sort before the sender's own remaining events
+        # (e.g. a same-tick stat dump); stop the sender's window there so
+        # the merged order stays exact.  No-op on a shared single queue.
+        sender.clamp_window((when, LINK_PRI, event._seq))
+        self.deliveries += 1
+
+
+class ShardedEngine:
+    """Merged run loop over per-domain event queues.
+
+    Drop-in for the slice of the :class:`~repro.events.queue.EventQueue`
+    interface the simulation drivers use (``run``, ``now``,
+    ``events_processed``, ``next_tick``, ``empty``), so ``System.eventq``
+    can point at the engine once the graph is partitioned.
+    """
+
+    def __init__(self, domains: List[EventQueue],
+                 links: List[BoundaryLink],
+                 quantum_ticks: int = 0) -> None:
+        if len(domains) < 2:
+            raise ValueError("a sharded engine needs at least two domains")
+        self.domains = list(domains)
+        self.links = list(links)
+        self.quantum_ticks = quantum_ticks
+        self.windows = 0                 # domain windows executed
+        #: Host-time instrumentation: injected by benchmark code (the
+        #: simulation core never reads the wall clock itself).
+        self.timer: Optional[Callable[[], float]] = None
+        self.busy_seconds = [0.0] * len(self.domains)
+        self.sync_seconds = 0.0
+
+    # -- EventQueue-facade inspection -----------------------------------
+    @property
+    def now(self) -> int:
+        return max(queue.now for queue in self.domains)
+
+    @property
+    def events_processed(self) -> int:
+        return sum(queue.events_processed for queue in self.domains)
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self.domains)
+
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def next_tick(self) -> Optional[int]:
+        ticks = [queue.next_tick() for queue in self.domains]
+        live = [tick for tick in ticks if tick is not None]
+        return min(live) if live else None
+
+    @property
+    def deliveries(self) -> int:
+        return sum(link.deliveries for link in self.links)
+
+    def describe(self) -> dict:
+        """JSON-safe sharding counters (carried on ``SimResult``)."""
+        return {
+            "domains": len(self.domains),
+            "domain_names": [queue.name for queue in self.domains],
+            "events_per_domain": [queue.events_processed
+                                  for queue in self.domains],
+            "windows": self.windows,
+            "deliveries": self.deliveries,
+            "quantum_ticks": self.quantum_ticks,
+        }
+
+    # -- execution ------------------------------------------------------
+    def run(self, max_tick: Optional[int] = None,
+            max_events: Optional[int] = None) -> ExitEvent:
+        """Run the merged loop until exit, drain, or the tick limit.
+
+        Mirrors :meth:`EventQueue.run` semantics: events at exactly
+        ``max_tick`` still fire, and pausing leaves every domain at
+        ``max_tick`` so a resumed run continues seamlessly.
+        """
+        if max_events is not None:
+            raise EventQueueError(
+                "sharded simulation does not support max_events; "
+                "use max_tick or run unsharded")
+        limit_key = (None if max_tick is None
+                     else (max_tick + 1, _MIN_PRI, 0))
+        if len(self.domains) == 2 and self.timer is None:
+            return self._run_pair(max_tick, limit_key)
+        return self._run_many(max_tick, limit_key)
+
+    def _run_pair(self, max_tick, limit_key) -> ExitEvent:
+        """Two-domain loop with the selection inlined (the common case).
+
+        One CPU plus one memory domain is what ``SimConfig(domains=2)``
+        builds, and selection runs once per window, so the generic
+        best/bound scan is worth specialising away.
+        """
+        qa, qb = self.domains
+        windows = 0
+        try:
+            while True:
+                ea = qa._peek_live()
+                eb = qb._peek_live()
+                if ea is None:
+                    if eb is None:
+                        return ExitEvent("event queue empty", code=0)
+                    queue, best_key, bound = qb, eb[0], _NO_BOUND
+                elif eb is None or ea[0] < eb[0]:
+                    queue, best_key = qa, ea[0]
+                    bound = _NO_BOUND if eb is None else eb[0]
+                else:
+                    queue, best_key, bound = qb, eb[0], ea[0]
+                if limit_key is not None:
+                    if best_key >= limit_key:
+                        qa.now = qb.now = max_tick
+                        return ExitEvent("simulate() limit reached",
+                                         code=0)
+                    if limit_key < bound:
+                        bound = limit_key
+                exit_event = queue.run_window(bound)
+                windows += 1
+                if exit_event is not None:
+                    when = exit_event.when
+                    if qa.now < when:
+                        qa.now = when
+                    if qb.now < when:
+                        qb.now = when
+                    return exit_event
+        finally:
+            self.windows += windows
+
+    def _run_many(self, max_tick, limit_key) -> ExitEvent:
+        """Generic N-domain loop, with per-domain host-time attribution.
+
+        Also the instrumented path: when a ``timer`` is injected the
+        selection is charged to ``sync_seconds`` and each window to its
+        domain's ``busy_seconds``.
+        """
+        domains = self.domains
+        timer = self.timer
+        t_mark = timer() if timer is not None else 0.0
+        while True:
+            best = -1
+            best_key = None
+            bound = None        # smallest head key of any *other* domain
+            for index, queue in enumerate(domains):
+                entry = queue._peek_live()
+                if entry is None:
+                    continue
+                key = entry[0]
+                if best_key is None or key < best_key:
+                    bound = best_key
+                    best_key = key
+                    best = index
+                elif bound is None or key < bound:
+                    bound = key
+            if best_key is None:
+                return ExitEvent("event queue empty", code=0)
+            if limit_key is not None and best_key >= limit_key:
+                for queue in domains:
+                    queue.now = max_tick
+                return ExitEvent("simulate() limit reached", code=0)
+            if bound is None:
+                bound = _NO_BOUND
+            if limit_key is not None and limit_key < bound:
+                bound = limit_key
+            if timer is not None:
+                # Everything since the last window ended (selection,
+                # bound arithmetic) is synchronization overhead; the
+                # window itself is the chosen domain's busy time.
+                t_run = timer()
+                self.sync_seconds += t_run - t_mark
+                exit_event = domains[best].run_window(bound)
+                t_mark = timer()
+                self.busy_seconds[best] += t_mark - t_run
+            else:
+                exit_event = domains[best].run_window(bound)
+            self.windows += 1
+            if exit_event is not None:
+                # Bring lagging domains up to the exit tick; no live
+                # event below it can exist (the exit was globally next).
+                for queue in domains:
+                    if queue.now < exit_event.when:
+                        queue.now = exit_event.when
+                return exit_event
+
+
+# ----------------------------------------------------------------------
+# partitioning a built System
+# ----------------------------------------------------------------------
+def memory_domain_objects(system) -> list:
+    """The SimObjects of the memory domain (hierarchy roots + subtrees)."""
+    roots = [system.icache, system.dcache, system.l2bus, system.l2cache,
+             system.memctrl]
+    members = []
+    for root in roots:
+        members.append(root)
+        members.extend(root.descendants())
+    return members
+
+
+def object_ports(obj) -> list:
+    """Every Port reachable from ``obj``'s attributes (lists included)."""
+    ports = []
+    attrs = vars(obj)
+    for name in sorted(attrs):
+        value = attrs[name]
+        if isinstance(value, Port):
+            ports.append(value)
+        elif isinstance(value, list):
+            ports.extend(item for item in value if isinstance(item, Port))
+    return ports
+
+
+def boundary_pairs(system) -> list:
+    """Bound ``(request, response)`` port pairs that span the boundary."""
+    member_ids = {id(obj) for obj in memory_domain_objects(system)}
+    pairs = []
+    for obj in [system] + list(system.descendants()):
+        for port in object_ports(obj):
+            if not isinstance(port, RequestPort) or port.peer is None:
+                continue
+            if (id(port.owner) in member_ids) != \
+                    (id(port.peer.owner) in member_ids):
+                pairs.append((port, port.peer))
+    return pairs
+
+
+def shard_system(system) -> Optional[ShardedEngine]:
+    """Partition a built ``System`` according to its ``SimConfig``.
+
+    With ``domains > 1`` the memory hierarchy moves onto its own event
+    queue, boundary links bridge the CPU<->L1 port pairs, and the
+    returned engine replaces ``system.eventq``.  With
+    ``boundary_reference=True`` the same links are installed but every
+    object stays on the single construction queue — the "single-queue
+    path" the differential suite compares sharded runs against, with
+    identical link semantics and one event queue.
+    """
+    config = system.config
+    latency_ticks = (system.clock.cycles_to_ticks(config.link_latency_cycles)
+                     if config.link_latency_cycles else 0)
+    engine: Optional[ShardedEngine] = None
+    if config.domains > 1:
+        cpu_queue = system.eventq
+        cpu_queue.name = "cpu0"
+        mem_queue = EventQueue(name="mem", fast_path=config.fast_path)
+        for obj in memory_domain_objects(system):
+            obj.eventq = mem_queue
+    links = []
+    for req_port, resp_port in boundary_pairs(system):
+        link = BoundaryLink(
+            name=f"link:{req_port.full_name}",
+            req_queue=req_port.owner.eventq,
+            resp_queue=resp_port.owner.eventq,
+            latency_ticks=latency_ticks,
+        )
+        link.install(req_port, resp_port)
+        links.append(link)
+    system.boundary_links = links
+    if config.domains > 1:
+        engine = ShardedEngine([cpu_queue, mem_queue], links,
+                               quantum_ticks=latency_ticks)
+        system.eventq = engine
+    return engine

@@ -47,6 +47,22 @@ class SimConfig:
     #: state, stats, and host traces are bit-identical either way; the
     #: differential suite runs both settings against each other.
     fast_path: bool = True
+    #: Event-queue domains (:mod:`repro.g5.sharded`).  1 = the classic
+    #: single global queue.  >1 partitions the graph into one domain per
+    #: CPU plus a memory domain; the graph caps the effective count, so
+    #: a single-CPU system shards into at most 2 domains.  Sharded runs
+    #: are bit-identical to single-queue runs.
+    domains: int = 1
+    #: Extra latency (in CPU cycles) charged on every cross-domain
+    #: boundary crossing.  This is the synchronization quantum knob: 0
+    #: (the default) keeps guest timing bit-identical to the unsharded
+    #: system; larger values buy scheduling lookahead at the cost of
+    #: guest-visible latency (see EXPERIMENTS.md).
+    link_latency_cycles: int = 0
+    #: Install the sharded boundary links but keep every SimObject on
+    #: one event queue — the single-queue reference partner for the
+    #: sharded differential suite (identical link semantics, one queue).
+    boundary_reference: bool = False
 
     def __post_init__(self) -> None:
         if self.cpu_model not in CPU_MODELS:
@@ -55,12 +71,25 @@ class SimConfig:
                 f"{sorted(CPU_MODELS)}")
         if self.mode not in ("se", "fs"):
             raise ValueError(f"mode must be 'se' or 'fs', got {self.mode!r}")
+        if self.domains < 1:
+            raise ValueError(f"domains must be >= 1, got {self.domains}")
+        if self.link_latency_cycles < 0:
+            raise ValueError(
+                f"link_latency_cycles must be >= 0, "
+                f"got {self.link_latency_cycles}")
+        if self.boundary_reference and self.domains > 1:
+            raise ValueError(
+                "boundary_reference is the single-queue partner of a "
+                "sharded run; it requires domains=1")
 
     def with_cpu(self, cpu_model: str) -> "SimConfig":
         return replace(self, cpu_model=cpu_model)
 
     def with_mode(self, mode: str) -> "SimConfig":
         return replace(self, mode=mode)
+
+    def with_domains(self, domains: int) -> "SimConfig":
+        return replace(self, domains=domains)
 
 
 class System(Root):
@@ -94,6 +123,12 @@ class System(Root):
         if config.mode == "fs":
             self._add_fs_devices()
         self.reg_all_stats()
+        self.boundary_links: list = []
+        self.sharded = None
+        if config.domains > 1 or config.boundary_reference:
+            from .sharded import shard_system
+
+            self.sharded = shard_system(self)
 
     def _wire(self) -> None:
         self.cpu.icache_port.bind(self.icache.cpu_side)
@@ -156,6 +191,9 @@ class SimResult:
     recorder: ExecutionRecorder
     console: str = ""
     exit_code: int = 0
+    #: Sharding counters (:meth:`repro.g5.sharded.ShardedEngine.
+    #: describe`); ``None`` for single-queue runs.
+    sharding: Optional[dict] = None
 
     @property
     def sim_seconds(self) -> float:
@@ -187,4 +225,6 @@ def simulate(system: System, max_ticks: Optional[int] = None) -> SimResult:
         recorder=system.recorder,
         console=console,
         exit_code=exit_code,
+        sharding=(system.sharded.describe()
+                  if system.sharded is not None else None),
     )

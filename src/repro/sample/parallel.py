@@ -112,6 +112,7 @@ class WindowJob:
     pre_insts: int                 # warmup instructions before the window
     ckpt_digest: str               # content digest of the restore point
     mode: str = "se"
+    domains: int = 1               # event-queue domains for measurement
 
     @property
     def label(self) -> str:
@@ -151,6 +152,7 @@ class WindowJob:
             pre_insts=self.pre_insts,
             ckpt_digest=self.ckpt_digest,
             mode=self.mode,
+            domains=self.domains,
         )
 
 
@@ -237,7 +239,8 @@ class SamplePlan:
                           start_inst=w.start_inst, length=w.length,
                           pre_insts=w.pre_insts,
                           ckpt_digest=self.digests[w.warm_start],
-                          mode=job.mode)
+                          mode=job.mode,
+                          domains=getattr(job, "domains", 1))
                 for w in self.windows]
 
 
@@ -320,7 +323,7 @@ def measure_plan_window(plan: SamplePlan,
     return measure_from_checkpoint(
         plan.checkpoints[window.warm_start], plan.program, job.workload,
         job.cpu_model, interval=window.interval, length=window.length,
-        pre_insts=window.pre_insts)
+        pre_insts=window.pre_insts, domains=getattr(job, "domains", 1))
 
 
 # ----------------------------------------------------------------------
@@ -359,7 +362,8 @@ def exact_payload(job: Any, profile: IntervalProfile) -> dict:
     """Full detailed run — the degenerate (k >= n_intervals) case."""
     program = get_workload(job.workload).build(job.scale)
     system = System(SimConfig(cpu_model=job.cpu_model, mode="se",
-                              record=False))
+                              record=False,
+                              domains=getattr(job, "domains", 1)))
     system.set_se_workload(program, process_name=job.workload)
     simulate(system)
     finals = scalar_snapshot(system)

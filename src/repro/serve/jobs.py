@@ -82,9 +82,13 @@ class JobRequest:
 
     def describe(self) -> dict:
         if self.kind == "g5":
-            return {"kind": "g5", "workload": self.g5.workload,
-                    "cpu_model": self.g5.cpu_model, "mode": self.g5.mode,
-                    "scale": self.g5.scale}
+            doc = {"kind": "g5", "workload": self.g5.workload,
+                   "cpu_model": self.g5.cpu_model, "mode": self.g5.mode,
+                   "scale": self.g5.scale}
+            if self.g5.sim_config is not None \
+                    and self.g5.sim_config.domains > 1:
+                doc["domains"] = self.g5.sim_config.domains
+            return doc
         if self.kind == "sample":
             return {"kind": "sample", **self.sampled.describe()}
         return {"kind": "figure", "figure": self.figure_id,
@@ -119,7 +123,9 @@ def _parse_scale(doc: dict) -> str:
 
 def _parse_g5(doc: dict) -> JobRequest:
     workload = doc.get("workload")
-    if workload not in WORKLOADS:
+    # isinstance first: an unhashable workload (e.g. a nested dict)
+    # must 400, not TypeError the handler thread with no response.
+    if not isinstance(workload, str) or workload not in WORKLOADS:
         raise JobRequestError(
             f"unknown workload {workload!r}; choose from "
             f"{', '.join(sorted(WORKLOADS))}")
@@ -133,8 +139,15 @@ def _parse_g5(doc: dict) -> JobRequest:
     if mode not in ("se", "fs"):
         raise JobRequestError(f"unknown mode {mode!r}; expected 'se' "
                               "or 'fs'")
+    domains = _parse_int(doc, "domains", 1, 1)
+    sim_config = None
+    if domains > 1:
+        from ..g5.system import SimConfig
+
+        sim_config = SimConfig(cpu_model=cpu_model, mode=mode,
+                               domains=domains)
     job = G5Job(workload=workload, cpu_model=cpu_model, mode=mode,
-                scale=scale)
+                scale=scale, sim_config=sim_config)
     return JobRequest(kind="g5", g5=job, scale=scale)
 
 
@@ -150,7 +163,7 @@ def _parse_int(doc: dict, name: str, default: int, minimum: int) -> int:
 def _parse_sampled(doc: dict) -> JobRequest:
     """A g5 document with ``sampled: true`` (or ``kind: "sample"``)."""
     workload = doc.get("workload")
-    if workload not in WORKLOADS:
+    if not isinstance(workload, str) or workload not in WORKLOADS:
         raise JobRequestError(
             f"unknown workload {workload!r}; choose from "
             f"{', '.join(sorted(WORKLOADS))}")
@@ -176,6 +189,7 @@ def _parse_sampled(doc: dict) -> JobRequest:
         k=_parse_int(doc, "k", defaults.k, 0),
         max_k=_parse_int(doc, "max_k", defaults.max_k, 1),
         seed=_parse_int(doc, "seed", defaults.seed, 0),
+        domains=_parse_int(doc, "domains", defaults.domains, 1),
     )
     return JobRequest(kind="sample", sampled=job, scale=scale)
 

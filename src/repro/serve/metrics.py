@@ -255,19 +255,34 @@ class ServeMetrics:
             fn=queue.running)
 
     def attach_engine(self, stats) -> None:
-        """Export :class:`EngineStats` counters as scrape-time gauges."""
-        self.registry.gauge(
-            "repro_engine_g5_executed",
-            "Simulations actually executed by this daemon",
-            fn=lambda: stats.as_dict()["g5_executed"])
-        self.registry.gauge(
-            "repro_engine_g5_disk_hits",
-            "Simulations served from the disk cache",
-            fn=lambda: stats.as_dict()["g5_disk_hits"])
-        self.registry.gauge(
-            "repro_engine_g5_executed_seconds",
-            "Total wall-clock seconds spent executing simulations",
-            fn=lambda: stats.as_dict()["g5_executed_seconds"])
+        """Export every :class:`EngineStats` counter as a scrape-time
+        gauge, so the daemon's summary lines and a Prometheus scrape
+        can never disagree about what the engine did."""
+        def reader(counter_key: str):
+            return lambda: stats.as_dict()[counter_key]
+
+        for key, help_text in (
+            ("g5_executed",
+             "Simulations actually executed by this daemon"),
+            ("g5_disk_hits",
+             "Simulations served from the disk cache"),
+            ("g5_executed_seconds",
+             "Total wall-clock seconds spent executing simulations"),
+            ("windows_executed",
+             "Sampled measurement windows actually executed"),
+            ("window_hits",
+             "Sampled windows served from the disk cache"),
+            ("window_seconds",
+             "Total wall-clock seconds spent measuring windows"),
+            ("sharded_runs",
+             "Simulations executed with a domain-sharded event queue"),
+            ("domain_windows",
+             "Quantum windows executed across sharded simulations"),
+            ("boundary_deliveries",
+             "Cross-domain packet deliveries across sharded simulations"),
+        ):
+            self.registry.gauge(f"repro_engine_{key}", help_text,
+                                fn=reader(key))
 
     def observe_request(self, endpoint: str, seconds: float) -> None:
         histogram = self.request_seconds.get(

@@ -209,6 +209,7 @@ class Scheduler:
         self._count("cache_misses")
         packed, seconds = self._execute(record, job)
         self.stats.note_execution(job.label, seconds)
+        self.stats.note_sharded_run(packed.get("sharding"))
         self.cost_model.observe(job, seconds)
         self.cost_model.flush()
         if self.cache is not None:

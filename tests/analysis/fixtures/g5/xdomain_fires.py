@@ -1,0 +1,7 @@
+"""Fixture: cross-domain scheduling that bypasses the boundary link."""
+
+
+def bad_cross_domain(peer, event, handler, tick):
+    peer.owner.eventq.schedule(event, tick)
+    peer.eventq.schedule_in(event, 4)
+    peer.eventq.call_in(3, handler)

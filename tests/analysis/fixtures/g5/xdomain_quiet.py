@@ -1,0 +1,17 @@
+"""Fixture: scheduling idioms the cross-domain check accepts."""
+
+
+class Device:
+    def tick(self, event):
+        # Intra-domain self-scheduling is the sanctioned hot path.
+        self.eventq.schedule_in(event, 1)
+
+    def respond(self, pkt):
+        # Cross-domain traffic goes through the port, whose installed
+        # BoundaryLink turns it into an ordered delivery event.
+        self.port.send_timing_resp(pkt)
+
+
+def driver(queue, event, tick):
+    # A queue passed by value is not another object's .eventq.
+    queue.schedule(event, tick)

@@ -87,6 +87,17 @@ def test_event_safety_quiet(fixture_findings):
                          path="g5/event_quiet.py") == []
 
 
+def test_event_safety_cross_domain_fires(fixture_findings):
+    hits = rule_findings(fixture_findings, "event-safety",
+                         path="g5/xdomain_fires.py")
+    assert _suffixes(hits) == ["cross-domain-schedule"] * 3
+
+
+def test_event_safety_cross_domain_quiet(fixture_findings):
+    assert rule_findings(fixture_findings, "event-safety",
+                         path="g5/xdomain_quiet.py") == []
+
+
 # -- fast/slow parity ---------------------------------------------------
 def test_fast_slow_parity_fires(fixture_findings):
     hits = rule_findings(fixture_findings, "fast-slow-parity",
@@ -157,6 +168,6 @@ def test_fixture_tree_total():
     from repro.analysis import Engine
 
     findings = Engine(FIXTURES).run()
-    # determinism(g5) + event + fastslow + slots + stats + figreq
-    # + determinism(serve) + determinism(sample)
-    assert len(findings) == 7 + 5 + 2 + 1 + 2 + 3 + 3 + 3
+    # determinism(g5) + event + xdomain + fastslow + slots + stats
+    # + figreq + determinism(serve) + determinism(sample)
+    assert len(findings) == 7 + 5 + 3 + 2 + 1 + 2 + 3 + 3 + 3

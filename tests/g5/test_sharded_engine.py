@@ -1,0 +1,220 @@
+"""Unit and property tests for the sharded quantum scheduler.
+
+The :class:`~repro.g5.sharded.ShardedEngine` promises exactly two
+things, and hypothesis hammers both on synthetic event soups:
+
+- **No domain executes past the global horizon.**  An event only fires
+  when its ``(tick, priority, seq)`` key is the globally smallest live
+  key, so at the moment a callback runs, no other domain's clock has
+  passed it — the merged order is the single-queue order.
+- **Boundary flush preserves per-tick delivery order.**  Cross-domain
+  sends buffered by a :class:`~repro.g5.sharded.BoundaryLink` drain in
+  send order at each tick (the delivery consumes its global sequence
+  number at *send* time).
+
+The rest pins the engine's EventQueue-facade contract: pause/resume at
+``max_tick``, drain exits, config validation, and the counters that
+flow out through ``SimResult.sharding`` and ``EngineStats``.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events import EventQueue, LINK_PRI
+from repro.events.queue import EventQueueError
+from repro.exec.pool import EngineStats
+from repro.g5.serialize import pack_sim_result, unpack_sim_result
+from repro.g5.sharded import BoundaryLink, DeliveryEvent, ShardedEngine
+from repro.g5.system import SimConfig
+
+
+def _fresh_queues(n=2):
+    return [EventQueue(name=f"q{i}") for i in range(n)]
+
+
+# -- property: global horizon ------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 60), st.integers(0, 2)),
+                min_size=1, max_size=40))
+def test_no_domain_executes_past_the_global_horizon(plan):
+    """Every firing is globally next; clocks never pass a live event."""
+    n_domains = max(2, 1 + max(domain for _, domain in plan))
+    queues = _fresh_queues(n_domains)
+    fired = []
+
+    def make_callback(index, tick):
+        def callback():
+            # At fire time no other domain may have advanced past this
+            # event's tick, and no smaller live key may exist anywhere.
+            assert all(queue.now <= tick for queue in queues)
+            for queue in queues:
+                entry = queue._peek_live()
+                assert entry is None or entry[0] >= (tick, 0, 0)
+            fired.append(index)
+        return callback
+
+    for index, (tick, domain) in enumerate(plan):
+        queues[domain].call_at(tick, make_callback(index, tick))
+    engine = ShardedEngine(queues, links=[])
+    exit_event = engine.run()
+    assert exit_event.cause == "event queue empty"
+    # The merged order is the single-queue order: sorted by tick, ties
+    # broken by scheduling order (the shared global sequence counter).
+    expected = sorted(range(len(plan)), key=lambda i: plan[i][0])
+    assert fired == expected
+    assert engine.windows >= 1
+    assert engine.events_processed == len(plan)
+
+
+# -- property: boundary flush order ------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 3)),
+                min_size=1, max_size=15))
+def test_boundary_flush_preserves_per_tick_delivery_order(plan):
+    """Same-tick cross-domain sends drain in exactly send order."""
+    sender, receiver = _fresh_queues()
+    link = BoundaryLink("l", sender, receiver, latency_ticks=0)
+    received = []
+    # Sender-side events emit their payload bursts through the link.
+    for index, (tick, sends) in enumerate(plan):
+        payloads = [(tick, index, j) for j in range(sends)]
+
+        def make_burst(payloads=payloads):
+            def burst():
+                for payload in payloads:
+                    link._deliver(sender, receiver, received.append,
+                                  payload, "pkt")
+            return burst
+
+        sender.call_at(tick, make_burst())
+    engine = ShardedEngine([sender, receiver], [link])
+    engine.run()
+    # Expected: sender events fire tick-major / schedule-order-minor,
+    # and each burst's payloads arrive contiguously, in send order.
+    expected = []
+    for index, (tick, sends) in sorted(enumerate(plan),
+                                       key=lambda e: (e[1][0], e[0])):
+        expected.extend((tick, index, j) for j in range(sends))
+    assert received == expected
+    assert link.deliveries == len(received)
+    assert engine.deliveries == link.deliveries
+
+
+def test_delivery_event_retry_shape():
+    """``pkt=None`` deliveries (retries) invoke the target bare."""
+    calls = []
+    event = DeliveryEvent("retry", lambda: calls.append("bare"), None)
+    event.process()
+    assert calls == ["bare"]
+    assert event.priority == LINK_PRI
+
+
+# -- engine facade ------------------------------------------------------
+def test_engine_requires_two_domains():
+    with pytest.raises(ValueError):
+        ShardedEngine(_fresh_queues(1), links=[])
+
+
+def test_engine_rejects_max_events():
+    engine = ShardedEngine(_fresh_queues(), links=[])
+    with pytest.raises(EventQueueError):
+        engine.run(max_events=10)
+
+
+def test_pause_at_max_tick_and_resume_matches_uninterrupted():
+    def build():
+        queues = _fresh_queues()
+        log = []
+        queues[0].call_at(5, lambda: log.append(5))
+        queues[1].call_at(10, lambda: log.append(10))
+        queues[0].call_at(20, lambda: log.append(20))
+        return ShardedEngine(queues, links=[]), queues, log
+
+    engine, queues, log = build()
+    paused = engine.run(max_tick=12)
+    assert paused.cause == "simulate() limit reached"
+    assert log == [5, 10]
+    # Pausing parks *every* domain at the limit so resume is seamless.
+    assert all(queue.now == 12 for queue in queues)
+    resumed = engine.run()
+    assert resumed.cause == "event queue empty"
+    assert resumed.code == 0
+
+    straight_engine, _, straight_log = build()
+    straight_engine.run()
+    assert log == straight_log == [5, 10, 20]
+
+
+def test_facade_inspection_mirrors_the_queues():
+    queues = _fresh_queues()
+    engine = ShardedEngine(queues, links=[])
+    assert engine.empty() and len(engine) == 0
+    assert engine.next_tick() is None
+    queues[0].call_at(7, lambda: None)
+    queues[1].call_at(3, lambda: None)
+    assert len(engine) == 2
+    assert engine.next_tick() == 3
+    engine.run()
+    assert engine.now == max(queue.now for queue in queues)
+    assert engine.events_processed == 2
+
+
+def test_describe_is_json_safe_counters():
+    queues = _fresh_queues()
+    queues[0].call_at(1, lambda: None)
+    engine = ShardedEngine(queues, links=[], quantum_ticks=500)
+    engine.run()
+    doc = engine.describe()
+    assert doc == {
+        "domains": 2,
+        "domain_names": ["q0", "q1"],
+        "events_per_domain": [1, 0],
+        "windows": doc["windows"],
+        "deliveries": 0,
+        "quantum_ticks": 500,
+    }
+    assert doc["windows"] >= 1
+
+
+# -- config plumbing ----------------------------------------------------
+def test_sim_config_validates_sharding_knobs():
+    with pytest.raises(ValueError):
+        SimConfig(domains=0)
+    with pytest.raises(ValueError):
+        SimConfig(link_latency_cycles=-1)
+    with pytest.raises(ValueError):
+        SimConfig(boundary_reference=True, domains=2)
+    config = SimConfig()
+    assert config.with_domains(4).domains == 4
+    assert config.domains == 1  # with_domains copies, never mutates
+
+
+def test_sim_result_sharding_survives_serialization():
+    from repro.g5 import System, simulate
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload("sieve")
+    system = System(SimConfig(cpu_model="timing", mode=workload.mode,
+                              domains=2))
+    system.set_se_workload(workload.build("test"), process_name="sieve")
+    result = simulate(system, max_ticks=10**11)
+    assert result.sharding is not None
+    packed = pack_sim_result(result)
+    restored = unpack_sim_result(packed)
+    assert restored.sharding == result.sharding
+    assert restored.sharding["deliveries"] > 0
+
+
+def test_engine_stats_accumulate_sharding_counters():
+    stats = EngineStats()
+    stats.note_sharded_run(None)            # unsharded runs are a no-op
+    assert stats.sharded_runs == 0
+    stats.note_sharded_run({"windows": 10, "deliveries": 4})
+    stats.note_sharded_run({"windows": 5, "deliveries": 1})
+    assert stats.sharded_runs == 2
+    assert stats.domain_windows == 15
+    assert stats.boundary_deliveries == 5
+    doc = stats.as_dict()
+    assert doc["sharded_runs"] == 2
+    assert doc["domain_windows"] == 15
+    assert doc["boundary_deliveries"] == 5

@@ -132,3 +132,46 @@ def test_status_doc_shape():
     assert doc["predicted_seconds"] == 1.25
     assert doc["waiters"] == []
     assert not record.terminal
+
+
+def test_g5_domains_builds_a_sharded_sim_config():
+    request = parse_job_request(_g5_doc(cpu="timing", domains=2))
+    assert request.g5.sim_config is not None
+    assert request.g5.sim_config.domains == 2
+    assert request.describe()["domains"] == 2
+    # Sharding is part of the job identity: never coalesce a sharded
+    # run with its single-queue twin.
+    plain = parse_job_request(_g5_doc(cpu="timing"))
+    assert request.digest() != plain.digest()
+
+
+def test_g5_domains_default_stays_on_the_single_queue():
+    request = parse_job_request(_g5_doc(cpu="timing"))
+    assert request.g5.sim_config is None
+    assert "domains" not in request.describe()
+
+
+def test_sampled_doc_accepts_domains():
+    request = parse_job_request(_sample_doc(domains=2))
+    assert request.sampled.domains == 2
+    assert request.digest() != parse_job_request(_sample_doc()).digest()
+
+
+@pytest.mark.parametrize("doc", [
+    _g5_doc(domains=0),
+    _g5_doc(domains="two"),
+    _g5_doc(domains=True),
+    _sample_doc(domains=0),
+])
+def test_invalid_domains_rejected(doc):
+    with pytest.raises(JobRequestError):
+        parse_job_request(doc)
+
+
+@pytest.mark.parametrize("doc", [
+    _g5_doc(workload={"kind": "g5"}),   # unhashable: must 400, not 500
+    _sample_doc(workload=["sieve"]),
+])
+def test_non_string_workloads_rejected(doc):
+    with pytest.raises(JobRequestError):
+        parse_job_request(doc)

@@ -128,3 +128,25 @@ def test_predict_covers_both_job_kinds(rig):
     # least as long as any single sim.
     assert scheduler.predict(figure) >= scheduler.predict(g5)
     scheduler.stop()
+
+
+def test_sharded_payloads_feed_the_engine_counters():
+    """An executed sharded g5 job must land in the sharding gauges."""
+    queue = JobQueue()
+    metrics = ServeMetrics()
+
+    def fake_execute(job):
+        assert job.sim_config.domains == 2
+        return ({"kind": "fake", "label": job.label,
+                 "sharding": {"windows": 11, "deliveries": 4}}, 0.01)
+
+    scheduler = Scheduler(queue, metrics=metrics, execute_fn=fake_execute)
+    _submit(queue, cpu="timing", domains=2)
+    scheduler._resolve(queue.claim_next(timeout=0))
+    doc = scheduler.stats.as_dict()
+    assert doc["sharded_runs"] == 1
+    assert doc["domain_windows"] == 11
+    assert doc["boundary_deliveries"] == 4
+    metrics.attach_engine(scheduler.stats)
+    assert "repro_engine_sharded_runs 1" in metrics.render()
+    scheduler.stop()
