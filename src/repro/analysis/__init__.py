@@ -17,6 +17,7 @@ Two halves, wired into the ``repro-g5 lint`` CLI subcommand:
 from __future__ import annotations
 
 from .baseline import Baseline, BaselineError, find_default_baseline
+from .cache import default_lint_cache, lint_file_key, passes_fingerprint
 from .engine import (
     Engine,
     LintPass,
@@ -28,6 +29,18 @@ from .engine import (
     run_lint,
 )
 from .findings import Finding, RuleInfo, finalize_findings
+from .ownership import (
+    BOUNDARY,
+    LATTICE,
+    LOCAL,
+    RACY,
+    UNKNOWN,
+    OwnershipMap,
+    build_ownership_map,
+    export_ownership_map,
+    join,
+)
+from .summaries import ClassSummaries, class_summaries
 from .guestcfg import (
     BasicBlock,
     CrossCheckReport,
@@ -43,31 +56,44 @@ from .guestcfg import (
 from .output import render_json, render_sarif, render_text
 
 __all__ = [
+    "BOUNDARY",
     "Baseline",
     "BaselineError",
     "BasicBlock",
+    "ClassSummaries",
     "CrossCheckReport",
     "DynamicTrace",
     "Engine",
     "Finding",
     "GuestCFG",
+    "LATTICE",
+    "LOCAL",
     "LintPass",
+    "OwnershipMap",
     "ProjectIndex",
+    "RACY",
     "RuleInfo",
     "SourceFile",
+    "UNKNOWN",
     "all_passes",
     "analyze_workload",
     "build_cfg",
+    "build_ownership_map",
+    "class_summaries",
     "cross_check",
     "decoder_totality_failures",
+    "default_lint_cache",
     "default_lint_root",
+    "export_ownership_map",
     "finalize_findings",
     "find_default_baseline",
+    "join",
+    "lint_file_key",
+    "passes_fingerprint",
     "register_pass",
     "render_guest_report",
     "render_json",
     "render_sarif",
     "render_text",
-    "run_dynamic_trace",
     "run_lint",
 ]

@@ -1,0 +1,73 @@
+"""Content-addressed lint result cache.
+
+``repro-g5 lint`` re-parses and re-visits every file on every run even
+though almost nothing changed between runs.  This module keys each
+file's findings by *content*: the file's own digest, the set of passes
+that apply to it, and a fingerprint over the ``repro.analysis`` package
+sources (so editing any pass invalidates everything it produced).
+Files in scope of a cross-file pass (``LintPass.cross_file``) are
+additionally keyed by a digest over every file in the lint root — the
+slots-coverage and race passes read project-wide state (the class index,
+the runtime ownership map), so any edit anywhere can change their
+verdicts.
+
+Entries live in the same content-addressed store as simulation results
+(:class:`repro.exec.cache.ResultCache`, kind ``"lint"``), so the
+existing ``repro-g5 cache info|list|prune|clear`` CLI manages them.
+The cached payload is the *raw* per-file finding list (pre-
+finalization); occurrence indices and fingerprints are reassigned by
+``finalize_findings`` after assembly, exactly as in an uncached run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional, Sequence
+
+from ..exec.cache import ResultCache
+from ..exec.keys import CacheKey, _fingerprint, _make_key
+
+#: Cache kind for lint entries (listed/pruned by the cache CLI).
+LINT_KIND = "lint"
+
+
+def passes_fingerprint() -> str:
+    """Code version of the analysis package: any pass edit is a miss."""
+    return _fingerprint(("analysis",))
+
+
+def file_digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def project_digest(files: Iterable) -> str:
+    """Digest over every (relpath, content) pair under the lint root."""
+    digest = hashlib.sha256()
+    for source in sorted(files, key=lambda s: s.relpath):
+        digest.update(source.relpath.encode())
+        digest.update(b"\0")
+        digest.update(source.text.encode("utf-8"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def lint_file_key(source, pass_rules: Sequence[str], respect_scope: bool,
+                  project_fp: Optional[str]) -> CacheKey:
+    """Cache key for one file's findings under the given passes.
+
+    ``project_fp`` is non-None exactly when a cross-file pass applies
+    to this file.
+    """
+    return _make_key(LINT_KIND, {
+        "relpath": source.relpath,
+        "file": file_digest(source.text),
+        "passes": sorted(pass_rules),
+        "passes_version": passes_fingerprint(),
+        "respect_scope": bool(respect_scope),
+        "project": project_fp or "",
+    })
+
+
+def default_lint_cache(cache_dir=None) -> ResultCache:
+    """The lint store (shares the exec cache directory by default)."""
+    return ResultCache(cache_dir)

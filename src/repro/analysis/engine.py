@@ -163,6 +163,11 @@ class LintPass(ast.NodeVisitor):
     #: ``# lint: <pragma>`` token that silences this pass on a line.
     pragma: str = ""
     severity: str = "error"
+    #: True for passes whose findings depend on project-wide state (the
+    #: class index, the ownership map) rather than the visited file
+    #: alone; the lint result cache keys such findings by a digest over
+    #: the whole lint root instead of just the file.
+    cross_file: bool = False
 
     def __init__(self, source: SourceFile, project: ProjectIndex) -> None:
         self.source = source
@@ -223,12 +228,15 @@ class Engine:
 
     def __init__(self, root: Path,
                  passes: Optional[Iterable[Type[LintPass]]] = None,
-                 respect_scope: bool = True) -> None:
+                 respect_scope: bool = True, cache=None) -> None:
         self.root = Path(root)
         self.passes = list(passes) if passes is not None else all_passes()
         #: Tests set False to run a pass on fixture files that live
         #: outside the directory layout its ``applies_to`` expects.
         self.respect_scope = respect_scope
+        #: Optional :class:`repro.exec.cache.ResultCache`: per-file
+        #: findings are served content-addressed (see analysis.cache).
+        self.cache = cache
         self.errors: list[Finding] = []   # parse failures, as findings
 
     # ------------------------------------------------------------------
@@ -253,14 +261,38 @@ class Engine:
         """Lint the tree; returns finalized (sorted, fingerprinted)
         findings, including parse errors."""
         files = self.collect_files()
-        project = ProjectIndex(files)
+        project: Optional[ProjectIndex] = None
         findings: list[Finding] = list(self.errors)
+        project_fp: Optional[str] = None
+        if self.cache is not None:
+            from .cache import lint_file_key, project_digest
+
+            project_fp = project_digest(files)
         for source in files:
-            for pass_cls in self.passes:
-                if self.respect_scope and \
-                        not pass_cls.applies_to(source.relpath):
+            applicable = [
+                pass_cls for pass_cls in self.passes
+                if not self.respect_scope
+                or pass_cls.applies_to(source.relpath)]
+            if not applicable:
+                continue
+            if self.cache is not None:
+                key = lint_file_key(
+                    source, [p.rule for p in applicable],
+                    self.respect_scope,
+                    project_fp if any(p.cross_file for p in applicable)
+                    else None)
+                cached = self.cache.get(key)
+                if isinstance(cached, list):
+                    findings.extend(cached)
                     continue
-                findings.extend(pass_cls(source, project).run())
+            if project is None:
+                project = ProjectIndex(files)
+            file_findings: list[Finding] = []
+            for pass_cls in applicable:
+                file_findings.extend(pass_cls(source, project).run())
+            if self.cache is not None:
+                self.cache.put(key, file_findings)
+            findings.extend(file_findings)
         return finalize_findings(findings)
 
 
@@ -271,8 +303,8 @@ def default_lint_root() -> Path:
 
 def run_lint(root: Optional[Path] = None,
              passes: Optional[Iterable[Type[LintPass]]] = None,
-             respect_scope: bool = True) -> list[Finding]:
+             respect_scope: bool = True, cache=None) -> list[Finding]:
     """Convenience wrapper: lint ``root`` (default: the repro package)."""
     engine = Engine(root or default_lint_root(), passes=passes,
-                    respect_scope=respect_scope)
+                    respect_scope=respect_scope, cache=cache)
     return engine.run()

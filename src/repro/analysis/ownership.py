@@ -1,0 +1,312 @@
+"""Domain-ownership map: who owns which SimObject state at runtime.
+
+The sharded engine (:mod:`repro.g5.sharded`) partitions the SimObject
+graph into a CPU domain and a memory domain.  Threading those domains
+(ROADMAP layer (c)) is only sound if every piece of mutable state has a
+single owning domain and every cross-domain access goes through the
+boundary (ports / :class:`~repro.g5.sharded.BoundaryLink`).  This module
+extracts that partition *from the real configuration*: it instantiates
+one cheap system per CPU model (plus an FS system for the device tree),
+asks :func:`~repro.g5.sharded.memory_domain_objects` which objects the
+memory domain owns, and records every inter-object reference found in
+instance ``__dict__``\\ s.  The result is the machine-readable ownership
+map the ``race`` lint pass resolves attribute chains against, and the
+artifact ``repro-g5 lint --ownership-map`` exports for future tooling.
+
+Ownership lattice
+-----------------
+Accesses classified by the race pass live on a small total-order
+lattice::
+
+    UNKNOWN < LOCAL < BOUNDARY < RACY
+
+``join`` is ``max``: combining a boundary-mediated access with a local
+one stays boundary-mediated, and a racy access absorbs everything.
+Property tests in ``tests/analysis/test_race.py`` pin the algebra.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+# ---------------------------------------------------------------------------
+# the ownership lattice
+# ---------------------------------------------------------------------------
+UNKNOWN = "unknown"
+LOCAL = "local"
+BOUNDARY = "boundary"
+RACY = "racy"
+
+#: Lattice elements in ascending order (the join is the max).
+LATTICE = (UNKNOWN, LOCAL, BOUNDARY, RACY)
+
+_RANK = {value: rank for rank, value in enumerate(LATTICE)}
+
+
+def join(left: str, right: str) -> str:
+    """Least upper bound of two ownership verdicts (total order: max)."""
+    if left not in _RANK or right not in _RANK:
+        raise ValueError(f"not lattice elements: {left!r}, {right!r}")
+    return left if _RANK[left] >= _RANK[right] else right
+
+
+# ---------------------------------------------------------------------------
+# runtime extraction
+# ---------------------------------------------------------------------------
+#: Classes that are *shared data plane* by design: both domains may touch
+#: them, and layer (c) maps them into shared memory rather than giving
+#: either domain exclusive ownership (ROADMAP: "subprocess domains with
+#: shared memory").  Functional access to guest memory is the canonical
+#: case.
+SHARED_DATA_CLASSES = frozenset({"PhysicalMemory"})
+
+#: Control-plane classes: invoked synchronously at guest-visible
+#: serialization points (syscalls, pseudo-ops, traps), where every domain
+#: is quiescent — the parti-gem5 "global barrier" shape.  Not owned by a
+#: single domain, and not a data race.
+CONTROL_CLASSES = frozenset({"PseudoOpHandler", "Process", "MiniKernel"})
+
+#: Framework attributes every SimObject carries; never model state.
+FRAMEWORK_ATTRS = frozenset({
+    "parent", "children", "eventq", "clock", "recorder", "name",
+    "config", "boundary_links", "sharded",
+})
+
+#: CPU models instantiated to collect per-class references (each model
+#: stores different attributes on its instances).
+_CPU_MODELS = ("atomic", "timing", "minor", "o3")
+
+
+class OwnershipMap:
+    """Classes -> domains, plus every inter-object reference edge.
+
+    ``class_domains`` maps a class name to ``"cpu"``, ``"mem"``,
+    ``"shared"``, ``"control"`` — or ``"mixed"`` if instances were seen
+    in more than one domain (no class in the current tree is).
+    ``refs[cls][attr]`` describes the edge behind ``instance.attr``:
+    its ``kind`` (``object``/``port``/``control``/``shared``/``data``),
+    the set of ``targets`` (class names, for object edges), the target
+    ``domain``, and for ports whether the pair crosses the boundary.
+    """
+
+    def __init__(self) -> None:
+        self.class_domains: Dict[str, str] = {}
+        self.object_domains: Dict[str, str] = {}
+        self.refs: Dict[str, Dict[str, dict]] = {}
+        self.boundary_ports: List[str] = []
+
+    # -- queries (class-name granularity; family closure is the race
+    #    pass's job, it has the AST index) ------------------------------
+    def domain_of_class(self, name: str) -> Optional[str]:
+        return self.class_domains.get(name)
+
+    def ref(self, class_names, attr: str) -> Optional[dict]:
+        """Merged edge info for ``attr`` over any of ``class_names``."""
+        merged: Optional[dict] = None
+        for cls in class_names:
+            info = self.refs.get(cls, {}).get(attr)
+            if info is None:
+                continue
+            if merged is None:
+                merged = {"kind": info["kind"],
+                          "targets": set(info["targets"]),
+                          "domain": info["domain"],
+                          "boundary": info["boundary"]}
+            else:
+                merged["targets"] |= info["targets"]
+                merged["boundary"] = merged["boundary"] or info["boundary"]
+                if merged["kind"] != info["kind"]:
+                    merged["kind"] = "data"
+                if merged["domain"] != info["domain"]:
+                    merged["domain"] = "mixed"
+        return merged
+
+    def domain_of_classes(self, class_names) -> str:
+        """Single domain shared by ``class_names`` (or ``mixed``/None)."""
+        domain: Optional[str] = None
+        for cls in class_names:
+            found = self.class_domains.get(cls)
+            if found is None:
+                continue
+            if domain is None:
+                domain = found
+            elif domain != found:
+                return "mixed"
+        return domain if domain is not None else UNKNOWN
+
+    # -- serialization --------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "schema": "repro-ownership-map-v1",
+            "lattice": list(LATTICE),
+            "classes": dict(sorted(self.class_domains.items())),
+            "objects": dict(sorted(self.object_domains.items())),
+            "boundary_ports": sorted(self.boundary_ports),
+            "refs": {
+                cls: {
+                    attr: {
+                        "kind": info["kind"],
+                        "targets": sorted(info["targets"]),
+                        "domain": info["domain"],
+                        "boundary": info["boundary"],
+                    }
+                    for attr, info in sorted(attrs.items())
+                }
+                for cls, attrs in sorted(self.refs.items())
+            },
+        }
+
+
+def _merge_domain(existing: Optional[str], new: str) -> str:
+    if existing is None or existing == new:
+        return new
+    # Shared/control overrides win over a positional cpu/mem placement.
+    for special in ("shared", "control"):
+        if special in (existing, new):
+            return special
+    return "mixed"
+
+
+def _classify_value(value, owner_domain: str, port_cls, simobject_cls):
+    """Edge info for one attribute value, or None to skip it."""
+    cls_name = type(value).__name__
+    if isinstance(value, port_cls):
+        return {"kind": "port", "targets": set(), "domain": BOUNDARY,
+                "boundary": False}
+    if cls_name in CONTROL_CLASSES:
+        return {"kind": "control", "targets": {cls_name},
+                "domain": "control", "boundary": False}
+    if cls_name in SHARED_DATA_CLASSES:
+        return {"kind": "shared", "targets": {cls_name},
+                "domain": "shared", "boundary": False}
+    if isinstance(value, simobject_cls):
+        return {"kind": "object", "targets": {cls_name}, "domain": None,
+                "boundary": False}
+    if isinstance(value, list) and value:
+        kinds = {type(item).__name__ for item in value}
+        if all(isinstance(item, port_cls) for item in value):
+            return {"kind": "port", "targets": set(), "domain": BOUNDARY,
+                    "boundary": False}
+        if all(isinstance(item, simobject_cls) for item in value):
+            return {"kind": "object", "targets": kinds, "domain": None,
+                    "boundary": False}
+    # Plain data (registers, stats, ints, dicts...): owned by the
+    # holder — any cross-domain touch of it is a touch of the holder.
+    return {"kind": "data", "targets": set(), "domain": owner_domain,
+            "boundary": False}
+
+
+def _record_system(system, omap: OwnershipMap) -> None:
+    from ..events.simobject import SimObject
+    from ..g5.mem.port import Port
+    from ..g5.sharded import boundary_pairs, memory_domain_objects
+
+    mem_ids = {id(obj) for obj in memory_domain_objects(system)}
+    boundary_port_ids = set()
+    for req_port, resp_port in boundary_pairs(system):
+        boundary_port_ids.add(id(req_port))
+        boundary_port_ids.add(id(resp_port))
+        omap.boundary_ports.append(req_port.full_name)
+
+    for obj in [system, *system.descendants()]:
+        cls_name = type(obj).__name__
+        if cls_name in SHARED_DATA_CLASSES:
+            domain = "shared"
+        elif cls_name in CONTROL_CLASSES:
+            domain = "control"
+        elif id(obj) in mem_ids:
+            domain = "mem"
+        else:
+            domain = "cpu"
+        omap.class_domains[cls_name] = _merge_domain(
+            omap.class_domains.get(cls_name), domain)
+        omap.object_domains[obj.path] = domain
+
+        ref_map = omap.refs.setdefault(cls_name, {})
+        attrs = vars(obj)
+        for attr in sorted(attrs):
+            if attr in FRAMEWORK_ATTRS or attr.startswith("stat_"):
+                continue
+            value = attrs[attr]
+            if value is None:
+                continue
+            info = _classify_value(value, domain, Port, SimObject)
+            if info["kind"] in ("control", "shared"):
+                # Control/shared-plane helpers may hang off an object
+                # without being parented into the SimObject tree (the
+                # pseudo-op handler); place their classes here too.
+                for target in info["targets"]:
+                    omap.class_domains[target] = _merge_domain(
+                        omap.class_domains.get(target), info["domain"])
+            if info["kind"] == "port":
+                ports = value if isinstance(value, list) else [value]
+                info["boundary"] = any(id(port) in boundary_port_ids
+                                       for port in ports)
+            existing = ref_map.get(attr)
+            if existing is None:
+                ref_map[attr] = info
+            else:
+                existing["targets"] |= info["targets"]
+                existing["boundary"] = (existing["boundary"]
+                                        or info["boundary"])
+                if existing["kind"] != info["kind"]:
+                    existing["kind"] = "data"
+        # Control-plane singletons hung off the system but not parented
+        # into the tree (the SE process, the FS kernel).
+        for attr in ("process", "kernel"):
+            value = getattr(obj, attr, None)
+            if value is not None:
+                control_cls = type(value).__name__
+                omap.class_domains[control_cls] = _merge_domain(
+                    omap.class_domains.get(control_cls), "control")
+
+    # Resolve object-edge target domains now that every class is placed.
+    for attrs in omap.refs.values():
+        for info in attrs.values():
+            if info["kind"] == "object":
+                info["domain"] = omap.domain_of_classes(info["targets"])
+
+
+_MAP_CACHE: Optional[OwnershipMap] = None
+
+
+def build_ownership_map(force: bool = False) -> OwnershipMap:
+    """Instantiate cheap systems and extract the ownership partition.
+
+    One SE system per CPU model (each model stores different state on
+    its instances) with the sieve workload bound, plus one FS system for
+    the device tree and kernel edges.  Memoized per process: lint runs
+    pay for it once.
+    """
+    global _MAP_CACHE
+    if _MAP_CACHE is not None and not force:
+        return _MAP_CACHE
+    from ..g5 import SimConfig, System
+    from ..workloads.registry import get_workload
+
+    omap = OwnershipMap()
+    workload = get_workload("sieve")
+    program = workload.build("test")
+    for model in _CPU_MODELS:
+        system = System(SimConfig(cpu_model=model, mode="se",
+                                  record=False))
+        system.set_se_workload(program, process_name="ownership-probe")
+        _record_system(system, omap)
+    fs_system = System(SimConfig(cpu_model="atomic", mode="fs",
+                                 record=False))
+    _record_system(fs_system, omap)
+    _MAP_CACHE = omap
+    return omap
+
+
+def export_ownership_map(path: str,
+                         inventory: Optional[dict] = None) -> dict:
+    """Write the ownership map (plus an access inventory) as JSON."""
+    document = build_ownership_map().to_json()
+    if inventory is not None:
+        document["access_inventory"] = inventory
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return document

@@ -12,6 +12,7 @@ from . import (  # noqa: F401
     eventsafety,
     fastslow,
     figreq,
+    race,
     slotscov,
     statsconf,
 )

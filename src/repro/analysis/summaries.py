@@ -1,0 +1,186 @@
+"""Interprocedural method summaries for the domain-ownership race pass.
+
+The race pass needs two project-wide facts the per-file AST can't give
+it:
+
+- **Family closure.**  The ownership map records *instantiated* class
+  names (``TimingSimpleCPU``), while the code under analysis mentions
+  bases (``BaseCPU``) and test fixtures subclass real names.  A class's
+  *family* is the closure of its named bases and subclasses over the
+  :class:`~repro.analysis.engine.ProjectIndex`; domains and reference
+  edges are resolved over the whole family.
+
+- **Does this method mutate its receiver?**  ``other.touch()`` is only
+  a race if ``touch`` (or anything it calls on ``self``, transitively)
+  writes an attribute of ``other``.  :func:`method_mutates` answers
+  that with a fixed point over per-method write/self-call summaries,
+  resolved over the family so overrides anywhere in the hierarchy
+  count.  Methods the project index cannot see are conservatively
+  assumed to mutate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from .engine import ProjectIndex
+
+
+@dataclass(frozen=True)
+class MethodSummary:
+    """What one method definition does to ``self``."""
+
+    writes: FrozenSet[str]      # self attributes assigned (incl. augassign)
+    self_calls: FrozenSet[str]  # methods invoked as self.<name>(...)
+
+
+def _is_self_attr(node: ast.expr) -> Optional[str]:
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def summarize_method(func: ast.FunctionDef) -> MethodSummary:
+    writes: Set[str] = set()
+    calls: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _is_self_attr(target)
+                if attr is not None:
+                    writes.add(attr)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            attr = _is_self_attr(node.target)
+            if attr is not None:
+                writes.add(attr)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _is_self_attr(target)
+                if attr is not None:
+                    writes.add(attr)
+        elif isinstance(node, ast.Call):
+            attr = _is_self_attr(node.func)
+            if attr is not None:
+                calls.add(attr)
+    return MethodSummary(frozenset(writes), frozenset(calls))
+
+
+class ClassSummaries:
+    """Lazy per-project summaries: class -> method -> MethodSummary."""
+
+    def __init__(self, project: ProjectIndex) -> None:
+        self.project = project
+        self._by_class: Dict[str, Dict[str, MethodSummary]] = {}
+        self._subclasses: Dict[str, Set[str]] = {}
+        for name, infos in project.classes.items():
+            for info in infos:
+                for base in info.bases:
+                    self._subclasses.setdefault(base, set()).add(name)
+        self._families: Dict[str, FrozenSet[str]] = {}
+        self._mutates: Dict[tuple, bool] = {}
+
+    # -- family closure -------------------------------------------------
+    def family(self, name: str) -> FrozenSet[str]:
+        """``name`` plus its ancestors and descendants (no siblings).
+
+        Deliberately *not* the connected component of the hierarchy
+        graph: hopping base -> other-subclass would merge every
+        SimObject into one family.  Ancestors supply inherited methods
+        and the instantiated representatives of abstract bases;
+        descendants supply overrides and fixture subclasses.
+        """
+        cached = self._families.get(name)
+        if cached is not None:
+            return cached
+        members: Set[str] = {name}
+        frontier = [name]
+        while frontier:                      # ancestors
+            current = frontier.pop()
+            for info in self.project.lookup_class(current):
+                for base in info.bases:
+                    if base not in members:
+                        members.add(base)
+                        frontier.append(base)
+        frontier = [name]
+        while frontier:                      # descendants
+            current = frontier.pop()
+            for sub in self._subclasses.get(current, ()):
+                if sub not in members:
+                    members.add(sub)
+                    frontier.append(sub)
+        result = frozenset(members)
+        self._families[name] = result
+        return result
+
+    def family_of(self, names: Iterable[str]) -> FrozenSet[str]:
+        members: Set[str] = set()
+        for name in names:
+            members |= self.family(name)
+        return frozenset(members)
+
+    # -- method summaries -----------------------------------------------
+    def methods_of(self, class_name: str) -> Dict[str, MethodSummary]:
+        cached = self._by_class.get(class_name)
+        if cached is not None:
+            return cached
+        summaries: Dict[str, MethodSummary] = {}
+        for info in self.project.lookup_class(class_name):
+            for stmt in info.node.body:
+                if isinstance(stmt, ast.FunctionDef):
+                    summaries[stmt.name] = summarize_method(stmt)
+        self._by_class[class_name] = summaries
+        return summaries
+
+    def method_mutates(self, class_names: Iterable[str],
+                       method: str) -> bool:
+        """True if ``method`` on any family member mutates the receiver.
+
+        Unknown methods (no definition anywhere in the family visible to
+        the project index) are conservatively mutating.  Recursion
+        through self-calls reaches a least fixed point: an in-progress
+        method contributes no writes of its own.
+        """
+        family = self.family_of(class_names)
+        return self._mutates_in_family(family, method, in_progress=set())
+
+    def _mutates_in_family(self, family: FrozenSet[str], method: str,
+                           in_progress: Set[tuple]) -> bool:
+        key = (family, method)
+        cached = self._mutates.get(key)
+        if cached is not None:
+            return cached
+        if key in in_progress:
+            return False
+        in_progress.add(key)
+        found = False
+        result = False
+        for cls in family:
+            summary = self.methods_of(cls).get(method)
+            if summary is None:
+                continue
+            found = True
+            if summary.writes:
+                result = True
+                break
+            if any(self._mutates_in_family(family, callee, in_progress)
+                   for callee in summary.self_calls):
+                result = True
+                break
+        in_progress.discard(key)
+        if not found:
+            result = True       # unknown method: assume the worst
+        self._mutates[key] = result
+        return result
+
+
+def class_summaries(project: ProjectIndex) -> ClassSummaries:
+    """Per-project summaries, memoized on the index itself."""
+    cached = getattr(project, "_race_summaries", None)
+    if cached is None:
+        cached = ClassSummaries(project)
+        project._race_summaries = cached
+    return cached

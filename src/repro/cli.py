@@ -100,6 +100,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--link-latency", type=int, default=0,
                      help="cross-domain boundary-link latency in cycles "
                           "(default: 0; >0 changes guest timing)")
+    sim.add_argument("--sanitize", action="store_true",
+                     help="arm the runtime ownership sanitizer (requires "
+                          "--domains >= 2); exits nonzero on any "
+                          "cross-domain write outside the boundary "
+                          "channels")
 
     prof = sub.add_parser("profile", help="profile one g5 run on a host")
     prof.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
@@ -134,7 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=["info", "list", "clear",
                                           "prune"])
     cache.add_argument("--kind", default=None,
-                       choices=["g5", "host", "spec"],
+                       choices=["g5", "host", "spec", "lint"],
                        help="restrict clear to one entry kind")
     cache.add_argument("--max-bytes", type=_byte_size, default=None,
                        help="prune: evict oldest entries until the "
@@ -271,6 +276,17 @@ def _build_parser() -> argparse.ArgumentParser:
                            "and exit 0")
     lint.add_argument("--list-passes", action="store_true",
                       help="list the registered lint passes and exit")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the content-addressed lint result "
+                           "cache for this run")
+    lint.add_argument("--cache-dir", default=None,
+                      help="lint cache location (default: $REPRO_CACHE_DIR "
+                           "or ~/.cache/repro-g5)")
+    lint.add_argument("--ownership-map", default=None, metavar="FILE",
+                      dest="ownership_map",
+                      help="export the runtime domain-ownership map (plus "
+                           "the race pass's access inventory) as JSON and "
+                           "exit")
     lint.add_argument("--guest", default=None, metavar="WORKLOAD",
                       choices=sorted(WORKLOADS),
                       help="analyze this guest workload's binary instead "
@@ -285,9 +301,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
+    if args.sanitize and args.domains < 2:
+        print("error: --sanitize requires --domains >= 2 (it validates "
+              "the sharded domain partition)", file=sys.stderr)
+        return 2
     system = System(SimConfig(cpu_model=args.cpu, mode=workload.mode,
                               domains=args.domains,
-                              link_latency_cycles=args.link_latency))
+                              link_latency_cycles=args.link_latency,
+                              sanitize=args.sanitize))
     program = workload.build(args.scale)
     if workload.mode == "se":
         system.set_se_workload(program, process_name=args.workload)
@@ -312,6 +333,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"sync windows   : {shard['windows']} "
               f"({shard['deliveries']} boundary deliveries, "
               f"quantum {shard['quantum_ticks']} ticks)")
+    if result.sanitize is not None:
+        san = result.sanitize
+        print(f"sanitizer      : {san['checked_writes']} writes checked, "
+              f"{san['boundary_crossings']} boundary crossings, "
+              f"{len(san['violations'])} violation"
+              f"{'s' if len(san['violations']) != 1 else ''}")
+        for violation in san["violations"][:10]:
+            print(f"  VIOLATION    : {violation['path']}.{violation['attr']} "
+                  f"(owner {violation['owner_domain']}) written from "
+                  f"{violation['active_domain']} at tick "
+                  f"{violation['tick']}")
     if result.console:
         print(f"console        : {result.console!r}")
     if args.stats_file:
@@ -319,6 +351,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         save_stats(system, args.stats_file)
         print(f"stats          : wrote {args.stats_file}")
+    if result.sanitize is not None and result.sanitize["violations"]:
+        return 1
     return 0
 
 
@@ -544,7 +578,8 @@ def _lint_guest(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from .analysis import (Baseline, all_passes, default_lint_root,
+    from .analysis import (Baseline, all_passes, default_lint_cache,
+                           default_lint_root, export_ownership_map,
                            find_default_baseline, render_json, render_sarif,
                            render_text, run_lint)
     from .analysis.baseline import DEFAULT_BASELINE_NAME, BaselineError
@@ -557,7 +592,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return _lint_guest(args)
 
     root = Path(args.path) if args.path else default_lint_root()
-    findings = run_lint(root)
+    if args.ownership_map:
+        from .analysis.passes.race import RacePass
+
+        # Run the race pass alone, uncached, to populate its access
+        # inventory for the export (cached runs skip the visitor).
+        RacePass.reset_inventory()
+        run_lint(root, passes=[RacePass])
+        export_ownership_map(args.ownership_map,
+                             inventory=RacePass.snapshot_inventory())
+        print(f"wrote {args.ownership_map}")
+        return 0
+    cache = None if args.no_cache else default_lint_cache(args.cache_dir)
+    findings = run_lint(root, cache=cache)
 
     baseline_path = (Path(args.baseline) if args.baseline
                      else find_default_baseline(Path.cwd()))

@@ -55,11 +55,11 @@ class AtomicSimpleCPU(BaseCPU):
     def activate(self) -> None:
         """Start executing at the bound workload's entry point."""
         if self.fast_path:
-            # Bind the packet-free atomic entry points of both L1s once.
-            icache = self.icache_port._require_peer().owner
-            dcache = self.dcache_port._require_peer().owner
-            self._icache_fast = icache.recv_atomic_fast
-            self._dcache_fast = dcache.recv_atomic_fast
+            # Bind the packet-free atomic entry points of both L1s once,
+            # through the ports: the port is the sanctioned crossing
+            # point into the memory domain (see RequestPort.atomic_fast_fn).
+            self._icache_fast = self.icache_port.atomic_fast_fn()
+            self._dcache_fast = self.dcache_port.atomic_fast_fn()
         self.schedule_in(self._tick_event, 0)
 
     def tick(self) -> None:

@@ -105,6 +105,17 @@ class RequestPort(Port):
         return self._require_peer().owner.recv_atomic_fast(
             addr, size, is_write)
 
+    def atomic_fast_fn(self):
+        """Bound packet-free atomic entry point of the connected peer.
+
+        The port is the mediation point for every cross-object access:
+        model code that wants to cache the peer's fast atomic callable
+        must obtain it here rather than reaching through
+        ``.peer.owner`` itself, so instrumentation layers (the ownership
+        sanitizer, future boundary interposition) can wrap the crossing.
+        """
+        return self._require_peer().owner.recv_atomic_fast
+
     def send_atomic_wb_fast(self, addr: int, size: int) -> int:
         """Packet-free atomic writeback (fast path); latency in ticks."""
         return self._require_peer().owner.recv_atomic_wb_fast(addr, size)

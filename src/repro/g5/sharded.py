@@ -163,6 +163,10 @@ class ShardedEngine:
         self.timer: Optional[Callable[[], float]] = None
         self.busy_seconds = [0.0] * len(self.domains)
         self.sync_seconds = 0.0
+        #: Ownership sanitizer (:mod:`repro.g5.sanitize`), installed by
+        #: ``SimConfig(sanitize=True)``; the run loop publishes the
+        #: executing domain's index on it before every window.
+        self.sanitizer = None
 
     # -- EventQueue-facade inspection -----------------------------------
     @property
@@ -215,7 +219,8 @@ class ShardedEngine:
                 "use max_tick or run unsharded")
         limit_key = (None if max_tick is None
                      else (max_tick + 1, _MIN_PRI, 0))
-        if len(self.domains) == 2 and self.timer is None:
+        if len(self.domains) == 2 and self.timer is None \
+                and self.sanitizer is None:
             return self._run_pair(max_tick, limit_key)
         return self._run_many(max_tick, limit_key)
 
@@ -269,51 +274,59 @@ class ShardedEngine:
         """
         domains = self.domains
         timer = self.timer
+        sanitizer = self.sanitizer
         t_mark = timer() if timer is not None else 0.0
-        while True:
-            best = -1
-            best_key = None
-            bound = None        # smallest head key of any *other* domain
-            for index, queue in enumerate(domains):
-                entry = queue._peek_live()
-                if entry is None:
-                    continue
-                key = entry[0]
-                if best_key is None or key < best_key:
-                    bound = best_key
-                    best_key = key
-                    best = index
-                elif bound is None or key < bound:
-                    bound = key
-            if best_key is None:
-                return ExitEvent("event queue empty", code=0)
-            if limit_key is not None and best_key >= limit_key:
-                for queue in domains:
-                    queue.now = max_tick
-                return ExitEvent("simulate() limit reached", code=0)
-            if bound is None:
-                bound = _NO_BOUND
-            if limit_key is not None and limit_key < bound:
-                bound = limit_key
-            if timer is not None:
-                # Everything since the last window ended (selection,
-                # bound arithmetic) is synchronization overhead; the
-                # window itself is the chosen domain's busy time.
-                t_run = timer()
-                self.sync_seconds += t_run - t_mark
-                exit_event = domains[best].run_window(bound)
-                t_mark = timer()
-                self.busy_seconds[best] += t_mark - t_run
-            else:
-                exit_event = domains[best].run_window(bound)
-            self.windows += 1
-            if exit_event is not None:
-                # Bring lagging domains up to the exit tick; no live
-                # event below it can exist (the exit was globally next).
-                for queue in domains:
-                    if queue.now < exit_event.when:
-                        queue.now = exit_event.when
-                return exit_event
+        try:
+            while True:
+                best = -1
+                best_key = None
+                bound = None    # smallest head key of any *other* domain
+                for index, queue in enumerate(domains):
+                    entry = queue._peek_live()
+                    if entry is None:
+                        continue
+                    key = entry[0]
+                    if best_key is None or key < best_key:
+                        bound = best_key
+                        best_key = key
+                        best = index
+                    elif bound is None or key < bound:
+                        bound = key
+                if best_key is None:
+                    return ExitEvent("event queue empty", code=0)
+                if limit_key is not None and best_key >= limit_key:
+                    for queue in domains:
+                        queue.now = max_tick
+                    return ExitEvent("simulate() limit reached", code=0)
+                if bound is None:
+                    bound = _NO_BOUND
+                if limit_key is not None and limit_key < bound:
+                    bound = limit_key
+                if sanitizer is not None:
+                    sanitizer.current_domain = best
+                if timer is not None:
+                    # Everything since the last window ended (selection,
+                    # bound arithmetic) is synchronization overhead; the
+                    # window itself is the chosen domain's busy time.
+                    t_run = timer()
+                    self.sync_seconds += t_run - t_mark
+                    exit_event = domains[best].run_window(bound)
+                    t_mark = timer()
+                    self.busy_seconds[best] += t_mark - t_run
+                else:
+                    exit_event = domains[best].run_window(bound)
+                self.windows += 1
+                if exit_event is not None:
+                    # Bring lagging domains up to the exit tick; no live
+                    # event below it can exist (the exit was globally
+                    # next).
+                    for queue in domains:
+                        if queue.now < exit_event.when:
+                            queue.now = exit_event.when
+                    return exit_event
+        finally:
+            if sanitizer is not None:
+                sanitizer.current_domain = None
 
 
 # ----------------------------------------------------------------------

@@ -63,6 +63,12 @@ class SimConfig:
     #: one event queue — the single-queue reference partner for the
     #: sharded differential suite (identical link semantics, one queue).
     boundary_reference: bool = False
+    #: Arm the runtime ownership sanitizer (:mod:`repro.g5.sanitize`):
+    #: attribute tripwires on the hot SimObjects record any cross-domain
+    #: write that bypasses the boundary channels.  Observe-only — a
+    #: sanitized run stays bit-identical — but it adds per-write Python
+    #: overhead, so it is off by default.  Requires ``domains >= 2``.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.cpu_model not in CPU_MODELS:
@@ -81,6 +87,10 @@ class SimConfig:
             raise ValueError(
                 "boundary_reference is the single-queue partner of a "
                 "sharded run; it requires domains=1")
+        if self.sanitize and self.domains < 2:
+            raise ValueError(
+                "the ownership sanitizer validates the sharded domain "
+                "partition; sanitize=True requires domains >= 2")
 
     def with_cpu(self, cpu_model: str) -> "SimConfig":
         return replace(self, cpu_model=cpu_model)
@@ -125,10 +135,15 @@ class System(Root):
         self.reg_all_stats()
         self.boundary_links: list = []
         self.sharded = None
+        self.sanitizer = None
         if config.domains > 1 or config.boundary_reference:
             from .sharded import shard_system
 
             self.sharded = shard_system(self)
+        if config.sanitize:
+            from .sanitize import install_sanitizer
+
+            self.sanitizer = install_sanitizer(self)
 
     def _wire(self) -> None:
         self.cpu.icache_port.bind(self.icache.cpu_side)
@@ -194,6 +209,9 @@ class SimResult:
     #: Sharding counters (:meth:`repro.g5.sharded.ShardedEngine.
     #: describe`); ``None`` for single-queue runs.
     sharding: Optional[dict] = None
+    #: Ownership-sanitizer report (:meth:`repro.g5.sanitize.
+    #: OwnershipSanitizer.describe`); ``None`` unless sanitize=True.
+    sanitize: Optional[dict] = None
 
     @property
     def sim_seconds(self) -> float:
@@ -227,4 +245,6 @@ def simulate(system: System, max_ticks: Optional[int] = None) -> SimResult:
         exit_code=exit_code,
         sharding=(system.sharded.describe()
                   if system.sharded is not None else None),
+        sanitize=(system.sanitizer.describe()
+                  if system.sanitizer is not None else None),
     )

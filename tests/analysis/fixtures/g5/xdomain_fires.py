@@ -5,3 +5,14 @@ def bad_cross_domain(peer, event, handler, tick):
     peer.owner.eventq.schedule(event, tick)
     peer.eventq.schedule_in(event, 4)
     peer.eventq.call_in(3, handler)
+
+
+def bad_aliased(peer, event, handler, tick):
+    # Binding the foreign queue to a local first launders nothing.
+    eq = peer.eventq
+    eq.schedule(event, tick)
+    # Neither does fetching it reflectively...
+    getattr(peer, "eventq").schedule_in(event, 4)
+    # ...nor aliasing the reflective fetch.
+    hidden = getattr(peer.owner, "eventq")
+    hidden.call_in(3, handler)

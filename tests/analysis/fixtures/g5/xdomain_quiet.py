@@ -15,3 +15,17 @@ class Device:
 def driver(queue, event, tick):
     # A queue passed by value is not another object's .eventq.
     queue.schedule(event, tick)
+
+
+class Shadow:
+    def hot(self, event, tick):
+        # Aliasing *our own* queue is the sanctioned fast-path idiom.
+        eq = self.eventq
+        eq.schedule(event, tick)
+
+    def rebound(self, peer, event, tick):
+        # A name that once held a foreign queue but was rebound to our
+        # own is clean again at the schedule site.
+        eq = peer.eventq
+        eq = self.eventq
+        eq.schedule(event, tick)

@@ -1,0 +1,54 @@
+"""Fixture: cross-domain accesses the race pass must flag.
+
+The classes subclass real simulator classes *by bare name* — the
+fixture is parsed, never imported, and the family closure resolves the
+bases against the ownership map's instantiated representatives.
+"""
+
+
+class LeakyCPU(TimingSimpleCPU):
+    def tick(self, value, tick):
+        # Direct write into memory-domain state.
+        self.system.icache._lru_clock = value
+        # Aliased write: the local name still points across the domain.
+        l2 = self.system.l2cache
+        l2._lru_clock = tick
+        # Aug-assign is a write too.
+        self.system.memctrl._next_free_tick += 1
+
+    def bind_fast(self):
+        # Escaped peer owner: caching its bound method...
+        cache = self.icache_port._require_peer().owner
+        self._fast = cache.recv_atomic_fast
+        # ...or dereferencing peer.owner inline.
+        self.dcache_port.peer.owner.warm(0)
+
+    def poke(self, tick):
+        # Calling a method that mutates the other domain's object.
+        self.system.l2cache.scribble(tick)
+
+    def nudge(self):
+        # Interprocedural: touch() only mutates via _bump().
+        self.system.icache.touch()
+
+
+class NoisyCache(Cache):
+    def scribble(self, tick):
+        self._lru_clock = tick
+
+
+class DeepCache(Cache):
+    def touch(self):
+        self._bump()
+
+    def _bump(self):
+        self._lru_clock += 1
+
+
+class TrackingCache(Cache):
+    # Class attributes are process-global: per-core domains would share
+    # this list the moment domains run on threads.
+    outstanding = []
+
+    def note(self, pkt):
+        self.outstanding.append(pkt)

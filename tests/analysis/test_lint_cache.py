@@ -1,0 +1,128 @@
+"""Content-addressed lint cache: correctness, granularity, keys."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Engine,
+    default_lint_cache,
+    lint_file_key,
+    passes_fingerprint,
+)
+from repro.analysis.engine import LintPass, SourceFile
+from repro.analysis.passes.eventsafety import EventSafetyPass
+
+from .conftest import FIXTURES
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return default_lint_cache(tmp_path / "cache")
+
+
+def test_warm_run_is_served_from_cache(cache, monkeypatch):
+    cold = Engine(FIXTURES, cache=cache).run()
+    assert cold  # the fixture tree has findings
+
+    def explode(self):
+        raise AssertionError(
+            f"pass visited {self.source.relpath} on a warm run")
+
+    monkeypatch.setattr(LintPass, "run", explode)
+    warm = Engine(FIXTURES, cache=cache).run()
+    assert warm == cold
+
+
+def test_cached_and_uncached_results_agree(cache):
+    assert Engine(FIXTURES, cache=cache).run() == Engine(FIXTURES).run()
+
+
+def _write_tree(root):
+    (root / "g5").mkdir(parents=True)
+    (root / "g5" / "a.py").write_text(textwrap.dedent("""\
+        def poke(self, event):
+            self.eventq.schedule_in(event, -1)
+        """))
+    (root / "g5" / "b.py").write_text(textwrap.dedent("""\
+        def prod(self, peer, event):
+            peer.eventq.schedule_in(event, 2)
+        """))
+
+
+def test_file_edit_invalidates_only_that_file(cache, tmp_path):
+    """A local (non-cross-file) pass re-visits only the edited file."""
+    root = tmp_path / "tree"
+    _write_tree(root)
+    visited = []
+
+    class SpyPass(EventSafetyPass):
+        def run(self):
+            visited.append(self.source.relpath)
+            return super().run()
+
+    cold = Engine(root, passes=[SpyPass], cache=cache).run()
+    assert sorted(visited) == ["g5/a.py", "g5/b.py"]
+    assert sorted(f.path for f in cold) == ["g5/a.py", "g5/b.py"]
+
+    visited.clear()
+    (root / "g5" / "b.py").write_text(textwrap.dedent("""\
+        def prod(self, peer, event):
+            self.eventq.schedule_in(event, 2)
+        """))
+    warm = Engine(root, passes=[SpyPass], cache=cache).run()
+    assert visited == ["g5/b.py"]          # a.py served from cache
+    assert [f.path for f in warm] == ["g5/a.py"]
+
+
+def test_cross_file_pass_invalidates_on_any_edit(cache, tmp_path):
+    """Any edit anywhere re-runs cross-file passes everywhere."""
+    root = tmp_path / "tree"
+    _write_tree(root)
+    visited = []
+
+    class SpyPass(EventSafetyPass):
+        cross_file = True
+
+        def run(self):
+            visited.append(self.source.relpath)
+            return super().run()
+
+    Engine(root, passes=[SpyPass], cache=cache).run()
+    visited.clear()
+    (root / "g5" / "b.py").write_text("x = 1\n")
+    Engine(root, passes=[SpyPass], cache=cache).run()
+    assert sorted(visited) == ["g5/a.py", "g5/b.py"]
+
+
+def _source(relpath, text):
+    import ast
+
+    return SourceFile(path=None, relpath=relpath, text=text,
+                      tree=ast.parse(text), lines=text.splitlines())
+
+
+def test_key_changes_with_content_passes_and_scope():
+    a = _source("g5/a.py", "x = 1\n")
+    base = lint_file_key(a, ["event-safety"], True, None)
+    assert lint_file_key(a, ["event-safety"], True, None) == base
+    edited = _source("g5/a.py", "x = 2\n")
+    assert lint_file_key(edited, ["event-safety"], True, None) != base
+    assert lint_file_key(a, ["race"], True, None) != base
+    assert lint_file_key(a, ["event-safety"], False, None) != base
+    assert lint_file_key(a, ["event-safety"], True, "deadbeef") != base
+
+
+def test_key_embeds_passes_version():
+    a = _source("g5/a.py", "x = 1\n")
+    key = lint_file_key(a, ["event-safety"], True, None)
+    assert passes_fingerprint() in key.describe.values()
+
+
+def test_lint_entries_are_listed_by_the_cache_cli(cache):
+    Engine(FIXTURES, cache=cache).run()
+    labels = [entry.label for entry in cache.entries()]
+    assert labels
+    assert all(label.startswith("lint ") for label in labels)
