@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Benchmark N-core guest runs against the 1-core reference.
+
+Runs the threaded workload variant on 1 and on ``--threads`` coherent
+cores for each simple CPU model and gates on the three properties that
+make multi-core simulation shippable::
+
+    PYTHONPATH=src python benchmarks/bench_multicore.py --quick \
+        --min-speedup 1.2
+
+- **determinism**: the N-core digest — registers, memory image,
+  stats.txt, exit state — must be byte-identical across a repeat run
+  and across a ``--domains``-sharded run (the differential suite's
+  bar, re-checked on the benchmark configuration);
+- **correctness**: the N-core guest exit code must match the 1-core
+  reference (the threaded kernels are interleaving-independent);
+- **guest speedup**: the simulated machine's strong scaling,
+  ``sim_ticks(1) / sim_ticks(N)``, must clear ``--min-speedup`` for
+  the best model.  Guest time is deterministic, so no host-noise
+  fallback is needed; the model that gated is recorded as
+  ``gate_basis`` (``guest:<model>``), mirroring ``BENCH_sharded.json``.
+
+Writes ``BENCH_multicore.json`` with guest timings, host wall clock,
+and the summed L1D snoop counters (coherence-traffic context) so
+regressions are diffable in review.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+# Allow running as a script without installing the package.
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import bench_multicore, check_multicore_gate  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="ocean_cp")
+    parser.add_argument("--scale", default="simsmall")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--domains", type=int, default=3,
+                        help="sharded partition checked for determinism")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per variant; best is kept")
+    parser.add_argument("--min-speedup", type=float, default=1.2)
+    parser.add_argument("--quick", action="store_true",
+                        help="accepted for CI symmetry; the defaults "
+                             "already are the quick configuration")
+    parser.add_argument("--output", default="BENCH_multicore.json")
+    args = parser.parse_args(argv)
+
+    print(f"multicore guest bench: {args.workload}/{args.scale} at "
+          f"{args.threads} threads (best of {args.repeats}) ...")
+    results = bench_multicore(threads=args.threads,
+                              workload=args.workload, scale=args.scale,
+                              repeats=args.repeats, domains=args.domains)
+    error = check_multicore_gate(results, args.min_speedup)
+
+    doc = {
+        "bench": "multicore",
+        "config": {"workload": args.workload, "scale": args.scale,
+                   "threads": args.threads, "domains": args.domains,
+                   "repeats": args.repeats, "quick": args.quick,
+                   "min_speedup": args.min_speedup},
+        "models": results["models"],
+        "gate_basis": results["gate_basis"],
+        "speedup": results["speedup"],
+        "python": results["python"],
+        "machine": results["machine"],
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if error is not None:
+        print(f"FAIL: {error}")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Fig. 17 (repro extension): coherence traffic vs thread count."""
+
+from repro.experiments import FIGURES
+from repro.experiments.fig17_coherence_traffic import traffic_for
+
+
+def test_fig17_coherence_traffic(benchmark, runner, compare):
+    figure = benchmark.pedantic(lambda: FIGURES["fig17"].run(runner),
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    compare("Fig.17 L1D snoop traffic (extension figure: invariants, "
+            "not paper bands)", [
+        ("snoops @1 thread", "0",
+         f"{traffic_for(figure, 'snoops', 1):.0f}"),
+        ("snoops @4 threads", ">0",
+         f"{traffic_for(figure, 'snoops', 4):.0f}"),
+        ("invalidates @4 threads", ">0",
+         f"{traffic_for(figure, 'snoopInvalidates', 4):.0f}"),
+        ("writebacks @4 threads", ">0",
+         f"{traffic_for(figure, 'snoopWritebacks', 4):.0f}"),
+    ])
+    # One core never probes; four cores sharing data must.
+    for name in ("snoops", "snoopInvalidates", "snoopWritebacks"):
+        assert traffic_for(figure, name, 1) == 0.0
+        assert traffic_for(figure, name, 4) > 0
+    # Traffic grows with the number of sharers.
+    assert traffic_for(figure, "snoops", 4) > \
+        traffic_for(figure, "snoops", 2)

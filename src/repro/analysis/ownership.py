@@ -59,7 +59,13 @@ def join(left: str, right: str) -> str:
 #: either domain exclusive ownership (ROADMAP: "subprocess domains with
 #: shared memory").  Functional access to guest memory is the canonical
 #: case.
-SHARED_DATA_CLASSES = frozenset({"PhysicalMemory"})
+SHARED_DATA_CLASSES = frozenset({"PhysicalMemory", "ReservationSet"})
+
+#: Boundary-mediator classes: like ports, these exist to carry
+#: sanctioned cross-domain traffic (the snooping coherence bus walks
+#: peer L1 tag stores on a requester's behalf).  Accesses through them
+#: classify as boundary-mediated.
+MEDIATOR_CLASSES = frozenset({"CoherenceDomain"})
 
 #: Control-plane classes: invoked synchronously at guest-visible
 #: serialization points (syscalls, pseudo-ops, traps), where every domain
@@ -171,7 +177,7 @@ def _merge_domain(existing: Optional[str], new: str) -> str:
 def _classify_value(value, owner_domain: str, port_cls, simobject_cls):
     """Edge info for one attribute value, or None to skip it."""
     cls_name = type(value).__name__
-    if isinstance(value, port_cls):
+    if isinstance(value, port_cls) or cls_name in MEDIATOR_CLASSES:
         return {"kind": "port", "targets": set(), "domain": BOUNDARY,
                 "boundary": False}
     if cls_name in CONTROL_CLASSES:
@@ -197,12 +203,21 @@ def _classify_value(value, owner_domain: str, port_cls, simobject_cls):
             "boundary": False}
 
 
-def _record_system(system, omap: OwnershipMap) -> None:
+def _record_system(system, omap: OwnershipMap,
+                   class_level: bool = True) -> None:
+    """Record one system's partition into ``omap``.
+
+    ``class_level=False`` (the multi-core probe) records object domains,
+    references, and boundary ports, but skips the class->domain merge:
+    per-core groups would mark ``Cache`` "mixed" (private L1s vs shared
+    L2) even though the *class-level* two-way partition the race pass
+    resolves against is unchanged.
+    """
     from ..events.simobject import SimObject
     from ..g5.mem.port import Port
-    from ..g5.sharded import boundary_pairs, memory_domain_objects
+    from ..g5.sharded import boundary_pairs, domain_groups
 
-    mem_ids = {id(obj) for obj in memory_domain_objects(system)}
+    groups = domain_groups(system)
     boundary_port_ids = set()
     for req_port, resp_port in boundary_pairs(system):
         boundary_port_ids.add(id(req_port))
@@ -215,12 +230,11 @@ def _record_system(system, omap: OwnershipMap) -> None:
             domain = "shared"
         elif cls_name in CONTROL_CLASSES:
             domain = "control"
-        elif id(obj) in mem_ids:
-            domain = "mem"
         else:
-            domain = "cpu"
-        omap.class_domains[cls_name] = _merge_domain(
-            omap.class_domains.get(cls_name), domain)
+            domain = groups.get(id(obj), "cpu")
+        if class_level:
+            omap.class_domains[cls_name] = _merge_domain(
+                omap.class_domains.get(cls_name), domain)
         omap.object_domains[obj.path] = domain
 
         ref_map = omap.refs.setdefault(cls_name, {})
@@ -296,6 +310,14 @@ def build_ownership_map(force: bool = False) -> OwnershipMap:
     fs_system = System(SimConfig(cpu_model="atomic", mode="fs",
                                  record=False))
     _record_system(fs_system, omap)
+    # Multi-core probe: per-core object domains, the coherence-domain
+    # mediator edges, and the L1<->bus boundary ports.  Recorded at
+    # object level only (class_level=False): the per-core groups would
+    # otherwise mark Cache/BaseCPU classes "mixed".
+    mc_system = System(SimConfig(cpu_model="atomic", mode="se", cores=4,
+                                 record=False))
+    mc_system.set_se_workload(program, process_name="ownership-probe-mc")
+    _record_system(mc_system, omap, class_level=False)
     _MAP_CACHE = omap
     return omap
 

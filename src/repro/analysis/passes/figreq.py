@@ -5,8 +5,8 @@ prefetch (workload, cpu_model, mode) simulation tuples before the
 figure renders.  Fifteen hand-rolled copies of the same list
 comprehension drifted once already; the shared helpers in
 ``experiments/common.py`` (``topdown_required_g5``,
-``model_sweep_required_g5``) are now the only sanctioned way to build
-requirement tuples.
+``model_sweep_required_g5``, ``thread_sweep_required_g5``) are now the
+only sanctioned way to build requirement tuples.
 
 For each ``experiments/fig*.py`` module this pass requires:
 
@@ -28,7 +28,8 @@ from ..engine import LintPass, register_pass
 
 #: Names exported by experiments/common.py for building requirements.
 COMMON_HELPERS = frozenset({"topdown_required_g5",
-                            "model_sweep_required_g5"})
+                            "model_sweep_required_g5",
+                            "thread_sweep_required_g5"})
 
 
 def _is_fig_module(relpath: str) -> bool:

@@ -54,6 +54,9 @@ _PORT_SEND_METHODS = frozenset({
     "send_atomic", "send_atomic_fast", "send_atomic_wb_fast",
     "send_timing_req", "send_functional", "send_timing_resp",
     "send_retry", "atomic_fast_fn",
+    # Coherence probes: the CoherenceDomain mediator walks peer L1 tag
+    # stores on the requester's behalf (see repro.g5.coherence).
+    "snoop_read", "snoop_write",
 })
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,

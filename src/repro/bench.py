@@ -287,6 +287,157 @@ def bench_sharded(domains: int = 2, workload: str = "sieve",
     return results
 
 
+def _multicore_run(workload_name: str, scale: str, cpu_model: str,
+                   threads: int, domains: int = 1) -> dict:
+    """One SE-mode run of the ``-n threads`` workload variant.
+
+    Returns guest metrics (deterministic), the wall clock (host cost,
+    informational), the summed L1D snoop counters, and the state digest
+    used for the determinism gate.
+    """
+    workload = get_workload(workload_name)
+    program = workload.build(scale, threads=threads)
+    system = System(SimConfig(cpu_model=cpu_model, mode="se",
+                              cores=max(1, threads), record=False,
+                              domains=domains))
+    process = system.set_se_workload(program, process_name=workload_name)
+    start = time.perf_counter()
+    result = simulate(system)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "sim_ticks": result.sim_ticks,
+        "sim_insts": result.sim_insts,
+        "exit_code": process.exit_code,
+        "digest": _state_digest(system, result),
+        "snoops": {
+            "snoops": sum(c.stat_snoops.value()
+                          for c in system.dcaches),
+            "snoopInvalidates": sum(c.stat_snoop_invalidates.value()
+                                    for c in system.dcaches),
+            "snoopWritebacks": sum(c.stat_snoop_writebacks.value()
+                                   for c in system.dcaches),
+        },
+    }
+
+
+def bench_multicore(threads: int = 4, workload: str = "ocean_cp",
+                    scale: str = "simsmall",
+                    models=("atomic", "timing"), repeats: int = 3,
+                    domains: int = 3, verbose: bool = True) -> dict:
+    """Benchmark N-core guest runs against the 1-core reference.
+
+    For each simple CPU model the ``-n threads`` workload variant runs
+    on ``threads`` coherent cores and is compared with the 1-thread
+    run three ways:
+
+    - **guest speedup** — ``sim_ticks(1) / sim_ticks(threads)``, the
+      simulated machine's strong scaling.  Fully deterministic (no
+      host noise), so it is the gate's speedup basis;
+    - **determinism** — the N-core digest must be byte-identical
+      across a repeat run and across a ``domains``-sharded run (the
+      differential suite's bar, re-checked on the benchmark
+      configuration);
+    - **correctness** — the guest exit code must match the 1-thread
+      reference (the threaded kernels are interleaving-independent).
+
+    Wall-clock seconds and the summed L1D snoop counters ride along as
+    the host-cost and coherence-traffic context.
+    """
+    results: dict = {
+        "benchmark": "multicore_guest",
+        "workload": workload,
+        "scale": scale,
+        "threads": threads,
+        "domains": domains,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "models": {},
+    }
+    for model in models:
+        single_best: Optional[dict] = None
+        multi_best: Optional[dict] = None
+        for _ in range(repeats):
+            single = _multicore_run(workload, scale, model, threads=1)
+            if single_best is None \
+                    or single["seconds"] < single_best["seconds"]:
+                single_best = single
+            multi = _multicore_run(workload, scale, model,
+                                   threads=threads)
+            if multi_best is None \
+                    or multi["seconds"] < multi_best["seconds"]:
+                multi_best = multi
+        sharded = _multicore_run(workload, scale, model, threads=threads,
+                                 domains=domains)
+        deterministic = multi_best["digest"] == sharded["digest"]
+        correct = multi_best["exit_code"] == single_best["exit_code"]
+        guest_speedup = (single_best["sim_ticks"] / multi_best["sim_ticks"]
+                         if multi_best["sim_ticks"] else 0.0)
+        results["models"][model] = {
+            "single": {
+                "seconds": round(single_best["seconds"], 6),
+                "sim_ticks": single_best["sim_ticks"],
+                "sim_insts": single_best["sim_insts"],
+                "exit_code": single_best["exit_code"],
+            },
+            "multi": {
+                "seconds": round(multi_best["seconds"], 6),
+                "sim_ticks": multi_best["sim_ticks"],
+                "sim_insts": multi_best["sim_insts"],
+                "exit_code": multi_best["exit_code"],
+                "snoops": multi_best["snoops"],
+            },
+            "guest_speedup": round(guest_speedup, 3),
+            "deterministic": deterministic,
+            "correct": correct,
+        }
+        if verbose:
+            snoops = multi_best["snoops"]
+            print(f"{model:8s} 1-core {single_best['sim_ticks']:>12,d} "
+                  f"ticks  {threads}-core "
+                  f"{multi_best['sim_ticks']:>12,d} ticks  "
+                  f"guest speedup {guest_speedup:.2f}x")
+            print(f"{'':8s} snoops {snoops['snoops']}  invalidates "
+                  f"{snoops['snoopInvalidates']}  writebacks "
+                  f"{snoops['snoopWritebacks']}  deterministic "
+                  f"{deterministic}  correct {correct}")
+    return results
+
+
+def check_multicore_gate(results: dict,
+                         min_speedup: float) -> Optional[str]:
+    """Gate a multicore-bench result; returns an error message or None.
+
+    Determinism and guest correctness are non-negotiable for every
+    model.  The speedup gate takes the best guest speedup across the
+    benchmarked models (guest time is deterministic, so there is no
+    host-noise fallback to model); the model that gated is recorded as
+    ``gate_basis`` (``guest:<model>``), mirroring the other BENCH
+    files.
+    """
+    basis_model, speedup = None, 0.0
+    for model, entry in results["models"].items():
+        if not entry["deterministic"]:
+            results["gate_basis"] = f"guest:{model}"
+            results["speedup"] = 0.0
+            return (f"{model} {results['threads']}-core run is not "
+                    "deterministic (repeat/sharded digests differ)")
+        if not entry["correct"]:
+            results["gate_basis"] = f"guest:{model}"
+            results["speedup"] = 0.0
+            return (f"{model} {results['threads']}-core guest exit code "
+                    "diverged from the 1-core reference")
+        if entry["guest_speedup"] > speedup:
+            basis_model, speedup = model, entry["guest_speedup"]
+    results["gate_basis"] = f"guest:{basis_model}"
+    results["speedup"] = speedup
+    if speedup < min_speedup:
+        return (f"best guest speedup ({basis_model}) is {speedup:.2f}x, "
+                f"below the required {min_speedup:.2f}x")
+    return None
+
+
 def check_sharded_gate(results: dict, min_speedup: float) -> Optional[str]:
     """Gate a sharded-bench result; returns an error message or None.
 

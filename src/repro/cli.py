@@ -105,6 +105,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           "--domains >= 2); exits nonzero on any "
                           "cross-domain write outside the boundary "
                           "channels")
+    sim.add_argument("--threads", "-n", type=_positive_int, default=1,
+                     help="guest threads for workloads with a threaded "
+                          "variant (default: 1, the legacy kernel)")
+    sim.add_argument("--cores", type=_positive_int, default=None,
+                     help="simulated cores (default: one per guest "
+                          "thread; SE mode, atomic/timing models only)")
 
     prof = sub.add_parser("profile", help="profile one g5 run on a host")
     prof.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
@@ -305,11 +311,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print("error: --sanitize requires --domains >= 2 (it validates "
               "the sharded domain partition)", file=sys.stderr)
         return 2
-    system = System(SimConfig(cpu_model=args.cpu, mode=workload.mode,
-                              domains=args.domains,
-                              link_latency_cycles=args.link_latency,
-                              sanitize=args.sanitize))
-    program = workload.build(args.scale)
+    cores = args.cores if args.cores is not None else max(1, args.threads)
+    if args.threads > 1 and not workload.threaded:
+        print(f"error: workload {args.workload!r} has no threaded "
+              f"variant", file=sys.stderr)
+        return 2
+    try:
+        config = SimConfig(cpu_model=args.cpu, mode=workload.mode,
+                           domains=args.domains, cores=cores,
+                           link_latency_cycles=args.link_latency,
+                           sanitize=args.sanitize)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    system = System(config)
+    program = workload.build(args.scale, threads=args.threads)
     if workload.mode == "se":
         system.set_se_workload(program, process_name=args.workload)
     else:
@@ -318,6 +334,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"workload       : {args.workload} ({workload.mode.upper()}, "
           f"{args.scale})")
     print(f"cpu model      : {args.cpu}")
+    if cores > 1 or args.threads > 1:
+        print(f"cores          : {cores} ({args.threads} guest "
+              f"thread{'s' if args.threads != 1 else ''})")
+        snoops = sum(int(d.stat_snoops.value()) for d in system.dcaches)
+        invals = sum(int(d.stat_snoop_invalidates.value())
+                     for d in system.dcaches)
+        print(f"coherence      : {snoops} snoops, {invals} invalidations")
     print(f"exit           : {result.exit_cause} (code {result.exit_code})")
     print(f"sim insts      : {result.sim_insts}")
     print(f"sim cycles     : {result.sim_cycles}")

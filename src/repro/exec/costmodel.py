@@ -42,6 +42,11 @@ SCALE_WEIGHT = {"test": 1.0, "simsmall": 6.0, "simmedium": 20.0,
 #: FS mode adds device and kernel events on top of the CPU work.
 MODE_WEIGHT = {"se": 1.0, "fs": 1.6}
 
+#: Per-extra-core overhead: total simulated work stays about constant
+#: (the guest splits it), but coherence probes, barrier spins, and the
+#: extra per-core event streams all cost host time.
+CORES_WEIGHT_FACTOR = 0.2
+
 #: EMA smoothing for observed durations and the calibration factor.
 EMA_ALPHA = 0.5
 
@@ -63,7 +68,13 @@ def job_class(job: Any) -> str:
     explicit = getattr(job, "cost_class", None)
     if explicit is not None:
         return str(explicit)
-    return f"{job.workload}|{job.cpu_model}|{job.mode}|{job.scale}"
+    base = f"{job.workload}|{job.cpu_model}|{job.mode}|{job.scale}"
+    cores = int(getattr(job, "cores", 1) or 1)
+    if cores > 1:
+        # Multi-core runs cost differently (coherence traffic, spin
+        # waits) — keep their history out of the single-core bucket.
+        base += f"|c{cores}"
+    return base
 
 
 class CostModel:
@@ -138,6 +149,9 @@ class CostModel:
         weight = (CPU_MODEL_WEIGHT.get(job.cpu_model, 4.0)
                   * SCALE_WEIGHT.get(job.scale, 6.0)
                   * MODE_WEIGHT.get(getattr(job, "mode", "se"), 1.0))
+        cores = int(getattr(job, "cores", 1) or 1)
+        if cores > 1:
+            weight *= 1.0 + CORES_WEIGHT_FACTOR * (cores - 1)
         return weight * float(getattr(job, "cost_weight_factor", 1.0))
 
     @property

@@ -121,14 +121,21 @@ def _make_key(kind: str, document: dict) -> CacheKey:
 
 
 def g5_key(workload: str, cpu_model: str, mode: str, scale: str,
-           sim_config: Any = None) -> CacheKey:
-    """Key of one g5 simulation result (stats + recorded trace)."""
+           sim_config: Any = None, threads: int = 1) -> CacheKey:
+    """Key of one g5 simulation result (stats + recorded trace).
+
+    ``threads`` is the guest thread count the workload was built with;
+    the simulated core count rides in through ``sim_config`` (the
+    ``cores`` field of the canonicalised dataclass), so a 1-core and a
+    4-core run of the same workload never share a digest.
+    """
     return _make_key("g5", {
         "code": sim_fingerprint(),
         "workload": workload,
         "cpu_model": cpu_model,
         "mode": mode,
         "scale": scale,
+        "threads": threads,
         "sim_config": sim_config,
     })
 

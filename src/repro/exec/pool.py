@@ -45,27 +45,42 @@ class G5Job:
     mode: str
     scale: str
     sim_config: Optional[SimConfig] = None
+    #: Guest thread count for workloads with a threaded variant; the
+    #: default system gets one core per thread.
+    threads: int = 1
+
+    @property
+    def cores(self) -> int:
+        """Simulated core count (feeds the cost model's class/weight)."""
+        if self.sim_config is not None:
+            return self.sim_config.cores
+        return max(1, self.threads)
 
     @property
     def label(self) -> str:
-        return f"{self.cpu_model}/{self.workload} ({self.mode}, {self.scale})"
+        base = f"{self.cpu_model}/{self.workload}"
+        if self.threads > 1:
+            base += f" x{self.threads}"
+        return f"{base} ({self.mode}, {self.scale})"
 
     def sort_key(self) -> tuple:
-        return (self.workload, self.cpu_model, self.mode, self.scale)
+        return (self.workload, self.cpu_model, self.mode, self.scale,
+                self.threads)
 
     def cache_key(self) -> CacheKey:
         return g5_key(self.workload, self.cpu_model, self.mode, self.scale,
-                      self.sim_config)
+                      self.sim_config, threads=self.threads)
 
 
 def execute_g5_job(job: G5Job) -> SimResult:
     """Run one g5 simulation to completion (no caching)."""
     spec = get_workload(job.workload)
-    program = spec.build(job.scale)
+    program = spec.build(job.scale, threads=job.threads)
     if job.sim_config is not None:
         config = job.sim_config
     else:
-        config = SimConfig(cpu_model=job.cpu_model, mode=job.mode)
+        config = SimConfig(cpu_model=job.cpu_model, mode=job.mode,
+                           cores=max(1, job.threads))
     system = System(config)
     if job.mode == "se":
         system.set_se_workload(program, process_name=job.workload)

@@ -16,6 +16,8 @@ from . import (
     fig13_frequency,
     fig14_firesim_sweep,
     fig15_hot_functions,
+    fig16_multicore_scaling,
+    fig17_coherence_traffic,
     tables,
 )
 from .common import GEM5_CONFIGS, PARSEC_REPRESENTATIVE, SPEC_CONFIGS
@@ -38,6 +40,8 @@ FIGURES = {
     "fig13": fig13_frequency,
     "fig14": fig14_firesim_sweep,
     "fig15": fig15_hot_functions,
+    "fig16": fig16_multicore_scaling,
+    "fig17": fig17_coherence_traffic,
 }
 
 __all__ = [

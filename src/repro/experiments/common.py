@@ -58,6 +58,29 @@ def model_sweep_required_g5(workloads, cpu_models,
             for cpu_model in cpu_models for workload in workloads]
 
 
+#: Guest thread counts swept by the multi-core figures (Figs. 16–17).
+MULTICORE_THREADS = [1, 2, 4]
+
+
+def thread_sweep_required_g5(workloads, cpu_models, thread_counts=None,
+                             mode=None) -> list[tuple]:
+    """Requirement tuples for a workload × model × thread-count sweep.
+
+    The multi-core figures append the guest thread count as a fourth
+    tuple element — ``ExperimentRunner.prefetch`` (and the serve
+    scheduler's predictor) accept both the 3- and 4-arity forms, so the
+    single-core figures stay untouched.
+    """
+    if isinstance(workloads, str):
+        workloads = [workloads]
+    if thread_counts is None:
+        thread_counts = MULTICORE_THREADS
+    return [(workload, cpu_model, mode, threads)
+            for cpu_model in cpu_models
+            for workload in workloads
+            for threads in thread_counts]
+
+
 #: SPEC reference rows (run on bare metal in the paper, never on gem5).
 SPEC_CONFIGS = ["525.x264_r", "531.deepsjeng_r", "505.mcf_r"]
 

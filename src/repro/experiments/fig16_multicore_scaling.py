@@ -1,0 +1,53 @@
+"""Fig. 16 (repro extension): guest-side multi-core scaling curves.
+
+The paper profiles single-core gem5; this repro extension measures the
+simulated guest's strong scaling once the coherent multi-core system
+(:mod:`repro.g5.coherence`) is in play.  Each threaded workload runs
+its ``-n threads`` variant on a matching number of cores; the curve is
+the guest-time speedup ``ticks(1 thread) / ticks(n threads)`` per CPU
+model, next to the ideal linear reference.
+
+Scaling is scale-sensitive: at the smoke-test scale the thread runtime
+(spawn/join/barrier and the contended spinlock) dominates the tiny
+problem and curves can dip below 1.0; at ``simsmall`` and up the
+partitioned compute wins and the curves climb.  The figure reports the
+measured ratio either way — interpreting it is the reader's job.
+"""
+
+from __future__ import annotations
+
+from ..core.report import Figure
+from .common import MULTICORE_THREADS, thread_sweep_required_g5
+from .runner import ExperimentRunner
+
+#: Multi-core systems are restricted to the simple CPU models.
+CPU_MODELS = ["atomic", "timing"]
+
+
+def run(runner: ExperimentRunner,
+        workload: str = "ocean_cp") -> Figure:
+    """Regenerate Fig. 16 (guest speedup vs thread count)."""
+    figure = Figure("Fig.16", "guest-time speedup of the threaded "
+                    f"{workload} kernel vs its 1-thread run")
+    labels = [str(threads) for threads in MULTICORE_THREADS]
+    for cpu_model in CPU_MODELS:
+        baseline = runner.g5_result(workload, cpu_model, threads=1)
+        speedups = []
+        for threads in MULTICORE_THREADS:
+            result = runner.g5_result(workload, cpu_model,
+                                      threads=threads)
+            speedups.append(baseline.sim_ticks / max(1, result.sim_ticks))
+        figure.add_series(cpu_model.upper(), labels, speedups)
+    figure.add_series("IDEAL", labels,
+                      [float(threads) for threads in MULTICORE_THREADS])
+    return figure
+
+
+def speedup_for(figure: Figure, cpu_model: str, threads: int) -> float:
+    series = figure.get_series(cpu_model.upper())
+    return series.y[series.x.index(str(threads))]
+
+
+def required_g5(workload: str = "ocean_cp") -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return thread_sweep_required_g5(workload, CPU_MODELS)

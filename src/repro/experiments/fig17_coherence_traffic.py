@@ -1,0 +1,58 @@
+"""Fig. 17 (repro extension): coherence traffic vs guest thread count.
+
+Companion to Fig. 16: the cost side of multi-core simulation.  For
+each thread count the snooping MSI protocol
+(:mod:`repro.g5.coherence`) probes the other cores' private L1s on
+every shared miss and upgrade; this figure sums the data-cache snoop
+counters — probes received, invalidations applied, and dirty-line
+writebacks supplied — over all cores.  One core is the control row:
+a one-member coherence domain never probes anything, so every series
+starts at zero (``tests/g5/test_multicore.py`` pins that bit-exactly).
+"""
+
+from __future__ import annotations
+
+from ..core.report import Figure
+from .common import MULTICORE_THREADS, thread_sweep_required_g5
+from .runner import ExperimentRunner
+
+#: Multi-core systems are restricted to the simple CPU models.
+CPU_MODELS = ["atomic", "timing"]
+
+#: The L1D snoop counters, in stats.txt order.
+SNOOP_STATS = ["snoops", "snoopInvalidates", "snoopWritebacks"]
+
+
+def _dcache_sum(stats: dict, stat_name: str) -> float:
+    """Sum one snoop counter over every data cache in the system."""
+    suffix = "." + stat_name
+    return float(sum(value for key, value in stats.items()
+                     if ".dcache" in key and key.endswith(suffix)))
+
+
+def run(runner: ExperimentRunner,
+        workload: str = "ocean_cp",
+        cpu_model: str = "timing") -> Figure:
+    """Regenerate Fig. 17 (L1D snoop traffic vs thread count)."""
+    figure = Figure("Fig.17", "L1D coherence traffic of the threaded "
+                    f"{workload} kernel on {cpu_model} cores (events)")
+    labels = [str(threads) for threads in MULTICORE_THREADS]
+    columns = {name: [] for name in SNOOP_STATS}
+    for threads in MULTICORE_THREADS:
+        result = runner.g5_result(workload, cpu_model, threads=threads)
+        for name in SNOOP_STATS:
+            columns[name].append(_dcache_sum(result.stats, name))
+    for name in SNOOP_STATS:
+        figure.add_series(name, labels, columns[name])
+    return figure
+
+
+def traffic_for(figure: Figure, stat_name: str, threads: int) -> float:
+    series = figure.get_series(stat_name)
+    return series.y[series.x.index(str(threads))]
+
+
+def required_g5(workload: str = "ocean_cp",
+                cpu_model: str = "timing") -> list[tuple]:
+    """g5 runs to prefetch before regenerating this figure."""
+    return thread_sweep_required_g5(workload, [cpu_model])

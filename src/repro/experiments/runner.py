@@ -1,8 +1,8 @@
 """Experiment runner: caching layers between g5 runs and host replays.
 
 Every figure needs some subset of the same expensive artifacts — g5
-traces per (workload, CPU model, mode) and host replays per (trace,
-platform, knobs).  The runner resolves each artifact through three
+traces per (workload, CPU model, mode, guest thread count) and host
+replays per (trace, platform, knobs).  The runner resolves each artifact through three
 layers:
 
 1. an in-process memo, so one figure campaign computes each artifact
@@ -72,7 +72,7 @@ class ExperimentRunner:
         self.cache = cache
         self.engine = ExecutionEngine(jobs=jobs, cache=cache,
                                       progress=progress)
-        self._g5_cache: dict[tuple[str, str, str], SimResult] = {}
+        self._g5_cache: dict[tuple[str, str, str, int], SimResult] = {}
         self._host_cache: dict[_HostKey, HostRunResult] = {}
         self._spec_cache: dict[tuple[str, str], HostRunResult] = {}
         self._host_disk_hits = 0
@@ -82,16 +82,23 @@ class ExperimentRunner:
     # g5 side
     # ------------------------------------------------------------------
     def _g5_job(self, workload: str, cpu_model: str,
-                mode: Optional[str] = None) -> G5Job:
+                mode: Optional[str] = None, threads: int = 1) -> G5Job:
         spec = get_workload(workload)
         return G5Job(workload=workload, cpu_model=cpu_model,
-                     mode=mode or spec.mode, scale=self.scale)
+                     mode=mode or spec.mode, scale=self.scale,
+                     threads=threads)
 
     def g5_result(self, workload: str, cpu_model: str,
-                  mode: Optional[str] = None) -> SimResult:
-        """Run (or fetch) one g5 simulation and its recorded trace."""
-        job = self._g5_job(workload, cpu_model, mode)
-        key = (job.workload, job.cpu_model, job.mode)
+                  mode: Optional[str] = None,
+                  threads: int = 1) -> SimResult:
+        """Run (or fetch) one g5 simulation and its recorded trace.
+
+        ``threads`` is the guest thread count: ``threads > 1`` builds
+        the workload's ``-n threads`` variant on a matching multi-core
+        (coherent) system.
+        """
+        job = self._g5_job(workload, cpu_model, mode, threads)
+        key = (job.workload, job.cpu_model, job.mode, job.threads)
         cached = self._g5_cache.get(key)
         if cached is not None:
             return cached
@@ -99,18 +106,22 @@ class ExperimentRunner:
         self._g5_cache[key] = result
         return result
 
-    def prefetch(self, requirements: Iterable[tuple[str, str,
-                                                    Optional[str]]]) -> None:
-        """Resolve a batch of ``(workload, cpu_model, mode)`` g5 runs.
+    def prefetch(self, requirements: Iterable[tuple]) -> None:
+        """Resolve a batch of ``(workload, cpu_model, mode[, threads])``
+        g5 runs.
 
         Disk-cache misses execute in parallel across the engine's worker
         pool, longest-predicted-first; everything lands in the in-process
-        memo so subsequent figure accessors are pure lookups.
+        memo so subsequent figure accessors are pure lookups.  The
+        fourth tuple element (guest thread count) is optional and
+        defaults to 1; the multi-core figures append it.
         """
-        jobs: dict[tuple[str, str, str], G5Job] = {}
-        for workload, cpu_model, mode in requirements:
-            job = self._g5_job(workload, cpu_model, mode)
-            memo_key = (job.workload, job.cpu_model, job.mode)
+        jobs: dict[tuple[str, str, str, int], G5Job] = {}
+        for requirement in requirements:
+            workload, cpu_model, mode = requirement[:3]
+            threads = requirement[3] if len(requirement) > 3 else 1
+            job = self._g5_job(workload, cpu_model, mode, threads)
+            memo_key = (job.workload, job.cpu_model, job.mode, job.threads)
             if memo_key not in self._g5_cache and memo_key not in jobs:
                 jobs[memo_key] = job
         if not jobs:

@@ -62,6 +62,13 @@ class AtomicSimpleCPU(BaseCPU):
             self._dcache_fast = self.dcache_port.atomic_fast_fn()
         self.schedule_in(self._tick_event, 0)
 
+    def thread_start_event(self, when: int):
+        """Revive a parked core for a spawned thread (see pseudo.py)."""
+        if self.fast_path:
+            self._icache_fast = self.icache_port.atomic_fast_fn()
+            self._dcache_fast = self.dcache_port.atomic_fast_fn()
+        return self._tick_event
+
     def tick(self) -> None:
         """Fetch/decode/execute up to ``width`` instructions, reschedule."""
         if self.fast_path:

@@ -61,6 +61,11 @@ class BaseCPU(SimObject):
         # chase system.memctrl.memory / system.devices per access.
         self._mem = None
         self._devices: list = []
+        # LL/SC reservation table (shared data plane, bound at bind())
+        # and, on multi-core systems, the other cores — whose decoded
+        # code pages a local store must invalidate (cross-core SMC).
+        self._resv = None
+        self._peer_cpus: list = []
         # Per-page caches of decoded instructions, used by the atomic
         # fast path (invalidated by write_mem on self-modifying code).
         self._decoded_pages: dict[int, list[Optional[StaticInst]]] = {}
@@ -106,6 +111,8 @@ class BaseCPU(SimObject):
         self.process = process
         self._mem = system.memctrl.memory
         self._devices = system.devices
+        self._resv = system.reservations
+        self._peer_cpus = [cpu for cpu in system.cpus if cpu is not self]
         if process is not None:
             self.regs.pc = process.entry
             self.regs.write_int(2, process.stack_top)  # sp
@@ -133,6 +140,28 @@ class BaseCPU(SimObject):
             return
         self._halted = True
         self._eventq().exit_simulation(cause)
+
+    def park(self) -> None:
+        """Stop this core without ending the simulation (thread exit).
+
+        The execution loops of the simple models check ``_halted`` before
+        rescheduling themselves, so a parked core simply stops emitting
+        events; :meth:`unpark` plus a fresh start event revives it.
+        """
+        self._halted = True
+
+    def unpark(self) -> None:
+        self._halted = False
+        self._halt_pending = False
+
+    def thread_start_event(self, when: int):
+        """Event that (re)starts this core's execution loop at ``when``.
+
+        Only the simple models host spawned threads; the pipelined
+        models would need drain/restart machinery this PR does not add.
+        """
+        raise CPUError(
+            f"{self.cpu_type} CPUs cannot host spawned threads")
 
     def finish_halt(self) -> None:
         """Complete a deferred halt once the pipeline has drained."""
@@ -192,8 +221,17 @@ class BaseCPU(SimObject):
                     device.write(addr, size, value)
                     return
             mem.write(addr, size, value)
+        resv = self._resv
+        if resv is not None and resv.count:
+            # Remote (and own) LL reservations on the written granule
+            # are lost — the functional face of a snoop invalidation.
+            resv.clear_range(addr, size)
         if self._decoded_pages:
             self._invalidate_decoded(addr, size)
+        if self._peer_cpus:
+            for peer in self._peer_cpus:
+                if peer._decoded_pages:
+                    peer._invalidate_decoded(addr, size)
 
     def _invalidate_decoded(self, addr: int, size: int) -> None:
         """Drop decoded-instruction pages a store just wrote into
@@ -211,7 +249,21 @@ class BaseCPU(SimObject):
         """Service an m5-style pseudo instruction."""
         if self.system is None:
             raise CPUError(f"{self.path}: m5op with no system bound")
-        self.system.pseudo_ops.handle(op)
+        self.system.pseudo_ops.handle(op, self)
+
+    def load_reserved(self, addr: int) -> None:
+        """LL: take a reservation on the granule holding ``addr``."""
+        if self._resv is None:
+            raise CPUError(f"{self.path}: ll with no system bound")
+        self._resv.place(self.cpu_id, addr)
+
+    def store_conditional(self, addr: int, size: int, value: int) -> bool:
+        """SC: write only if this core's reservation survived."""
+        resv = self._resv
+        if resv is None or not resv.consume(self.cpu_id, addr):
+            return False
+        self.write_mem(addr, size, value)
+        return True
 
     def syscall(self) -> None:
         self.host_record(self._fn_syscall)

@@ -39,6 +39,15 @@ class TimingSimpleCPU(BaseCPU):
         """Start execution by issuing the first instruction fetch."""
         self.schedule_in(self._fetch_event, 0)
 
+    def thread_start_event(self, when: int):
+        """Revive a parked core for a spawned thread (see pseudo.py).
+
+        The cycle accountant must not charge the parked gap to the new
+        thread, so the advance clock restarts at the start tick.
+        """
+        self._last_advance_tick = when
+        return self._fetch_event
+
     # ------------------------------------------------------------------
     # fetch path
     # ------------------------------------------------------------------

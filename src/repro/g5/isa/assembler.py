@@ -228,6 +228,15 @@ class Assembler:
     def fsd(self, fs2: Reg, rs1: Reg, imm: int = 0) -> None:
         self._emit(Opcode.FSD, rs1=self._r(rs1), rs2=self._f(fs2), imm=imm)
 
+    # -- atomics -------------------------------------------------------------
+    def ll(self, rd: Reg, rs1: Reg, imm: int = 0) -> None:
+        """Load-linked: load 8 bytes and take a reservation on the line."""
+        self._emit(Opcode.LL, self._r(rd), self._r(rs1), imm=imm)
+
+    def sc(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """Store-conditional: rd <- 0 on success, 1 on a lost reservation."""
+        self._emit(Opcode.SC, self._r(rd), self._r(rs1), self._r(rs2))
+
     # -- control flow -----------------------------------------------------
     def _branch(self, opcode: int, rs1: Reg, rs2: Reg, target: str) -> None:
         self._emit(opcode, rs1=self._r(rs1), rs2=self._r(rs2), label=target)
@@ -341,6 +350,24 @@ class Assembler:
         from .pseudo_numbers import M5_WORK_END
 
         self.m5op(M5_WORK_END)
+
+    def m5_thread_spawn(self) -> None:
+        """Spawn a thread: a0=entry, a1=arg in; a0=tid (or -1) out."""
+        from .pseudo_numbers import M5_THREAD_SPAWN
+
+        self.m5op(M5_THREAD_SPAWN)
+
+    def m5_thread_exit(self) -> None:
+        """Terminate the calling thread (parks its core)."""
+        from .pseudo_numbers import M5_THREAD_EXIT
+
+        self.m5op(M5_THREAD_EXIT)
+
+    def m5_thread_poll(self) -> None:
+        """Poll a thread: a0=tid in; a0=1 once it has exited, else 0."""
+        from .pseudo_numbers import M5_THREAD_POLL
+
+        self.m5op(M5_THREAD_POLL)
 
     # ------------------------------------------------------------------
     # final assembly

@@ -63,13 +63,16 @@ class Opcode:
     FCVT_D_L, FCVT_L_D, FLT, FLE, FMV = range(45, 50)
     # system
     ECALL, NOP, HALT, M5OP = 50, 51, 52, 53
+    # atomics (LL/SC pair; SC is R-format so it can report success in rd)
+    LL, SC = 54, 55
 
 _R_ALU = {Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
           Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SLL, Opcode.SRL,
           Opcode.SRA, Opcode.SLT, Opcode.SLTU}
 _I_ALU = {Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI,
           Opcode.SRLI, Opcode.SLTI}
-_LOADS = {Opcode.LB: 1, Opcode.LW: 4, Opcode.LD: 8, Opcode.FLD: 8}
+_LOADS = {Opcode.LB: 1, Opcode.LW: 4, Opcode.LD: 8, Opcode.FLD: 8,
+          Opcode.LL: 8}
 _STORES = {Opcode.SB: 1, Opcode.SW: 4, Opcode.SD: 8, Opcode.FSD: 8}
 _BRANCHES = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
              Opcode.BLTU, Opcode.BGEU}
@@ -118,6 +121,9 @@ class ExecContext(Protocol):
     def write_mem(self, addr: int, size: int, value: int) -> None: ...
     def syscall(self) -> None: ...
     def pseudo_op(self, op: int) -> None: ...
+    def load_reserved(self, addr: int) -> None: ...
+    def store_conditional(self, addr: int, size: int,
+                          value: int) -> bool: ...
 
 
 #: Functional-unit latency in cycles by opcode (detailed CPU models).
@@ -175,6 +181,13 @@ class StaticInst:
         self.is_syscall = op == Opcode.ECALL
         self.is_halt = op == Opcode.HALT
         self._msize = _LOADS.get(op) or _STORES.get(op)
+        if op == Opcode.SC:
+            # Store-conditional is R-format (rd carries the success
+            # flag) but classifies as a store so the cache and timing
+            # paths charge a write access for the attempt.
+            self.is_store = True
+            self.is_mem = True
+            self._msize = 8
         self.op_latency = _OP_LATENCY.get(op, 1)
         self._exec = _EXECUTORS.get(op)
 
@@ -420,6 +433,18 @@ def _x_ecall(i, xc): xc.syscall()
 def _x_m5op(i, xc): xc.pseudo_op(i.imm)
 
 
+def _x_ll(i, xc):
+    ea = i.ea(xc)
+    xc.write_int(i.rd, xc.read_mem(ea, 8))
+    xc.load_reserved(ea)
+
+
+def _x_sc(i, xc):
+    ok = xc.store_conditional(i.ea(xc), 8,
+                              xc.read_int(i.rs2) & ((1 << 64) - 1))
+    xc.write_int(i.rd, 0 if ok else 1)
+
+
 def _x_nop(i, xc):
     pass  # HALT too: the CPU model observes is_halt and exits
 
@@ -447,6 +472,7 @@ _EXECUTORS = {
     Opcode.FLT: _x_flt, Opcode.FLE: _x_fle, Opcode.FMV: _x_fmv,
     Opcode.ECALL: _x_ecall, Opcode.M5OP: _x_m5op,
     Opcode.NOP: _x_nop, Opcode.HALT: _x_nop,
+    Opcode.LL: _x_ll, Opcode.SC: _x_sc,
 }
 
 

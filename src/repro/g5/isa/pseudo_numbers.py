@@ -9,3 +9,8 @@ M5_RESET_STATS = 0x40
 M5_DUMP_STATS = 0x41
 M5_WORK_BEGIN = 0x5A
 M5_WORK_END = 0x5B
+# Thread runtime (multi-core SE mode): argument registers carry the
+# operands, a0 carries the result (see repro.g5.pseudo).
+M5_THREAD_SPAWN = 0x60
+M5_THREAD_EXIT = 0x61
+M5_THREAD_POLL = 0x62

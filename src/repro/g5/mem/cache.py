@@ -86,6 +86,9 @@ class Cache(SimObject):
         self.params = params
         self.cpu_side = ResponsePort("cpu_side", self)
         self.mem_side = RequestPort("mem_side", self)
+        # Snooping bus membership (multi-core L1 data caches only); set
+        # by CoherenceDomain.attach.  None keeps every hook dormant.
+        self.coherence = None
         self._sets = [[_Line() for _ in range(params.assoc)]
                       for _ in range(params.n_sets)]
         self._lru_clock = 0
@@ -128,6 +131,12 @@ class Cache(SimObject):
             "prefetchesIssued", "prefetch fills issued")
         self.stat_prefetch_useful = stats.scalar(
             "prefetchUseful", "demand hits on prefetched lines")
+        self.stat_snoops = stats.scalar(
+            "snoops", "coherence probes received from peer caches")
+        self.stat_snoop_invalidates = stats.scalar(
+            "snoopInvalidates", "resident lines invalidated by snoops")
+        self.stat_snoop_writebacks = stats.scalar(
+            "snoopWritebacks", "dirty lines demoted (M->S) by snoops")
 
     # ------------------------------------------------------------------
     # tag-store helpers
@@ -184,6 +193,9 @@ class Cache(SimObject):
         victim.lru = self._lru_clock
         victim.prefetched = prefetched
         self.stat_fills.inc()
+        if self.coherence is not None:
+            # I -> S: peer M copies demote (and count a writeback).
+            self.coherence.snoop_read(self, line_addr)
 
     def _maybe_prefetch_atomic(self, line_addr: int) -> None:
         """Next-line prefetch after an atomic demand miss (off the
@@ -222,6 +234,25 @@ class Cache(SimObject):
         return any(line.valid and line.tag == line_addr
                    for line in self._sets[set_index])
 
+    def handle_snoop(self, line_addr: int, invalidate: bool) -> None:
+        """Coherence probe from a peer L1 (via the CoherenceDomain).
+
+        Scans the set without touching LRU state or the prefetcher:
+        snoops are bus traffic, not demand accesses.  Data movement is
+        functional, so a dirty copy is demoted by clearing the dirty bit
+        and counting the writeback.
+        """
+        self.stat_snoops.inc()
+        for line in self._sets[self._index(line_addr)]:
+            if line.valid and line.tag == line_addr:
+                if line.dirty:
+                    self.stat_snoop_writebacks.inc()
+                    line.dirty = False
+                if invalidate:
+                    self.stat_snoop_invalidates.inc()
+                    line.valid = False
+                return
+
     @property
     def resident_lines(self) -> int:
         return sum(1 for cache_set in self._sets
@@ -247,6 +278,8 @@ class Cache(SimObject):
         if line is not None:
             self.stat_hits.inc()
             if pkt.is_write:
+                if not line.dirty and self.coherence is not None:
+                    self.coherence.snoop_write(self, line_addr)
                 line.dirty = True
             if pkt.needs_response:
                 pkt.make_response()
@@ -259,6 +292,8 @@ class Cache(SimObject):
         line = self._lookup(line_addr)
         assert line is not None
         if pkt.is_write:
+            if not line.dirty and self.coherence is not None:
+                self.coherence.snoop_write(self, line_addr)
             line.dirty = True
         if pkt.needs_response:
             pkt.make_response()
@@ -291,6 +326,8 @@ class Cache(SimObject):
         if line is not None:
             self.stat_hits.inc()
             if is_write:
+                if not line.dirty and self.coherence is not None:
+                    self.coherence.snoop_write(self, line_addr)
                 line.dirty = True
             return latency + self._data_ticks
         self.stat_misses.inc()
@@ -301,6 +338,8 @@ class Cache(SimObject):
         line = self._lookup(line_addr)
         assert line is not None
         if is_write:
+            if not line.dirty and self.coherence is not None:
+                self.coherence.snoop_write(self, line_addr)
             line.dirty = True
         return latency + self._resp_ticks
 
@@ -347,6 +386,8 @@ class Cache(SimObject):
         if line is not None:
             self.stat_hits.inc()
             if pkt.is_write:
+                if not line.dirty and self.coherence is not None:
+                    self.coherence.snoop_write(self, line_addr)
                 line.dirty = True
             if pkt.needs_response:
                 pkt.make_response()
@@ -387,6 +428,8 @@ class Cache(SimObject):
         delay = self.cycles(self.params.response_latency)
         for target in mshr.targets:
             if target.is_write:
+                if not line.dirty and self.coherence is not None:
+                    self.coherence.snoop_write(self, line_addr)
                 line.dirty = True
             if target.needs_response:
                 target.make_response()

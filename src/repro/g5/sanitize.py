@@ -13,7 +13,10 @@ arms a sharded run with ownership-checking hooks:
   (the atomic/functional protocol and ``atomic_fast_fn``) to mark the
   access *boundary-mediated* — crossing through the port is the
   sanctioned path, so the tripwire sees the peer's domain as active for
-  the duration of the call.
+  the duration of the call.  Zero-latency timing sends cross the same
+  way (the :class:`~repro.g5.sharded.BoundaryLink` runs the receiver
+  synchronously to keep the merged order exact) and publish their
+  crossings through the link's ``sanitizer`` hook.
 
 The sanitizer only observes: it never reorders, delays, or suppresses
 an access, so a sanitized sharded run stays bit-identical to the plain
@@ -123,11 +126,12 @@ class OwnershipSanitizer:
     def sanitized_port_class(self, cls):
         """Subclass of ``cls`` marking synchronous sends as mediated.
 
-        Timing sends already cross via the boundary links (scheduled
-        into the receiver's queue, executed in *its* window); only the
-        synchronous protocols — atomic, functional, and the cached
-        ``atomic_fast_fn`` entry points — run peer code inside the
-        sender's window and need the explicit mediation mark.
+        Timing sends cross via the boundary links, which publish their
+        own mediation marks (latency-delayed ones execute in the
+        receiver's window anyway); the synchronous protocols — atomic,
+        functional, and the cached ``atomic_fast_fn`` entry points —
+        run peer code inside the sender's window and need the explicit
+        mark here.
         """
         cached = self._port_classes.get(cls)
         if cached is not None:
@@ -211,15 +215,29 @@ def install_sanitizer(system) -> OwnershipSanitizer:
         index = queue_index.get(id(obj.eventq))
         if index is not None:
             sanitizer.claim(obj, index)
-    # Attribute tripwires on the hot objects of both domains.
+    # Attribute tripwires on the hot objects of every domain (per-core
+    # CPU + L1 triples, then the shared hierarchy; at one core this is
+    # the legacy cpu/icache/dcache/l2bus/l2/mem_ctrl order).
     # PhysicalMemory stays out: shared data plane by design.
-    for obj in (system.cpu, system.icache, system.dcache, system.l2bus,
-                system.l2cache, system.memctrl):
+    hot: list = []
+    for cpu, icache, dcache in zip(system.cpus, system.icaches,
+                                   system.dcaches):
+        hot.extend((cpu, icache, dcache))
+    hot.extend((system.l2bus, system.l2cache, system.memctrl))
+    for obj in hot:
         obj.__class__ = sanitizer.tripwired_class(type(obj))
         sanitizer.monitored.append(obj.path)
     # Mediation marks on the boundary request ports (synchronous
     # protocols run peer code inside the sender's window).
     for req_port, _resp_port in boundary_pairs(system):
         req_port.__class__ = sanitizer.sanitized_port_class(type(req_port))
+    # Zero-latency timing sends also run peer code synchronously — the
+    # links publish those crossings themselves.
+    for link in engine.links:
+        link.sanitizer = sanitizer
+    # Coherence probes walk peer L1 tag stores synchronously; the
+    # CoherenceDomain publishes each probe as a mediated crossing.
+    if getattr(system, "coherence", None) is not None:
+        system.coherence.sanitizer = sanitizer
     engine.sanitizer = sanitizer
     return sanitizer

@@ -50,6 +50,22 @@ class Process:
         self._random = DeterministicRandom()
         self.syscall_counts: dict[int, int] = {}
 
+    #: Stack carved out of the main stack region for each spawned thread.
+    THREAD_STACK_SIZE = 8 * 1024
+
+    def stack_top_for(self, tid: int) -> int:
+        """Stack top for spawned thread ``tid`` (tid 0 = the main stack).
+
+        Thread stacks are carved downward from the main stack top in
+        fixed slots; the guest runtime keeps per-thread frames small, so
+        8 KiB each keeps even 8 threads inside the 64 KiB stack region.
+        """
+        top = self.stack_top - tid * self.THREAD_STACK_SIZE
+        if top - self.THREAD_STACK_SIZE < self.stack_limit:
+            raise ValueError(
+                f"process {self.name!r}: no stack room for thread {tid}")
+        return top
+
     # ------------------------------------------------------------------
     # loading
     # ------------------------------------------------------------------

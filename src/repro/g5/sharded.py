@@ -19,10 +19,13 @@ Design
   queue would fire next ever execute, so the total event order is
   exactly the single-queue order.
 - Cross-domain timing traffic goes through a :class:`BoundaryLink`
-  installed on the port pair: the packet is buffered as a delivery
-  event (reserved ``LINK_PRI``) in the *receiver's* queue, and the
-  sender's window is clamped to the delivery's key so no later local
-  event can overtake the packet.  Pending deliveries drain when the
+  installed on the port pair.  Zero-latency links run the receiver
+  *synchronously* at the sender's position in the merged order (the
+  single-queue call graph, reproduced exactly), then clamp the
+  sender's window to the receiver's new head so no later local event
+  can overtake the packet's consequences.  Links with real latency
+  buffer the packet as a delivery event (reserved ``LINK_PRI``) in the
+  receiver's queue instead; pending deliveries drain when the
   receiving domain's window opens — the boundary-buffer flush.
 - The synchronization quantum is the minimum cross-domain link latency.
   At the default (zero-latency links) the quantum degenerates to exact
@@ -84,16 +87,28 @@ class DeliveryEvent(Event):
 class BoundaryLink:
     """Cross-domain connection between a request/response port pair.
 
-    Timing-protocol sends are converted into delivery events scheduled
-    into the receiving domain's queue at ``sender.now + latency_ticks``
-    with the reserved ``LINK_PRI``.  Scheduling happens at *send* time,
-    so the delivery consumes the same global sequence number it would on
-    a single queue — which is what keeps the merged event order (and
-    therefore registers, memory, stats, and traces) bit-identical.
+    A zero-latency link (the default) runs the receiver's protocol
+    callback *synchronously*, inside the sender's window, exactly where
+    a single merged queue would run it — so every schedule the receiver
+    performs draws the same global sequence number it would on a single
+    queue.  That is what keeps same-``(tick, priority)`` ties anywhere
+    downstream resolving identically, and therefore registers, memory,
+    stats, and traces bit-identical.  (A deferred delivery event cannot
+    guarantee this: it would execute after every same-tick lower-``
+    LINK_PRI`` event, so the receiver's schedules — and hence later tie
+    breaks — could reorder against the sender's.  Harmless with one CPU
+    in flight; observable the moment two cores race a spinlock.)
+
+    A link with real latency buffers the packet as a delivery event
+    scheduled into the receiving domain's queue at ``sender.now +
+    latency_ticks`` with the reserved ``LINK_PRI`` — added guest-visible
+    latency is the modeled behavior there, and the reference path
+    emulates the same event shape on a single queue.
     """
 
     __slots__ = ("name", "req_queue", "resp_queue", "latency_ticks",
-                 "deliveries", "_req_name", "_resp_name", "_retry_name")
+                 "deliveries", "sanitizer", "_req_name", "_resp_name",
+                 "_retry_name")
 
     def __init__(self, name: str, req_queue: EventQueue,
                  resp_queue: EventQueue, latency_ticks: int = 0) -> None:
@@ -102,6 +117,9 @@ class BoundaryLink:
         self.resp_queue = resp_queue    # queue of the response-port owner
         self.latency_ticks = latency_ticks
         self.deliveries = 0
+        #: Ownership sanitizer (:mod:`repro.g5.sanitize`); when armed,
+        #: synchronous crossings are published as mediated accesses.
+        self.sanitizer = None
         self._req_name = f"{name}.req"
         self._resp_name = f"{name}.resp"
         self._retry_name = f"{name}.retry"
@@ -112,32 +130,61 @@ class BoundaryLink:
 
     # -- timing protocol (called from repro.g5.mem.port) ----------------
     def send_req(self, resp_port: Port, pkt) -> bool:
+        owner = resp_port.owner
         self._deliver(self.req_queue, self.resp_queue,
-                      resp_port.owner.recv_timing_req, pkt,
-                      self._req_name)
+                      owner.recv_timing_req, pkt, self._req_name,
+                      owner=owner)
         # Boundary targets are never busy: the receiver accepts at
         # delivery time (no model in this tree rejects requests).
         return True
 
     def send_resp(self, req_port: Port, pkt) -> None:
         self._deliver(self.resp_queue, self.req_queue,
-                      req_port.recv_timing_resp, pkt, self._resp_name)
+                      req_port.recv_timing_resp, pkt, self._resp_name,
+                      owner=req_port.owner)
 
     def send_retry(self, req_port: Port) -> None:
         self._deliver(self.resp_queue, self.req_queue,
-                      req_port.recv_req_retry, None, self._retry_name)
+                      req_port.recv_req_retry, None, self._retry_name,
+                      owner=req_port.owner)
 
     # -- internals ------------------------------------------------------
     def _deliver(self, sender: EventQueue, receiver: EventQueue,
-                 target: Callable, pkt, name: str) -> None:
-        event = DeliveryEvent(name, target, pkt)
+                 target: Callable, pkt, name: str, owner=None) -> None:
+        self.deliveries += 1
         when = sender.now + self.latency_ticks
+        if self.latency_ticks == 0:
+            # Synchronous crossing at the sender's merged-order position
+            # (see the class docstring).  The receiver's clock may lag —
+            # pull it up so the callback's relative schedules land at
+            # the global tick, exactly as they would after a delivery
+            # event had set ``receiver.now``.
+            if receiver.now < when:
+                receiver.now = when
+            sanitizer = self.sanitizer
+            if sanitizer is not None and owner is not None:
+                sanitizer.enter(owner)
+                try:
+                    target(pkt) if pkt is not None else target()
+                finally:
+                    sanitizer.leave()
+            elif pkt is not None:
+                target(pkt)
+            else:
+                target()
+            # The callback may have scheduled receiver-side events below
+            # the sender's window bound; stop the sender there so the
+            # merged order stays exact.  No-op outside a window.
+            head = receiver._peek_live()
+            if head is not None:
+                sender.clamp_window(head[0])
+            return
+        event = DeliveryEvent(name, target, pkt)
         receiver.schedule_fresh(event, when)
         # The delivery may sort before the sender's own remaining events
         # (e.g. a same-tick stat dump); stop the sender's window there so
         # the merged order stays exact.  No-op on a shared single queue.
         sender.clamp_window((when, LINK_PRI, event._seq))
-        self.deliveries += 1
 
 
 class ShardedEngine:
@@ -333,14 +380,56 @@ class ShardedEngine:
 # partitioning a built System
 # ----------------------------------------------------------------------
 def memory_domain_objects(system) -> list:
-    """The SimObjects of the memory domain (hierarchy roots + subtrees)."""
-    roots = [system.icache, system.dcache, system.l2bus, system.l2cache,
-             system.memctrl]
+    """The SimObjects of the memory domain (hierarchy roots + subtrees).
+
+    Single-core systems keep the legacy partition (both L1s live with
+    the rest of the hierarchy); on a multi-core system each L1 pair is
+    private to its core's domain, so only the shared levels — crossbar,
+    L2, memory controller — belong to the memory domain.
+    """
+    if len(system.cpus) > 1:
+        roots = [system.l2bus, system.l2cache, system.memctrl]
+    else:
+        roots = [system.icache, system.dcache, system.l2bus,
+                 system.l2cache, system.memctrl]
     members = []
     for root in roots:
         members.append(root)
         members.extend(root.descendants())
     return members
+
+
+def core_domain_objects(system, index: int) -> list:
+    """The SimObjects of core ``index``'s domain (CPU plus private L1s).
+
+    Only meaningful on multi-core systems; a single-core system has its
+    L1s on the memory domain (see :func:`memory_domain_objects`).
+    """
+    roots = [system.cpus[index], system.icaches[index],
+             system.dcaches[index]]
+    members = []
+    for root in roots:
+        members.append(root)
+        members.extend(root.descendants())
+    return members
+
+
+def domain_groups(system) -> dict:
+    """Map ``id(obj)`` to its domain-group name.
+
+    ``"cpu"``/``"mem"`` for single-core systems (the legacy two-way
+    partition), ``"cpu<i>"``/``"mem"`` per core otherwise.  Objects not
+    mapped (the system root, control plane) default to the boot core's
+    group.
+    """
+    groups: dict = {}
+    for obj in memory_domain_objects(system):
+        groups[id(obj)] = "mem"
+    if len(system.cpus) > 1:
+        for index in range(len(system.cpus)):
+            for obj in core_domain_objects(system, index):
+                groups[id(obj)] = f"cpu{index}"
+    return groups
 
 
 def object_ports(obj) -> list:
@@ -391,6 +480,20 @@ def shard_system(system) -> Optional[ShardedEngine]:
         mem_queue = EventQueue(name="mem", fast_path=config.fast_path)
         for obj in memory_domain_objects(system):
             obj.eventq = mem_queue
+        core_queues = [cpu_queue]
+        cores = len(system.cpus)
+        if cores > 1:
+            # One queue per core up to the requested domain count (the
+            # memory domain takes the last slot); surplus cores share
+            # queues round-robin.
+            n_core_queues = min(config.domains - 1, cores)
+            core_queues += [
+                EventQueue(name=f"cpu{index}", fast_path=config.fast_path)
+                for index in range(1, n_core_queues)]
+            for index in range(cores):
+                queue = core_queues[index % n_core_queues]
+                for obj in core_domain_objects(system, index):
+                    obj.eventq = queue
     links = []
     for req_port, resp_port in boundary_pairs(system):
         link = BoundaryLink(
@@ -403,7 +506,7 @@ def shard_system(system) -> Optional[ShardedEngine]:
         links.append(link)
     system.boundary_links = links
     if config.domains > 1:
-        engine = ShardedEngine([cpu_queue, mem_queue], links,
+        engine = ShardedEngine(core_queues + [mem_queue], links,
                                quantum_ticks=latency_ticks)
         system.eventq = engine
     return engine

@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..events import ClockDomain, EventQueue, Root, ticks_to_seconds
 from ..host.trace import ExecutionRecorder, NullRecorder
+from .coherence import CoherenceDomain, ReservationSet
 from .cpus import CPU_MODELS, BaseCPU
 from .fs import MiniKernel, PowerController, Rtc, Uart
 from .isa import Program
@@ -35,6 +36,17 @@ class SimConfig:
     mode: str = "se"                      # "se" or "fs"
     cpu_clock_ghz: float = 3.0
     mem_size: int = DEFAULT_MEM_SIZE
+    #: Guest cores.  Each core gets a private L1 pair behind the shared
+    #: xbar; cores beyond the boot core start parked and are claimed by
+    #: the guest thread runtime (m5 thread ops).  Multi-core is SE-only
+    #: and limited to the simple (atomic/timing) CPU models.
+    cores: int = 1
+    #: Snooping MSI coherence over the L1 data caches
+    #: (:mod:`repro.g5.coherence`).  None enables it exactly when
+    #: ``cores > 1``; force True to route a single-core system through
+    #: the coherent path (bit-identical — a one-member domain never
+    #: probes anything).
+    coherent: Optional[bool] = None
     l1i: CacheParams = field(default_factory=lambda: CacheParams(
         size=32 * 1024, assoc=2, tag_latency=1, data_latency=1))
     l1d: CacheParams = field(default_factory=lambda: CacheParams(
@@ -77,6 +89,15 @@ class SimConfig:
                 f"{sorted(CPU_MODELS)}")
         if self.mode not in ("se", "fs"):
             raise ValueError(f"mode must be 'se' or 'fs', got {self.mode!r}")
+        if not 1 <= self.cores <= 8:
+            raise ValueError(f"cores must be in 1..8, got {self.cores}")
+        if self.cores > 1:
+            if self.mode != "se":
+                raise ValueError("multi-core systems are SE-only for now")
+            if self.cpu_model not in ("atomic", "timing"):
+                raise ValueError(
+                    "multi-core systems require a simple CPU model "
+                    f"(atomic/timing), got {self.cpu_model!r}")
         if self.domains < 1:
             raise ValueError(f"domains must be >= 1, got {self.domains}")
         if self.link_latency_cycles < 0:
@@ -101,6 +122,14 @@ class SimConfig:
     def with_domains(self, domains: int) -> "SimConfig":
         return replace(self, domains=domains)
 
+    def with_cores(self, cores: int) -> "SimConfig":
+        return replace(self, cores=cores)
+
+    @property
+    def effective_coherent(self) -> bool:
+        """Whether the coherent L1 path is active for this config."""
+        return self.coherent if self.coherent is not None else self.cores > 1
+
 
 class System(Root):
     """The simulated machine: CPU + caches + interconnect + memory."""
@@ -119,13 +148,38 @@ class System(Root):
         self.config = config
         self.memctrl = MemCtrl("mem_ctrl", self, size=config.mem_size)
         cpu_cls = CPU_MODELS[config.cpu_model]
-        self.cpu: BaseCPU = cpu_cls("cpu", self)
-        self.cpu.fast_path = config.fast_path
-        self.icache = Cache("icache", self, config.l1i)
-        self.dcache = Cache("dcache", self, config.l1d)
+        cores = config.cores
+        if cores == 1:
+            # Legacy names: single-core object paths (and therefore
+            # stats.txt, traces, and goldens) are unchanged.
+            self.cpus: list[BaseCPU] = [cpu_cls("cpu", self)]
+            self.icaches = [Cache("icache", self, config.l1i)]
+            self.dcaches = [Cache("dcache", self, config.l1d)]
+        else:
+            self.cpus = [cpu_cls(f"cpu{i}", self, cpu_id=i)
+                         for i in range(cores)]
+            self.icaches = [Cache(f"icache{i}", self, config.l1i)
+                            for i in range(cores)]
+            self.dcaches = [Cache(f"dcache{i}", self, config.l1d)
+                            for i in range(cores)]
+        self.cpu: BaseCPU = self.cpus[0]
+        self.icache = self.icaches[0]
+        self.dcache = self.dcaches[0]
+        for cpu in self.cpus:
+            cpu.fast_path = config.fast_path
         self.l2bus = CoherentXBar("l2bus", self)
         self.l2cache = Cache("l2", self, config.l2)
         self._wire()
+        self.reservations = ReservationSet()
+        self.coherence: Optional[CoherenceDomain] = None
+        if config.effective_coherent:
+            self.coherence = CoherenceDomain()
+            for dcache in self.dcaches:
+                self.coherence.attach(dcache)
+        # Non-boot cores start parked; the guest thread runtime claims
+        # them via m5 thread-spawn.
+        for cpu in self.cpus[1:]:
+            cpu.park()
         self.pseudo_ops = PseudoOpHandler(self)
         self.devices: list = []
         self.kernel: Optional[MiniKernel] = None
@@ -146,10 +200,12 @@ class System(Root):
             self.sanitizer = install_sanitizer(self)
 
     def _wire(self) -> None:
-        self.cpu.icache_port.bind(self.icache.cpu_side)
-        self.cpu.dcache_port.bind(self.dcache.cpu_side)
-        self.icache.mem_side.bind(self.l2bus.new_cpu_side_port())
-        self.dcache.mem_side.bind(self.l2bus.new_cpu_side_port())
+        for cpu, icache, dcache in zip(self.cpus, self.icaches,
+                                       self.dcaches):
+            cpu.icache_port.bind(icache.cpu_side)
+            cpu.dcache_port.bind(dcache.cpu_side)
+            icache.mem_side.bind(self.l2bus.new_cpu_side_port())
+            dcache.mem_side.bind(self.l2bus.new_cpu_side_port())
         self.l2bus.mem_side.bind(self.l2cache.cpu_side)
         self.l2cache.mem_side.bind(self.memctrl.port)
 
@@ -171,7 +227,8 @@ class System(Root):
         process = Process(process_name, program, self.config.mem_size)
         process.load(self.memctrl.memory)
         self.process = process
-        self.cpu.bind(self, process)
+        for cpu in self.cpus:
+            cpu.bind(self, process)
         return process
 
     def set_fs_workload(self, program: Program) -> None:
@@ -237,7 +294,8 @@ def simulate(system: System, max_ticks: Optional[int] = None) -> SimResult:
     return SimResult(
         exit_cause=exit_event.cause,
         sim_ticks=system.eventq.now,
-        sim_insts=int(system.cpu.stat_committed.value()),
+        sim_insts=sum(int(cpu.stat_committed.value())
+                      for cpu in system.cpus),
         sim_cycles=int(system.cpu.stat_cycles.value()),
         stats=stats,
         recorder=system.recorder,

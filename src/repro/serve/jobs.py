@@ -88,6 +88,10 @@ class JobRequest:
             if self.g5.sim_config is not None \
                     and self.g5.sim_config.domains > 1:
                 doc["domains"] = self.g5.sim_config.domains
+            if self.g5.threads > 1:
+                doc["threads"] = self.g5.threads
+            if self.g5.cores > 1:
+                doc["cores"] = self.g5.cores
             return doc
         if self.kind == "sample":
             return {"kind": "sample", **self.sampled.describe()}
@@ -140,14 +144,22 @@ def _parse_g5(doc: dict) -> JobRequest:
         raise JobRequestError(f"unknown mode {mode!r}; expected 'se' "
                               "or 'fs'")
     domains = _parse_int(doc, "domains", 1, 1)
+    threads = _parse_int(doc, "threads", 1, 1)
+    cores = _parse_int(doc, "cores", max(1, threads), 1)
+    if threads > 1 and not get_workload(workload).threaded:
+        raise JobRequestError(
+            f"workload {workload!r} has no threaded variant")
     sim_config = None
-    if domains > 1:
+    if domains > 1 or cores > 1:
         from ..g5.system import SimConfig
 
-        sim_config = SimConfig(cpu_model=cpu_model, mode=mode,
-                               domains=domains)
+        try:
+            sim_config = SimConfig(cpu_model=cpu_model, mode=mode,
+                                   domains=domains, cores=cores)
+        except ValueError as exc:
+            raise JobRequestError(str(exc)) from None
     job = G5Job(workload=workload, cpu_model=cpu_model, mode=mode,
-                scale=scale, sim_config=sim_config)
+                scale=scale, sim_config=sim_config, threads=threads)
     return JobRequest(kind="g5", g5=job, scale=scale)
 
 

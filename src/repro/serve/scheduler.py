@@ -130,9 +130,13 @@ class Scheduler:
         from ..experiments import FIGURES
 
         module = FIGURES[request.figure_id]
-        jobs = [G5Job(workload=w, cpu_model=c, mode=m or "se",
-                      scale=request.scale)
-                for w, c, m in module.required_g5()]
+        jobs = []
+        for requirement in module.required_g5():
+            workload, cpu_model, mode = requirement[:3]
+            threads = requirement[3] if len(requirement) > 3 else 1
+            jobs.append(G5Job(workload=workload, cpu_model=cpu_model,
+                              mode=mode or "se", scale=request.scale,
+                              threads=threads))
         return sum(self.cost_model.predict(job) for job in jobs)
 
     # ------------------------------------------------------------------

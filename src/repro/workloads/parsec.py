@@ -26,6 +26,14 @@ from .kernels import (
     emit_lcg_next,
     emit_load_const_f,
 )
+from .mt import (
+    MT_PARTIALS,
+    check_threads,
+    emit_join_workers,
+    emit_mt_init,
+    emit_spawn_workers,
+    emit_worker_prologue,
+)
 
 
 def build_blackscholes(n_options: int = 160, rounds: int = 2) -> Program:
@@ -94,6 +102,115 @@ def build_blackscholes(n_options: int = 160, rounds: int = 2) -> Program:
     asm.m5_work_end()
     asm.fcvt_l_d("a0", "f25")
     emit_exit(asm)
+    return asm.assemble()
+
+
+def build_blackscholes_mt(n_options: int, rounds: int,
+                          threads: int) -> Program:
+    """Threaded blackscholes: options strided across threads.
+
+    Option pricing is embarrassingly parallel — each thread prices the
+    options with ``index % threads == worker``, writing disjoint slots
+    of the price array and accumulating a local sum.  Workers publish
+    their partials; the main thread joins and reduces serially in
+    worker-index order.  The price array is identical for every thread
+    count; at one thread the sum order matches the serial kernel's.
+    """
+    if n_options <= 0 or rounds <= 0:
+        raise ValueError("n_options and rounds must be positive")
+    check_threads(threads)
+    asm = Assembler(base=0x1000)
+    spot = DATA_BASE
+    price = DATA_BASE + n_options * 8
+
+    asm.li("s0", spot)
+    asm.li("s1", n_options)
+    emit_fill_linear(asm, "s0", "s1", 8, "bs")
+
+    emit_mt_init(asm, threads)
+    asm.li("s2", price)
+    asm.call("bs_consts")
+    asm.m5_work_begin()
+    emit_spawn_workers(asm, threads)
+    asm.call("bs_slice")                 # main = worker 0
+    emit_join_workers(asm, threads, "bs")
+
+    # serial reduction in worker-index order
+    asm.fsub("f25", "f25", "f25")        # running sum = 0.0
+    asm.li("t0", MT_PARTIALS)
+    asm.li("t2", 0)
+    asm.label("bs_reduce")
+    asm.slli("t1", "t2", 3)
+    asm.add("t1", "t1", "t0")
+    asm.fld("f0", "t1", 0)
+    asm.fadd("f25", "f25", "f0")
+    asm.addi("t2", "t2", 1)
+    asm.li("t3", threads)
+    asm.blt("t2", "t3", "bs_reduce")
+    asm.m5_work_end()
+    asm.fcvt_l_d("a0", "f25")
+    emit_exit(asm)
+
+    # worker
+    emit_worker_prologue(asm, threads)
+    asm.li("s0", spot)
+    asm.li("s1", n_options)
+    asm.li("s2", price)
+    asm.call("bs_consts")
+    asm.call("bs_slice")
+    asm.m5_thread_exit()
+    asm.halt()
+
+    # bs_consts: per-core FP constants (FP registers are per-core)
+    asm.label("bs_consts")
+    emit_load_const_f(asm, "f20", 4, 5)          # strike scale 0.8
+    emit_load_const_f(asm, "f21", 1968, 10000)   # cnd coefficient
+    emit_load_const_f(asm, "f22", 113, 10000)    # cubic coefficient
+    emit_load_const_f(asm, "f23", 1, 2)          # 0.5
+    emit_load_const_f(asm, "f24", 1, 1)          # 1.0
+    asm.fsub("f25", "f24", "f24")                # running sum = 0.0
+    asm.ret()
+
+    # bs_slice: price options t0 = s10, s10+s9, ... for every round
+    asm.label("bs_slice")
+    asm.li("s3", 0)                      # round counter
+    asm.label("round")
+    asm.mv("t0", "s10")
+    asm.label("option")
+    asm.bge("t0", "s1", "options_done")
+    asm.slli("t1", "t0", 3)
+    asm.add("t1", "t1", "s0")
+    asm.fld("f0", "t1", 0)               # S
+    asm.fmul("f1", "f0", "f20")          # K = 0.8 S
+    asm.fsub("f2", "f0", "f1")           # d = (S - K) / sqrt(S)
+    asm.fsqrt("f3", "f0")
+    asm.fdiv("f2", "f2", "f3")
+    asm.fmul("f4", "f2", "f2")           # cnd(d) = 0.5 + c1*d - c3*d^3
+    asm.fmul("f4", "f4", "f2")
+    asm.fmul("f5", "f2", "f21")
+    asm.fmul("f6", "f4", "f22")
+    asm.fsub("f5", "f5", "f6")
+    asm.fadd("f5", "f5", "f23")
+    asm.fmul("f7", "f0", "f5")           # price = S*cnd - K*(1-cnd)
+    asm.fsub("f8", "f24", "f5")
+    asm.fmul("f8", "f1", "f8")
+    asm.fsub("f7", "f7", "f8")
+    asm.slli("t2", "t0", 3)
+    asm.add("t2", "t2", "s2")
+    asm.fsd("f7", "t2", 0)
+    asm.fadd("f25", "f25", "f7")
+    asm.add("t0", "t0", "s9")
+    asm.j("option")
+    asm.label("options_done")
+    asm.addi("s3", "s3", 1)
+    asm.li("t3", rounds)
+    asm.blt("s3", "t3", "round")
+    # publish the partial into this worker's slot
+    asm.li("t0", MT_PARTIALS)
+    asm.slli("t1", "s10", 3)
+    asm.add("t0", "t0", "t1")
+    asm.fsd("f25", "t0", 0)
+    asm.ret()
     return asm.assemble()
 
 

@@ -11,22 +11,25 @@ enough to amortise its profiling and warmup overheads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 from ..g5.isa import Program
 from .bootexit import build_boot_exit
 from .parsec import (
     build_blackscholes,
+    build_blackscholes_mt,
     build_canneal,
     build_dedup,
     build_streamcluster,
 )
-from .sieve import build_sieve
+from .sieve import build_sieve, build_sieve_mt
 from .splash2x import (
     build_fmm,
     build_ocean_cp,
+    build_ocean_cp_mt,
     build_ocean_ncp,
     build_water_nsquared,
+    build_water_nsquared_mt,
     build_water_spatial,
 )
 
@@ -42,21 +45,41 @@ class Workload:
     mode: str                      # "se" or "fs"
     builder: Callable[..., Program]
     scale_params: dict[str, dict[str, int]]
+    #: Threaded variant of the kernel (None: single-threaded only).
+    mt_builder: Optional[Callable[..., Program]] = None
 
-    def build(self, scale: str = "simsmall") -> Program:
+    @property
+    def threaded(self) -> bool:
+        return self.mt_builder is not None
+
+    def build(self, scale: str = "simsmall", threads: int = 1) -> Program:
+        """Build the kernel; ``threads > 1`` selects the ``-n`` variant.
+
+        ``threads <= 1`` always takes the legacy single-threaded
+        builder, byte-identical to what it produced before threaded
+        variants existed (the golden-stats and bit-identity suites
+        depend on that).
+        """
         if scale not in self.scale_params:
             raise KeyError(
                 f"workload {self.name!r} has no scale {scale!r}; "
                 f"choose from {sorted(self.scale_params)}")
-        return self.builder(**self.scale_params[scale])
+        params = self.scale_params[scale]
+        if threads <= 1:
+            return self.builder(**params)
+        if self.mt_builder is None:
+            raise ValueError(
+                f"workload {self.name!r} has no threaded variant")
+        return self.mt_builder(**params, threads=threads)
 
 
 def _w(name: str, suite: str, mode: str, builder: Callable[..., Program],
        test: dict[str, int], simsmall: dict[str, int],
-       simmedium: dict[str, int], simlarge: dict[str, int]) -> Workload:
+       simmedium: dict[str, int], simlarge: dict[str, int],
+       mt: Optional[Callable[..., Program]] = None) -> Workload:
     return Workload(name, suite, mode, builder, {
         "test": test, "simsmall": simsmall, "simmedium": simmedium,
-        "simlarge": simlarge})
+        "simlarge": simlarge}, mt_builder=mt)
 
 
 #: The paper's nine PARSEC/SPLASH-2x workloads plus Boot-Exit and sieve.
@@ -65,7 +88,8 @@ WORKLOADS: dict[str, Workload] = {w.name: w for w in [
        test={"n_options": 16, "rounds": 1},
        simsmall={"n_options": 96, "rounds": 2},
        simmedium={"n_options": 160, "rounds": 3},
-       simlarge={"n_options": 320, "rounds": 5}),
+       simlarge={"n_options": 320, "rounds": 5},
+       mt=build_blackscholes_mt),
     _w("canneal", "parsec", "se", build_canneal,
        test={"n_elements": 32, "n_swaps": 40},
        simsmall={"n_elements": 256, "n_swaps": 350},
@@ -85,7 +109,8 @@ WORKLOADS: dict[str, Workload] = {w.name: w for w in [
        test={"n_molecules": 8, "steps": 1},
        simsmall={"n_molecules": 28, "steps": 2},
        simmedium={"n_molecules": 40, "steps": 3},
-       simlarge={"n_molecules": 64, "steps": 4}),
+       simlarge={"n_molecules": 64, "steps": 4},
+       mt=build_water_nsquared_mt),
     _w("water_spatial", "splash2x", "se", build_water_spatial,
        test={"n_molecules": 16, "n_cells": 4, "steps": 1},
        simsmall={"n_molecules": 48, "n_cells": 6, "steps": 2},
@@ -95,7 +120,8 @@ WORKLOADS: dict[str, Workload] = {w.name: w for w in [
        test={"grid": 6, "sweeps": 1},
        simsmall={"grid": 14, "sweeps": 2},
        simmedium={"grid": 18, "sweeps": 4},
-       simlarge={"grid": 26, "sweeps": 6}),
+       simlarge={"grid": 26, "sweeps": 6},
+       mt=build_ocean_cp_mt),
     _w("ocean_ncp", "splash2x", "se", build_ocean_ncp,
        test={"grid": 6, "sweeps": 1},
        simsmall={"grid": 14, "sweeps": 2},
@@ -115,7 +141,8 @@ WORKLOADS: dict[str, Workload] = {w.name: w for w in [
        test={"limit": 50},
        simsmall={"limit": 300},
        simmedium={"limit": 600},
-       simlarge={"limit": 3000}),
+       simlarge={"limit": 3000},
+       mt=build_sieve_mt),
 ]}
 
 #: The nine benchmark workloads Fig. 1 averages over.

@@ -10,6 +10,13 @@ from __future__ import annotations
 
 from ..g5.isa import Assembler, Program
 from .kernels import DATA_BASE, emit_exit
+from .mt import (
+    check_threads,
+    emit_join_workers,
+    emit_mt_init,
+    emit_spawn_workers,
+    emit_worker_prologue,
+)
 
 
 def build_sieve(limit: int = 500) -> Program:
@@ -62,6 +69,86 @@ def build_sieve(limit: int = 500) -> Program:
     asm.m5_work_end()
 
     emit_exit(asm, "s3")
+    return asm.assemble()
+
+
+def build_sieve_mt(limit: int, threads: int) -> Program:
+    """Multi-threaded sieve: candidate primes strided across threads.
+
+    Worker ``k`` marks multiples of every candidate ``p`` with
+    ``p % threads == (2 + k) % threads``; composite-skip reads of a
+    flag another worker has not marked yet are harmless (the candidate
+    is then a composite whose multiples are already covered by its
+    prime factors' workers), so the final flags array — and the prime
+    count — is exactly :func:`prime_count_reference` for *any* thread
+    count and interleaving.  The main thread participates as worker 0,
+    then joins the workers and counts serially.
+    """
+    if limit < 3:
+        raise ValueError(f"limit must be at least 3, got {limit}")
+    check_threads(threads)
+    asm = Assembler(base=0x1000)
+    flags = DATA_BASE
+
+    # main: clear flags[0..limit) serially, before any worker starts
+    asm.li("s0", flags)
+    asm.li("s1", limit)
+    asm.li("t0", 0)
+    asm.label("clear")
+    asm.add("t1", "s0", "t0")
+    asm.sb("zero", "t1", 0)
+    asm.addi("t0", "t0", 1)
+    asm.blt("t0", "s1", "clear")
+
+    emit_mt_init(asm, threads)
+    asm.m5_work_begin()
+    emit_spawn_workers(asm, threads)
+    asm.call("mark_slice")                   # main = worker 0
+    emit_join_workers(asm, threads, "sv")
+
+    # count primes serially (all marking is complete after the join)
+    asm.li("s3", 0)
+    asm.li("t0", 2)
+    asm.label("count")
+    asm.add("t1", "s0", "t0")
+    asm.lb("t2", "t1", 0)
+    asm.bne("t2", "zero", "not_prime")
+    asm.addi("s3", "s3", 1)
+    asm.label("not_prime")
+    asm.addi("t0", "t0", 1)
+    asm.blt("t0", "s1", "count")
+    asm.m5_work_end()
+    emit_exit(asm, "s3")
+
+    # worker k: same slice subroutine with s10 = k
+    emit_worker_prologue(asm, threads)
+    asm.li("s0", flags)
+    asm.li("s1", limit)
+    asm.call("mark_slice")
+    asm.m5_thread_exit()
+    asm.halt()
+
+    # mark_slice: for p = 2 + s10; p < limit; p += s9: mark multiples
+    asm.label("mark_slice")
+    asm.addi("s2", "s10", 2)
+    asm.label("outer")
+    asm.bge("s2", "s1", "slice_done")
+    asm.add("t0", "s0", "s2")
+    asm.lb("t1", "t0", 0)
+    asm.bne("t1", "zero", "next_p")          # known composite: skip
+    asm.mul("t2", "s2", "s2")                # start at p*p
+    asm.bge("t2", "s1", "next_p")
+    asm.label("mark")
+    asm.add("t3", "s0", "t2")
+    asm.li("t4", 1)
+    asm.sb("t4", "t3", 0)
+    asm.add("t2", "t2", "s2")
+    asm.blt("t2", "s1", "mark")
+    asm.label("next_p")
+    asm.add("s2", "s2", "s9")
+    asm.j("outer")
+    asm.label("slice_done")
+    asm.ret()
     return asm.assemble()
 
 

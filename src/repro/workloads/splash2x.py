@@ -19,6 +19,15 @@ from .kernels import (
     emit_fill_linear,
     emit_load_const_f,
 )
+from .mt import (
+    MT_PARTIALS,
+    check_threads,
+    emit_barrier,
+    emit_join_workers,
+    emit_mt_init,
+    emit_spawn_workers,
+    emit_worker_prologue,
+)
 
 
 def build_water_nsquared(n_molecules: int = 40, steps: int = 2) -> Program:
@@ -236,6 +245,227 @@ def build_ocean_cp(grid: int = 18, sweeps: int = 3) -> Program:
 def build_ocean_ncp(grid: int = 18, sweeps: int = 3) -> Program:
     """Ocean with non-contiguous partitions: column-major (strided)."""
     return _build_ocean(grid, sweeps, row_major=False)
+
+
+def build_water_nsquared_mt(n_molecules: int, steps: int,
+                            threads: int) -> Program:
+    """Threaded water_nsquared: outer rows strided across threads.
+
+    Worker ``k`` accumulates the pair potential for rows ``i`` with
+    ``i % threads == k`` (striding balances the triangular pair count),
+    stores its partial into its ``MT_PARTIALS`` slot, and exits; the
+    main thread computes its own slice, joins, and reduces the partials
+    serially in worker-index order, so the result is deterministic per
+    thread count.  At one thread the accumulation order is exactly the
+    serial kernel's.
+    """
+    if n_molecules < 2 or steps <= 0:
+        raise ValueError("need >=2 molecules and >=1 step")
+    check_threads(threads)
+    asm = Assembler(base=0x1000)
+    pos = DATA_BASE
+
+    asm.li("s0", pos)
+    asm.li("t4", n_molecules)
+    emit_fill_linear(asm, "s0", "t4", 8, "wn")
+
+    emit_mt_init(asm, threads)
+    emit_load_const_f(asm, "f20", 0)       # potential
+    emit_load_const_f(asm, "f24", 1)       # 1.0
+    asm.m5_work_begin()
+    emit_spawn_workers(asm, threads)
+    asm.call("wn_slice")                   # main = worker 0
+    emit_join_workers(asm, threads, "wn")
+
+    # serial reduction in worker-index order
+    emit_load_const_f(asm, "f20", 0)
+    asm.li("t0", MT_PARTIALS)
+    asm.li("t2", 0)
+    asm.label("wn_reduce")
+    asm.slli("t1", "t2", 3)
+    asm.add("t1", "t1", "t0")
+    asm.fld("f0", "t1", 0)
+    asm.fadd("f20", "f20", "f0")
+    asm.addi("t2", "t2", 1)
+    asm.li("t3", threads)
+    asm.blt("t2", "t3", "wn_reduce")
+    asm.m5_work_end()
+    asm.fcvt_l_d("a0", "f20")
+    emit_exit(asm)
+
+    # worker: same slice subroutine with its own FP state
+    emit_worker_prologue(asm, threads)
+    asm.li("s0", pos)
+    emit_load_const_f(asm, "f20", 0)
+    emit_load_const_f(asm, "f24", 1)
+    asm.call("wn_slice")
+    asm.m5_thread_exit()
+    asm.halt()
+
+    # wn_slice: rows i = s10, s10+s9, ... of the pair triangle
+    asm.label("wn_slice")
+    asm.li("s5", 0)                        # step
+    asm.label("step")
+    asm.mv("s1", "s10")                    # i = worker index
+    asm.label("outer")
+    asm.li("t3", n_molecules - 1)
+    asm.bge("s1", "t3", "outer_done")
+    asm.addi("s2", "s1", 1)                # j = i + 1
+    asm.label("inner")
+    asm.slli("t0", "s1", 3)
+    asm.add("t0", "t0", "s0")
+    asm.fld("f0", "t0", 0)
+    asm.slli("t1", "s2", 3)
+    asm.add("t1", "t1", "s0")
+    asm.fld("f1", "t1", 0)
+    asm.fsub("f2", "f0", "f1")
+    asm.fmul("f3", "f2", "f2")
+    asm.fsqrt("f3", "f3")                  # |dx|
+    asm.fadd("f3", "f3", "f24")
+    asm.fdiv("f4", "f24", "f3")            # 1/(r+1)
+    asm.fadd("f20", "f20", "f4")
+    asm.addi("s2", "s2", 1)
+    asm.li("t3", n_molecules)
+    asm.blt("s2", "t3", "inner")
+    asm.add("s1", "s1", "s9")
+    asm.j("outer")
+    asm.label("outer_done")
+    asm.addi("s5", "s5", 1)
+    asm.li("t3", steps)
+    asm.blt("s5", "t3", "step")
+    # publish the partial into this worker's slot
+    asm.li("t0", MT_PARTIALS)
+    asm.slli("t1", "s10", 3)
+    asm.add("t0", "t0", "t1")
+    asm.fsd("f20", "t0", 0)
+    asm.ret()
+    return asm.assemble()
+
+
+def build_ocean_cp_mt(grid: int, sweeps: int, threads: int) -> Program:
+    """Threaded ocean (contiguous partitions): double-buffered Jacobi.
+
+    Unlike the serial kernel's in-place sweeps, the threaded variant
+    relaxes from a source into a destination buffer and swaps them each
+    sweep, with a full barrier between sweeps.  Every interior cell is
+    written by exactly one thread and read only from the quiescent
+    source buffer, so the final field — and the centre-cell exit code —
+    is bit-identical for *any* thread count (the one-thread run is the
+    reference the differential tests compare against).  Interior rows
+    are split into contiguous blocks, matching ocean_cp's partitioning.
+    """
+    if grid < 3 or sweeps <= 0:
+        raise ValueError("grid must be >=3 with >=1 sweep")
+    check_threads(threads)
+    asm = Assembler(base=0x1000)
+    field_a = DATA_BASE
+    field_b = DATA_BASE + grid * grid * 8
+    row_bytes = grid * 8
+    rows_per = (grid - 2 + threads - 1) // threads
+    # sweep s reads A and writes B when s is even; the last sweep's
+    # destination holds the final field
+    final_field = field_b if sweeps % 2 == 1 else field_a
+
+    # identical linear init in both buffers: boundary rows/columns are
+    # never rewritten, so both buffers must agree on them
+    asm.li("s0", field_a)
+    asm.li("t4", grid * grid)
+    emit_fill_linear(asm, "s0", "t4", 8, "oca")
+    asm.li("s1", field_b)
+    asm.li("t4", grid * grid)
+    emit_fill_linear(asm, "s1", "t4", 8, "ocb")
+
+    emit_mt_init(asm, threads)
+    emit_load_const_f(asm, "f24", 1, 4)          # 0.25
+    asm.m5_work_begin()
+    emit_spawn_workers(asm, threads)
+    asm.call("oc_bounds")
+    asm.call("oc_slice")                         # main = worker 0
+    emit_join_workers(asm, threads, "oc")
+    asm.m5_work_end()
+
+    # checksum: centre cell of the final buffer
+    asm.li("t0", grid)
+    asm.li("t1", grid // 2)
+    asm.mul("t0", "t0", "t1")
+    asm.add("t0", "t0", "t1")
+    asm.slli("t0", "t0", 3)
+    asm.li("t1", final_field)
+    asm.add("t0", "t0", "t1")
+    asm.fld("f0", "t0", 0)
+    asm.fcvt_l_d("a0", "f0")
+    emit_exit(asm)
+
+    # worker
+    emit_worker_prologue(asm, threads)
+    asm.li("s0", field_a)
+    asm.li("s1", field_b)
+    emit_load_const_f(asm, "f24", 1, 4)
+    asm.call("oc_bounds")
+    asm.call("oc_slice")
+    asm.m5_thread_exit()
+    asm.halt()
+
+    # oc_bounds: s8 = 1 + s10*rows_per, s7 = min(s8+rows_per, grid-1)
+    asm.label("oc_bounds")
+    asm.li("t0", rows_per)
+    asm.mul("s8", "s10", "t0")
+    asm.addi("s8", "s8", 1)
+    asm.add("s7", "s8", "t0")
+    asm.li("t1", grid - 1)
+    asm.blt("s7", "t1", "oc_bounds_ok")
+    asm.mv("s7", "t1")
+    asm.label("oc_bounds_ok")
+    asm.ret()
+
+    # oc_slice: all sweeps over rows [s8, s7), barrier between sweeps
+    asm.label("oc_slice")
+    asm.li("s6", 0)                              # sweep counter
+    asm.label("oc_sweep")
+    asm.andi("t0", "s6", 1)
+    asm.bne("t0", "zero", "oc_ba")
+    asm.mv("s4", "s0")                           # even sweep: A -> B
+    asm.mv("s5", "s1")
+    asm.j("oc_go")
+    asm.label("oc_ba")
+    asm.mv("s4", "s1")                           # odd sweep: B -> A
+    asm.mv("s5", "s0")
+    asm.label("oc_go")
+    asm.mv("s2", "s8")                           # row
+    asm.label("oc_row")
+    asm.bge("s2", "s7", "oc_rows_done")
+    asm.li("s3", 1)                              # column
+    asm.label("oc_col")
+    asm.li("t0", grid)
+    asm.mul("t1", "s2", "t0")
+    asm.add("t1", "t1", "s3")
+    asm.slli("t1", "t1", 3)                      # cell offset
+    asm.add("t2", "t1", "s4")                    # &src[r][c]
+    asm.fld("f0", "t2", -8)                      # left
+    asm.fld("f1", "t2", 8)                       # right
+    asm.li("t3", row_bytes)
+    asm.sub("t4", "t2", "t3")
+    asm.fld("f2", "t4", 0)                       # up
+    asm.add("t4", "t2", "t3")
+    asm.fld("f3", "t4", 0)                       # down
+    asm.fadd("f0", "f0", "f1")
+    asm.fadd("f0", "f0", "f2")
+    asm.fadd("f0", "f0", "f3")
+    asm.fmul("f0", "f0", "f24")
+    asm.add("t2", "t1", "s5")                    # &dst[r][c]
+    asm.fsd("f0", "t2", 0)
+    asm.addi("s3", "s3", 1)
+    asm.li("t0", grid - 1)
+    asm.blt("s3", "t0", "oc_col")
+    asm.addi("s2", "s2", 1)
+    asm.j("oc_row")
+    asm.label("oc_rows_done")
+    emit_barrier(asm, "oc_sw")
+    asm.addi("s6", "s6", 1)
+    asm.li("t0", sweeps)
+    asm.blt("s6", "t0", "oc_sweep")
+    asm.ret()
+    return asm.assemble()
 
 
 def build_fmm(levels: int = 7, rounds: int = 2) -> Program:

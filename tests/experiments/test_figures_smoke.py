@@ -121,6 +121,29 @@ class TestFigureStructure:
             assert cdf == sorted(cdf)
             assert cdf[-1] <= 1.0
 
+    def test_fig16_scaling_series(self, tiny_runner):
+        figure = FIGURES["fig16"].run(tiny_runner, workload="sieve")
+        assert {s.name for s in figure.series} == \
+            {"ATOMIC", "TIMING", "IDEAL"}
+        for series in figure.series:
+            assert series.x == ["1", "2", "4"]
+            assert all(value > 0 for value in series.y)
+        # The 1-thread point is the baseline: speedup exactly 1.0.
+        for model in ("atomic", "timing"):
+            one = FIGURES["fig16"].speedup_for(figure, model, 1)
+            assert one == pytest.approx(1.0)
+        assert figure.get_series("IDEAL").y == [1.0, 2.0, 4.0]
+
+    def test_fig17_traffic_starts_at_zero_and_moves(self, tiny_runner):
+        figure = FIGURES["fig17"].run(tiny_runner, workload="sieve")
+        assert [s.name for s in figure.series] == \
+            ["snoops", "snoopInvalidates", "snoopWritebacks"]
+        # One core: a one-member coherence domain never probes anything.
+        for name in ("snoops", "snoopInvalidates", "snoopWritebacks"):
+            assert FIGURES["fig17"].traffic_for(figure, name, 1) == 0.0
+        # Four cores sharing data: the protocol actually fires.
+        assert FIGURES["fig17"].traffic_for(figure, "snoops", 4) > 0
+
     def test_runner_caches_g5_runs(self, tiny_runner):
         stats = tiny_runner.cache_stats()
         # All previous tests shared one runner: far fewer g5 runs than
