@@ -29,6 +29,12 @@ guarantee — but its timing/metrics modules legitimately measure
 request latency, so wall-clock reads (only) are exempt in the modules
 listed in ``_SERVE_WALL_CLOCK_OK``; every other serve module must take
 time through ``serve/clock.py``.
+
+The fleet layer (``fleet/``) is in scope with **no** wall-clock
+exemptions at all: heartbeat liveness, job timeouts, and retry pacing
+must all go through ``serve/clock.py`` so a fleet can be driven
+deterministically under test, and nothing a coordinator or worker
+computes may depend on host time, entropy, or set order.
 """
 
 from __future__ import annotations
@@ -46,7 +52,7 @@ from ..engine import LintPass, register_pass
 #: sequential path; all wall-clock timing for windows lives in
 #: ``exec/windows.py``, outside the simulation core.
 _SCOPED_PREFIXES = ("g5/", "events/", "workloads/", "host/", "core/",
-                    "experiments/", "serve/", "sample/")
+                    "experiments/", "serve/", "sample/", "fleet/")
 
 #: Serve-side timing/metrics modules where wall-clock reads are the
 #: point (request latency, job lifecycle stamps).  Entropy, unseeded

@@ -218,6 +218,58 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--verbose", action="store_true",
                      help="log every HTTP request to stderr")
 
+    fleet = sub.add_parser(
+        "fleet", help="multi-node serving: coordinator, workers, "
+                      "capacity report")
+    fleet.add_argument("action",
+                       choices=["coordinator", "worker", "report"])
+    fleet.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    fleet.add_argument("--port", type=int, default=None,
+                       help="listen port (default: 8090 coordinator, "
+                            "ephemeral worker)")
+    fleet.add_argument("--coordinator", default="http://127.0.0.1:8090",
+                       help="worker: coordinator base URL "
+                            "(default: http://127.0.0.1:8090)")
+    fleet.add_argument("--jobs", type=_positive_int, default=2,
+                       help="worker: concurrent simulation executors "
+                            "(default: 2)")
+    fleet.add_argument("--max-queue", type=_positive_int, default=64,
+                       help="worker: admission-control queue depth "
+                            "(default: 64)")
+    fleet.add_argument("--advertise-url", default=None,
+                       help="worker: URL peers should reach us at "
+                            "(default: the bound address)")
+    fleet.add_argument("--heartbeat-timeout", type=float, default=3.0,
+                       help="coordinator: seconds without a heartbeat "
+                            "before a worker is declared dead "
+                            "(default: 3.0)")
+    fleet.add_argument("--max-pending", type=_positive_int, default=256,
+                       help="coordinator: queued jobs before 429s "
+                            "(default: 256)")
+    fleet.add_argument("--dispatchers", type=_positive_int, default=8,
+                       help="coordinator: concurrent dispatch threads "
+                            "(default: 8)")
+    fleet.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds")
+    fleet.add_argument("--workers", type=_positive_int, default=2,
+                       help="report: worker nodes to plan for "
+                            "(default: 2)")
+    fleet.add_argument("--jobs-per-worker", type=_positive_int,
+                       default=2,
+                       help="report: executors per worker node "
+                            "(default: 2)")
+    fleet.add_argument("--target-p99", type=float, default=5.0,
+                       help="report: p99 latency target in seconds "
+                            "(default: 5.0)")
+    fleet.add_argument("--cache-dir", default=None,
+                       help="cache location (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro-g5)")
+    fleet.add_argument("--json", action="store_true", dest="as_json",
+                       help="report: emit machine-readable JSON")
+    fleet.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
     sample = sub.add_parser(
         "sample", help="SimPoint-style sampled simulation")
     sample.add_argument("action",
@@ -837,6 +889,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve(config)
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    if args.action == "coordinator":
+        from .fleet.coordinator import CoordinatorConfig
+        from .fleet.http import run_coordinator
+
+        config = CoordinatorConfig(
+            host=args.host,
+            port=args.port if args.port is not None else 8090,
+            heartbeat_timeout=args.heartbeat_timeout,
+            max_pending=args.max_pending,
+            dispatchers=args.dispatchers,
+            quiet=not args.verbose)
+        if args.timeout is not None:
+            config.job_timeout = args.timeout
+        config.log = sys.stderr
+        if args.cache_dir is not None:
+            config.cost_path = Path(args.cache_dir) / "costs.json"
+        return run_coordinator(config)
+    if args.action == "worker":
+        from .fleet.worker import WorkerConfig, run_worker
+
+        config = WorkerConfig(
+            coordinator_url=args.coordinator,
+            host=args.host,
+            port=args.port if args.port is not None else 0,
+            workers=args.jobs,
+            max_queue=args.max_queue,
+            cache_root=args.cache_dir,
+            job_timeout=args.timeout,
+            advertise_url=args.advertise_url,
+            quiet=not args.verbose)
+        config.log = sys.stderr
+        return run_worker(config)
+
+    from .exec.costmodel import CostModel
+    from .fleet.report import capacity_plan, render_report
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir is not None \
+        else ResultCache()
+    cost_model = CostModel(cache.costs_path)
+    plan = capacity_plan(cost_model, workers=args.workers,
+                         workers_per_node=args.jobs_per_worker,
+                         target_p99=args.target_p99)
+    if args.as_json:
+        print(json.dumps(plan, indent=2, sort_keys=True))
+    else:
+        print(render_report(plan))
+    return 0
+
+
 def _cmd_list() -> int:
     print("workloads:")
     for name, workload in sorted(WORKLOADS.items()):
@@ -881,6 +986,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_ckpt(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_list()

@@ -149,6 +149,65 @@ class ResultCache:
         return self._path(key.digest).exists()
 
     # ------------------------------------------------------------------
+    # raw envelope transport (the fleet's shared-store wire format)
+    # ------------------------------------------------------------------
+    def raw_get(self, digest: str) -> Optional[bytes]:
+        """The stored envelope's raw bytes, verified against ``digest``.
+
+        This is what one worker ships another over the shared-store
+        HTTP endpoint: the receiver re-verifies with :meth:`raw_put`,
+        so a corrupt entry can never propagate through the fleet.
+        """
+        path = self._path(digest)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        if self.verify_envelope(digest, blob) is None:
+            path.unlink(missing_ok=True)
+            return None
+        return blob
+
+    def raw_put(self, digest: str, blob: bytes) -> bool:
+        """Store a serialized envelope received from a peer.
+
+        The blob is verified before anything touches the disk: it must
+        unpickle to a current-version envelope whose recorded digest
+        matches the addressed one.  Returns False (and stores nothing)
+        on any mismatch.
+        """
+        if self.verify_envelope(digest, blob) is None:
+            return False
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return True
+
+    @staticmethod
+    def verify_envelope(digest: str, blob: bytes) -> Optional[dict]:
+        """The decoded envelope if ``blob`` is a valid entry for
+        ``digest``, else None."""
+        try:
+            envelope = pickle.loads(blob)
+        except Exception:
+            return None
+        if (not isinstance(envelope, dict)
+                or envelope.get("version") != ENVELOPE_VERSION
+                or envelope.get("digest") != digest):
+            return None
+        return envelope
+
+    # ------------------------------------------------------------------
     # inspection / maintenance
     # ------------------------------------------------------------------
     def entries(self) -> Iterator[CacheEntry]:

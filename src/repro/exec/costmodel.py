@@ -9,14 +9,23 @@ idles behind it.  Longest-processing-time-first scheduling needs only a
 with the CPU model's per-instruction work, the workload's scale, and the
 mode's device overhead.
 
-The model learns at two granularities.  Every completed run feeds an
+The model learns at three granularities.  Every completed run feeds an
 exponential moving average for its exact (workload, cpu, mode, scale)
 class — the sharpest predictor once a class has been seen.  The same
-observation also calibrates a global *seconds-per-weight-unit* factor,
-so classes never run before still benefit: their static prior is scaled
-by how fast this machine actually turned out to be.  Both layers
-persist as ``costs.json`` (schema v2) in the cache directory; v1 files
-(a flat class -> seconds map) load transparently.
+observation also lands in a bounded raw-observation history that trains
+a Gem5Pred-style **learned predictor**: a pure-python ridge regression
+over job features (cpu model, mode, scale, workload, cores,
+interval/warmup parameters) against log-seconds, so classes *never run
+before* get a prediction shaped by everything the machine has run, not
+just a single scalar.  Finally each observation calibrates a global
+*seconds-per-weight-unit* factor — the fallback when the regression is
+underfed (fewer than :data:`MIN_TRAINING_OBSERVATIONS` samples).
+
+Prediction resolves through those layers in sharpness order: exact
+class EMA, then the learned regression, then the static prior scaled by
+the machine calibration.  All layers persist as ``costs.json`` (schema
+v3) in the cache directory; v2 files (no observation history) and v1
+files (a flat class -> seconds map) load transparently.
 
 Jobs can shape their own treatment through two optional attributes:
 ``cost_class`` overrides the history bucket (sampled jobs form their
@@ -27,7 +36,9 @@ run it replaces).
 
 from __future__ import annotations
 
+import hashlib
 import json
+import math
 from pathlib import Path
 from typing import Any, Optional, Sequence, Union
 
@@ -55,7 +66,23 @@ EMA_ALPHA = 0.5
 DEFAULT_SEC_PER_WEIGHT = 0.01
 
 #: On-disk schema version of ``costs.json``.
-COSTS_SCHEMA_VERSION = 2
+COSTS_SCHEMA_VERSION = 3
+
+#: Raw observations retained for regression training (most recent kept).
+OBSERVATION_CAP = 512
+
+#: Below this many observations the regression stays untrained and
+#: prediction falls back to the EMA / calibrated-prior layers.
+MIN_TRAINING_OBSERVATIONS = 12
+
+#: Ridge penalty keeping the tiny normal-equation solve well-posed.
+RIDGE_LAMBDA = 1e-2
+
+#: Workload names hash into this many one-hot feature buckets.
+WORKLOAD_BUCKETS = 8
+
+#: Durations are learned in log space; clamp to keep log() finite.
+MIN_SECONDS = 1e-6
 
 
 def job_class(job: Any) -> str:
@@ -77,6 +104,146 @@ def job_class(job: Any) -> str:
     return base
 
 
+def _workload_bucket(workload: str) -> int:
+    """Deterministic hash bucket for a workload name (stable across
+    processes — ``hash()`` is salted, sha256 is not)."""
+    digest = hashlib.sha256(str(workload).encode()).hexdigest()
+    return int(digest, 16) % WORKLOAD_BUCKETS
+
+
+#: CPU models with their own one-hot feature slot.
+_CPU_FEATURE_MODELS = ("atomic", "timing", "minor", "o3")
+
+#: Observation-dict fields, in persistence order (schema v3).
+OBSERVATION_FIELDS = ("class", "workload", "cpu_model", "mode", "scale",
+                      "cores", "interval_insts", "warmup_insts",
+                      "weight_factor", "seconds")
+
+
+def observation_from_job(job: Any, seconds: float) -> dict:
+    """The JSON-safe record one completed run contributes to training."""
+    return {
+        "class": job_class(job),
+        "workload": str(job.workload),
+        "cpu_model": str(job.cpu_model),
+        "mode": str(getattr(job, "mode", "se")),
+        "scale": str(job.scale),
+        "cores": int(getattr(job, "cores", 1) or 1),
+        "interval_insts": int(getattr(job, "interval_insts", 0) or 0),
+        "warmup_insts": int(getattr(job, "warmup_insts", 0) or 0),
+        "weight_factor": float(getattr(job, "cost_weight_factor", 1.0)),
+        "seconds": float(seconds),
+    }
+
+
+def observation_features(obs: dict) -> list[float]:
+    """The regression feature vector for one observation record.
+
+    Training (from persisted history) and prediction (from a live job
+    via :func:`observation_from_job`) share this one encoding, so the
+    two can never drift apart.
+    """
+    cpu = obs.get("cpu_model", "")
+    features = [1.0]                                    # bias
+    features.extend(1.0 if cpu == model else 0.0
+                    for model in _CPU_FEATURE_MODELS)
+    features.append(1.0 if obs.get("mode") == "fs" else 0.0)
+    features.append(math.log(SCALE_WEIGHT.get(obs.get("scale"), 6.0)))
+    features.append(math.log(max(1, int(obs.get("cores", 1) or 1))))
+    features.append(math.log(max(MIN_SECONDS,
+                                 float(obs.get("weight_factor", 1.0)))))
+    interval = int(obs.get("interval_insts", 0) or 0)
+    warmup = int(obs.get("warmup_insts", 0) or 0)
+    features.append(1.0 if interval else 0.0)           # sampled job
+    features.append(math.log1p(interval))
+    features.append(math.log1p(warmup))
+    bucket = _workload_bucket(obs.get("workload", ""))
+    features.extend(1.0 if bucket == i else 0.0
+                    for i in range(WORKLOAD_BUCKETS))
+    return features
+
+
+def _solve(matrix: list[list[float]], rhs: list[float]) -> list[float]:
+    """Gaussian elimination with partial pivoting (tiny dense system)."""
+    n = len(rhs)
+    aug = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(aug[r][col]))
+        if abs(aug[pivot][col]) < 1e-12:
+            raise ArithmeticError("singular normal equations")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv = 1.0 / aug[col][col]
+        for row in range(col + 1, n):
+            factor = aug[row][col] * inv
+            if factor == 0.0:
+                continue
+            for k in range(col, n + 1):
+                aug[row][k] -= factor * aug[col][k]
+    weights = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = aug[row][n]
+        for k in range(row + 1, n):
+            acc -= aug[row][k] * weights[k]
+        weights[row] = acc / aug[row][row]
+    return weights
+
+
+class LearnedPredictor:
+    """Ridge regression over job features -> log(seconds) (Gem5Pred).
+
+    Pure python: the normal equations ``(X'X + lambda I) w = X'y`` are
+    assembled and solved directly — the feature space is ~20-dimensional
+    and the observation history is bounded, so this trains in well under
+    a millisecond, cheap enough to refresh continuously as runs finish.
+    """
+
+    def __init__(self, weights: Sequence[float],
+                 n_observations: int) -> None:
+        self.weights = list(weights)
+        self.n_observations = n_observations
+
+    @classmethod
+    def train(cls, observations: Sequence[dict]
+              ) -> Optional["LearnedPredictor"]:
+        """Fit from observation records; None while underfed."""
+        rows = [obs for obs in observations
+                if float(obs.get("seconds", 0.0)) > 0.0]
+        if len(rows) < MIN_TRAINING_OBSERVATIONS:
+            return None
+        dim = len(observation_features(rows[0]))
+        xtx = [[0.0] * dim for _ in range(dim)]
+        xty = [0.0] * dim
+        for obs in rows:
+            x = observation_features(obs)
+            y = math.log(max(MIN_SECONDS, float(obs["seconds"])))
+            for i in range(dim):
+                xi = x[i]
+                if xi == 0.0:
+                    continue
+                xty[i] += xi * y
+                row = xtx[i]
+                for j in range(dim):
+                    row[j] += xi * x[j]
+        for i in range(1, dim):        # leave the bias unpenalised
+            xtx[i][i] += RIDGE_LAMBDA
+        xtx[0][0] += 1e-9
+        try:
+            weights = _solve(xtx, xty)
+        except ArithmeticError:
+            return None
+        return cls(weights, len(rows))
+
+    def predict_seconds(self, obs: dict) -> float:
+        """Predicted duration for one observation-shaped record."""
+        x = observation_features(obs)
+        log_seconds = sum(w * xi for w, xi in zip(self.weights, x))
+        # Clamp the exponent so a degenerate fit cannot overflow.
+        return math.exp(min(50.0, max(-50.0, log_seconds)))
+
+    def predict_job(self, job: Any) -> float:
+        return self.predict_seconds(observation_from_job(job, 0.0))
+
+
 class CostModel:
     """Relative-duration oracle with optional persisted history."""
 
@@ -87,6 +254,9 @@ class CostModel:
         self._history: dict[str, float] = {}
         self._sec_per_weight: Optional[float] = None
         self._calibration_samples = 0
+        self._observations: list[dict] = []
+        self._predictor: Optional[LearnedPredictor] = None
+        self._predictor_stale = True
         self._load()
 
     # ------------------------------------------------------------------
@@ -101,7 +271,9 @@ class CostModel:
             return
         if not isinstance(data, dict):
             return
-        if data.get("version") == COSTS_SCHEMA_VERSION:
+        # v3 is v2 plus the raw-observation history, so one loader
+        # covers both; a v2 file simply starts with no training data.
+        if data.get("version") in (2, COSTS_SCHEMA_VERSION):
             classes = data.get("classes")
             if isinstance(classes, dict):
                 self._history = {str(k): float(v)
@@ -112,6 +284,12 @@ class CostModel:
             samples = data.get("calibration_samples")
             if isinstance(samples, int) and samples >= 0:
                 self._calibration_samples = samples
+            observations = data.get("observations")
+            if isinstance(observations, list):
+                self._observations = [
+                    obs for obs in observations
+                    if isinstance(obs, dict) and "seconds" in obs
+                ][-OBSERVATION_CAP:]
         elif "version" not in data:
             # Legacy v1 layout: a flat class -> seconds map.
             try:
@@ -128,6 +306,7 @@ class CostModel:
             "classes": self._history,
             "sec_per_weight": self._sec_per_weight,
             "calibration_samples": self._calibration_samples,
+            "observations": self._observations,
         }
         try:
             self.history_path.parent.mkdir(parents=True, exist_ok=True)
@@ -166,20 +345,49 @@ class CostModel:
         """How many observed runs have fed the calibration factor."""
         return self._calibration_samples
 
+    @property
+    def predictor(self) -> Optional[LearnedPredictor]:
+        """The trained regression, refreshed lazily after new data.
+
+        None while the observation history is underfed (fewer than
+        :data:`MIN_TRAINING_OBSERVATIONS` runs) — callers fall back to
+        the EMA/calibration layers, as :meth:`predict` does.
+        """
+        if self._predictor_stale:
+            self._predictor = LearnedPredictor.train(self._observations)
+            self._predictor_stale = False
+        return self._predictor
+
+    def predict_learned(self, job: Any) -> Optional[float]:
+        """The regression's estimate alone (None while underfed)."""
+        predictor = self.predictor
+        if predictor is None:
+            return None
+        return predictor.predict_job(job)
+
     def predict(self, job: Any) -> float:
         """Predicted duration (seconds-ish; only the ordering matters).
 
-        A class that has run before answers from its own EMA; an unseen
-        class answers from its static weight scaled by the machine-wide
-        calibration every observed run has contributed to.
+        Layers, sharpest first: a class that has run before answers
+        from its own EMA (deterministic simulations repeat their
+        durations almost exactly); an unseen class answers from the
+        learned regression once it has trained; until then the static
+        weight scaled by the machine-wide calibration stands in.
         """
         learned = self._history.get(job_class(job))
         if learned is not None:
             return learned
+        regressed = self.predict_learned(job)
+        if regressed is not None:
+            return regressed
         return self.static_weight(job) * self.sec_per_weight
 
     def observe(self, job: Any, seconds: float) -> None:
-        """Fold one measured duration into both learning layers."""
+        """Fold one measured duration into every learning layer."""
+        self._observations.append(observation_from_job(job, seconds))
+        if len(self._observations) > OBSERVATION_CAP:
+            del self._observations[:-OBSERVATION_CAP]
+        self._predictor_stale = True
         key = job_class(job)
         previous = self._history.get(key)
         if previous is None:
@@ -215,6 +423,43 @@ class CostModel:
     def known_classes(self) -> dict[str, float]:
         """The learned history (for cache inspection)."""
         return dict(self._history)
+
+    def observations(self) -> list[dict]:
+        """The raw training history (for the capacity report)."""
+        return [dict(obs) for obs in self._observations]
+
+
+def ema_baseline_predict(history: dict[str, float],
+                         sec_per_weight: float, obs: dict) -> float:
+    """What CostModel v2 would have predicted for one observation.
+
+    The accuracy tests and the capacity report use this as the
+    pre-regression baseline: exact-class EMA when seen, otherwise the
+    static prior scaled by the machine calibration.
+    """
+    job = _ObservationJob(obs)
+    learned = history.get(job_class(job))
+    if learned is not None:
+        return learned
+    model = CostModel()
+    model._sec_per_weight = sec_per_weight
+    return model.static_weight(job) * sec_per_weight
+
+
+class _ObservationJob:
+    """Adapts an observation record to the job attribute protocol."""
+
+    def __init__(self, obs: dict) -> None:
+        if obs.get("class"):
+            self.cost_class = obs["class"]
+        self.workload = obs.get("workload", "")
+        self.cpu_model = obs.get("cpu_model", "")
+        self.mode = obs.get("mode", "se")
+        self.scale = obs.get("scale", "test")
+        self.cores = int(obs.get("cores", 1) or 1)
+        self.interval_insts = int(obs.get("interval_insts", 0) or 0)
+        self.warmup_insts = int(obs.get("warmup_insts", 0) or 0)
+        self.cost_weight_factor = float(obs.get("weight_factor", 1.0))
 
 
 def load_cost_model(history_path: Optional[Path]) -> CostModel:

@@ -1,0 +1,28 @@
+"""`repro.fleet` — multi-node serving over the `repro.serve` daemon.
+
+One **coordinator** process fronts N **worker** daemons:
+
+- workers register over HTTP and heartbeat every few hundred ms; a
+  worker that misses enough heartbeats is declared dead and its
+  dispatched jobs are re-routed (``registry``);
+- each job routes to a worker by its exec cache-key digest via
+  rendezvous hashing, so identical submissions land on the same worker
+  and coalescing stays global (``coordinator``);
+- every worker exposes its content-addressed cache as a shared store;
+  a :class:`~repro.fleet.store.FleetCache` reads through to peers and
+  replicates new entries, so any worker can serve any cached result
+  bit-identically (``store``);
+- admission control is end-to-end: worker 429s propagate into
+  coordinator backpressure, and coordinator 429s carry Retry-After
+  computed from the learned cost predictor (``http``);
+- ``repro-g5 fleet report`` turns the predictor plus fleet shape into
+  a deterministic capacity plan (``report``).
+"""
+
+from .coordinator import Coordinator, CoordinatorConfig
+from .registry import WorkerInfo, WorkerRegistry
+from .store import FleetCache
+from .worker import FleetWorker, WorkerConfig
+
+__all__ = ["Coordinator", "CoordinatorConfig", "FleetCache",
+           "FleetWorker", "WorkerConfig", "WorkerInfo", "WorkerRegistry"]

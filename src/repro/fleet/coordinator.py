@@ -1,0 +1,598 @@
+"""The fleet coordinator: admission, routing, dispatch, and failover.
+
+The coordinator accepts the same job documents as a single daemon and
+farms them out to registered workers:
+
+- **admission** — submissions are rejected (429 + Retry-After) when the
+  pending set is full or every live worker reports a saturated queue
+  (that is how worker-level backpressure propagates end to end), and
+  503 while draining;
+- **coalescing** — an in-flight digest absorbs identical submissions
+  fleet-wide; combined with digest routing, N identical requests
+  anywhere in the fleet cost one execution on one worker;
+- **dispatch** — ``dispatchers`` threads claim the shortest-predicted
+  pending job (the learned cost model's estimate), route it by digest
+  through the registry's rendezvous hash, submit it to the worker over
+  the ordinary :class:`~repro.serve.client.ServeClient`, and babysit it
+  to completion;
+- **failover** — a worker that refuses connections, 429s, or misses
+  heartbeats gets its jobs requeued with that worker excluded, so the
+  retry deterministically lands on the digest's next-choice worker;
+  jobs fail only after ``max_job_attempts`` distinct attempts.
+
+Executed durations reported by workers feed the coordinator's own
+:class:`~repro.exec.costmodel.CostModel`, so routing estimates sharpen
+as the fleet serves traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.error
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..exec.costmodel import CostModel
+from ..serve import clock
+from ..serve.client import ServeClient, ServeError
+from ..serve.jobs import (CANCELLED, DONE, FAILED, QUEUED,
+                          JobRequestError, TERMINAL_STATES,
+                          parse_job_request)
+from ..serve.metrics import MetricsRegistry
+from ..serve.scheduler import predict_request
+from .registry import WorkerInfo, WorkerRegistry
+
+__all__ = ["Coordinator", "CoordinatorConfig", "FleetJob"]
+
+#: Coordinator-side job state between queued and terminal.
+DISPATCHED = "dispatched"
+
+
+@dataclass
+class CoordinatorConfig:
+    """Everything ``repro-g5 fleet coordinator`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8090
+    heartbeat_timeout: float = 3.0
+    heartbeat_interval: float = 0.5
+    max_pending: int = 256
+    max_job_attempts: int = 3
+    dispatchers: int = 8
+    poll_interval: float = 0.2
+    result_poll: float = 0.05
+    job_timeout: float = 300.0
+    cost_path = None  # costs.json path for the learned predictor
+    quiet: bool = True
+    log = None
+
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class FleetJob:
+    """One job tracked by the coordinator."""
+
+    id: str
+    doc: dict
+    digest: str
+    label: str
+    predicted_seconds: float = 0.0
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=clock.wall)
+    finished_at: Optional[float] = None
+    worker_id: Optional[str] = None
+    remote_id: Optional[str] = None
+    attempts: int = 0
+    #: workers that already failed this job (excluded from re-routing)
+    excluded: set = field(default_factory=set)
+    source: Optional[str] = None
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    coalesced_into: Optional[str] = None
+    waiters: list = field(default_factory=list)
+    finished: threading.Event = field(default_factory=threading.Event,
+                                      repr=False, compare=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def status_doc(self) -> dict:
+        return {
+            "id": self.id,
+            "state": self.state,
+            "label": self.label,
+            "digest": self.digest,
+            "predicted_seconds": round(self.predicted_seconds, 4),
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "worker": self.worker_id,
+            "remote_id": self.remote_id,
+            "attempts": self.attempts,
+            "source": self.source,
+            "error": self.error,
+            "coalesced_into": self.coalesced_into,
+            "waiters": list(self.waiters),
+        }
+
+
+class Coordinator:
+    """Routing/admission brain; the HTTP layer delegates to this."""
+
+    def __init__(self, config: CoordinatorConfig,
+                 client_factory=None) -> None:
+        self.config = config
+        self.registry = WorkerRegistry(
+            heartbeat_timeout=config.heartbeat_timeout)
+        self.cost_model = CostModel(config.cost_path)
+        self._client_factory = client_factory or (
+            lambda url: ServeClient(url, timeout=30.0))
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._jobs: dict[str, FleetJob] = {}
+        self._pending: list[str] = []
+        self._inflight: dict[str, str] = {}   # digest -> primary job id
+        self._next_job = 0
+        self._draining = False
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._started_at = clock.wall()
+        self._build_metrics()
+
+    def _build_metrics(self) -> None:
+        reg = MetricsRegistry()
+        self.metrics_registry = reg
+        self.m_submitted = reg.counter(
+            "repro_fleet_jobs_submitted_total",
+            "Jobs accepted by the coordinator")
+        self.m_coalesced = reg.counter(
+            "repro_fleet_jobs_coalesced_total",
+            "Submissions coalesced onto an identical in-flight job")
+        self.m_rejected = reg.counter(
+            "repro_fleet_jobs_rejected_total",
+            "Submissions rejected by admission control")
+        self.m_completed = {
+            state: reg.counter(
+                "repro_fleet_jobs_completed_total",
+                "Jobs reaching a terminal state, by state",
+                labels={"state": state})
+            for state in (DONE, FAILED, CANCELLED)}
+        self.m_dispatches = reg.counter(
+            "repro_fleet_dispatches_total",
+            "Job dispatches to workers, including re-dispatches")
+        self.m_redispatches = reg.counter(
+            "repro_fleet_redispatches_total",
+            "Jobs re-routed after a worker failure or rejection")
+        self.m_worker_deaths = reg.counter(
+            "repro_fleet_worker_deaths_total",
+            "Workers declared dead by heartbeat timeout")
+        reg.gauge("repro_fleet_jobs_pending",
+                  "Jobs queued at the coordinator awaiting dispatch",
+                  fn=lambda: len(self._pending))
+        reg.gauge("repro_fleet_workers_live",
+                  "Workers currently routable",
+                  fn=lambda: len(self.registry.live_workers()))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for index in range(self.config.dispatchers):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"fleet-dispatch-{index}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        monitor = threading.Thread(target=self._monitor_loop,
+                                   name="fleet-monitor", daemon=True)
+        monitor.start()
+        self._threads.append(monitor)
+
+    def stop(self, timeout: Optional[float] = 2.0) -> None:
+        self._stop.set()
+        with self._work:
+            self._work.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        self.cost_model.flush()
+
+    def drain(self) -> dict:
+        """Stop admitting; cancel everything still queued."""
+        with self._work:
+            self._draining = True
+            cancelled = []
+            for job_id in list(self._pending):
+                job = self._jobs[job_id]
+                self._finish_locked(job, state=CANCELLED,
+                                    error="coordinator draining")
+                cancelled.append(job_id)
+            self._pending.clear()
+            dispatched = sum(1 for j in self._jobs.values()
+                             if j.state == DISPATCHED)
+            self._work.notify_all()
+        return {"draining": True, "cancelled": len(cancelled),
+                "dispatched_at_drain": dispatched}
+
+    # ------------------------------------------------------------------
+    # submissions
+    # ------------------------------------------------------------------
+    def submit_response(self, doc: object) -> tuple[int, dict, dict]:
+        """(status, body, extra-headers) for ``POST /api/v1/jobs``."""
+        try:
+            request = parse_job_request(doc)
+        except JobRequestError as exc:
+            return 400, {"error": str(exc)}, {}
+        digest = request.digest()
+        predicted = predict_request(self.cost_model, request)
+        with self._work:
+            if self._draining:
+                self.m_rejected.inc()
+                return 503, {"error": "coordinator is draining",
+                             "state": "rejected"}, {}
+            primary_id = self._inflight.get(digest)
+            if primary_id is not None:
+                # Global coalescing: ride the identical in-flight job.
+                job = self._new_job_locked(doc, digest, request.label,
+                                           predicted)
+                primary = self._jobs[primary_id]
+                job.coalesced_into = primary_id
+                primary.waiters.append(job.id)
+                self.m_submitted.inc()
+                self.m_coalesced.inc()
+                return 202, self._ack_locked(job), {}
+            code, headers = self._admission_locked(predicted)
+            if code != 202:
+                self.m_rejected.inc()
+                body = {"error": headers.pop("X-Reject-Reason"),
+                        "state": "rejected",
+                        "pending": len(self._pending)}
+                return code, body, headers
+            job = self._new_job_locked(doc, digest, request.label,
+                                       predicted)
+            self._inflight[digest] = job.id
+            self._pending.append(job.id)
+            self.m_submitted.inc()
+            self._work.notify()
+            return 202, self._ack_locked(job), {}
+
+    def _admission_locked(self, predicted: float) -> tuple[int, dict]:
+        """Admission decision: 202, or 429 with a Retry-After hint."""
+        live = self.registry.live_workers()
+        if len(self._pending) >= self.config.max_pending:
+            return 429, {"Retry-After": self._retry_after_locked(live),
+                         "X-Reject-Reason":
+                             f"pending queue is full "
+                             f"({self.config.max_pending} jobs)"}
+        if live and all(worker.saturated for worker in live):
+            return 429, {"Retry-After": self._retry_after_locked(live),
+                         "X-Reject-Reason":
+                             "every worker reports a full queue"}
+        return 202, {}
+
+    def _retry_after_locked(self, live: list[WorkerInfo]) -> str:
+        """Seconds until capacity should free up, from the predictor."""
+        backlog = sum(self._jobs[job_id].predicted_seconds
+                      for job_id in self._pending)
+        drains = max(1, len(live))
+        return str(max(1, round(backlog / drains)))
+
+    def _new_job_locked(self, doc: dict, digest: str, label: str,
+                        predicted: float) -> FleetJob:
+        self._next_job += 1
+        job = FleetJob(id=f"f{self._next_job}", doc=dict(doc),
+                       digest=digest, label=label,
+                       predicted_seconds=predicted)
+        self._jobs[job.id] = job
+        return job
+
+    def _ack_locked(self, job: FleetJob) -> dict:
+        return {"id": job.id, "state": job.state, "digest": job.digest,
+                "coalesced_into": job.coalesced_into,
+                "eta_seconds": round(job.predicted_seconds, 4),
+                "pending": len(self._pending)}
+
+    # ------------------------------------------------------------------
+    # status / results
+    # ------------------------------------------------------------------
+    def get_job(self, job_id: str) -> Optional[FleetJob]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def status_response(self, job_id: str) -> tuple[int, dict]:
+        job = self.get_job(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        return 200, job.status_doc()
+
+    def result_response(self, job_id: str) -> tuple[int, dict]:
+        job = self.get_job(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        if job.state == DONE:
+            return 200, {"id": job.id, "state": job.state,
+                         "source": job.source, "result": job.result}
+        if job.state == FAILED:
+            return 500, {"id": job.id, "state": job.state,
+                         "error": job.error}
+        return 409, {"id": job.id, "state": job.state,
+                     "error": f"job is {job.state}, not done"}
+
+    def fleet_doc(self) -> dict:
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            pending = len(self._pending)
+        return {
+            "uptime_seconds": round(clock.wall() - self._started_at, 3),
+            "draining": self._draining,
+            "workers": [w.status_doc() for w in self.registry.workers()],
+            "jobs": states,
+            "pending": pending,
+            "predictor": {
+                "observations": len(self.cost_model.observations()),
+                "learned": self.cost_model.predictor is not None,
+                "calibration_samples": self.cost_model.calibration_samples,
+            },
+        }
+
+    def health_doc(self) -> dict:
+        status = "draining" if self._draining else "ok"
+        return {"status": status, "draining": self._draining,
+                "workers_live": len(self.registry.live_workers())}
+
+    # ------------------------------------------------------------------
+    # worker control plane
+    # ------------------------------------------------------------------
+    def register_response(self, doc: object) -> tuple[int, dict]:
+        if not isinstance(doc, dict) or not isinstance(doc.get("url"),
+                                                       str):
+            return 400, {"error": "registration needs a 'url' string"}
+        worker = self.registry.register(doc["url"])
+        self.registry.heartbeat(worker.id, doc.get("report") or {})
+        self.log(f"worker {worker.id} registered at {worker.url}")
+        with self._work:
+            self._work.notify_all()
+        return 200, {"id": worker.id,
+                     "heartbeat_interval": self.config.heartbeat_interval,
+                     "heartbeat_timeout": self.config.heartbeat_timeout,
+                     "peers": self.registry.peers_doc()}
+
+    def heartbeat_response(self, worker_id: str,
+                           doc: object) -> tuple[int, dict]:
+        report = doc if isinstance(doc, dict) else {}
+        worker = self.registry.heartbeat(worker_id, report)
+        if worker is None:
+            return 404, {"error": f"unknown worker {worker_id!r}; "
+                                  "re-register"}
+        return 200, {"ok": True, "state": worker.state,
+                     "peers": self.registry.peers_doc()}
+
+    def worker_drain_response(self, worker_id: str) -> tuple[int, dict]:
+        worker = self.registry.drain(worker_id)
+        if worker is None:
+            return 404, {"error": f"unknown worker {worker_id!r}"}
+        return 200, {"id": worker.id, "state": worker.state}
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            job, worker = self._claim_next()
+            if job is None:
+                continue
+            self._run_on_worker(job, worker)
+
+    def _claim_next(self) -> tuple[Optional[FleetJob],
+                                   Optional[WorkerInfo]]:
+        """Shortest-predicted pending job that currently has a route."""
+        with self._work:
+            while not self._stop.is_set():
+                routable = []
+                for job_id in self._pending:
+                    job = self._jobs[job_id]
+                    worker = self.registry.route(job.digest,
+                                                 exclude=tuple(
+                                                     job.excluded))
+                    if worker is not None and not worker.saturated:
+                        routable.append((job.predicted_seconds,
+                                         int(job.id[1:]), job, worker))
+                if routable:
+                    _, _, job, worker = min(routable,
+                                            key=lambda t: t[:2])
+                    self._pending.remove(job.id)
+                    job.state = DISPATCHED
+                    job.worker_id = worker.id
+                    job.attempts += 1
+                    worker.jobs_dispatched += 1
+                    self.m_dispatches.inc()
+                    return job, worker
+                self._work.wait(timeout=self.config.poll_interval)
+            return None, None
+
+    def _run_on_worker(self, job: FleetJob, worker: WorkerInfo) -> None:
+        """Submit one job to one worker and babysit it to a verdict."""
+        client = self._client_factory(worker.url)
+        try:
+            ack = client.submit_doc(job.doc)
+        except ServeError as exc:
+            if exc.status == 429:
+                # Worker backpressure: remember the saturation so
+                # admission propagates it, and try another worker.
+                self.registry.heartbeat(worker.id, {
+                    "queue_depth": max(1, worker.max_queue),
+                    "max_queue": max(1, worker.max_queue)})
+                self._requeue(job, worker, exclude=False,
+                              why="worker queue full",
+                              count_attempt=False)
+            else:
+                self._fail(job, f"worker {worker.id} rejected job: "
+                                f"{exc}")
+            return
+        except (urllib.error.URLError, OSError) as exc:
+            self._requeue(job, worker, exclude=True,
+                          why=f"connection failed: {exc}")
+            return
+        job.remote_id = ack["id"]
+        self._await_remote(job, worker, client)
+
+    def _await_remote(self, job: FleetJob, worker: WorkerInfo,
+                      client: ServeClient) -> None:
+        deadline = clock.monotonic() + self.config.job_timeout
+        while not self._stop.is_set():
+            if job.state != DISPATCHED or job.worker_id != worker.id:
+                return  # the monitor re-routed it out from under us
+            if clock.monotonic() >= deadline:
+                self._fail(job, f"timed out after "
+                                f"{self.config.job_timeout:.0f}s on "
+                                f"worker {worker.id}")
+                return
+            try:
+                status = client.status(job.remote_id)
+            except (ServeError, urllib.error.URLError, OSError) as exc:
+                self._requeue(job, worker, exclude=True,
+                              why=f"lost worker mid-run: {exc}")
+                return
+            state = status["state"]
+            if state == DONE:
+                try:
+                    result = client.result(job.remote_id)
+                except (ServeError, urllib.error.URLError,
+                        OSError) as exc:
+                    self._requeue(job, worker, exclude=True,
+                                  why=f"result fetch failed: {exc}")
+                    return
+                self._observe_duration(job, status)
+                self._complete(job, worker, result)
+                return
+            if state in (FAILED, CANCELLED):
+                self._fail(job, f"worker {worker.id} reported "
+                                f"{state}: {status.get('error')}")
+                return
+            clock.sleep(self.config.result_poll)
+
+    def _observe_duration(self, job: FleetJob, status: dict) -> None:
+        """Feed an executed job's measured duration to the predictor."""
+        if status.get("source") != "executed":
+            return
+        started = status.get("started_at")
+        finished = status.get("finished_at")
+        if not started or not finished or finished <= started:
+            return
+        try:
+            request = parse_job_request(job.doc)
+        except JobRequestError:
+            return
+        target = request.g5 if request.kind == "g5" else (
+            request.sampled if request.kind == "sample" else None)
+        if target is None:
+            return
+        self.cost_model.observe(target, finished - started)
+        self.cost_model.flush()
+
+    # ------------------------------------------------------------------
+    # job settlement
+    # ------------------------------------------------------------------
+    def _complete(self, job: FleetJob, worker: WorkerInfo,
+                  result: dict) -> None:
+        with self._work:
+            if job.terminal:
+                return
+            worker.jobs_completed += 1
+            self._finish_locked(job, state=DONE,
+                                result=result.get("result"),
+                                source=result.get("source"))
+
+    def _fail(self, job: FleetJob, error: str) -> None:
+        with self._work:
+            if job.terminal:
+                return
+            self._finish_locked(job, state=FAILED, error=error)
+
+    def _requeue(self, job: FleetJob, worker: WorkerInfo, *,
+                 exclude: bool, why: str,
+                 count_attempt: bool = True) -> None:
+        """Send a dispatched job back to pending (or fail it for good)."""
+        with self._work:
+            if job.terminal or job.state != DISPATCHED \
+                    or job.worker_id != worker.id:
+                return
+            if exclude:
+                job.excluded.add(worker.id)
+            if not count_attempt:
+                # Backpressure bounce, not a failure: don't burn one of
+                # the job's attempts on a momentarily-full queue.
+                job.attempts -= 1
+            if job.attempts >= self.config.max_job_attempts:
+                self._finish_locked(
+                    job, state=FAILED,
+                    error=f"gave up after {job.attempts} attempt(s); "
+                          f"last: {why}")
+                return
+            job.state = QUEUED
+            job.worker_id = None
+            job.remote_id = None
+            self._pending.append(job.id)
+            self.m_redispatches.inc()
+            self.log(f"requeued {job.id} ({why})")
+            self._work.notify()
+
+    def _finish_locked(self, job: FleetJob, *, state: str,
+                       result: Optional[dict] = None,
+                       error: Optional[str] = None,
+                       source: Optional[str] = None) -> None:
+        job.state = state
+        job.result = result
+        job.error = error
+        job.source = source
+        job.finished_at = clock.wall()
+        job.finished.set()
+        self.m_completed[state].inc()
+        if self._inflight.get(job.digest) == job.id:
+            del self._inflight[job.digest]
+        for waiter_id in job.waiters:
+            waiter = self._jobs.get(waiter_id)
+            if waiter is None or waiter.terminal:
+                continue
+            waiter.state = state
+            waiter.result = result
+            waiter.error = error
+            waiter.source = f"coalesced:{job.id}" if state == DONE \
+                else source
+            waiter.finished_at = job.finished_at
+            waiter.finished.set()
+            self.m_completed[state].inc()
+
+    # ------------------------------------------------------------------
+    # failure monitor
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(timeout=self.config.poll_interval):
+            for worker in self.registry.sweep():
+                self.m_worker_deaths.inc()
+                self.log(f"worker {worker.id} missed heartbeats "
+                         f"(> {self.registry.heartbeat_timeout:.1f}s); "
+                         "re-routing its jobs")
+                self._reroute_worker(worker)
+
+    def _reroute_worker(self, worker: WorkerInfo) -> None:
+        with self._lock:
+            victims = [job for job in self._jobs.values()
+                       if job.state == DISPATCHED
+                       and job.worker_id == worker.id]
+        for job in victims:
+            self._requeue(job, worker, exclude=True,
+                          why=f"worker {worker.id} died")
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        return self.metrics_registry.render()
+
+    def log(self, line: str) -> None:
+        if not self.config.quiet and self.config.log is not None:
+            print(f"[fleet] {line}", file=self.config.log, flush=True)

@@ -1,0 +1,237 @@
+"""The coordinator's HTTP/JSON surface (same stack as ``serve.http``).
+
+Routes::
+
+    POST /api/v1/jobs                      submit      -> 202/400/429/503
+    GET  /api/v1/jobs/<id>                 status      -> 200/404
+    GET  /api/v1/jobs/<id>/result          result      -> 200/404/409/500
+    GET  /api/v1/fleet                     fleet view  -> 200
+    GET  /healthz                          liveness    -> 200
+    GET  /metrics                          Prometheus  -> 200
+    POST /api/v1/drain                     drain       -> 202
+    POST /api/v1/workers/register          admit       -> 200/400
+    POST /api/v1/workers/<id>/heartbeat    heartbeat   -> 200/404
+    POST /api/v1/workers/<id>/drain        stop routing-> 200/404
+
+The job-facing half mirrors the single daemon's API exactly, so
+:class:`~repro.serve.client.ServeClient` drives a coordinator and a
+daemon interchangeably; 429 responses carry a predictor-derived
+Retry-After.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..serve import clock
+from ..serve.http import API_PREFIX, MAX_BODY_BYTES
+from .coordinator import Coordinator, CoordinatorConfig
+
+__all__ = ["FleetHTTPServer", "CoordinatorServer", "run_coordinator"]
+
+
+class FleetHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, coordinator: Coordinator,
+                 drain_response=None) -> None:
+        super().__init__(address, FleetHandler)
+        self.coordinator = coordinator
+        #: callback for POST /api/v1/drain (drains + stops the server)
+        self.drain_response = drain_response or coordinator.drain
+
+
+class FleetHandler(BaseHTTPRequestHandler):
+    server_version = "repro-fleet/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def coord(self) -> Coordinator:
+        return self.server.coordinator
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        self.coord.log(f"{self.address_string()} {format % args}")
+
+    def _send_json(self, code: int, doc: dict,
+                   headers: Optional[dict] = None) -> None:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str) -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length)
+        return json.loads(raw.decode() or "null")
+
+    # -- routing --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/metrics":
+                self._send_text(200, self.coord.metrics_text())
+            elif path == "/healthz":
+                self._send_json(200, self.coord.health_doc())
+            elif path == f"{API_PREFIX}/fleet":
+                self._send_json(200, self.coord.fleet_doc())
+            elif path.startswith(f"{API_PREFIX}/jobs/"):
+                tail = path[len(f"{API_PREFIX}/jobs/"):]
+                if tail.endswith("/result"):
+                    code, doc = self.coord.result_response(
+                        tail[:-len("/result")])
+                else:
+                    code, doc = self.coord.status_response(tail)
+                self._send_json(code, doc)
+            else:
+                self._send_json(404, {"error": f"no route for {path}"})
+        except BrokenPipeError:
+            pass
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path == f"{API_PREFIX}/jobs":
+                self._handle_submit()
+            elif path == f"{API_PREFIX}/drain":
+                self._send_json(202, self.server.drain_response())
+            elif path == f"{API_PREFIX}/workers/register":
+                self._handle_register()
+            elif path.startswith(f"{API_PREFIX}/workers/"):
+                tail = path[len(f"{API_PREFIX}/workers/"):]
+                worker_id, _, action = tail.partition("/")
+                if action == "heartbeat":
+                    code, doc = self.coord.heartbeat_response(
+                        worker_id, self._read_json_or_none())
+                elif action == "drain":
+                    code, doc = self.coord.worker_drain_response(
+                        worker_id)
+                else:
+                    code, doc = 404, {"error": f"no route for {path}"}
+                self._send_json(code, doc)
+            else:
+                self._send_json(404, {"error": f"no route for {path}"})
+        except BrokenPipeError:
+            pass
+
+    def _read_json_or_none(self) -> object:
+        try:
+            return self._read_json()
+        except (ValueError, UnicodeDecodeError):
+            return None
+
+    def _handle_submit(self) -> None:
+        try:
+            doc = self._read_json()
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_json(400, {"error": f"bad request body: {exc}"})
+            return
+        code, body, headers = self.coord.submit_response(doc)
+        self._send_json(code, body, headers=headers)
+
+    def _handle_register(self) -> None:
+        try:
+            doc = self._read_json()
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_json(400, {"error": f"bad request body: {exc}"})
+            return
+        code, body = self.coord.register_response(doc)
+        self._send_json(code, body)
+
+
+class CoordinatorServer:
+    """Coordinator + its HTTP listener, with serve-style lifecycle."""
+
+    def __init__(self, config: CoordinatorConfig,
+                 client_factory=None) -> None:
+        self.config = config
+        self.coordinator = Coordinator(config,
+                                       client_factory=client_factory)
+        self.httpd = FleetHTTPServer((config.host, config.port),
+                                     self.coordinator,
+                                     drain_response=self.drain_response)
+        self._http_thread: Optional[threading.Thread] = None
+        self._shutdown_requested = threading.Event()
+        self._drain_lock = threading.Lock()
+        self._drain_report: Optional[dict] = None
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        self.coordinator.start()
+        self._http_thread = threading.Thread(
+            target=self.httpd.serve_forever, name="fleet-http",
+            daemon=True)
+        self._http_thread.start()
+
+    def request_shutdown(self) -> None:
+        self._shutdown_requested.set()
+
+    def drain_response(self) -> dict:
+        report = self.coordinator.drain()
+        self.request_shutdown()
+        return report
+
+    def wait(self, poll: float = 0.2) -> dict:
+        while not self._shutdown_requested.wait(timeout=poll):
+            pass
+        return self.drain_and_stop()
+
+    def drain_and_stop(self) -> dict:
+        with self._drain_lock:
+            if self._drain_report is not None:
+                return self._drain_report
+            report = self.coordinator.drain()
+            self.coordinator.stop()
+            clock.sleep(0.1)  # let in-flight handlers flush responses
+            self.httpd.shutdown()
+            self.httpd.server_close()
+            self._drain_report = report
+            return report
+
+
+def run_coordinator(config: CoordinatorConfig) -> int:
+    """``repro-g5 fleet coordinator`` body: serve until SIGTERM/SIGINT."""
+    import signal
+
+    server = CoordinatorServer(config)
+
+    def _request_shutdown(signum, frame):  # noqa: ARG001
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+    server.start()
+    print(f"[fleet] coordinator listening on {server.address} "
+          f"({config.dispatchers} dispatcher(s), heartbeat timeout "
+          f"{config.heartbeat_timeout:.1f}s)", flush=True)
+    report = server.wait()
+    print(f"[fleet] coordinator drained: {report['cancelled']} "
+          f"cancelled, {report['dispatched_at_drain']} still on "
+          "workers", flush=True)
+    return 0

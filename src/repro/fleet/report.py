@@ -1,0 +1,150 @@
+"""``repro-g5 fleet report`` — a deterministic capacity plan.
+
+Given the learned cost model's per-class predictions and a fleet
+shape, answer the operator's question: *what request rate does this
+fleet sustain at p99 latency under the target?*
+
+The estimate comes from a small deterministic queueing simulation —
+evenly-spaced arrivals, ``workers * workers_per_node`` servers, service
+times cycling through the job mix — with a binary search on the
+arrival rate for the largest one whose simulated p99 sojourn stays
+under the target.  Everything is a pure function of the inputs (no
+RNG, no wall clock), so the same history always produces the same
+plan, which makes the report diffable across runs and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..exec.costmodel import CostModel
+
+__all__ = ["capacity_plan", "simulate_p99", "render_report"]
+
+#: Arrivals simulated per rate probe (enough for a stable p99).
+SIM_ARRIVALS = 2000
+
+#: Binary-search refinement steps (rate resolution ~ 2**-steps).
+SEARCH_STEPS = 30
+
+
+def simulate_p99(rate: float, servers: int,
+                 services: Sequence[float]) -> float:
+    """p99 sojourn time (queue wait + service) at ``rate`` req/s.
+
+    Deterministic D/G/c: arrival ``i`` lands at ``i / rate`` and takes
+    ``services[i % len(services)]`` seconds on the first server free.
+    """
+    if rate <= 0 or servers < 1 or not services:
+        raise ValueError("rate, servers, and services must be positive")
+    free = [0.0] * servers
+    sojourns = []
+    for i in range(SIM_ARRIVALS):
+        arrival = i / rate
+        slot = min(range(servers), key=lambda s: (free[s], s))
+        start = max(arrival, free[slot])
+        finish = start + services[i % len(services)]
+        free[slot] = finish
+        sojourns.append(finish - arrival)
+    sojourns.sort()
+    return sojourns[min(len(sojourns) - 1,
+                        int(0.99 * len(sojourns)))]
+
+
+def _job_mix(cost_model: CostModel) -> dict[str, float]:
+    """Per-class predicted service seconds for the report's mix.
+
+    Observed history defines the mix; a cold model falls back to the
+    static priors of the registry's canonical quick classes so the
+    report stays useful on a fresh install.
+    """
+    known = cost_model.known_classes()
+    if known:
+        return dict(sorted(known.items()))
+    from ..exec.pool import G5Job
+
+    mix = {}
+    for cpu in ("atomic", "timing", "minor", "o3"):
+        job = G5Job("sieve", cpu, "se", "test")
+        mix[f"sieve|{cpu}|se|test"] = cost_model.predict(job)
+    return mix
+
+
+def capacity_plan(cost_model: CostModel, workers: int,
+                  workers_per_node: int = 2,
+                  target_p99: float = 5.0,
+                  mix: Optional[dict[str, float]] = None) -> dict:
+    """The fleet's sustainable rate at ``p99 <= target_p99`` seconds."""
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    if target_p99 <= 0:
+        raise ValueError(f"target_p99 must be positive, got {target_p99}")
+    mix = mix if mix is not None else _job_mix(cost_model)
+    services = [seconds for _, seconds in sorted(mix.items())]
+    servers = workers * max(1, workers_per_node)
+    mean_service = sum(services) / len(services)
+    if min(services) > target_p99:
+        # Even an empty fleet cannot finish one job under the target.
+        return {
+            "workers": workers,
+            "workers_per_node": workers_per_node,
+            "servers": servers,
+            "target_p99_seconds": target_p99,
+            "mix": mix,
+            "mean_service_seconds": round(mean_service, 6),
+            "sustainable_rps": 0.0,
+            "p99_seconds_at_rate": round(min(services), 6),
+            "feasible": False,
+        }
+    # Hard throughput ceiling: above servers/mean_service utilization
+    # exceeds 1 and the queue grows without bound, even if a finite
+    # simulation horizon would not show it in the p99 yet.
+    ceiling = servers / mean_service
+    low, high = 0.0, ceiling
+    for _ in range(SEARCH_STEPS):
+        probe = (low + high) / 2
+        if probe <= 0:
+            break
+        if simulate_p99(probe, servers, services) <= target_p99:
+            low = probe
+        else:
+            high = probe
+    rate = low
+    p99 = simulate_p99(rate, servers, services) if rate > 0 else 0.0
+    return {
+        "workers": workers,
+        "workers_per_node": workers_per_node,
+        "servers": servers,
+        "target_p99_seconds": target_p99,
+        "mix": mix,
+        "mean_service_seconds": round(mean_service, 6),
+        "sustainable_rps": round(rate, 4),
+        "p99_seconds_at_rate": round(p99, 6),
+        "feasible": True,
+    }
+
+
+def render_report(plan: dict) -> str:
+    """Human-readable capacity report for the CLI."""
+    lines = [
+        "fleet capacity plan",
+        f"  workers:            {plan['workers']} node(s) x "
+        f"{plan['workers_per_node']} executor(s) = "
+        f"{plan['servers']} servers",
+        f"  job mix:            {len(plan['mix'])} class(es), mean "
+        f"service {plan['mean_service_seconds']:.3f}s",
+    ]
+    if not plan["feasible"]:
+        lines.append(
+            f"  verdict:            infeasible - the fastest class "
+            f"alone takes {plan['p99_seconds_at_rate']:.3f}s, over the "
+            f"{plan['target_p99_seconds']:.1f}s p99 target")
+        return "\n".join(lines)
+    lines += [
+        f"  sustains:           {plan['sustainable_rps']:.2f} req/s "
+        f"at p99 <= {plan['target_p99_seconds']:.1f}s",
+        f"  p99 at that rate:   {plan['p99_seconds_at_rate']:.3f}s",
+    ]
+    for name, seconds in sorted(plan["mix"].items()):
+        lines.append(f"    {name:<40} {seconds:.4f}s")
+    return "\n".join(lines)

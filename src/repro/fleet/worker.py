@@ -1,0 +1,171 @@
+"""A fleet worker: the ordinary daemon plus a coordinator agent.
+
+:class:`FleetWorker` wraps a stock :class:`~repro.serve.daemon.
+SimServer` with three fleet-specific behaviours:
+
+- its cache is a :class:`~repro.fleet.store.FleetCache`, so cache
+  misses read through to peer workers and fresh results replicate to
+  the digest's second-choice worker;
+- the shared-store HTTP routes are enabled (``ServeConfig(store=True)``)
+  so peers can read *this* worker's cache;
+- an agent thread registers with the coordinator and heartbeats at the
+  coordinator-assigned interval, reporting queue depth (which is how
+  worker backpressure reaches coordinator admission) and refreshing
+  the peer list from every heartbeat response.
+
+The agent is deliberately resilient: a coordinator restart surfaces as
+a 404 on heartbeat (re-register) or a connection error (keep trying);
+the worker keeps serving direct traffic throughout.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from ..serve import clock
+from ..serve.client import ServeClient, ServeError
+from ..serve.daemon import ServeConfig, SimServer
+from .store import FleetCache
+
+__all__ = ["FleetWorker", "WorkerConfig"]
+
+
+@dataclass
+class WorkerConfig:
+    """Everything ``repro-g5 fleet worker`` can tune."""
+
+    coordinator_url: str = "http://127.0.0.1:8090"
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    max_queue: int = 64
+    cache_root: Union[str, Path, None] = None
+    job_timeout: Optional[float] = None
+    #: URL peers should use to reach this worker (defaults to the
+    #: bound address; set when workers sit behind distinct hostnames).
+    advertise_url: Optional[str] = None
+    replicate: bool = True
+    quiet: bool = True
+    log = None
+
+    extra: dict = field(default_factory=dict)
+
+
+class FleetWorker:
+    """One worker daemon wired into a coordinator."""
+
+    def __init__(self, config: WorkerConfig, execute_fn=None) -> None:
+        self.config = config
+        self.cache = FleetCache(config.cache_root,
+                                replicate=config.replicate)
+        serve_config = ServeConfig(host=config.host, port=config.port,
+                                   workers=config.workers,
+                                   max_queue=config.max_queue,
+                                   cache=self.cache, store=True,
+                                   job_timeout=config.job_timeout,
+                                   quiet=config.quiet)
+        serve_config.log = config.log
+        self.server = SimServer(serve_config, execute_fn=execute_fn)
+        self.url = config.advertise_url or self.server.address
+        self.cache.self_url = self.url.rstrip("/")
+        self.coordinator = ServeClient(config.coordinator_url)
+        self.worker_id: Optional[str] = None
+        self.heartbeat_interval = 0.5
+        self._agent: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.server.start()
+        self.register()
+        self._agent = threading.Thread(target=self._agent_loop,
+                                       name="fleet-agent", daemon=True)
+        self._agent.start()
+
+    def stop(self) -> dict:
+        """Stop heartbeating and drain the underlying daemon."""
+        self._stop.set()
+        if self._agent is not None:
+            self._agent.join(timeout=2.0)
+            self._agent = None
+        return self.server.drain_and_stop()
+
+    def wait(self, poll: float = 0.2) -> dict:
+        """Serve until the daemon is asked to shut down."""
+        report = self.server.wait(poll=poll)
+        self._stop.set()
+        return report
+
+    def request_shutdown(self) -> None:
+        self.server.request_shutdown()
+
+    # ------------------------------------------------------------------
+    # coordinator agent
+    # ------------------------------------------------------------------
+    def _report(self) -> dict:
+        return {"queue_depth": self.server.queue.depth(),
+                "max_queue": self.config.max_queue}
+
+    def register(self) -> bool:
+        """One registration attempt; returns success."""
+        try:
+            reply = self.coordinator._json(
+                "POST", "/api/v1/workers/register",
+                {"url": self.url, "report": self._report()})
+        except (ServeError, OSError):
+            return False
+        self.worker_id = reply["id"]
+        self.heartbeat_interval = float(
+            reply.get("heartbeat_interval", self.heartbeat_interval))
+        self.cache.set_peers(reply.get("peers") or [])
+        return True
+
+    def heartbeat(self) -> bool:
+        """One heartbeat; re-registers if the coordinator forgot us."""
+        if self.worker_id is None:
+            return self.register()
+        try:
+            reply = self.coordinator._json(
+                "POST", f"/api/v1/workers/{self.worker_id}/heartbeat",
+                self._report())
+        except ServeError as exc:
+            if exc.status == 404:
+                self.worker_id = None
+                return self.register()
+            return False
+        except OSError:
+            return False
+        self.cache.set_peers(reply.get("peers") or [])
+        return True
+
+    def _agent_loop(self) -> None:
+        while not self._stop.wait(timeout=self.heartbeat_interval):
+            self.heartbeat()
+
+
+def run_worker(config: WorkerConfig) -> int:
+    """``repro-g5 fleet worker`` body: serve until SIGTERM/SIGINT."""
+    import signal
+
+    worker = FleetWorker(config)
+
+    def _request_shutdown(signum, frame):  # noqa: ARG001
+        worker.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+    worker.start()
+    registered = "registered" if worker.worker_id else \
+        "coordinator unreachable, will keep retrying"
+    print(f"[fleet] worker listening on {worker.url} "
+          f"({registered} with {config.coordinator_url})", flush=True)
+    report = worker.wait()
+    print(f"[fleet] worker drained: {report['done']} done, "
+          f"{report['cancelled']} cancelled, {report['failed']} failed",
+          flush=True)
+    return 0

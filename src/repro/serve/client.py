@@ -16,17 +16,40 @@ backpressure (429) from drain (503) from bad requests (400).
 
 from __future__ import annotations
 
+import hashlib
+import http.client
 import json
 import urllib.error
 import urllib.request
-from typing import Optional
+from typing import Callable, Optional
 
 from ..g5.serialize import unpack_sim_result
 from ..g5.system import SimResult
 from . import clock
 from .jobs import TERMINAL_STATES
 
-__all__ = ["ServeClient", "ServeError"]
+__all__ = ["ServeClient", "ServeError", "retry_delays"]
+
+#: Transport failures worth retrying: the daemon is cold, restarting,
+#: or dropped the connection before answering.
+RETRYABLE_ERRORS = (ConnectionRefusedError, ConnectionResetError,
+                    http.client.RemoteDisconnected)
+
+
+def retry_delays(key: str, retries: int, base: float) -> list[float]:
+    """The jittered exponential backoff schedule for one request.
+
+    Pure function of its inputs: delay ``i`` is ``base * 2**i`` scaled
+    into ``[0.5, 1.0)`` by a hash of ``key`` and the attempt number, so
+    a thundering herd of identical clients still spreads out while the
+    schedule stays reproducible (and testable) — no live RNG involved.
+    """
+    delays = []
+    for attempt in range(retries):
+        seed = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+        jitter = 0.5 + (seed[0] / 256.0) * 0.5
+        delays.append(base * (2 ** attempt) * jitter)
+    return delays
 
 
 class ServeError(RuntimeError):
@@ -42,13 +65,24 @@ class ServeError(RuntimeError):
 class ServeClient:
     """Blocking JSON client over ``urllib`` (no extra dependencies)."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 3, backoff_base: float = 0.05,
+                 sleep: Callable[[float], None] = clock.sleep) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self._sleep = sleep
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
+    def _open(self, request) -> tuple[int, object]:
+        """One attempt on the wire (the retry loop's test seam)."""
+        with urllib.request.urlopen(request,
+                                    timeout=self.timeout) as reply:
+            return reply.status, self._decode(reply)
+
     def _request(self, method: str, path: str,
                  doc: Optional[dict] = None) -> tuple[int, object]:
         body = None
@@ -59,12 +93,25 @@ class ServeClient:
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=body, headers=headers,
             method=method)
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as reply:
-                return reply.status, self._decode(reply)
-        except urllib.error.HTTPError as exc:
-            return exc.code, self._decode(exc)
+        delays = retry_delays(f"{self.base_url}{path}", self.retries,
+                              self.backoff_base)
+        attempts = 0
+        while True:
+            try:
+                return self._open(request)
+            except urllib.error.HTTPError as exc:
+                return exc.code, self._decode(exc)
+            except RETRYABLE_ERRORS:
+                if attempts >= self.retries:
+                    raise
+            except urllib.error.URLError as exc:
+                # urllib wraps socket-level failures; unwrap and retry
+                # the same set (a cold daemon surfaces this way).
+                if not isinstance(exc.reason, RETRYABLE_ERRORS) \
+                        or attempts >= self.retries:
+                    raise
+            self._sleep(delays[attempts])
+            attempts += 1
 
     @staticmethod
     def _decode(reply) -> object:

@@ -21,6 +21,7 @@ SIGTERM acceptance test pins.
 
 from __future__ import annotations
 
+import multiprocessing.util
 import signal
 import sys
 import threading
@@ -51,6 +52,8 @@ class ServeConfig:
     max_retries: int = 2
     backoff_base: float = 0.25
     cache_max_bytes: Optional[int] = None
+    #: Expose the shared-store routes (fleet worker mode).
+    store: bool = False
     quiet: bool = True
     log = None  # injected stream for http/lifecycle lines
 
@@ -78,6 +81,14 @@ class SimServer:
         self.metrics.attach_queue(self.queue)
         self.metrics.attach_engine(self.scheduler.stats)
         self.httpd = ServeHTTPServer((config.host, config.port), self)
+        # The scheduler's ProcessPoolExecutor forks *after* the listen
+        # socket exists, so executor children inherit its fd.  Without
+        # this hook a dead daemon's port stays half-open (children never
+        # accept), and fleet peers hang out their full timeout instead
+        # of getting connection-refused.  Close the inherited fd in
+        # every forked child so the parent alone owns the port.
+        multiprocessing.util.register_after_fork(
+            self.httpd, lambda httpd: httpd.socket.close())
         self._http_thread: Optional[threading.Thread] = None
         self._shutdown_requested = threading.Event()
         self._stopped = threading.Event()
@@ -237,6 +248,29 @@ class SimServer:
         return {"draining": True,
                 "queued_at_drain": counts_before["depth"],
                 "running_at_drain": counts_before["running"]}
+
+    def store_get_response(self, digest: str):
+        """Raw envelope bytes for the shared store, or a JSON error.
+
+        Returns ``(200, bytes)`` on a verified hit; JSON documents
+        otherwise.  Disabled (404 for every digest) unless the daemon
+        runs as a fleet worker with ``ServeConfig(store=True)``.
+        """
+        if not self.config.store or self.config.cache is None:
+            return 404, {"error": "shared store is not enabled"}
+        blob = self.config.cache.raw_get(digest)
+        if blob is None:
+            return 404, {"error": f"no entry for digest {digest!r}"}
+        return 200, blob
+
+    def store_put_response(self, digest: str,
+                           blob: bytes) -> tuple[int, dict]:
+        """Accept a replicated envelope after verifying it end to end."""
+        if not self.config.store or self.config.cache is None:
+            return 404, {"error": "shared store is not enabled"}
+        if not self.config.cache.raw_put(digest, blob):
+            return 400, {"error": "envelope failed digest verification"}
+        return 200, {"stored": True, "digest": digest}
 
     def metrics_text(self) -> str:
         return self.metrics.render()

@@ -1,6 +1,6 @@
 """The daemon's HTTP/JSON surface (stdlib ``http.server``, threaded).
 
-Routes (all JSON except ``/metrics``)::
+Routes (all JSON except ``/metrics`` and the store)::
 
     POST /api/v1/jobs            submit a job        -> 202 / 400 / 429 / 503
     GET  /api/v1/jobs/<id>       job status          -> 200 / 404
@@ -9,6 +9,14 @@ Routes (all JSON except ``/metrics``)::
     GET  /healthz                liveness + drain    -> 200
     GET  /metrics                Prometheus text     -> 200
     POST /api/v1/drain           drain + shut down   -> 202
+    GET  /api/v1/store/<digest>  raw cache envelope  -> 200 / 404
+    PUT  /api/v1/store/<digest>  replicate envelope  -> 200 / 400 / 404
+
+The store routes (fleet worker mode, ``ServeConfig(store=True)``) ship
+content-addressed cache envelopes between workers: responses carry an
+``X-Repro-Sha256`` transport checksum over the body, and both ends
+verify the envelope's recorded digest against the addressed one before
+trusting it (see ``ResultCache.raw_get``/``raw_put``).
 
 The handler is deliberately thin: it parses the path, times the
 request into the per-endpoint latency histogram, and delegates every
@@ -20,6 +28,7 @@ behind the queue's and the metrics' locks.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -31,6 +40,12 @@ API_PREFIX = "/api/v1"
 
 #: Largest request body the server will read (a job document is tiny).
 MAX_BODY_BYTES = 1 << 20
+
+#: Largest store envelope a worker will accept over replication.
+MAX_STORE_BYTES = 1 << 26
+
+#: Transport-integrity header on store bodies (hex sha256 of the body).
+STORE_CHECKSUM_HEADER = "X-Repro-Sha256"
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
@@ -76,11 +91,20 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _read_body(self) -> bytes:
+    def _read_body(self, limit: int = MAX_BODY_BYTES) -> bytes:
         length = int(self.headers.get("Content-Length") or 0)
-        if length > MAX_BODY_BYTES:
+        if length > limit:
             raise ValueError(f"request body too large ({length} bytes)")
         return self.rfile.read(length)
+
+    def _send_blob(self, blob: bytes) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(blob)))
+        self.send_header(STORE_CHECKSUM_HEADER,
+                         hashlib.sha256(blob).hexdigest())
+        self.end_headers()
+        self.wfile.write(blob)
 
     # -- routing --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
@@ -107,6 +131,14 @@ class ServeHandler(BaseHTTPRequestHandler):
                     endpoint = "status"
                     code, doc = self.app.status_response(tail)
                 self._send_json(code, doc)
+            elif path.startswith(f"{API_PREFIX}/store/"):
+                endpoint = "store"
+                digest = path[len(f"{API_PREFIX}/store/"):]
+                code, blob_or_doc = self.app.store_get_response(digest)
+                if code == 200:
+                    self._send_blob(blob_or_doc)
+                else:
+                    self._send_json(code, blob_or_doc)
             else:
                 self._send_json(404, {"error": f"no route for {path}"})
         except BrokenPipeError:
@@ -133,6 +165,38 @@ class ServeHandler(BaseHTTPRequestHandler):
         finally:
             self.app.observe_request(endpoint,
                                      clock.monotonic() - started)
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+        started = clock.monotonic()
+        endpoint = "other"
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path.startswith(f"{API_PREFIX}/store/"):
+                endpoint = "store"
+                self._handle_store_put(path[len(f"{API_PREFIX}/store/"):])
+            else:
+                self._send_json(404, {"error": f"no route for {path}"})
+        except BrokenPipeError:
+            pass
+        finally:
+            self.app.observe_request(endpoint,
+                                     clock.monotonic() - started)
+
+    def _handle_store_put(self, digest: str) -> None:
+        try:
+            blob = self._read_body(limit=MAX_STORE_BYTES)
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        checksum = self.headers.get(STORE_CHECKSUM_HEADER)
+        if (checksum is not None
+                and checksum != hashlib.sha256(blob).hexdigest()):
+            self._send_json(
+                400, {"error": "body does not match "
+                               f"{STORE_CHECKSUM_HEADER} checksum"})
+            return
+        code, doc = self.app.store_put_response(digest, blob)
+        self._send_json(code, doc)
 
     def _handle_submit(self) -> None:
         try:

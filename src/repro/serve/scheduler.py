@@ -30,14 +30,34 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from typing import Callable, Optional
 
 from ..exec.cache import ResultCache
-from ..exec.costmodel import CostModel
+from ..exec.costmodel import CostModel, job_class
 from ..exec.pool import EngineStats, G5Job, _pool_worker
 from ..exec.windows import WindowsCancelled, resolve_windows
 from . import clock
 from .jobs import CANCELLED, DONE, FAILED, JobRecord, JobRequest
 from .queue import JobQueue
 
-__all__ = ["Scheduler", "WorkerCrashed", "JobTimeout"]
+__all__ = ["Scheduler", "WorkerCrashed", "JobTimeout", "predict_request"]
+
+
+def predict_request(cost_model: CostModel, request: JobRequest) -> float:
+    """Predicted duration of one job request (shared by the daemon's
+    admission/ETA path and the fleet coordinator's routing)."""
+    if request.kind == "g5":
+        return cost_model.predict(request.g5)
+    if request.kind == "sample":
+        return cost_model.predict(request.sampled)
+    from ..experiments import FIGURES
+
+    module = FIGURES[request.figure_id]
+    jobs = []
+    for requirement in module.required_g5():
+        workload, cpu_model, mode = requirement[:3]
+        threads = requirement[3] if len(requirement) > 3 else 1
+        jobs.append(G5Job(workload=workload, cpu_model=cpu_model,
+                          mode=mode or "se", scale=request.scale,
+                          threads=threads))
+    return sum(cost_model.predict(job) for job in jobs)
 
 #: How many result payloads the in-process memo retains.
 MEMO_CAPACITY = 256
@@ -123,21 +143,7 @@ class Scheduler:
 
     def predict(self, request: JobRequest) -> float:
         """Predicted duration for admission/ETA (seconds-ish)."""
-        if request.kind == "g5":
-            return self.cost_model.predict(request.g5)
-        if request.kind == "sample":
-            return self.cost_model.predict(request.sampled)
-        from ..experiments import FIGURES
-
-        module = FIGURES[request.figure_id]
-        jobs = []
-        for requirement in module.required_g5():
-            workload, cpu_model, mode = requirement[:3]
-            threads = requirement[3] if len(requirement) > 3 else 1
-            jobs.append(G5Job(workload=workload, cpu_model=cpu_model,
-                              mode=mode or "se", scale=request.scale,
-                              threads=threads))
-        return sum(self.cost_model.predict(job) for job in jobs)
+        return predict_request(self.cost_model, request)
 
     # ------------------------------------------------------------------
     # worker loop
@@ -167,8 +173,27 @@ class Scheduler:
             self._finish(record, state=FAILED,
                          error=f"{type(exc).__name__}: {exc}")
         else:
+            if source == "executed":
+                self._note_prediction(record)
             self._finish(record, state=DONE, result=payload,
                          source=source)
+
+    def _note_prediction(self, record: JobRecord) -> None:
+        """Export predicted-vs-actual drift for an executed job."""
+        if self.metrics is None or record.started_at is None:
+            return
+        actual = clock.wall() - record.started_at
+        if actual <= 0:
+            return
+        request = record.request
+        if request.kind == "g5":
+            cost_class = job_class(request.g5)
+        elif request.kind == "sample":
+            cost_class = job_class(request.sampled)
+        else:
+            cost_class = f"figure|{request.figure_id}|{request.scale}"
+        self.metrics.note_prediction(cost_class,
+                                     record.predicted_seconds, actual)
 
     def _finish(self, record: JobRecord, *, state: str,
                 result: Optional[dict] = None,

@@ -1,0 +1,19 @@
+"""Fixture: fleet modules are in scope with no wall-clock exemption."""
+
+import random
+import time
+
+
+def heartbeat_age(last_heartbeat):
+    # Liveness must come from serve/clock.py, never host time directly.
+    return time.monotonic() - last_heartbeat
+
+
+def pick_worker(workers):
+    # Routing by shared unseeded RNG: nondeterministic placement.
+    return random.choice(workers)
+
+
+def requeue_order(excluded):
+    # Unordered iteration can leak into dispatch order.
+    return [worker_id for worker_id in set(excluded)]

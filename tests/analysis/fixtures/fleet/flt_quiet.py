@@ -1,0 +1,22 @@
+"""Fixture: the sanctioned fleet idioms stay quiet.
+
+All time flows through the serve clock module, jitter comes from a
+content hash, and every iteration order is pinned with ``sorted``.
+"""
+
+import hashlib
+
+from ..serve import clock
+
+
+def heartbeat_age(last_heartbeat):
+    return clock.monotonic() - last_heartbeat
+
+
+def jitter(key):
+    # Deterministic dispersal: hash the key instead of rolling dice.
+    return hashlib.sha256(key.encode()).digest()[0] / 256.0
+
+
+def requeue_order(excluded):
+    return [worker_id for worker_id in sorted(excluded)]

@@ -53,6 +53,35 @@ def test_determinism_sample_quiet(fixture_findings):
                          path="sample/smp_quiet.py") == []
 
 
+def test_determinism_covers_fleet(fixture_findings):
+    hits = rule_findings(fixture_findings, "determinism",
+                         path="fleet/flt_fires.py")
+    assert _suffixes(hits) == ["set-iteration", "unseeded-random",
+                               "wall-clock"]
+
+
+def test_determinism_fleet_quiet(fixture_findings):
+    # serve/clock.py time, hash-derived jitter, sorted() iteration.
+    assert rule_findings(fixture_findings, "determinism",
+                         path="fleet/flt_quiet.py") == []
+
+
+def test_determinism_fleet_has_no_wall_clock_exemption():
+    """Unlike serve/, no fleet module may read the wall clock itself.
+
+    Every coordinator/worker timing decision (heartbeats, sweeps, job
+    timeouts, retry pacing) flows through ``serve/clock.py``, so the
+    whole fleet can run on a test-controlled clock.
+    """
+    from repro.analysis.passes.determinism import (_SERVE_WALL_CLOCK_OK,
+                                                   DeterminismPass)
+
+    assert DeterminismPass.applies_to("fleet/coordinator.py")
+    assert DeterminismPass.applies_to("fleet/worker.py")
+    assert not any(exempt.startswith("fleet/")
+                   for exempt in _SERVE_WALL_CLOCK_OK)
+
+
 def test_determinism_scope_includes_sample_parallel():
     """The window planner/merger is in scope with no exemptions.
 
@@ -171,5 +200,6 @@ def test_fixture_tree_total():
 
     findings = Engine(FIXTURES).run()
     # determinism(g5) + event + xdomain + fastslow + slots + stats
-    # + figreq + determinism(serve) + determinism(sample) + race
-    assert len(findings) == 7 + 5 + 6 + 2 + 1 + 2 + 3 + 3 + 3 + 8
+    # + figreq + determinism(serve) + determinism(sample)
+    # + determinism(fleet) + race
+    assert len(findings) == 7 + 5 + 6 + 2 + 1 + 2 + 3 + 3 + 3 + 3 + 8

@@ -1,12 +1,17 @@
 """Unit tests for the cost model and LPT scheduling."""
 
 import json
+from pathlib import Path
 
 import pytest
 
-from repro.exec.costmodel import DEFAULT_SEC_PER_WEIGHT, CostModel, job_class
+from repro.exec.costmodel import (DEFAULT_SEC_PER_WEIGHT, CostModel,
+                                  _ObservationJob, ema_baseline_predict,
+                                  job_class)
 from repro.exec.pool import G5Job
 from repro.sample import SampledJob
+
+FIXTURES = Path(__file__).parent / "fixtures"
 
 
 def _job(workload="sieve", cpu="atomic", mode="se", scale="test"):
@@ -109,10 +114,78 @@ def test_legacy_v1_history_loads(tmp_path):
     assert model.predict(_job()) == 7.0
     assert model.calibration_samples == 0
     model.flush()
-    # Flushing upgrades the file to the v2 schema.
+    # Flushing upgrades the file to the current schema.
     doc = json.loads(path.read_text())
-    assert doc["version"] == 2
+    assert doc["version"] == 3
     assert doc["classes"] == {job_class(_job()): 7.0}
+    assert doc["observations"] == []
+
+
+def test_v3_fixture_trains_the_learned_predictor():
+    model = CostModel(FIXTURES / "costs_v3_synthetic.json")
+    predictor = model.predictor
+    assert predictor is not None
+    assert predictor.n_observations == 30
+    assert len(model.observations()) == 30
+    # Every prediction is finite and positive.
+    for obs in model.observations():
+        assert 0 < predictor.predict_seconds(obs) < 1e6
+
+
+def test_learned_predictor_beats_ema_baseline_on_held_out_classes():
+    """The acceptance bar for the Gem5Pred-style layer: on classes the
+    EMA has *never seen*, the feature regression trained on the
+    committed synthetic history must land far closer to the true
+    durations than the EMA baseline's calibrated-static-prior fallback.
+    """
+    model = CostModel(FIXTURES / "costs_v3_synthetic.json")
+    held_out = json.loads(
+        (FIXTURES / "costs_heldout.json").read_text())["observations"]
+    assert len(held_out) == 6
+    history = model.known_classes()
+    learned_errors, baseline_errors = [], []
+    for obs in held_out:
+        assert obs["class"] not in history, \
+            "held-out fixture leaked into the training history"
+        true = obs["seconds"]
+        learned = model.predict(_ObservationJob(obs))
+        baseline = ema_baseline_predict(history, model.sec_per_weight,
+                                        obs)
+        learned_errors.append(abs(learned - true) / true)
+        baseline_errors.append(abs(baseline - true) / true)
+    mean_learned = sum(learned_errors) / len(learned_errors)
+    mean_baseline = sum(baseline_errors) / len(baseline_errors)
+    assert mean_learned < mean_baseline, \
+        f"regression ({mean_learned:.3f}) lost to EMA baseline " \
+        f"({mean_baseline:.3f})"
+    # And not by a whisker: the gap is structural.
+    assert mean_learned < 0.15
+    assert mean_baseline > 2 * mean_learned
+
+
+def test_seen_classes_still_answer_from_their_ema():
+    """The regression augments the EMA layer, never overrides it."""
+    model = CostModel(FIXTURES / "costs_v3_synthetic.json")
+    history = model.known_classes()
+    for obs in model.observations()[:5]:
+        predicted = model.predict(_ObservationJob(obs))
+        assert predicted == history[obs["class"]]
+
+
+def test_v2_schema_files_still_load():
+    model = CostModel(FIXTURES / "costs_v2.json")
+    assert len(model.known_classes()) == 4
+    assert model.calibration_samples == 30
+    assert model.sec_per_weight != DEFAULT_SEC_PER_WEIGHT
+    # No observation history -> no regression; prediction still works
+    # through the EMA and calibrated-prior layers.
+    assert model.observations() == []
+    assert model.predictor is None
+    seen_class = next(iter(model.known_classes()))
+    workload, cpu, mode, scale = seen_class.split("|")
+    assert model.predict(G5Job(workload, cpu, mode, scale)) == \
+        model.known_classes()[seen_class]
+    assert model.predict(_job(cpu="minor", scale="simlarge")) > 0
 
 
 def test_sampled_jobs_form_their_own_cost_class():

@@ -1,0 +1,77 @@
+"""The capacity plan: deterministic, monotonic, and honest."""
+
+import pytest
+
+from repro.exec.costmodel import CostModel
+from repro.exec.pool import G5Job
+from repro.fleet.report import capacity_plan, render_report, simulate_p99
+
+
+def _trained_model():
+    model = CostModel()
+    for cpu, seconds in (("atomic", 0.05), ("timing", 0.2),
+                         ("o3", 0.5)):
+        model.observe(G5Job("sieve", cpu, "se", "test"), seconds)
+    return model
+
+
+def test_plan_is_deterministic():
+    a = capacity_plan(_trained_model(), workers=2, target_p99=2.0)
+    b = capacity_plan(_trained_model(), workers=2, target_p99=2.0)
+    assert a == b
+
+
+def test_more_workers_sustain_more_traffic():
+    model = _trained_model()
+    rates = [capacity_plan(model, workers=n,
+                           target_p99=2.0)["sustainable_rps"]
+             for n in (1, 2, 4)]
+    assert rates[0] < rates[1] < rates[2]
+    # Scaling is roughly linear in servers (rendezvous sharding adds
+    # no serial bottleneck to the model).
+    assert rates[2] > 3 * rates[0]
+
+
+def test_tighter_p99_targets_sustain_less():
+    model = _trained_model()
+    loose = capacity_plan(model, workers=2, target_p99=5.0)
+    tight = capacity_plan(model, workers=2, target_p99=0.6)
+    assert tight["sustainable_rps"] <= loose["sustainable_rps"]
+    assert tight["p99_seconds_at_rate"] <= 0.6
+
+
+def test_infeasible_target_is_reported_not_faked():
+    model = CostModel()
+    model.observe(G5Job("sieve", "o3", "se", "simlarge"), 30.0)
+    plan = capacity_plan(model, workers=4, target_p99=1.0)
+    assert plan["feasible"] is False
+    assert plan["sustainable_rps"] == 0.0
+    assert "infeasible" in render_report(plan)
+
+
+def test_cold_model_still_produces_a_plan():
+    plan = capacity_plan(CostModel(), workers=2, target_p99=5.0)
+    assert plan["feasible"]
+    assert plan["sustainable_rps"] > 0
+    assert len(plan["mix"]) == 4          # static-prior fallback mix
+    rendered = render_report(plan)
+    assert "sustains" in rendered
+    assert "sieve|o3|se|test" in rendered
+
+
+def test_simulate_p99_matches_hand_math():
+    # One server, service 1s, one arrival per 2s: no queueing, every
+    # sojourn is exactly the service time.
+    assert simulate_p99(rate=0.5, servers=1, services=[1.0]) == \
+        pytest.approx(1.0)
+    # Oversubscribed: sojourn must exceed the bare service time.
+    assert simulate_p99(rate=4.0, servers=1, services=[1.0]) > 1.0
+
+
+def test_invalid_inputs_are_rejected():
+    with pytest.raises(ValueError):
+        capacity_plan(CostModel(), workers=0)
+    with pytest.raises(ValueError):
+        capacity_plan(CostModel(), workers=1, target_p99=0.0)
+    with pytest.raises(ValueError):
+        simulate_p99(rate=0.0, servers=1, services=[1.0])

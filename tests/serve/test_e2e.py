@@ -178,3 +178,45 @@ def test_metrics_health_and_stats(live_server):
     assert stats["workers"] == 2
     assert stats["engine"]["g5_executed"] >= 1
     assert stats["draining"] is False
+
+
+def test_dead_daemon_releases_its_port_despite_forked_executors(
+        tmp_path):
+    """A daemon's port must refuse connections once it stops, even
+    while *other* daemons in the process keep forking executors.
+
+    A ProcessPoolExecutor child forks with every listen fd in the
+    process; without the after-fork socket close, a sibling daemon's
+    children keep a dead daemon's port half-open — connections are
+    accepted into a backlog nobody drains, so fleet peers hang out
+    their full timeout instead of getting connection-refused.  That is
+    exactly the multi-worker harness (and ``fleet worker``) topology.
+    """
+    import time
+    import urllib.error
+    import urllib.request
+
+    victim, _ = make_server(tmp_path, workers=1,
+                            cache=False)
+    address = victim.address
+    survivor, surv_client = make_server(tmp_path, workers=1,
+                                        cache=False)
+    try:
+        # A real execution on the survivor forks pool children that
+        # inherited the victim's listen fd.
+        ack = surv_client.submit(workload="sieve", cpu="atomic",
+                                 scale="test")
+        assert surv_client.wait(ack["id"],
+                                timeout=60.0)["state"] == "done"
+        # Abrupt death (no drain): stop the loops, close the listener.
+        victim.scheduler.stop(timeout=0.5)
+        victim.httpd.shutdown()
+        victim.httpd.server_close()
+
+        begin = time.monotonic()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(f"{address}/healthz", timeout=5.0)
+        assert time.monotonic() - begin < 1.0, \
+            "connection to the dead daemon hung instead of refusing"
+    finally:
+        survivor.drain_and_stop()
